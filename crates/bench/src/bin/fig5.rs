@@ -1,0 +1,66 @@
+//! Regenerates the paper's **Figure 5**: SpMV strong-scaling curves for
+//! com-orkut, cit-Patents and rmat_26 across all six layouts. Loads
+//! `results/table2.jsonl` when present; recomputes otherwise.
+
+use sf2d_bench::{ascii_scaling_chart, load_proxy, machine_for, read_jsonl, HarnessOpts};
+use sf2d_core::experiment::labeled_spmv;
+use sf2d_core::prelude::*;
+use sf2d_core::SpmvRow;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let cached: Option<Vec<SpmvRow>> = read_jsonl(&opts.out_file("table2.jsonl"));
+
+    for name in ["com-orkut", "cit-Patents", "rmat_26"] {
+        let cfg = sf2d_core::sf2d_gen::proxy::by_name(name).unwrap();
+        let methods = Method::spmv_set(cfg.use_hp);
+        let mut series: Vec<(String, Vec<f64>)> = methods
+            .iter()
+            .map(|m| (m.name().to_string(), Vec::new()))
+            .collect();
+
+        for &p in &opts.procs {
+            // Look up cached rows first.
+            let mut found: Vec<Option<f64>> = vec![None; methods.len()];
+            if let Some(rows) = &cached {
+                for (i, m) in methods.iter().enumerate() {
+                    found[i] = rows
+                        .iter()
+                        .find(|r| r.matrix == name && r.p == p && r.method == m.name())
+                        .map(|r| r.sim_time);
+                }
+            }
+            if found.iter().any(|f| f.is_none()) {
+                let a = load_proxy(cfg, opts.shrink);
+                let machine = machine_for(cfg, &a, Machine::cab());
+                let mut builder = LayoutBuilder::new(&a, 0);
+                for (i, &m) in methods.iter().enumerate() {
+                    if found[i].is_none() {
+                        let dist = builder.dist(m, p);
+                        let row = labeled_spmv(spmv_experiment(&a, &dist, machine, 100), name, m);
+                        found[i] = Some(row.sim_time);
+                    }
+                }
+            }
+            for (i, f) in found.into_iter().enumerate() {
+                series[i].1.push(f.unwrap());
+            }
+        }
+        println!(
+            "{}",
+            ascii_scaling_chart(
+                &format!("Figure 5 — {name}: 100x SpMV strong scaling (s)"),
+                &opts.procs,
+                &series
+            )
+        );
+        // The paper's annotation: 2D-Random vs 2D-GP/HP at the largest p.
+        let last = opts.procs.len() - 1;
+        let rand2d = series.iter().find(|(n, _)| n == "2D-Random").unwrap().1[last];
+        let gp2d = series.last().unwrap().1[last];
+        println!(
+            "largest p: 2D-Random {:.3}s vs 2D-GP/HP {:.3}s\n",
+            rand2d, gp2d
+        );
+    }
+}

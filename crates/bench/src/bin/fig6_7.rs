@@ -1,0 +1,94 @@
+//! Regenerates the paper's **Figures 6 and 7**: performance profiles over
+//! all Table 2 instances (Fig 6) and over the ≥1024-rank instances only
+//! (Fig 7). Reads `results/table2.jsonl` (run `table2` first).
+//!
+//! Reading the curves: at x = 1, a method's y value is the fraction of
+//! problems where it is the fastest; the paper reports 2D-GP/HP best for
+//! 97.5% of instances, and 1D methods clearly dominated at high rank
+//! counts.
+
+use std::collections::BTreeSet;
+
+use sf2d_bench::{read_jsonl, HarnessOpts};
+use sf2d_core::report::performance_profile;
+use sf2d_core::SpmvRow;
+
+/// Canonical method order (columns of the profile).
+const METHODS: [&str; 6] = [
+    "1D-Block",
+    "1D-Random",
+    "1D-GP/HP",
+    "2D-Block",
+    "2D-Random",
+    "2D-GP/HP",
+];
+
+/// Folds the GP and HP variants into the paper's combined labels.
+fn canon(method: &str) -> &'static str {
+    match method {
+        "1D-Block" => "1D-Block",
+        "1D-Random" => "1D-Random",
+        "1D-GP" | "1D-HP" => "1D-GP/HP",
+        "2D-Block" => "2D-Block",
+        "2D-Random" => "2D-Random",
+        "2D-GP" | "2D-HP" => "2D-GP/HP",
+        other => panic!("unexpected method {other}"),
+    }
+}
+
+fn profile_table(rows: &[SpmvRow], min_p: usize, title: &str) {
+    // Group into problems = (matrix, p).
+    let problems: BTreeSet<(String, usize)> = rows
+        .iter()
+        .filter(|r| r.p >= min_p)
+        .map(|r| (r.matrix.clone(), r.p))
+        .collect();
+    let mut times: Vec<Vec<f64>> = Vec::new();
+    for (matrix, p) in &problems {
+        let mut row = vec![f64::INFINITY; METHODS.len()];
+        for r in rows.iter().filter(|r| &r.matrix == matrix && r.p == *p) {
+            let idx = METHODS.iter().position(|m| *m == canon(&r.method)).unwrap();
+            row[idx] = r.sim_time;
+        }
+        assert!(
+            row.iter().all(|t| t.is_finite()),
+            "incomplete data for {matrix}@{p}"
+        );
+        times.push(row);
+    }
+
+    println!("## {title} ({} instances)", times.len());
+    print!("| tau |");
+    for m in METHODS {
+        print!(" {m} |");
+    }
+    println!();
+    print!("|---:|");
+    for _ in METHODS {
+        print!("---:|");
+    }
+    println!();
+    for tau in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0] {
+        let prof = performance_profile(&times, tau);
+        print!("| {tau} |");
+        for v in prof {
+            print!(" {:.3} |", v);
+        }
+        println!();
+    }
+    // The paper's headline number: fraction of instances where 2D-GP/HP is
+    // the (tied-)best.
+    let best_frac = performance_profile(&times, 1.0 + 1e-9);
+    println!(
+        "2D-GP/HP is the best method for {:.1}% of instances\n",
+        100.0 * best_frac[5]
+    );
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let rows: Vec<SpmvRow> = read_jsonl(&opts.out_file("table2.jsonl"))
+        .expect("results/table2.jsonl missing — run the `table2` binary first");
+    profile_table(&rows, 0, "Figure 6 — performance profile, all instances");
+    profile_table(&rows, 1024, "Figure 7 — performance profile, >= 1024 ranks");
+}

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Figure 8**: R-MAT weak scaling. rmat_22 on
+//! 256 ranks, rmat_24 on 1024, rmat_26 on 4096 (nnz and ranks both grow
+//! 4x), for 1D-Block, 1D-HP, 2D-Block and 2D-HP.
+//!
+//! The paper's findings to look for: 2D-HP nearly flat; 1D-HP reasonable;
+//! the block methods blow up because their nonzero imbalance explodes with
+//! size (2D-Block: 24.5 -> 56.4 -> 130.5 in the paper).
+
+use sf2d_bench::{load_proxy, machine_for, write_jsonl, HarnessOpts};
+use sf2d_core::experiment::labeled_spmv;
+use sf2d_core::prelude::*;
+use sf2d_core::report::fmt_secs;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let pairs = [("rmat_22", 256usize), ("rmat_24", 1024), ("rmat_26", 4096)];
+    let methods = [
+        Method::OneDBlock,
+        Method::OneDHp,
+        Method::TwoDBlock,
+        Method::TwoDHp,
+    ];
+    let out = opts.out_file("fig8.jsonl");
+    let _ = std::fs::remove_file(&out);
+
+    println!("# Figure 8 — R-MAT weak scaling (100x SpMV, simulated s)");
+    println!("| matrix | p | method | time | nnz imbal | total CV |");
+    println!("|---|---:|---|---:|---:|---:|");
+    for (name, p) in pairs {
+        let cfg = sf2d_core::sf2d_gen::proxy::by_name(name).unwrap();
+        let a = load_proxy(cfg, opts.shrink);
+        let machine = machine_for(cfg, &a, Machine::cab());
+        let mut builder = LayoutBuilder::new(&a, 0);
+        let mut rows = Vec::new();
+        for m in methods {
+            let dist = builder.dist(m, p);
+            let row = labeled_spmv(spmv_experiment(&a, &dist, machine, 100), name, m);
+            println!(
+                "| {} | {} | {} | {} | {:.1} | {:.1}M |",
+                name,
+                p,
+                m.name(),
+                fmt_secs(row.sim_time),
+                row.nnz_imbalance,
+                row.total_cv as f64 / 1e6
+            );
+            rows.push(row);
+        }
+        write_jsonl(&out, &rows);
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper's **Table 1**: the matrix inventory (rows,
+//! nonzeros, max nonzeros/row), for the proxy matrices side by side with
+//! the paper's originals.
+
+use sf2d_bench::{load_proxy, HarnessOpts};
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_graph::stats::{powerlaw_exponent_mle, DegreeStats};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!(
+        "# Table 1 — input matrices (proxy @ extra shrink {}x)",
+        opts.shrink
+    );
+    println!(
+        "| matrix | rows | nnz | max nnz/row | skew | γ̂ | paper rows | paper nnz | paper max/row |"
+    );
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for cfg in PAPER_MATRICES {
+        let a = load_proxy(cfg, opts.shrink);
+        let s = DegreeStats::of(&a);
+        let gamma = powerlaw_exponent_mle(&a, 4)
+            .map(|g| format!("{g:.2}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "| {} | {} | {} | {} | {:.0} | {} | {} | {} | {} |",
+            cfg.name,
+            s.nrows,
+            s.nnz,
+            s.max_row_nnz,
+            s.skew,
+            gamma,
+            cfg.paper_rows,
+            cfg.paper_nnz,
+            cfg.paper_max_row
+        );
+    }
+}

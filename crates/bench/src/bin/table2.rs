@@ -1,0 +1,79 @@
+//! Regenerates the paper's **Table 2**: time for 100 SpMV operations for
+//! six data layouts on every matrix and rank count, with the "Reduction in
+//! SpMV time" column (2D-GP/HP vs the next best method). Also appends the
+//! two 16K-rank rows (com-liveJournal, uk-2005) on the Hopper machine
+//! model, as in the paper.
+//!
+//! Rows land in `results/table2.jsonl` for the figure binaries to re-plot.
+
+use sf2d_bench::{load_proxy, machine_for, write_jsonl, HarnessOpts};
+use sf2d_core::experiment::labeled_spmv;
+use sf2d_core::prelude::*;
+use sf2d_core::report::{fmt_secs, reduction_vs_next_best};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let out = opts.out_file("table2.jsonl");
+    let _ = std::fs::remove_file(&out);
+
+    println!(
+        "# Table 2 — time (simulated s) for 100 SpMV (extra shrink {}x)",
+        opts.shrink
+    );
+    println!("| matrix | p | 1D-Block | 1D-Random | 1D-GP/HP | 2D-Block | 2D-Random | 2D-GP/HP | reduction |");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+
+    for cfg in PAPER_MATRICES {
+        let a = load_proxy(cfg, opts.shrink);
+        let machine = machine_for(cfg, &a, Machine::cab());
+        let mut builder = LayoutBuilder::new(&a, 0);
+        let methods = Method::spmv_set(cfg.use_hp);
+        for &p in &opts.procs {
+            let mut rows = Vec::new();
+            for m in methods {
+                let dist = builder.dist(m, p);
+                let row = labeled_spmv(spmv_experiment(&a, &dist, machine, 100), cfg.name, m);
+                rows.push(row);
+            }
+            print_row(cfg.name, p, &rows);
+            write_jsonl(&out, &rows);
+        }
+    }
+
+    // The paper's 16K-process rows, on the Hopper model ("not directly
+    // comparable" to the cab rows, as the paper notes).
+    println!();
+    println!("16,384 ranks on the Hopper (Cray XE6) machine model:");
+    println!("| matrix | p | 1D-Block | 1D-Random | 1D-GP/HP | 2D-Block | 2D-Random | 2D-GP/HP | reduction |");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for name in ["com-liveJournal", "uk-2005"] {
+        let cfg = sf2d_core::sf2d_gen::proxy::by_name(name).unwrap();
+        let a = load_proxy(cfg, opts.shrink);
+        let machine = machine_for(cfg, &a, Machine::hopper());
+        let mut builder = LayoutBuilder::new(&a, 0);
+        let mut rows = Vec::new();
+        for m in Method::spmv_set(cfg.use_hp) {
+            let dist = builder.dist(m, 16_384);
+            rows.push(labeled_spmv(
+                spmv_experiment(&a, &dist, machine, 100),
+                cfg.name,
+                m,
+            ));
+        }
+        print_row(cfg.name, 16_384, &rows);
+        write_jsonl(&out, &rows);
+    }
+    eprintln!("rows written to {}", out.display());
+}
+
+fn print_row(name: &str, p: usize, rows: &[sf2d_core::SpmvRow]) {
+    // 2D-GP/HP is the last method in the canonical order.
+    let winner = rows.last().unwrap().sim_time;
+    let others: Vec<f64> = rows[..rows.len() - 1].iter().map(|r| r.sim_time).collect();
+    let red = reduction_vs_next_best(winner, &others);
+    print!("| {name} | {p} |");
+    for r in rows {
+        print!(" {} |", fmt_secs(r.sim_time));
+    }
+    println!(" {red:.1}% |");
+}

@@ -1,0 +1,62 @@
+//! Regenerates the paper's **Table 3**: the com-liveJournal detail —
+//! nonzero imbalance, max messages per process, total communication volume
+//! (doubles), and SpMV time, for all six layouts across rank counts
+//! including 16,384.
+//!
+//! The headline structural effect: 1D layouts' max messages approach `p`,
+//! 2D layouts' approach `2√p`.
+
+use sf2d_bench::{load_proxy, machine_for, write_jsonl, HarnessOpts};
+use sf2d_core::experiment::labeled_spmv;
+use sf2d_core::prelude::*;
+use sf2d_core::report::fmt_secs;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    if !opts.procs.contains(&16_384) {
+        opts.procs.push(16_384);
+    }
+    let cfg = sf2d_core::sf2d_gen::proxy::by_name("com-liveJournal").unwrap();
+    let a = load_proxy(cfg, opts.shrink);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let out = opts.out_file("table3.jsonl");
+    let _ = std::fs::remove_file(&out);
+
+    println!(
+        "# Table 3 — com-liveJournal metrics (proxy: {} rows, {} nnz; extra shrink {}x)",
+        a.nrows(),
+        a.nnz(),
+        opts.shrink
+    );
+    println!("| p | method | imbal (nz) | max msgs | total CV | spmv time |");
+    println!("|---:|---|---:|---:|---:|---:|");
+    for &p in &opts.procs {
+        // 16K rows run on the Hopper model, like the paper's footnote.
+        let base = if p >= 16_384 {
+            Machine::hopper()
+        } else {
+            Machine::cab()
+        };
+        let machine = machine_for(cfg, &a, base);
+        let mut rows = Vec::new();
+        for m in Method::spmv_set(cfg.use_hp) {
+            let dist = builder.dist(m, p);
+            let row = labeled_spmv(spmv_experiment(&a, &dist, machine, 100), cfg.name, m);
+            println!(
+                "| {} | {} | {:.1} | {} | {:.1}M | {}{} |",
+                p,
+                m.name(),
+                row.nnz_imbalance,
+                row.max_msgs,
+                row.total_cv as f64 / 1e6,
+                fmt_secs(row.sim_time),
+                if p >= 16_384 { "*" } else { "" },
+            );
+            rows.push(row);
+        }
+        write_jsonl(&out, &rows);
+    }
+    println!();
+    println!("*16K-rank times use the Hopper machine model — not directly comparable");
+    println!("to the cab rows above, exactly as in the paper's footnote.");
+}

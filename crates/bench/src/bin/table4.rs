@@ -1,0 +1,88 @@
+//! Regenerates the paper's **Table 4**: average eigensolve time (Block
+//! Krylov–Schur, block size 1, ten largest eigenpairs of the normalized
+//! Laplacian, tol 1e-3) for eight layouts — including the multiconstraint
+//! 1D/2D-GP-MC — on hollywood-2009, com-orkut and rmat_26 proxies.
+//!
+//! The paper averages ten random starts; the harness defaults to three
+//! (`--seeds` to override). Eigen proxies take an extra 4x shrink on top of
+//! `--shrink` so the many solves stay tractable.
+//!
+//! Rows land in `results/table4.jsonl` (fig9 re-plots them).
+
+use sf2d_bench::{load_proxy, machine_for, write_jsonl, HarnessOpts};
+use sf2d_core::experiment::labeled_eigen;
+use sf2d_core::prelude::*;
+use sf2d_core::report::{fmt_secs, reduction_vs_next_best};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    // Eigen runs take an extra shrink (x4; x16 for the huge R-MAT whose
+    // proxy is otherwise a million rows). Not more for the R-MAT: below
+    // scale 16 the hub row alone exceeds a part's nonzero budget at p = 64,
+    // and HP's vector distribution degenerates.
+    let eigen_shrink = |name: &str| -> usize {
+        if name == "rmat_26" {
+            (opts.shrink * 16).min(1 << 12)
+        } else {
+            (opts.shrink * 4).min(1 << 12)
+        }
+    };
+    let out = opts.out_file("table4.jsonl");
+    let _ = std::fs::remove_file(&out);
+
+    println!(
+        "# Table 4 — eigensolve time (simulated s), avg of {} seeds (extra shrink {}x)",
+        opts.seeds.len(),
+        eigen_shrink("")
+    );
+
+    for name in ["hollywood-2009", "com-orkut", "rmat_26"] {
+        let cfg = sf2d_core::sf2d_gen::proxy::by_name(name).unwrap();
+        let a = load_proxy(cfg, eigen_shrink(name));
+        let machine = machine_for(cfg, &a, Machine::cab());
+        let mut builder = LayoutBuilder::new(&a, 0);
+        let methods = Method::eigen_set(cfg.use_hp);
+        let ks = KrylovSchurConfig::paper(0);
+
+        println!();
+        print!("| matrix | p |");
+        for m in &methods {
+            print!(" {} |", m.name());
+        }
+        println!(" reduction |");
+        print!("|---|---:|");
+        for _ in &methods {
+            print!("---:|");
+        }
+        println!("---:|");
+
+        for &p in &opts.procs {
+            let mut rows = Vec::new();
+            for &m in &methods {
+                let dist = builder.dist(m, p);
+                let row = labeled_eigen(
+                    eigen_experiment(&a, &dist, machine, &ks, &opts.seeds),
+                    cfg.name,
+                    m,
+                );
+                rows.push(row);
+            }
+            // The paper's reduction column compares the MC/HP winner (the
+            // last method) against the best other, excluding plain 2D-GP.
+            let winner = rows.last().unwrap().solve_time;
+            let others: Vec<f64> = rows[..rows.len() - 1]
+                .iter()
+                .filter(|r| r.method != "2D-GP")
+                .map(|r| r.solve_time)
+                .collect();
+            let red = reduction_vs_next_best(winner, &others);
+            print!("| {name} | {p} |");
+            for r in &rows {
+                print!(" {} |", fmt_secs(r.solve_time));
+            }
+            println!(" {red:.1}% |");
+            write_jsonl(&out, &rows);
+        }
+    }
+    eprintln!("rows written to {}", out.display());
+}

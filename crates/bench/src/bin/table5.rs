@@ -1,0 +1,69 @@
+//! Regenerates the paper's **Table 5**: the hollywood-2009 eigensolver
+//! detail for the 2D layouts — nonzero imbalance, **vector imbalance**,
+//! max messages, total communication volume, SpMV time vs total solve
+//! time.
+//!
+//! The story this table tells: plain 2D-GP balances nonzeros but not
+//! vector entries, so orthogonalization (vector work) dominates its solve
+//! time; multiconstraint 2D-GP-MC balances both and wins.
+
+use sf2d_bench::{load_proxy, machine_for, write_jsonl, HarnessOpts};
+use sf2d_core::experiment::labeled_eigen;
+use sf2d_core::prelude::*;
+use sf2d_core::report::fmt_secs;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    // Only a 2x extra shrink here: the vector-imbalance story needs the
+    // proxy's degree skew, which smaller proxies flatten (their hub degree
+    // is capped at half the vertex count).
+    let shrink = (opts.shrink * 2).min(1 << 12);
+    let cfg = sf2d_core::sf2d_gen::proxy::by_name("hollywood-2009").unwrap();
+    let a = load_proxy(cfg, shrink);
+    let machine = machine_for(cfg, &a, Machine::cab());
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let ks = KrylovSchurConfig::paper(0);
+    let out = opts.out_file("table5.jsonl");
+    let _ = std::fs::remove_file(&out);
+
+    let methods = [
+        Method::TwoDBlock,
+        Method::TwoDRandom,
+        Method::TwoDGp,
+        Method::TwoDGpMc,
+    ];
+
+    println!(
+        "# Table 5 — hollywood-2009 eigensolver detail (proxy: {} rows, {} nnz)",
+        a.nrows(),
+        a.nnz()
+    );
+    println!(
+        "| p | method | nz imbal | vec imbal | max msgs | total CV | spmv time | solve time |"
+    );
+    println!("|---:|---|---:|---:|---:|---:|---:|---:|");
+    for &p in &opts.procs {
+        let mut rows = Vec::new();
+        for m in methods {
+            let dist = builder.dist(m, p);
+            let row = labeled_eigen(
+                eigen_experiment(&a, &dist, machine, &ks, &opts.seeds),
+                cfg.name,
+                m,
+            );
+            println!(
+                "| {} | {} | {:.1} | {:.1} | {} | {:.1}M | {} | {} |",
+                p,
+                m.name(),
+                row.nnz_imbalance,
+                row.vec_imbalance,
+                row.max_msgs,
+                row.total_cv as f64 / 1e6,
+                fmt_secs(row.spmv_time),
+                fmt_secs(row.solve_time),
+            );
+            rows.push(row);
+        }
+        write_jsonl(&out, &rows);
+    }
+}

@@ -1,0 +1,231 @@
+//! # sf2d-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§5). One binary per artefact:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — matrix inventory |
+//! | `table2` | Table 2 — 100×SpMV times, 6 layouts × 10 matrices × rank counts |
+//! | `table3` | Table 3 — com-liveJournal metrics detail |
+//! | `table4` | Table 4 — eigensolver times incl. multiconstraint layouts |
+//! | `table5` | Table 5 — hollywood-2009 eigensolver metrics detail |
+//! | `fig5`   | Figure 5 — SpMV strong scaling curves |
+//! | `fig6_7` | Figures 6 & 7 — performance profiles |
+//! | `fig8`   | Figure 8 — R-MAT weak scaling |
+//! | `fig9`   | Figure 9 — eigensolver strong scaling curves |
+//!
+//! All binaries accept `--shrink <power-of-2>` (extra downscale of the
+//! proxy matrices below their default 1/64-ish scale; default 2),
+//! `--procs <csv>` (rank counts; default `64,256,1024,4096`), and
+//! `--out <dir>` (where JSON-lines results land; default `results/`).
+//! Figures that re-plot Table 2/4 data load those JSON files when present
+//! instead of recomputing.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_graph::io::binary;
+
+/// Parsed command-line options shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Extra shrink factor on proxy matrices (power of two).
+    pub shrink: usize,
+    /// Rank counts to sweep.
+    pub procs: Vec<usize>,
+    /// Output directory for JSON-lines results.
+    pub out: PathBuf,
+    /// Seeds for eigensolver averaging (paper uses ten; default three).
+    pub seeds: Vec<u64>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            shrink: 2,
+            procs: vec![64, 256, 1024, 4096],
+            out: PathBuf::from("results"),
+            seeds: vec![11, 22, 33],
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args()`; unknown flags abort with a usage message.
+    pub fn from_args() -> HarnessOpts {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need_value = |i: usize| -> &str {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--shrink" => {
+                    opts.shrink = need_value(i).parse().expect("numeric --shrink");
+                    i += 2;
+                }
+                "--procs" => {
+                    opts.procs = need_value(i)
+                        .split(',')
+                        .map(|t| t.parse().expect("numeric proc count"))
+                        .collect();
+                    i += 2;
+                }
+                "--out" => {
+                    opts.out = PathBuf::from(need_value(i));
+                    i += 2;
+                }
+                "--seeds" => {
+                    opts.seeds = need_value(i)
+                        .split(',')
+                        .map(|t| t.parse().expect("numeric seed"))
+                        .collect();
+                    i += 2;
+                }
+                other => {
+                    eprintln!(
+                        "unknown flag {other}\nusage: --shrink N --procs a,b,c --seeds s1,s2 --out DIR"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(
+            opts.shrink.is_power_of_two(),
+            "--shrink must be a power of two"
+        );
+        opts
+    }
+
+    /// Ensures the output directory exists and returns the path for a
+    /// result file.
+    pub fn out_file(&self, name: &str) -> PathBuf {
+        fs::create_dir_all(&self.out).expect("create results dir");
+        self.out.join(name)
+    }
+}
+
+/// Loads (or generates and caches) a proxy matrix at the harness scale.
+/// Cached under `target/sf2d-cache/` in the fast binary format so repeated
+/// harness runs skip generation.
+pub fn load_proxy(cfg: &ProxyConfig, shrink: usize) -> CsrMatrix {
+    let scaled = cfg.scaled(shrink);
+    let cache_dir = Path::new("target/sf2d-cache");
+    // The config hash busts the cache whenever proxy parameters change.
+    let cfg_hash = {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{scaled:?}").hash(&mut h);
+        h.finish()
+    };
+    let path = cache_dir.join(format!("{}_s{}_{:016x}.csr", cfg.name, shrink, cfg_hash));
+    if let Ok(f) = fs::File::open(&path) {
+        if let Ok(m) = binary::read_binary_csr(std::io::BufReader::new(f)) {
+            return m;
+        }
+    }
+    let m = proxy_matrix(&scaled, 0xF00D ^ shrink as u64);
+    if fs::create_dir_all(cache_dir).is_ok() {
+        if let Ok(f) = fs::File::create(&path) {
+            let _ = binary::write_binary_csr(&m, std::io::BufWriter::new(f));
+        }
+    }
+    m
+}
+
+/// The machine model for a proxy run: the base machine with its
+/// workload-proportional terms scaled by `paper_nnz / proxy_nnz`, so each
+/// proxy nonzero stands in for the right number of real ones and the
+/// latency-vs-bandwidth-vs-compute regime matches the paper's full-size
+/// runs (see `Machine::with_workload_scale`).
+pub fn machine_for(cfg: &ProxyConfig, a: &CsrMatrix, base: Machine) -> Machine {
+    let s = cfg.paper_nnz as f64 / a.nnz().max(1) as f64;
+    base.with_workload_scale(s.max(1.0))
+}
+
+/// Appends JSON-lines records to a results file.
+pub fn write_jsonl<T: serde::Serialize>(path: &Path, rows: &[T]) {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open results file");
+    for r in rows {
+        writeln!(f, "{}", serde_json::to_string(r).unwrap()).expect("write row");
+    }
+}
+
+/// Reads JSON-lines records back (for figures that re-plot table data).
+pub fn read_jsonl<T: serde::de::DeserializeOwned>(path: &Path) -> Option<Vec<T>> {
+    let text = fs::read_to_string(path).ok()?;
+    let rows: Result<Vec<T>, _> = text.lines().map(serde_json::from_str).collect();
+    rows.ok()
+}
+
+/// Renders a crude ASCII log-log strong-scaling chart: one line per method,
+/// columns = rank counts. Good enough to see who scales and who flattens.
+pub fn ascii_scaling_chart(title: &str, procs: &[usize], series: &[(String, Vec<f64>)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let _ = write!(out, "{:<12}", "method");
+    for p in procs {
+        let _ = write!(out, "{p:>12}");
+    }
+    let _ = writeln!(out);
+    for (name, times) in series {
+        let _ = write!(out, "{name:<12}");
+        for t in times {
+            let _ = write!(out, "{:>12}", sf2d_core::report::fmt_secs(*t));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_proxy_caches_and_roundtrips() {
+        let cfg = sf2d_core::sf2d_gen::proxy::by_name("cit-Patents").unwrap();
+        let a = load_proxy(cfg, 64);
+        let b = load_proxy(cfg, 64); // from cache
+        assert_eq!(a, b);
+        assert_eq!(a.nrows(), cfg.scaled(64).rows);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let dir = std::env::temp_dir().join("sf2d_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rows = vec![1i32, 2, 3];
+        write_jsonl(&path, &rows);
+        let back: Vec<i32> = read_jsonl(&path).unwrap();
+        assert_eq!(back, rows);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let s = ascii_scaling_chart(
+            "demo",
+            &[64, 256],
+            &[
+                ("1D-Block".into(), vec![1.0, 2.0]),
+                ("2D-GP".into(), vec![0.5, 0.2]),
+            ],
+        );
+        assert!(s.contains("1D-Block") && s.contains("2D-GP") && s.contains("0.20"));
+    }
+}

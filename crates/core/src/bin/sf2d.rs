@@ -1,0 +1,608 @@
+//! `sf2d` — command-line front end for the library.
+//!
+//! ```text
+//! sf2d stats     <matrix.mtx>
+//! sf2d partition <matrix.mtx> --parts 64 [--method gp|hp|gp-mc] [--out part.txt]
+//! sf2d spmv      <matrix.mtx> --procs 64 [--method 2D-GP] [--iters 100] [--machine cab|hopper]
+//! sf2d eigen     <matrix.mtx> --procs 64 [--method 2D-GP] [--nev 10] [--tol 1e-3]
+//! sf2d generate  rmat|bter|pref --scale 14 --out graph.mtx [--seed 42]
+//! sf2d convert   <in.(mtx|csr|edges|graph)> <out.(mtx|csr|edges|graph)>
+//! sf2d diagnose  <matrix> --procs 64 [--method 2D-GP] — per-phase straggler analysis
+//! ```
+//!
+//! Matrices are Matrix Market files (`.mtx`), SNAP edge lists (`.txt` /
+//! `.edges`), or the fast binary format (`.csr`); unsymmetric inputs are
+//! symmetrized as `A + Aᵀ`, exactly like the paper's preprocessing.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_gen::{bter, preferential_attachment, rmat, BterConfig, RmatConfig};
+use sf2d_core::sf2d_graph::io::{
+    read_binary_csr, read_edge_list, read_matrix_market, write_matrix_market,
+};
+use sf2d_core::sf2d_graph::stats::{powerlaw_exponent_mle, DegreeStats};
+use sf2d_core::sf2d_partition::gp::partition_graph_multiconstraint;
+use sf2d_core::sf2d_partition::{
+    partition_graph, partition_hypergraph_matrix, GpConfig, HgConfig, Partition,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("usage: sf2d <stats|partition|spmv|eigen|generate> ...".into());
+    };
+    match cmd.as_str() {
+        "stats" => cmd_stats(&args[1..]),
+        "partition" => cmd_partition(&args[1..]),
+        "spmv" => cmd_spmv(&args[1..]),
+        "eigen" => cmd_eigen(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
+        "diagnose" => cmd_diagnose(&args[1..]),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Parsed `--key value` flags.
+type Flags = Vec<(String, String)>;
+
+/// Tiny flag parser: positional args plus `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            flags.push((key.to_string(), val.clone()));
+            i += 2;
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_or<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(flags, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+    }
+}
+
+/// Loads a matrix by extension and symmetrizes if needed.
+fn load(path: &str) -> Result<CsrMatrix, String> {
+    let p = Path::new(path);
+    let f = std::fs::File::open(p).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = std::io::BufReader::new(f);
+    let raw = match p.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => read_matrix_market(reader).map_err(|e| e.to_string())?,
+        Some("csr") | Some("bin") => read_binary_csr(reader).map_err(|e| e.to_string())?,
+        _ => read_edge_list(reader).map_err(|e| e.to_string())?,
+    };
+    if raw.nrows() != raw.ncols() {
+        return Err(format!(
+            "matrix must be square, got {}x{}",
+            raw.nrows(),
+            raw.ncols()
+        ));
+    }
+    if raw.is_structurally_symmetric() {
+        Ok(raw)
+    } else {
+        eprintln!("note: symmetrizing as A + A^T (the paper's preprocessing)");
+        raw.plus_transpose().map_err(|e| e.to_string())
+    }
+}
+
+fn machine_from(flags: &[(String, String)]) -> Result<Machine, String> {
+    match flag(flags, "machine").unwrap_or("cab") {
+        "cab" => Ok(Machine::cab()),
+        "hopper" => Ok(Machine::hopper()),
+        other => Err(format!("unknown machine {other} (cab|hopper)")),
+    }
+}
+
+/// Resolves the layout: a precomputed partition file (`--part-file`, the
+/// paper's §5.1 reuse workflow — `p` then comes from the file) or a fresh
+/// build via the LayoutBuilder.
+fn resolve_dist(
+    a: &CsrMatrix,
+    flags: &[(String, String)],
+    method: Method,
+    p: usize,
+    seed: u64,
+) -> Result<MatrixDist, String> {
+    if let Some(pf) = flag(flags, "part-file") {
+        let f = std::fs::File::open(pf).map_err(|e| format!("open {pf}: {e}"))?;
+        let part = Partition::read(std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
+        if part.len() != a.nrows() {
+            return Err(format!(
+                "partition covers {} vertices, matrix has {}",
+                part.len(),
+                a.nrows()
+            ));
+        }
+        let (pr, pc) = grid_shape(part.k);
+        Ok(if method.is_2d() {
+            MatrixDist::cartesian_2d(&part, pr, pc, false)
+        } else {
+            MatrixDist::from_partition_1d(&part)
+        })
+    } else {
+        let mut builder = LayoutBuilder::new(a, seed);
+        Ok(builder.dist(method, p))
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_flags(args)?;
+    let path = pos.first().ok_or("usage: sf2d stats <matrix>")?;
+    let a = load(path)?;
+    let s = DegreeStats::of(&a);
+    println!("rows:          {}", s.nrows);
+    println!("nonzeros:      {}", s.nnz);
+    println!("avg nnz/row:   {:.2}", s.avg_row_nnz);
+    println!("max nnz/row:   {}", s.max_row_nnz);
+    println!("skew (max/avg):{:.1}", s.skew);
+    println!("empty rows:    {}", s.empty_rows);
+    match powerlaw_exponent_mle(&a, 4) {
+        Some(g) => println!("power-law γ̂:  {g:.2} (MLE, d >= 4)"),
+        None => println!("power-law γ̂:  n/a (too few high-degree rows)"),
+    }
+    let cc = sf2d_core::sf2d_graph::algorithms::connected_components(&a).1;
+    println!("components:    {cc}");
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos
+        .first()
+        .ok_or("usage: sf2d partition <matrix> --parts K")?;
+    let k: usize = parse_or(&flags, "parts", 16)?;
+    let seed: u64 = parse_or(&flags, "seed", 0)?;
+    let a = load(path)?;
+    let part = match flag(&flags, "method").unwrap_or("gp") {
+        "gp" => {
+            let g = Graph::from_symmetric_matrix(&a);
+            partition_graph(
+                &g,
+                k,
+                &GpConfig {
+                    seed,
+                    ..GpConfig::default()
+                },
+            )
+        }
+        "gp-mc" => {
+            let g = Graph::from_symmetric_matrix(&a);
+            partition_graph_multiconstraint(
+                &g,
+                k,
+                &GpConfig {
+                    seed,
+                    ..GpConfig::default()
+                },
+            )
+        }
+        "hp" => partition_hypergraph_matrix(
+            &a,
+            k,
+            &HgConfig {
+                seed,
+                ..HgConfig::default()
+            },
+        ),
+        other => return Err(format!("unknown partitioner {other} (gp|hp|gp-mc)")),
+    };
+    let g = Graph::from_symmetric_matrix(&a);
+    eprintln!(
+        "k={k}: edge cut {}, comm volume {}, nnz imbalance {:.3}",
+        part.edge_cut(&g),
+        part.comm_volume(&g),
+        part.imbalance(&g.vwgt)
+    );
+    let text: String = part
+        .part
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    match flag(&flags, "out") {
+        Some(out) => std::fs::write(out, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_spmv(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("usage: sf2d spmv <matrix> --procs P")?;
+    let p: usize = parse_or(&flags, "procs", 64)?;
+    let iters: usize = parse_or(&flags, "iters", 100)?;
+    let method: Method = parse_or(&flags, "method", Method::TwoDGp)?;
+    let machine = machine_from(&flags)?;
+    let a = load(path)?;
+    let seed: u64 = parse_or(&flags, "seed", 0)?;
+    let dist = resolve_dist(&a, &flags, method, p, seed)?;
+    let row = spmv_experiment(&a, &dist, machine, iters);
+    println!("method:        {}", method.name());
+    println!("ranks:         {}", row.p);
+    println!("sim time:      {:.6} s for {iters} SpMV", row.sim_time);
+    println!("max msgs:      {}", row.max_msgs);
+    println!("total volume:  {} doubles", row.total_cv);
+    println!("nnz imbalance: {:.3}", row.nnz_imbalance);
+    println!("vec imbalance: {:.3}", row.vec_imbalance);
+    Ok(())
+}
+
+fn cmd_eigen(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("usage: sf2d eigen <matrix> --nev N")?;
+    let p: usize = parse_or(&flags, "procs", 64)?;
+    let nev: usize = parse_or(&flags, "nev", 10)?;
+    let tol: f64 = parse_or(&flags, "tol", 1e-3)?;
+    let method: Method = parse_or(&flags, "method", Method::TwoDGp)?;
+    let machine = machine_from(&flags)?;
+    let a = load(path)?;
+    let seed: u64 = parse_or(&flags, "seed", 0)?;
+    let dist = resolve_dist(&a, &flags, method, p, seed)?;
+    let cfg = KrylovSchurConfig {
+        nev,
+        max_basis: (4 * nev).max(nev + 10),
+        tol,
+        max_restarts: 500,
+        seed,
+    };
+    let row = eigen_experiment(&a, &dist, machine, &cfg, &[cfg.seed]);
+    println!("method:      {}", method.name());
+    println!(
+        "solve time:  {:.6} s (simulated, {} ranks)",
+        row.solve_time, row.p
+    );
+    println!("spmv time:   {:.6} s", row.spmv_time);
+    println!("op applies:  {}", row.op_applies);
+    println!("converged:   {}", row.converged_frac == 1.0);
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let family = pos
+        .first()
+        .ok_or("usage: sf2d generate <rmat|bter|pref> --out F")?;
+    let seed: u64 = parse_or(&flags, "seed", 42)?;
+    let a = match family.as_str() {
+        "rmat" => {
+            let scale: u32 = parse_or(&flags, "scale", 14)?;
+            let ef: usize = parse_or(&flags, "edge-factor", 16)?;
+            rmat(
+                &RmatConfig {
+                    edge_factor: ef,
+                    ..RmatConfig::graph500(scale)
+                },
+                seed,
+            )
+        }
+        "bter" => {
+            let n: usize = parse_or(&flags, "n", 10_000)?;
+            let dmax: usize = parse_or(&flags, "dmax", 1_000)?;
+            bter(&BterConfig::paper(n, dmax), seed)
+        }
+        "pref" => {
+            let n: usize = parse_or(&flags, "n", 10_000)?;
+            let m: usize = parse_or(&flags, "m", 4)?;
+            preferential_attachment(n, m, seed)
+        }
+        other => return Err(format!("unknown generator {other}")),
+    };
+    let out = flag(&flags, "out").ok_or("--out <file.mtx> required")?;
+    let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    write_matrix_market(&a, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {}: {} rows, {} nonzeros", out, a.nrows(), a.nnz());
+    Ok(())
+}
+
+/// Converts between the supported matrix/graph formats by extension:
+/// `.mtx` (Matrix Market), `.csr`/`.bin` (fast binary), `.graph` (METIS),
+/// anything else = SNAP edge list.
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_flags(args)?;
+    let [input, output] = pos.as_slice() else {
+        return Err("usage: sf2d convert <in> <out>".into());
+    };
+    // METIS input carries vertex weights through a Graph; everything else
+    // goes through the raw matrix.
+    let a = if input.ends_with(".graph") {
+        let f = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+        sf2d_core::sf2d_graph::io::read_metis(std::io::BufReader::new(f))
+            .map_err(|e| e.to_string())?
+            .adjacency()
+            .clone()
+    } else {
+        load(input)?
+    };
+    let f = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    let w = std::io::BufWriter::new(f);
+    if output.ends_with(".mtx") {
+        write_matrix_market(&a, w).map_err(|e| e.to_string())?;
+    } else if output.ends_with(".csr") || output.ends_with(".bin") {
+        sf2d_core::sf2d_graph::io::write_binary_csr(&a, w).map_err(|e| e.to_string())?;
+    } else if output.ends_with(".graph") {
+        let g = Graph::from_symmetric_matrix(&a);
+        sf2d_core::sf2d_graph::io::write_metis(&g, w).map_err(|e| e.to_string())?;
+    } else {
+        sf2d_core::sf2d_graph::io::write_edge_list(&a, w).map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote {output}: {} rows, {} nonzeros", a.nrows(), a.nnz());
+    Ok(())
+}
+
+/// Per-phase straggler analysis of one layout (see `sf2d_spmv::diagnose`).
+fn cmd_diagnose(args: &[String]) -> Result<(), String> {
+    use sf2d_core::sf2d_spmv::{diagnose_spmv, DistCsrMatrix};
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos
+        .first()
+        .ok_or("usage: sf2d diagnose <matrix> --procs P")?;
+    let p: usize = parse_or(&flags, "procs", 64)?;
+    let method: Method = parse_or(&flags, "method", Method::TwoDGp)?;
+    let machine = machine_from(&flags)?;
+    let a = load(path)?;
+    let seed: u64 = parse_or(&flags, "seed", 0)?;
+    let dist = resolve_dist(&a, &flags, method, p, seed)?;
+    let dm = DistCsrMatrix::from_global(&a, &dist);
+    println!(
+        "layout: {} on {} ranks ({} machine model)",
+        method.name(),
+        dm.nprocs(),
+        machine.name
+    );
+    print!(
+        "{}",
+        sf2d_core::sf2d_spmv::diagnose::render(&diagnose_spmv(&dm, &machine))
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let (pos, flags) =
+            parse_flags(&s(&["file.mtx", "--parts", "64", "--method", "hp"])).unwrap();
+        assert_eq!(pos, vec!["file.mtx"]);
+        assert_eq!(flag(&flags, "parts"), Some("64"));
+        assert_eq!(flag(&flags, "method"), Some("hp"));
+        assert_eq!(flag(&flags, "nope"), None);
+        let k: usize = parse_or(&flags, "parts", 1).unwrap();
+        assert_eq!(k, 64);
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(parse_flags(&s(&["--parts"])).is_err());
+    }
+
+    #[test]
+    fn method_from_str_in_cli() {
+        let m: Method = "2d-gp".parse().unwrap();
+        assert_eq!(m, Method::TwoDGp);
+        assert!("3d-gp".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_partition_spmv() {
+        let dir = std::env::temp_dir().join("sf2d_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        let part = dir.join("part.txt");
+        run(&s(&[
+            "generate",
+            "rmat",
+            "--scale",
+            "8",
+            "--edge-factor",
+            "4",
+            "--out",
+            mtx.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["stats", mtx.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "partition",
+            mtx.to_str().unwrap(),
+            "--parts",
+            "4",
+            "--out",
+            part.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&part).unwrap();
+        assert_eq!(text.lines().count(), 256);
+        run(&s(&[
+            "spmv",
+            mtx.to_str().unwrap(),
+            "--procs",
+            "8",
+            "--iters",
+            "10",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "eigen",
+            mtx.to_str().unwrap(),
+            "--procs",
+            "4",
+            "--nev",
+            "3",
+            "--tol",
+            "1e-2",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn part_file_reuse_workflow() {
+        let dir = std::env::temp_dir().join("sf2d_cli_partfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        let part = dir.join("part.txt");
+        run(&s(&[
+            "generate",
+            "rmat",
+            "--scale",
+            "7",
+            "--edge-factor",
+            "4",
+            "--out",
+            mtx.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "partition",
+            mtx.to_str().unwrap(),
+            "--parts",
+            "6",
+            "--out",
+            part.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Reuse the same partition for both a 1D and a 2D run.
+        run(&s(&[
+            "spmv",
+            mtx.to_str().unwrap(),
+            "--method",
+            "1d-gp",
+            "--part-file",
+            part.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "spmv",
+            mtx.to_str().unwrap(),
+            "--method",
+            "2d-gp",
+            "--part-file",
+            part.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn convert_roundtrips_across_formats() {
+        let dir = std::env::temp_dir().join("sf2d_cli_convert");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        run(&s(&[
+            "generate",
+            "rmat",
+            "--scale",
+            "6",
+            "--edge-factor",
+            "3",
+            "--out",
+            mtx.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // mtx -> csr -> metis .graph -> mtx: exact round trip.
+        let csr = dir.join("g.csr");
+        let metis = dir.join("g.graph");
+        let back = dir.join("back.mtx");
+        for (i, o) in [(&mtx, &csr), (&csr, &metis), (&metis, &back)] {
+            run(&s(&["convert", i.to_str().unwrap(), o.to_str().unwrap()])).unwrap();
+        }
+        let a = load(mtx.to_str().unwrap()).unwrap();
+        let b = load(back.to_str().unwrap()).unwrap();
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.nnz(), b.nnz());
+        // The edge-list leg drops isolated vertices (the format cannot
+        // represent them) but preserves every edge.
+        let edges = dir.join("g.edges");
+        run(&s(&[
+            "convert",
+            mtx.to_str().unwrap(),
+            edges.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let e = load(edges.to_str().unwrap()).unwrap();
+        assert_eq!(e.nnz(), a.nnz());
+        assert!(e.nrows() <= a.nrows());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diagnose_runs() {
+        let dir = std::env::temp_dir().join("sf2d_cli_diag");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        run(&s(&[
+            "generate",
+            "rmat",
+            "--scale",
+            "7",
+            "--edge-factor",
+            "4",
+            "--out",
+            mtx.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["diagnose", mtx.to_str().unwrap(), "--procs", "8"])).unwrap();
+        run(&s(&[
+            "diagnose",
+            mtx.to_str().unwrap(),
+            "--procs",
+            "8",
+            "--method",
+            "1d-block",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+    }
+}

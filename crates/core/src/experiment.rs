@@ -1,0 +1,203 @@
+//! Experiment drivers: the measurements behind every table and figure.
+
+use std::sync::Arc;
+
+use sf2d_eigen::{krylov_schur_largest, KrylovSchurConfig};
+use sf2d_graph::CsrMatrix;
+use sf2d_partition::{LayoutMetrics, NonzeroLayout};
+use sf2d_sim::{CostLedger, Machine};
+use sf2d_spmv::{spmv, DistCsrMatrix, DistVector, NormalizedLaplacianOp};
+
+use crate::layout::Method;
+
+/// One row of the paper's Table 2 / 3 family: SpMV timing plus layout
+/// metrics for a (matrix, method, p) cell.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SpmvRow {
+    /// Matrix name.
+    pub matrix: String,
+    /// Layout name (as in the paper's tables).
+    pub method: String,
+    /// Rank count.
+    pub p: usize,
+    /// Simulated seconds for `iters` SpMVs.
+    pub sim_time: f64,
+    /// Nonzero imbalance (max/avg).
+    pub nnz_imbalance: f64,
+    /// Vector imbalance (max/avg).
+    pub vec_imbalance: f64,
+    /// Max messages per rank per SpMV.
+    pub max_msgs: usize,
+    /// Total doubles sent per SpMV.
+    pub total_cv: usize,
+}
+
+/// Runs the SpMV experiment for one layout: distributes the matrix,
+/// executes one real SpMV (verifying the plans fire), and reports the
+/// simulated time for `iters` iterations (the communication plan is static,
+/// so per-iteration cost is exactly constant — the paper times 100).
+pub fn spmv_experiment<L: NonzeroLayout + ?Sized>(
+    a: &CsrMatrix,
+    dist: &L,
+    machine: Machine,
+    iters: usize,
+) -> SpmvRow {
+    let dm = DistCsrMatrix::from_global(a, dist);
+    let x = DistVector::random(Arc::clone(&dm.vmap), 7);
+    let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+    let mut ledger = CostLedger::new(machine);
+    spmv(&dm, &x, &mut y, &mut ledger);
+    let m = LayoutMetrics::compute(a, dist);
+    SpmvRow {
+        matrix: String::new(),
+        method: String::new(),
+        p: dist.nprocs(),
+        sim_time: ledger.total * iters as f64,
+        nnz_imbalance: m.nnz_imbalance(),
+        vec_imbalance: m.vec_imbalance(),
+        max_msgs: m.max_msgs(),
+        total_cv: m.total_comm_volume(),
+    }
+}
+
+/// One row of the paper's Table 4 / 5 family: eigensolver timing.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EigenRow {
+    /// Matrix name.
+    pub matrix: String,
+    /// Layout name.
+    pub method: String,
+    /// Rank count.
+    pub p: usize,
+    /// Mean simulated solve seconds over the seeds.
+    pub solve_time: f64,
+    /// Mean simulated seconds spent in SpMV phases.
+    pub spmv_time: f64,
+    /// Mean operator applications per solve.
+    pub op_applies: f64,
+    /// Fraction of seeds that converged to tolerance.
+    pub converged_frac: f64,
+    /// Nonzero imbalance.
+    pub nnz_imbalance: f64,
+    /// Vector imbalance.
+    pub vec_imbalance: f64,
+    /// Max messages per rank per SpMV.
+    pub max_msgs: usize,
+    /// Total doubles sent per SpMV.
+    pub total_cv: usize,
+}
+
+/// Runs the eigensolver experiment of §5.3 for one layout: Block
+/// Krylov–Schur (block size 1) for the `cfg.nev` largest eigenpairs of the
+/// normalized Laplacian, averaged over `seeds` random starts (the paper
+/// averages ten).
+pub fn eigen_experiment<L: NonzeroLayout + ?Sized>(
+    adj: &CsrMatrix,
+    dist: &L,
+    machine: Machine,
+    cfg: &KrylovSchurConfig,
+    seeds: &[u64],
+) -> EigenRow {
+    assert!(!seeds.is_empty());
+    let stripped = adj.without_diagonal();
+    let degrees: Vec<usize> = (0..stripped.nrows()).map(|i| stripped.row_nnz(i)).collect();
+    let dm = DistCsrMatrix::from_global(&stripped, dist);
+    let op = NormalizedLaplacianOp::new(dm, &degrees);
+
+    let mut solve_time = 0.0;
+    let mut spmv_time = 0.0;
+    let mut op_applies = 0usize;
+    let mut converged = 0usize;
+    for &seed in seeds {
+        let mut ledger = CostLedger::new(machine);
+        let run_cfg = KrylovSchurConfig { seed, ..*cfg };
+        let res = krylov_schur_largest(&op, &run_cfg, &mut ledger);
+        solve_time += ledger.total;
+        spmv_time += ledger.spmv_time();
+        op_applies += res.op_applies;
+        converged += usize::from(res.converged);
+    }
+    let k = seeds.len() as f64;
+    let m = LayoutMetrics::compute(&stripped, dist);
+    EigenRow {
+        matrix: String::new(),
+        method: String::new(),
+        p: dist.nprocs(),
+        solve_time: solve_time / k,
+        spmv_time: spmv_time / k,
+        op_applies: op_applies as f64 / k,
+        converged_frac: converged as f64 / k,
+        nnz_imbalance: m.nnz_imbalance(),
+        vec_imbalance: m.vec_imbalance(),
+        max_msgs: m.max_msgs(),
+        total_cv: m.total_comm_volume(),
+    }
+}
+
+/// Convenience: label a row with matrix and method names.
+pub fn labeled_spmv(mut row: SpmvRow, matrix: &str, method: Method) -> SpmvRow {
+    row.matrix = matrix.to_string();
+    row.method = method.name().to_string();
+    row
+}
+
+/// Convenience: label an eigen row.
+pub fn labeled_eigen(mut row: EigenRow, matrix: &str, method: Method) -> EigenRow {
+    row.matrix = matrix.to_string();
+    row.method = method.name().to_string();
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutBuilder;
+    use sf2d_gen::{rmat, RmatConfig};
+
+    #[test]
+    fn spmv_experiment_produces_consistent_metrics() {
+        let a = rmat(&RmatConfig::graph500(8), 4);
+        let mut b = LayoutBuilder::new(&a, 0);
+        let d1 = b.dist(Method::OneDBlock, 16);
+        let d2 = b.dist(Method::TwoDBlock, 16);
+        let r1 = spmv_experiment(&a, &d1, Machine::cab(), 100);
+        let r2 = spmv_experiment(&a, &d2, Machine::cab(), 100);
+        // The structural bound: 2D cuts max messages to at most pr+pc-2.
+        assert!(r2.max_msgs <= 6);
+        assert!(r1.max_msgs > r2.max_msgs);
+        assert!(r1.sim_time > 0.0 && r2.sim_time > 0.0);
+    }
+
+    #[test]
+    fn two_d_gp_beats_one_d_block_at_scale() {
+        // The paper's headline effect at 256 ranks on a scale-free graph.
+        let a = rmat(&RmatConfig::graph500(9), 6);
+        let mut b = LayoutBuilder::new(&a, 0);
+        let blk = spmv_experiment(&a, &b.dist(Method::OneDBlock, 256), Machine::cab(), 100);
+        let gp2 = spmv_experiment(&a, &b.dist(Method::TwoDGp, 256), Machine::cab(), 100);
+        assert!(
+            gp2.sim_time < blk.sim_time,
+            "2D-GP {} not below 1D-Block {}",
+            gp2.sim_time,
+            blk.sim_time
+        );
+    }
+
+    #[test]
+    fn eigen_experiment_runs_and_converges() {
+        let a = rmat(&RmatConfig::graph500(7), 9);
+        let mut b = LayoutBuilder::new(&a, 0);
+        let d = b.dist(Method::TwoDRandom, 4);
+        let cfg = KrylovSchurConfig {
+            nev: 4,
+            max_basis: 20,
+            tol: 1e-3,
+            max_restarts: 100,
+            seed: 0,
+        };
+        let row = eigen_experiment(&a, &d, Machine::cab(), &cfg, &[1, 2]);
+        assert!(row.converged_frac > 0.0);
+        assert!(row.solve_time >= row.spmv_time);
+        assert!(row.spmv_time > 0.0);
+    }
+}

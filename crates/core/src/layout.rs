@@ -1,0 +1,309 @@
+//! The named data-layout methods of the paper's §5.2 and §5.3, and a
+//! builder that materializes them with partition caching.
+
+use std::collections::HashMap;
+
+use sf2d_graph::{CsrMatrix, Graph};
+use sf2d_partition::gp::partition_graph_multiconstraint;
+use sf2d_partition::{
+    grid_shape, partition_graph, partition_hypergraph_matrix, GpConfig, HgConfig, MatrixDist,
+    Partition,
+};
+
+/// The data layouts compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Method {
+    /// Row-wise, `n/p` consecutive rows per process (Epetra's default).
+    OneDBlock,
+    /// Row-wise, rows scattered uniformly at random (§2.4).
+    OneDRandom,
+    /// Row-wise from multilevel graph partitioning (ParMETIS stand-in).
+    OneDGp,
+    /// Row-wise from multilevel hypergraph partitioning (Zoltan stand-in).
+    OneDHp,
+    /// Row-wise, multiconstraint GP balancing rows **and** nonzeros (§5.3).
+    OneDGpMc,
+    /// Algorithm 2 on a block `rpart` — Yoo et al.'s layout \[34\].
+    TwoDBlock,
+    /// Algorithm 2 on a random `rpart`.
+    TwoDRandom,
+    /// **The paper's contribution**: Algorithm 2 on a GP `rpart`.
+    TwoDGp,
+    /// Algorithm 2 on an HP `rpart`.
+    TwoDHp,
+    /// Algorithm 2 on a multiconstraint-GP `rpart`.
+    TwoDGpMc,
+}
+
+impl Method {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::OneDBlock => "1D-Block",
+            Method::OneDRandom => "1D-Random",
+            Method::OneDGp => "1D-GP",
+            Method::OneDHp => "1D-HP",
+            Method::OneDGpMc => "1D-GP-MC",
+            Method::TwoDBlock => "2D-Block",
+            Method::TwoDRandom => "2D-Random",
+            Method::TwoDGp => "2D-GP",
+            Method::TwoDHp => "2D-HP",
+            Method::TwoDGpMc => "2D-GP-MC",
+        }
+    }
+
+    /// Whether the layout is Cartesian 2D.
+    pub fn is_2d(&self) -> bool {
+        matches!(
+            self,
+            Method::TwoDBlock
+                | Method::TwoDRandom
+                | Method::TwoDGp
+                | Method::TwoDHp
+                | Method::TwoDGpMc
+        )
+    }
+
+    /// The six layouts of the SpMV study (Table 2), with the partitioned
+    /// ones using GP or HP depending on what the paper used for the matrix.
+    pub fn spmv_set(use_hp: bool) -> [Method; 6] {
+        if use_hp {
+            [
+                Method::OneDBlock,
+                Method::OneDRandom,
+                Method::OneDHp,
+                Method::TwoDBlock,
+                Method::TwoDRandom,
+                Method::TwoDHp,
+            ]
+        } else {
+            [
+                Method::OneDBlock,
+                Method::OneDRandom,
+                Method::OneDGp,
+                Method::TwoDBlock,
+                Method::TwoDRandom,
+                Method::TwoDGp,
+            ]
+        }
+    }
+
+    /// The eigensolver study's layout set (Table 4): the SpMV set plus the
+    /// multiconstraint variants (GP matrices only — the paper notes
+    /// multiconstraint "was not available with hypergraph partitioning").
+    pub fn eigen_set(use_hp: bool) -> Vec<Method> {
+        let mut v = Self::spmv_set(use_hp).to_vec();
+        if !use_hp {
+            v.push(Method::OneDGpMc);
+            v.push(Method::TwoDGpMc);
+        }
+        v
+    }
+}
+
+impl std::str::FromStr for Method {
+    type Err = String;
+
+    /// Parses the paper's method names, case-insensitively
+    /// (`"2D-GP"`, `"1d-random"`, ...).
+    fn from_str(s: &str) -> Result<Method, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "1d-block" => Ok(Method::OneDBlock),
+            "1d-random" => Ok(Method::OneDRandom),
+            "1d-gp" => Ok(Method::OneDGp),
+            "1d-hp" => Ok(Method::OneDHp),
+            "1d-gp-mc" => Ok(Method::OneDGpMc),
+            "2d-block" => Ok(Method::TwoDBlock),
+            "2d-random" => Ok(Method::TwoDRandom),
+            "2d-gp" => Ok(Method::TwoDGp),
+            "2d-hp" => Ok(Method::TwoDHp),
+            "2d-gp-mc" => Ok(Method::TwoDGpMc),
+            other => Err(format!(
+                "unknown method {other}; expected one of 1D-Block, 1D-Random, 1D-GP, \
+                 1D-HP, 1D-GP-MC, 2D-Block, 2D-Random, 2D-GP, 2D-HP, 2D-GP-MC"
+            )),
+        }
+    }
+}
+
+/// Which partitioner a method needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PartKind {
+    Gp,
+    Hp,
+    GpMc,
+}
+
+/// Materializes layouts for one matrix, caching partitions so that 1D-GP
+/// and 2D-GP share the same `rpart` (as in the paper: "We used the same
+/// row-based graph or hypergraph partition rpart for 1D-GP/HP and for
+/// 2D-GP/HP").
+pub struct LayoutBuilder<'a> {
+    a: &'a CsrMatrix,
+    /// Pattern-symmetrized copy for partitioning unsymmetric inputs
+    /// (`A + Aᵀ`, the paper's §6 nonsymmetric extension).
+    sym: Option<Box<CsrMatrix>>,
+    graph: Option<Graph>,
+    cache: HashMap<(PartKind, usize), Partition>,
+    seed: u64,
+}
+
+impl<'a> LayoutBuilder<'a> {
+    /// New builder over a structurally symmetric matrix.
+    pub fn new(a: &'a CsrMatrix, seed: u64) -> LayoutBuilder<'a> {
+        debug_assert!(
+            a.is_structurally_symmetric(),
+            "use new_unsymmetric for directed inputs"
+        );
+        LayoutBuilder {
+            a,
+            sym: None,
+            graph: None,
+            cache: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// New builder over an **unsymmetric** matrix — the paper's §6
+    /// extension: the partitioners run on the symmetrized pattern
+    /// `A + Aᵀ` (so row and column partitions coincide and Algorithm 2
+    /// applies unchanged), while the layout distributes the original
+    /// nonzeros.
+    pub fn new_unsymmetric(a: &'a CsrMatrix, seed: u64) -> LayoutBuilder<'a> {
+        let sym = a.plus_transpose().expect("square matrix required");
+        LayoutBuilder {
+            a,
+            sym: Some(Box::new(sym)),
+            graph: None,
+            cache: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// The pattern the partitioners see.
+    fn pattern(&self) -> &CsrMatrix {
+        self.sym.as_deref().unwrap_or(self.a)
+    }
+
+    fn graph(&mut self) -> &Graph {
+        if self.graph.is_none() {
+            self.graph = Some(Graph::from_symmetric_matrix(self.pattern()));
+        }
+        self.graph.as_ref().unwrap()
+    }
+
+    /// The cached partition for a partitioner kind and part count.
+    fn partition(&mut self, kind: PartKind, k: usize) -> &Partition {
+        if !self.cache.contains_key(&(kind, k)) {
+            let seed = self.seed;
+            let part = match kind {
+                PartKind::Gp => {
+                    let g = self.graph();
+                    partition_graph(
+                        g,
+                        k,
+                        &GpConfig {
+                            seed,
+                            ..GpConfig::default()
+                        },
+                    )
+                }
+                PartKind::GpMc => {
+                    let g = self.graph();
+                    partition_graph_multiconstraint(
+                        g,
+                        k,
+                        &GpConfig {
+                            seed,
+                            ..GpConfig::default()
+                        },
+                    )
+                }
+                PartKind::Hp => {
+                    let pattern = self.sym.as_deref().unwrap_or(self.a);
+                    partition_hypergraph_matrix(
+                        pattern,
+                        k,
+                        &HgConfig {
+                            seed,
+                            ..HgConfig::default()
+                        },
+                    )
+                }
+            };
+            self.cache.insert((kind, k), part);
+        }
+        &self.cache[&(kind, k)]
+    }
+
+    /// Builds the layout for `method` on `p` ranks (2D grids chosen by
+    /// [`grid_shape`]).
+    pub fn dist(&mut self, method: Method, p: usize) -> MatrixDist {
+        let n = self.a.nrows();
+        let (pr, pc) = grid_shape(p);
+        match method {
+            Method::OneDBlock => MatrixDist::block_1d(n, p),
+            Method::OneDRandom => MatrixDist::random_1d(n, p, self.seed ^ 0xAB),
+            Method::TwoDBlock => MatrixDist::block_2d(n, pr, pc),
+            Method::TwoDRandom => MatrixDist::random_2d(n, pr, pc, self.seed ^ 0xCD),
+            Method::OneDGp => MatrixDist::from_partition_1d(self.partition(PartKind::Gp, p)),
+            Method::OneDHp => MatrixDist::from_partition_1d(self.partition(PartKind::Hp, p)),
+            Method::OneDGpMc => MatrixDist::from_partition_1d(self.partition(PartKind::GpMc, p)),
+            Method::TwoDGp => {
+                MatrixDist::cartesian_2d(self.partition(PartKind::Gp, p), pr, pc, false)
+            }
+            Method::TwoDHp => {
+                MatrixDist::cartesian_2d(self.partition(PartKind::Hp, p), pr, pc, false)
+            }
+            Method::TwoDGpMc => {
+                MatrixDist::cartesian_2d(self.partition(PartKind::GpMc, p), pr, pc, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_gen::{rmat, RmatConfig};
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Method::TwoDGp.name(), "2D-GP");
+        assert_eq!(Method::OneDGpMc.name(), "1D-GP-MC");
+        assert!(Method::TwoDHp.is_2d());
+        assert!(!Method::OneDBlock.is_2d());
+    }
+
+    #[test]
+    fn spmv_set_picks_partitioner() {
+        assert!(Method::spmv_set(false).contains(&Method::OneDGp));
+        assert!(Method::spmv_set(true).contains(&Method::TwoDHp));
+        assert_eq!(Method::eigen_set(false).len(), 8);
+        assert_eq!(Method::eigen_set(true).len(), 6);
+    }
+
+    #[test]
+    fn gp_partition_shared_between_1d_and_2d() {
+        let a = rmat(&RmatConfig::graph500(7), 1);
+        let mut b = LayoutBuilder::new(&a, 3);
+        let d1 = b.dist(Method::OneDGp, 4);
+        let d2 = b.dist(Method::TwoDGp, 4);
+        assert_eq!(d1.rpart(), d2.rpart());
+    }
+
+    #[test]
+    fn all_methods_build_valid_layouts() {
+        let a = rmat(&RmatConfig::graph500(6), 2);
+        let mut b = LayoutBuilder::new(&a, 1);
+        for m in Method::eigen_set(false) {
+            let d = b.dist(m, 6);
+            assert_eq!(d.nprocs(), 6, "{}", m.name());
+            assert_eq!(d.n(), a.nrows());
+        }
+        for m in [Method::OneDHp, Method::TwoDHp] {
+            let d = b.dist(m, 6);
+            assert_eq!(d.nprocs(), 6);
+        }
+    }
+}

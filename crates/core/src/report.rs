@@ -1,0 +1,162 @@
+//! Report formatting: markdown tables and JSON lines for the harness
+//! binaries that regenerate the paper's tables and figures.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{EigenRow, SpmvRow};
+
+/// Formats seconds the way the paper's tables do (2 decimal places, but
+/// keep sub-10ms values readable).
+pub fn fmt_secs(t: f64) -> String {
+    if t >= 0.1 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+/// Renders a slice of SpMV rows as a GitHub-markdown table, one row per
+/// (method) entry, mirroring the paper's Table 2 cells.
+pub fn spmv_markdown(rows: &[SpmvRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| matrix | method | p | time (s) | nnz imbal | vec imbal | max msgs | total CV |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.1} | {:.1} | {} | {} |",
+            r.matrix,
+            r.method,
+            r.p,
+            fmt_secs(r.sim_time),
+            r.nnz_imbalance,
+            r.vec_imbalance,
+            r.max_msgs,
+            r.total_cv
+        );
+    }
+    out
+}
+
+/// Renders eigensolver rows (Tables 4 and 5).
+pub fn eigen_markdown(rows: &[EigenRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| matrix | method | p | solve (s) | spmv (s) | nnz imbal | vec imbal | max msgs | total CV |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {} | {} |",
+            r.matrix,
+            r.method,
+            r.p,
+            fmt_secs(r.solve_time),
+            fmt_secs(r.spmv_time),
+            r.nnz_imbalance,
+            r.vec_imbalance,
+            r.max_msgs,
+            r.total_cv
+        );
+    }
+    out
+}
+
+/// The paper's "Reduction in SpMV time" column: improvement of the winning
+/// method vs the best of the others, in percent (negative = winner lost).
+pub fn reduction_vs_next_best(winner: f64, others: &[f64]) -> f64 {
+    let best_other = others.iter().copied().fold(f64::INFINITY, f64::min);
+    if !best_other.is_finite() || best_other <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (best_other - winner) / best_other
+}
+
+/// Performance-profile curve (Figures 6/7): for each method, the fraction
+/// of problems whose time is within factor `tau` of the per-problem best.
+/// `times[problem][method]`; returns `profile[method]` at the given `tau`.
+pub fn performance_profile(times: &[Vec<f64>], tau: f64) -> Vec<f64> {
+    if times.is_empty() {
+        return Vec::new();
+    }
+    let nm = times[0].len();
+    let mut hits = vec![0usize; nm];
+    for problem in times {
+        assert_eq!(problem.len(), nm, "ragged time matrix");
+        let best = problem.iter().copied().fold(f64::INFINITY, f64::min);
+        for (m, &t) in problem.iter().enumerate() {
+            if t <= tau * best {
+                hits[m] += 1;
+            }
+        }
+    }
+    hits.iter()
+        .map(|&h| h as f64 / times.len() as f64)
+        .collect()
+}
+
+/// Serializes any serde-able record as one JSON line.
+pub fn json_line<T: serde::Serialize>(row: &T) -> String {
+    serde_json::to_string(row).expect("row serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_row() -> SpmvRow {
+        SpmvRow {
+            matrix: "demo".into(),
+            method: "2D-GP".into(),
+            p: 64,
+            sim_time: 1.2345,
+            nnz_imbalance: 1.4,
+            vec_imbalance: 1.0,
+            max_msgs: 14,
+            total_cv: 11_200_000,
+        }
+    }
+
+    #[test]
+    fn markdown_contains_all_fields() {
+        let md = spmv_markdown(&[demo_row()]);
+        for needle in ["demo", "2D-GP", "64", "1.23", "14", "11200000"] {
+            assert!(md.contains(needle), "missing {needle} in {md}");
+        }
+    }
+
+    #[test]
+    fn reduction_formula_matches_paper_semantics() {
+        // Winner 0.10 vs next best 0.12 -> 16.7% reduction.
+        let red = reduction_vs_next_best(0.10, &[0.41, 0.12]);
+        assert!((red - 16.666).abs() < 0.1, "{red}");
+        // The one negative case in Table 2 (uk-2005 @64: -5.9%).
+        let neg = reduction_vs_next_best(0.9, &[0.85]);
+        assert!(neg < 0.0);
+    }
+
+    #[test]
+    fn performance_profile_basics() {
+        // Two problems, two methods; method 0 always best.
+        let times = vec![vec![1.0, 2.0], vec![1.0, 5.0]];
+        let at1 = performance_profile(&times, 1.0);
+        assert_eq!(at1, vec![1.0, 0.0]);
+        let at2 = performance_profile(&times, 2.0);
+        assert_eq!(at2, vec![1.0, 0.5]);
+        let at10 = performance_profile(&times, 10.0);
+        assert_eq!(at10, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn json_line_roundtrips() {
+        let line = json_line(&demo_row());
+        let back: SpmvRow = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.method, "2D-GP");
+        assert_eq!(back.max_msgs, 14);
+    }
+}

@@ -1,0 +1,198 @@
+//! Block Lanczos with full reorthogonalization (no restarting).
+//!
+//! The generalization of [`lanczos`](crate::lanczos()) to block size `b`:
+//! the basis grows `b` vectors at a time, each new candidate being the
+//! operator applied to the vector `b` positions back. The projected matrix
+//! `T = Vᵀ A V` is assembled explicitly (robust at these subspace sizes)
+//! and solved densely.
+//!
+//! This exists to test the paper's §4 choice empirically: "We use block
+//! size one, as we did not observe any advantage of larger blocks on
+//! scale-free graphs." The `ablations` harness compares operator
+//! applications and simulated time across block sizes.
+
+use std::sync::Arc;
+
+use sf2d_sim::cost::CostLedger;
+use sf2d_spmv::{DistVector, LinearOperator};
+
+use crate::dense::{symmetric_eig, DenseMat};
+use crate::ortho::cgs2;
+
+/// Result of a block-Lanczos run.
+#[derive(Debug)]
+pub struct BlockLanczosResult {
+    /// Ritz values, ascending.
+    pub ritz_values: Vec<f64>,
+    /// Relative residual estimates (‖A x − θ x‖ / |θ|) for each Ritz pair.
+    pub residuals: Vec<f64>,
+    /// Basis size actually reached.
+    pub basis_size: usize,
+    /// Operator applications.
+    pub op_applies: usize,
+}
+
+/// Runs block Lanczos with block size `b` until the basis reaches `m`
+/// vectors, then solves the projected problem.
+///
+/// # Panics
+/// Panics unless `1 <= b <= m <= n`.
+pub fn block_lanczos(
+    op: &dyn LinearOperator,
+    b: usize,
+    m: usize,
+    seed: u64,
+    ledger: &mut CostLedger,
+) -> BlockLanczosResult {
+    let map = Arc::clone(op.vmap());
+    assert!(b >= 1 && b <= m && m <= map.n(), "need 1 <= b <= m <= n");
+
+    // Initial orthonormal block of b random vectors.
+    let mut basis: Vec<DistVector> = Vec::with_capacity(m);
+    for i in 0..b {
+        let mut v = DistVector::random(Arc::clone(&map), seed ^ ((i as u64) << 20));
+        let nrm = cgs2(&mut v, &basis, ledger);
+        v.scale(1.0 / nrm.max(1e-300), ledger);
+        basis.push(v);
+    }
+
+    // Expansion: candidate j comes from A * basis[j - b].
+    let mut op_applies = 0usize;
+    let mut salt = 1u64;
+    while basis.len() < m {
+        let src = basis.len() - b;
+        let mut w = DistVector::zeros(Arc::clone(&map));
+        op.apply(&basis[src], &mut w, ledger);
+        op_applies += 1;
+        let nrm = cgs2(&mut w, &basis, ledger);
+        if nrm < 1e-12 {
+            // Breakdown: inject a fresh random direction.
+            let mut fresh = DistVector::random(Arc::clone(&map), seed ^ (salt << 33));
+            salt += 1;
+            let fn_ = cgs2(&mut fresh, &basis, ledger);
+            fresh.scale(1.0 / fn_.max(1e-300), ledger);
+            basis.push(fresh);
+        } else {
+            w.scale(1.0 / nrm, ledger);
+            basis.push(w);
+        }
+    }
+
+    // Projected matrix T = Vᵀ A V, built column by column.
+    let dim = basis.len();
+    let mut t = DenseMat::zeros(dim);
+    for j in 0..dim {
+        let mut av = DistVector::zeros(Arc::clone(&map));
+        op.apply(&basis[j], &mut av, ledger);
+        op_applies += 1;
+        for i in 0..=j {
+            let v = av.dot(&basis[i], ledger);
+            t[(i, j)] = v;
+            t[(j, i)] = v;
+        }
+    }
+    let (vals, vecs) = symmetric_eig(&t);
+
+    // Exact residuals of the Ritz pairs: ‖A y − θ y‖ with y = V s. The
+    // cheap way: A y = Σ s_i (A v_i) would need the stored applications;
+    // recompute via the projected identity instead: ‖A y − θ y‖² =
+    // ‖A y‖² − θ² (with orthonormal V this is not available without A y),
+    // so we evaluate the top few pairs directly.
+    let check = dim.min(10);
+    let mut residuals = vec![f64::NAN; dim];
+    for rank in 0..check {
+        let col = dim - 1 - rank; // largest first
+        let mut y = DistVector::zeros(Arc::clone(&map));
+        for (i, v) in basis.iter().enumerate() {
+            y.axpy(vecs[(i, col)], v, ledger);
+        }
+        let mut ay = DistVector::zeros(Arc::clone(&map));
+        op.apply(&y, &mut ay, ledger);
+        op_applies += 1;
+        ay.axpy(-vals[col], &y, ledger);
+        residuals[col] = ay.norm2(ledger) / vals[col].abs().max(1e-30);
+    }
+
+    BlockLanczosResult {
+        ritz_values: vals,
+        residuals,
+        basis_size: dim,
+        op_applies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_gen::grid_2d;
+    use sf2d_graph::normalized_laplacian;
+    use sf2d_partition::MatrixDist;
+    use sf2d_sim::{CostLedger, Machine};
+    use sf2d_spmv::{DistCsrMatrix, PlainSpmvOp};
+
+    fn op_of(a: &sf2d_graph::CsrMatrix, p: usize) -> PlainSpmvOp {
+        let d = MatrixDist::block_1d(a.nrows(), p);
+        PlainSpmvOp {
+            a: DistCsrMatrix::from_global(a, &d),
+        }
+    }
+
+    #[test]
+    fn block_one_matches_plain_lanczos_quality() {
+        let a = grid_2d(6, 7);
+        let l = normalized_laplacian(&a).unwrap();
+        let op = op_of(&l, 2);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = block_lanczos(&op, 1, 30, 5, &mut ledger);
+        // Largest Ritz value approximates lambda_max = 2 (bipartite).
+        let top = *res.ritz_values.last().unwrap();
+        assert!((top - 2.0).abs() < 1e-6, "top {top}");
+        assert!(
+            res.residuals[res.basis_size - 1] < 1e-3,
+            "residual {}",
+            res.residuals[res.basis_size - 1]
+        );
+    }
+
+    #[test]
+    fn larger_blocks_capture_degenerate_eigenvalues() {
+        // A square grid's L-hat has multiplicity-2 eigenvalues that single
+        // -vector Krylov spaces cannot see twice; a block of 2 can.
+        let a = grid_2d(6, 6);
+        let l = normalized_laplacian(&a).unwrap();
+        let op = op_of(&l, 2);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let b1 = block_lanczos(&op, 1, 30, 7, &mut ledger);
+        let b2 = block_lanczos(&op, 2, 30, 7, &mut ledger);
+        // Count Ritz values within 1e-8 of the known double eigenvalue
+        // nearest 2 (pair lambda, with multiplicity 2 by x/y symmetry).
+        let near =
+            |vals: &[f64], target: f64| vals.iter().filter(|v| (**v - target).abs() < 1e-7).count();
+        // Find the largest non-simple eigenvalue from the block-2 run.
+        let target = b2.ritz_values[b2.basis_size - 2];
+        assert!(
+            near(&b2.ritz_values, target) >= near(&b1.ritz_values, target),
+            "block 2 should see at least as many copies"
+        );
+    }
+
+    #[test]
+    fn op_applies_grow_with_block_size_for_same_accuracy() {
+        // The paper's observation, measurably: to reach the same basis size
+        // (and roughly the same top-pair accuracy), block 4 spends the same
+        // number of expansion applies but its per-step convergence along
+        // the dominant direction is slower.
+        let a = grid_2d(5, 9);
+        let l = normalized_laplacian(&a).unwrap();
+        let op = op_of(&l, 2);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let b1 = block_lanczos(&op, 1, 20, 3, &mut ledger);
+        let b4 = block_lanczos(&op, 4, 20, 3, &mut ledger);
+        let top1 = b1.residuals[b1.basis_size - 1];
+        let top4 = b4.residuals[b4.basis_size - 1];
+        assert!(
+            top1 <= top4 * 10.0,
+            "block 1 should be at least comparable: {top1} vs {top4}"
+        );
+    }
+}

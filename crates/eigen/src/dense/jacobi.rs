@@ -1,0 +1,200 @@
+//! Cyclic Jacobi eigensolver for small dense symmetric matrices.
+//!
+//! Unconditionally stable and simple: rotate away the off-diagonal entries
+//! sweep by sweep until the off-diagonal Frobenius mass is negligible. For
+//! the ≤ 64×64 projected matrices of the restart loop, a handful of sweeps
+//! suffices.
+
+use super::DenseMat;
+
+/// Computes all eigenpairs of a symmetric matrix.
+///
+/// Returns `(eigenvalues ascending, eigenvectors)` with eigenvector `i`
+/// stored in column `i`, satisfying `A v_i = λ_i v_i`.
+///
+/// # Panics
+/// Panics if `a` is not (numerically) symmetric.
+pub fn symmetric_eig(a: &DenseMat) -> (Vec<f64>, DenseMat) {
+    let n = a.n;
+    assert!(a.asymmetry() < 1e-9, "Jacobi requires a symmetric matrix");
+    let mut m = a.clone();
+    let mut v = DenseMat::identity(n);
+    if n <= 1 {
+        return ((0..n).map(|i| m[(i, i)]).collect(), v);
+    }
+
+    let off = |m: &DenseMat| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..i {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+        s
+    };
+
+    let mut sweeps = 0;
+    while off(&m) > 1e-24 * (1.0 + frob(&m)) && sweeps < 64 {
+        sweeps += 1;
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle: tan(2θ) = 2 a_pq / (a_pp - a_qq).
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending, permuting eigenvector columns along.
+    let mut order: Vec<usize> = (0..n).collect();
+    let evals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| evals[i].total_cmp(&evals[j]));
+    let sorted_vals: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
+    let mut sorted_vecs = DenseMat::zeros(n);
+    for (new, &old) in order.iter().enumerate() {
+        for k in 0..n {
+            sorted_vecs[(k, new)] = v[(k, old)];
+        }
+    }
+    (sorted_vals, sorted_vecs)
+}
+
+fn frob(m: &DenseMat) -> f64 {
+    m.data.iter().map(|x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_eig(a: &DenseMat) {
+        let (vals, vecs) = symmetric_eig(a);
+        let n = a.n;
+        // Residuals: ||A v - λ v|| small.
+        for i in 0..n {
+            for r in 0..n {
+                let av: f64 = (0..n).map(|k| a[(r, k)] * vecs[(k, i)]).sum();
+                assert!(
+                    (av - vals[i] * vecs[(r, i)]).abs() < 1e-8 * (1.0 + vals[i].abs()),
+                    "residual at ({r},{i})"
+                );
+            }
+        }
+        // Orthonormal columns.
+        for i in 0..n {
+            for j in 0..n {
+                let d: f64 = (0..n).map(|k| vecs[(k, i)] * vecs[(k, j)]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-9, "orthonormality ({i},{j}): {d}");
+            }
+        }
+        // Ascending.
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut a = DenseMat::zeros(3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 2.0;
+        let (vals, _) = symmetric_eig(&a);
+        assert!((vals[0] + 1.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 3.0).abs() < 1e-12);
+        check_eig(&a);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let mut a = DenseMat::zeros(2);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let (vals, _) = symmetric_eig(&a);
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+        check_eig(&a);
+    }
+
+    #[test]
+    fn random_symmetric_various_sizes() {
+        let mut state = 12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        };
+        for n in [1usize, 2, 5, 12, 30] {
+            let mut a = DenseMat::zeros(n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let x = next();
+                    a[(i, j)] = x;
+                    a[(j, i)] = x;
+                }
+            }
+            check_eig(&a);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let mut a = DenseMat::zeros(4);
+        for i in 0..4 {
+            for j in 0..=i {
+                let x = ((i * 3 + j * 7) % 5) as f64 - 2.0;
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let (vals, _) = symmetric_eig(&a);
+        assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let mut a = DenseMat::zeros(2);
+        a[(0, 1)] = 1.0;
+        symmetric_eig(&a);
+    }
+}

@@ -1,0 +1,96 @@
+//! Small dense linear algebra for the projected eigenproblems.
+//!
+//! The Krylov–Schur / thick-restart projected matrices are at most a few
+//! dozen rows, so robustness beats asymptotics: a cyclic Jacobi
+//! eigensolver handles the general symmetric case (the arrowhead +
+//! tridiagonal restart matrices), and an implicit-shift QL routine handles
+//! the pure tridiagonal fast path.
+
+pub mod jacobi;
+pub mod tridiag;
+
+pub use jacobi::symmetric_eig;
+pub use tridiag::tridiag_eig;
+
+/// A dense column-major square matrix, just big enough for our needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMat {
+    /// Dimension.
+    pub n: usize,
+    /// Column-major storage, `n * n` entries.
+    pub data: Vec<f64>,
+}
+
+impl DenseMat {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> DenseMat {
+        DenseMat {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> DenseMat {
+        let mut m = DenseMat::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Column `j` as a slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Max |a_ij - a_ji| — symmetry check.
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in 0..i {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[j * self.n + i]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[j * self.n + i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_column_major() {
+        let mut m = DenseMat::zeros(3);
+        m[(2, 0)] = 5.0;
+        assert_eq!(m.data[2], 5.0);
+        assert_eq!(m.col(0), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_and_asymmetry() {
+        let i = DenseMat::identity(4);
+        assert_eq!(i[(2, 2)], 1.0);
+        assert_eq!(i[(2, 1)], 0.0);
+        assert_eq!(i.asymmetry(), 0.0);
+        let mut m = DenseMat::zeros(2);
+        m[(0, 1)] = 1.0;
+        assert_eq!(m.asymmetry(), 1.0);
+    }
+}

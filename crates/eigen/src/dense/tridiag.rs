@@ -1,0 +1,195 @@
+//! Implicit-shift QL for symmetric tridiagonal matrices (EISPACK `tql2`).
+//!
+//! The fast path for plain (non-restarted) Lanczos: eigenvalues and
+//! eigenvectors of the tridiagonal `T` with diagonal `d` and off-diagonal
+//! `e`.
+
+use super::DenseMat;
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix.
+///
+/// `diag` has `n` entries, `off` has `n - 1` (sub/super-diagonal).
+/// Returns `(eigenvalues ascending, eigenvector matrix)` with eigenvector
+/// `i` in column `i` (coordinates in the basis the tridiagonal is
+/// expressed in).
+pub fn tridiag_eig(diag: &[f64], off: &[f64]) -> (Vec<f64>, DenseMat) {
+    let n = diag.len();
+    assert!(
+        off.len() + 1 == n || (n == 0 && off.is_empty()),
+        "off-diagonal length mismatch"
+    );
+    if n == 0 {
+        return (Vec::new(), DenseMat::zeros(0));
+    }
+    let mut d = diag.to_vec();
+    // e padded to length n with a trailing zero, as tql2 expects.
+    let mut e = Vec::with_capacity(n);
+    e.extend_from_slice(off);
+    e.push(0.0);
+    let mut z = DenseMat::identity(n);
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tql2 failed to converge");
+
+            // Form implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
+    let vals: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut vecs = DenseMat::zeros(n);
+    for (new, &old) in order.iter().enumerate() {
+        for k in 0..n {
+            vecs[(k, new)] = z[(k, old)];
+        }
+    }
+    (vals, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_check(diag: &[f64], off: &[f64]) {
+        let n = diag.len();
+        let (vals, vecs) = tridiag_eig(diag, off);
+        let tv = |col: usize, r: usize| -> f64 {
+            let mut s = diag[r] * vecs[(r, col)];
+            if r > 0 {
+                s += off[r - 1] * vecs[(r - 1, col)];
+            }
+            if r + 1 < n {
+                s += off[r] * vecs[(r + 1, col)];
+            }
+            s
+        };
+        for i in 0..n {
+            for r in 0..n {
+                let lhs = tv(i, r);
+                let rhs = vals[i] * vecs[(r, i)];
+                assert!(
+                    (lhs - rhs).abs() < 1e-9 * (1.0 + vals[i].abs()),
+                    "({r},{i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_entry() {
+        let (vals, _) = tridiag_eig(&[7.0], &[]);
+        assert_eq!(vals, vec![7.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[0,1],[1,0]] -> eigenvalues -1, 1.
+        let (vals, _) = tridiag_eig(&[0.0, 0.0], &[1.0]);
+        assert!((vals[0] + 1.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_of_path_has_known_spectrum() {
+        // Path-graph Laplacian: eigenvalues 2 - 2cos(kπ/n), k = 0..n-1.
+        let n = 8;
+        let diag: Vec<f64> = (0..n)
+            .map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 })
+            .collect();
+        let off = vec![-1.0; n - 1];
+        let (vals, _) = tridiag_eig(&diag, &off);
+        for (k, &v) in vals.iter().enumerate() {
+            let want = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!((v - want).abs() < 1e-9, "k={k}: {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn residuals_on_random_tridiagonals() {
+        let mut s = 999u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        };
+        for n in [2usize, 3, 7, 20] {
+            let diag: Vec<f64> = (0..n).map(|_| next()).collect();
+            let off: Vec<f64> = (0..n - 1).map(|_| next()).collect();
+            residual_check(&diag, &off);
+        }
+    }
+
+    #[test]
+    fn matches_jacobi() {
+        let diag = [1.0, -2.0, 0.5, 3.0];
+        let off = [0.7, -0.3, 1.1];
+        let (tv, _) = tridiag_eig(&diag, &off);
+        // Same matrix through the Jacobi path.
+        let mut a = super::super::DenseMat::zeros(4);
+        for i in 0..4 {
+            a[(i, i)] = diag[i];
+        }
+        for i in 0..3 {
+            a[(i, i + 1)] = off[i];
+            a[(i + 1, i)] = off[i];
+        }
+        let (jv, _) = super::super::symmetric_eig(&a);
+        for (t, j) in tv.iter().zip(&jv) {
+            assert!((t - j).abs() < 1e-9, "{t} vs {j}");
+        }
+    }
+}

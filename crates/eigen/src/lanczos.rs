@@ -1,0 +1,148 @@
+//! Plain Lanczos with full reorthogonalization (no restarting).
+//!
+//! The simpler sibling of [`krylov_schur`](crate::krylov_schur): build one
+//! `m`-step Krylov space and take the Ritz values of the tridiagonal. Used
+//! as a cross-check for the restarted solver and for quick spectral
+//! estimates (e.g. spectral bounds in examples).
+
+use std::sync::Arc;
+
+use sf2d_sim::cost::CostLedger;
+use sf2d_spmv::{DistVector, LinearOperator};
+
+use crate::dense::tridiag_eig;
+use crate::ortho::cgs2;
+
+/// Result of an `m`-step Lanczos run.
+#[derive(Debug)]
+pub struct LanczosResult {
+    /// Ritz values, ascending.
+    pub ritz_values: Vec<f64>,
+    /// Residual bound per Ritz pair: `|β_m s_{m,i}|`.
+    pub residual_bounds: Vec<f64>,
+    /// Steps actually taken (may stop early on breakdown).
+    pub steps: usize,
+}
+
+/// Runs `m` Lanczos steps on a symmetric operator from a seeded random
+/// start vector.
+pub fn lanczos(
+    op: &dyn LinearOperator,
+    m: usize,
+    seed: u64,
+    ledger: &mut CostLedger,
+) -> LanczosResult {
+    let map = Arc::clone(op.vmap());
+    assert!(m >= 1 && m <= map.n(), "steps must be in 1..=n");
+
+    let mut basis: Vec<DistVector> = Vec::with_capacity(m + 1);
+    let mut v0 = DistVector::random(Arc::clone(&map), seed);
+    let n0 = v0.norm2(ledger);
+    for l in &mut v0.locals {
+        for x in l {
+            *x /= n0;
+        }
+    }
+    basis.push(v0);
+
+    let mut alphas = Vec::with_capacity(m);
+    let mut betas = Vec::with_capacity(m);
+    for j in 0..m {
+        let mut w = DistVector::zeros(Arc::clone(&map));
+        op.apply(&basis[j], &mut w, ledger);
+        let alpha = w.dot(&basis[j], ledger);
+        alphas.push(alpha);
+        let beta = cgs2(&mut w, &basis, ledger);
+        if beta < 1e-12 * (1.0 + alpha.abs()) {
+            // Invariant subspace found — the Ritz values are exact.
+            betas.push(0.0);
+            break;
+        }
+        betas.push(beta);
+        for l in &mut w.locals {
+            for x in l {
+                *x /= beta;
+            }
+        }
+        basis.push(w);
+    }
+
+    let steps = alphas.len();
+    let (vals, vecs) = tridiag_eig(&alphas, &betas[..steps - 1]);
+    let beta_last = betas[steps - 1];
+    let residual_bounds = (0..steps)
+        .map(|i| (beta_last * vecs[(steps - 1, i)]).abs())
+        .collect();
+    LanczosResult {
+        ritz_values: vals,
+        residual_bounds,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_gen::grid_2d;
+    use sf2d_graph::normalized_laplacian;
+    use sf2d_partition::MatrixDist;
+    use sf2d_sim::{CostLedger, Machine};
+    use sf2d_spmv::{DistCsrMatrix, PlainSpmvOp};
+
+    fn op_of(a: &sf2d_graph::CsrMatrix, p: usize) -> PlainSpmvOp {
+        let d = MatrixDist::block_1d(a.nrows(), p);
+        PlainSpmvOp {
+            a: DistCsrMatrix::from_global(a, &d),
+        }
+    }
+
+    #[test]
+    fn extreme_ritz_values_converge_fast() {
+        let a = grid_2d(8, 8);
+        let l = normalized_laplacian(&a).unwrap();
+        let op = op_of(&l, 3);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = lanczos(&op, 30, 1, &mut ledger);
+        // Largest Ritz value should approximate the largest eigenvalue of
+        // L̂ (known to be <= 2, > 1 for a bipartite-ish grid).
+        let top = *res.ritz_values.last().unwrap();
+        assert!(top > 1.5 && top <= 2.0 + 1e-9, "top {top}");
+        // Its residual bound should be small.
+        assert!(res.residual_bounds.last().unwrap() < &1e-3);
+    }
+
+    #[test]
+    fn full_dimension_run_is_exact() {
+        // m = n: Lanczos spans everything; Ritz values = eigenvalues.
+        let a = grid_2d(3, 3);
+        let l = normalized_laplacian(&a).unwrap();
+        let op = op_of(&l, 2);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = lanczos(&op, 9, 2, &mut ledger);
+        // Smallest eigenvalue of any normalized Laplacian is 0.
+        assert!(res.ritz_values[0].abs() < 1e-8, "{:?}", res.ritz_values);
+    }
+
+    #[test]
+    fn agrees_with_krylov_schur() {
+        // Rectangular grid: non-degenerate spectrum (see the note in the
+        // krylov_schur oracle test).
+        let a = grid_2d(6, 7);
+        let l = normalized_laplacian(&a).unwrap();
+        let op = op_of(&l, 2);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let plain = lanczos(&op, 35, 3, &mut ledger);
+        let cfg = crate::krylov_schur::KrylovSchurConfig {
+            nev: 3,
+            max_basis: 20,
+            tol: 1e-9,
+            max_restarts: 100,
+            seed: 3,
+        };
+        let ks = crate::krylov_schur::krylov_schur_largest(&op, &cfg, &mut ledger);
+        for (i, v) in ks.values.iter().enumerate() {
+            let lv = plain.ritz_values[plain.ritz_values.len() - 1 - i];
+            assert!((v - lv).abs() < 1e-5, "pair {i}: {v} vs {lv}");
+        }
+    }
+}

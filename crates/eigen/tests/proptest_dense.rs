@@ -1,0 +1,88 @@
+//! Property-based tests for the dense eigensolvers: reconstruction,
+//! orthogonality and spectral invariants on random symmetric matrices.
+
+use proptest::prelude::*;
+use sf2d_eigen::dense::{symmetric_eig, tridiag_eig, DenseMat};
+
+fn sym_strategy() -> impl Strategy<Value = DenseMat> {
+    (1usize..14).prop_flat_map(|n| {
+        proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |vals| {
+            let mut m = DenseMat::zeros(n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let x = vals[i * n + j];
+                    m[(i, j)] = x;
+                    m[(j, i)] = x;
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A = V D Vᵀ reconstruction within tolerance.
+    #[test]
+    fn jacobi_reconstructs(a in sym_strategy()) {
+        let n = a.n;
+        let (vals, vecs) = symmetric_eig(&a);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += vecs[(i, k)] * vals[k] * vecs[(j, k)];
+                }
+                prop_assert!((acc - a[(i, j)]).abs() < 1e-8,
+                    "({i},{j}): {acc} vs {}", a[(i, j)]);
+            }
+        }
+    }
+
+    /// Eigenvalues sum to the trace and multiply to the determinant sign
+    /// structure (checked via trace only — determinant is ill-conditioned).
+    #[test]
+    fn jacobi_preserves_trace(a in sym_strategy()) {
+        let (vals, _) = symmetric_eig(&a);
+        let trace: f64 = (0..a.n).map(|i| a[(i, i)]).sum();
+        prop_assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-8);
+    }
+
+    /// Eigenvalues respect the Gershgorin disc bound.
+    #[test]
+    fn gershgorin_bound(a in sym_strategy()) {
+        let n = a.n;
+        let (vals, _) = symmetric_eig(&a);
+        let bound = (0..n)
+            .map(|i| (0..n).map(|j| a[(i, j)].abs()).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        for v in vals {
+            prop_assert!(v.abs() <= bound + 1e-9, "{v} outside Gershgorin {bound}");
+        }
+    }
+
+    /// Tridiagonal QL agrees with Jacobi on the same matrix.
+    #[test]
+    fn tridiag_matches_jacobi(
+        diag in proptest::collection::vec(-3.0f64..3.0, 1..12),
+        offr in proptest::collection::vec(-2.0f64..2.0, 0..11),
+    ) {
+        let n = diag.len();
+        let off: Vec<f64> = offr.into_iter().take(n.saturating_sub(1)).collect();
+        prop_assume!(off.len() + 1 == n || n == 1);
+        let (tv, _) = tridiag_eig(&diag, &off);
+        let mut a = DenseMat::zeros(n);
+        for i in 0..n {
+            a[(i, i)] = diag[i];
+        }
+        for i in 0..n.saturating_sub(1) {
+            a[(i, i + 1)] = off[i];
+            a[(i + 1, i)] = off[i];
+        }
+        let (jv, _) = symmetric_eig(&a);
+        for (t, j) in tv.iter().zip(&jv) {
+            prop_assert!((t - j).abs() < 1e-8, "{t} vs {j}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the distributed eigensolvers on random
+//! symmetric operators.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sf2d_eigen::{krylov_schur_largest, KrylovSchurConfig};
+use sf2d_graph::{CooMatrix, CsrMatrix};
+use sf2d_partition::MatrixDist;
+use sf2d_sim::{CostLedger, Machine};
+use sf2d_spmv::{DistCsrMatrix, DistVector, LinearOperator, PlainSpmvOp};
+
+/// Random symmetric matrix with a ring backbone (keeps it connected, so
+/// spectra are non-degenerate enough for quick convergence).
+fn sym_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (24usize..48).prop_flat_map(|n| {
+        proptest::collection::vec((0u32..48, 0u32..48, 0.2f64..2.0), 0..80).prop_map(move |extra| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n as u32 {
+                coo.push_sym(i, (i + 1) % n as u32, 1.0);
+            }
+            for (u, v, w) in extra {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    coo.push_sym(u, v, w);
+                }
+            }
+            CsrMatrix::from_coo(&coo)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Converged Ritz pairs satisfy the eigen equation to their reported
+    /// residual, eigenvalues are within the Gershgorin bound and sorted.
+    #[test]
+    fn krylov_schur_invariants(a in sym_strategy(), p in 1usize..7, seed in 0u64..50) {
+        let d = MatrixDist::random_1d(a.nrows(), p, seed);
+        let op = PlainSpmvOp { a: DistCsrMatrix::from_global(&a, &d) };
+        let cfg = KrylovSchurConfig {
+            nev: 2,
+            max_basis: 16,
+            tol: 1e-6,
+            max_restarts: 200,
+            seed,
+        };
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = krylov_schur_largest(&op, &cfg, &mut ledger);
+        prop_assume!(res.converged); // rare non-convergence under the cap
+
+        // Gershgorin bound.
+        let bound = (0..a.nrows())
+            .map(|i| a.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        for &v in &res.values {
+            prop_assert!(v.abs() <= bound + 1e-9, "{v} outside {bound}");
+        }
+        // Sorted descending.
+        prop_assert!(res.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+
+        // Residual equation, measured directly.
+        for (i, vec) in res.vectors.iter().enumerate() {
+            let xg = vec.to_global();
+            let ax = a.spmv_dense(&xg);
+            let xnorm: f64 = xg.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let rnorm: f64 = ax
+                .iter()
+                .zip(&xg)
+                .map(|(av, xv)| (av - res.values[i] * xv).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            prop_assert!(
+                rnorm <= 1e-4 * res.values[i].abs().max(1.0) * xnorm.max(1e-30),
+                "pair {i}: residual {rnorm}"
+            );
+        }
+    }
+
+    /// The solve is layout-invariant: the same seed on different rank
+    /// counts yields the same eigenvalues (to rounding).
+    #[test]
+    fn layout_invariance(a in sym_strategy(), seed in 0u64..20) {
+        let cfg = KrylovSchurConfig {
+            nev: 2,
+            max_basis: 14,
+            tol: 1e-8,
+            max_restarts: 150,
+            seed,
+        };
+        let mut vals = Vec::new();
+        for p in [2usize, 5] {
+            let d = MatrixDist::block_1d(a.nrows(), p);
+            let op = PlainSpmvOp { a: DistCsrMatrix::from_global(&a, &d) };
+            let mut ledger = CostLedger::new(Machine::cab());
+            let res = krylov_schur_largest(&op, &cfg, &mut ledger);
+            prop_assume!(res.converged);
+            vals.push(res.values);
+        }
+        for (x, y) in vals[0].iter().zip(&vals[1]) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    /// A random start vector never changes which eigenvalues exist — only
+    /// the trajectory: two seeds agree on the top eigenvalue.
+    #[test]
+    fn seed_independence_of_spectrum(a in sym_strategy()) {
+        let d = MatrixDist::block_1d(a.nrows(), 3);
+        let op = PlainSpmvOp { a: DistCsrMatrix::from_global(&a, &d) };
+        let mut tops = Vec::new();
+        for seed in [1u64, 99] {
+            let cfg = KrylovSchurConfig {
+                nev: 1,
+                max_basis: 12,
+                tol: 1e-8,
+                max_restarts: 150,
+                seed,
+            };
+            let mut ledger = CostLedger::new(Machine::cab());
+            let res = krylov_schur_largest(&op, &cfg, &mut ledger);
+            prop_assume!(res.converged);
+            tops.push(res.values[0]);
+        }
+        prop_assert!((tops[0] - tops[1]).abs() < 1e-6, "{tops:?}");
+    }
+
+    /// Sanity: the operator wrapper and a raw distributed SpMV agree.
+    #[test]
+    fn plain_op_equals_spmv(a in sym_strategy(), p in 1usize..6) {
+        let d = MatrixDist::block_1d(a.nrows(), p);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let op = PlainSpmvOp { a: dm };
+        let x = DistVector::random(Arc::clone(op.vmap()), 7);
+        let mut y1 = DistVector::zeros(Arc::clone(op.vmap()));
+        let mut ledger = CostLedger::new(Machine::cab());
+        op.apply(&x, &mut y1, &mut ledger);
+        let want = a.spmv_dense(&x.to_global());
+        for (g, w) in y1.to_global().iter().zip(&want) {
+            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+        }
+    }
+}

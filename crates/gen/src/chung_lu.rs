@@ -1,0 +1,175 @@
+//! Chung–Lu expected-degree random graphs.
+//!
+//! Given target degrees `w`, edges are sampled with
+//! `P(u ~ v) ∝ w_u w_v` by drawing both endpoints from the alias table over
+//! `w` — the "edge-skipping-free" formulation that costs `O(1)` per edge.
+//! This is our substitute engine for the UF/SNAP matrices (see
+//! [`proxy`](crate::proxy)): it reproduces a prescribed degree distribution,
+//! which is the property of those graphs the paper's load-balance story
+//! depends on, while remaining cheap and deterministic.
+//!
+//! An optional **community locality** layer plants `blocks` equally-sized
+//! communities and biases a fraction `locality` of the edges to stay within
+//! a community. Web crawls (wb-edu, uk-2005) have strong host locality that
+//! graph partitioning exploits — the paper's §2.5 cites host-based
+//! partitioning \[15\] — so web proxies set `locality > 0`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sf2d_graph::{CooMatrix, CsrMatrix, Vtx};
+
+use crate::util::AliasTable;
+
+/// Generates a symmetric Chung–Lu graph over the given expected degrees.
+///
+/// `target_edges` undirected edges are attempted; self-loops and duplicate
+/// edges are collapsed, so the realized count lands slightly below the
+/// target (the standard Chung–Lu behaviour).
+///
+/// * `blocks` — number of planted communities (`0` or `1` disables the
+///   locality layer).
+/// * `locality` — fraction of edges forced within a community; `0.0` is the
+///   classic Chung–Lu model. Within-community endpoints are re-drawn from
+///   the community members' own weights.
+pub fn chung_lu(
+    degrees: &[usize],
+    target_edges: usize,
+    blocks: usize,
+    locality: f64,
+    seed: u64,
+) -> CsrMatrix {
+    let n = degrees.len();
+    assert!(n >= 2, "need at least 2 vertices");
+    assert!((0.0..=1.0).contains(&locality), "locality must be in [0,1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let weights: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+    let global = AliasTable::new(&weights);
+
+    // Per-block alias tables for the locality layer. Blocks are contiguous
+    // vertex ranges (vertices are assigned round-robin so every block gets
+    // a share of hubs: hubs come first in the sorted degree sequence).
+    let use_blocks = blocks > 1 && locality > 0.0;
+    let block_of = |v: usize| -> usize { v % blocks.max(1) };
+    let block_tables: Vec<(Vec<u32>, AliasTable)> = if use_blocks {
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); blocks];
+        for v in 0..n {
+            members[block_of(v)].push(v as Vtx);
+        }
+        members
+            .into_iter()
+            .filter(|m| m.len() >= 2)
+            .map(|m| {
+                let w: Vec<f64> = m.iter().map(|&v| weights[v as usize].max(1e-9)).collect();
+                let t = AliasTable::new(&w);
+                (m, t)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * target_edges);
+    for _ in 0..target_edges {
+        let (u, v) = if use_blocks && rng.gen::<f64>() < locality && !block_tables.is_empty() {
+            // Pick a block proportional to its member count via global draw,
+            // then sample both endpoints inside it.
+            let pivot = global.sample(&mut rng) as usize;
+            let b = block_of(pivot) % block_tables.len();
+            let (members, table) = &block_tables[b];
+            (
+                members[table.sample(&mut rng) as usize],
+                members[table.sample(&mut rng) as usize],
+            )
+        } else {
+            (global.sample(&mut rng), global.sample(&mut rng))
+        };
+        if u != v {
+            coo.push_sym(u, v, 1.0);
+        }
+    }
+    let a = CsrMatrix::from_coo(&coo);
+    // Collapse multi-edges to unit pattern.
+    let mut unit = CooMatrix::with_capacity(n, n, a.nnz());
+    for (r, c, _) in a.iter() {
+        unit.push(r, c, 1.0);
+    }
+    CsrMatrix::from_coo(&unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::powerlaw_degrees;
+    use sf2d_graph::stats::{looks_scale_free, DegreeStats};
+
+    #[test]
+    fn deterministic_and_symmetric() {
+        let d = powerlaw_degrees(500, 2.0, 2, 50, 1);
+        let a = chung_lu(&d, 2000, 0, 0.0, 7);
+        let b = chung_lu(&d, 2000, 0, 0.0, 7);
+        assert_eq!(a, b);
+        assert!(a.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn powerlaw_degrees_produce_scale_free_graph() {
+        let d = powerlaw_degrees(3000, 2.0, 2, 300, 2);
+        let m: usize = d.iter().sum::<usize>() / 2;
+        let a = chung_lu(&d, m, 0, 0.0, 3);
+        assert!(looks_scale_free(&a), "{:?}", DegreeStats::of(&a));
+    }
+
+    #[test]
+    fn hubs_get_high_degree() {
+        // Vertex 0 has weight 100x the rest; its degree should dominate.
+        let mut d = vec![2usize; 1000];
+        d[0] = 200;
+        let a = chung_lu(&d, 2000, 0, 0.0, 5);
+        let s = DegreeStats::of(&a);
+        assert_eq!(a.row_nnz(0), s.max_row_nnz);
+        assert!(a.row_nnz(0) > 50);
+    }
+
+    #[test]
+    fn locality_increases_within_block_edges() {
+        let d = vec![4usize; 2000];
+        let count_within = |a: &CsrMatrix, blocks: usize| -> f64 {
+            let mut within = 0usize;
+            let mut total = 0usize;
+            for (r, c, _) in a.iter() {
+                total += 1;
+                if (r as usize) % blocks == (c as usize) % blocks {
+                    within += 1;
+                }
+            }
+            within as f64 / total as f64
+        };
+        let plain = chung_lu(&d, 4000, 8, 0.0, 11);
+        let local = chung_lu(&d, 4000, 8, 0.9, 11);
+        let f_plain = count_within(&plain, 8);
+        let f_local = count_within(&local, 8);
+        assert!(
+            f_local > f_plain + 0.3,
+            "locality had no effect: {f_plain} vs {f_local}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let d = vec![3usize; 100];
+        let a = chung_lu(&d, 200, 0, 0.0, 13);
+        for i in 0..100 {
+            assert_eq!(a.get(i, i as u32), None);
+        }
+    }
+
+    #[test]
+    fn realized_edges_close_to_target_for_sparse_graphs() {
+        let d = powerlaw_degrees(5000, 2.2, 2, 60, 4);
+        let a = chung_lu(&d, 10_000, 0, 0.0, 9);
+        let realized = a.nnz() / 2;
+        assert!(realized > 9_000, "too many collisions: {realized}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Erdős–Rényi `G(n, M)` generator.
+//!
+//! Used directly in tests and as the within-block generator inside
+//! [`bter`](crate::bter::bter). Degrees concentrate around `2M/n`, so ER graphs
+//! are the *anti*-scale-free baseline: block layouts balance them well and
+//! graph partitioners find little structure to exploit.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sf2d_graph::{CooMatrix, CsrMatrix, Vtx};
+
+/// Generates a symmetric `G(n, M)` graph: `m` distinct undirected edges
+/// drawn uniformly (no self-loops, no multi-edges).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n-1)/2`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrMatrix {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "m = {m} exceeds max possible edges {max_edges}"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * m);
+    // Rejection sampling is fine while m is far below max_edges; for dense
+    // requests fall back to explicit enumeration to guarantee termination.
+    if m * 3 < max_edges {
+        while seen.len() < m {
+            let u = rng.gen_range(0..n) as Vtx;
+            let v = rng.gen_range(0..n) as Vtx;
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                coo.push_sym(key.0, key.1, 1.0);
+            }
+        }
+    } else {
+        // Dense regime: Fisher-Yates over all possible edges.
+        let mut all: Vec<(Vtx, Vtx)> = Vec::with_capacity(max_edges);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                all.push((u as Vtx, v as Vtx));
+            }
+        }
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+            coo.push_sym(all[i].0, all[i].1, 1.0);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_graph::stats::DegreeStats;
+
+    #[test]
+    fn exact_edge_count() {
+        let a = erdos_renyi(100, 300, 11);
+        assert_eq!(a.nnz(), 600);
+        assert!(a.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(50, 100, 5), erdos_renyi(50, 100, 5));
+        assert_ne!(erdos_renyi(50, 100, 5), erdos_renyi(50, 100, 6));
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let a = erdos_renyi(30, 200, 3);
+        for i in 0..30 {
+            assert_eq!(a.get(i, i as u32), None);
+        }
+        assert_eq!(a.nnz(), 400);
+    }
+
+    #[test]
+    fn dense_regime_terminates() {
+        // 10 vertices, 45 possible edges; ask for all of them.
+        let a = erdos_renyi(10, 45, 1);
+        assert_eq!(a.nnz(), 90);
+        for i in 0..10usize {
+            assert_eq!(a.row_nnz(i), 9);
+        }
+    }
+
+    #[test]
+    fn degrees_concentrate() {
+        let a = erdos_renyi(2000, 20_000, 17);
+        let s = DegreeStats::of(&a);
+        // avg degree 20; ER max should stay within a small factor.
+        assert!(s.skew < 3.0, "skew {}", s.skew);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn too_many_edges_rejected() {
+        erdos_renyi(3, 10, 0);
+    }
+}

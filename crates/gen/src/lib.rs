@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # sf2d-gen
+//!
+//! Deterministic scale-free (and contrast) graph generators for the SC'13
+//! reproduction:
+//!
+//! * [`rmat`](rmat()) — the R-MAT recursive generator with Graph500 parameters
+//!   (`a=0.57, b=c=0.19, d=0.05`), used for the paper's `rmat_22/24/26`
+//!   weak-scaling matrices;
+//! * [`bter`](bter()) — Block Two-Level Erdős–Rényi (Seshadhri, Kolda, Pinar), the
+//!   paper's `bter` matrix with power-law exponent γ = 1.9;
+//! * [`chung_lu`](chung_lu()) — the Chung–Lu expected-degree model, our substitute
+//!   engine for the UF/SNAP matrices we cannot download;
+//! * [`pref`] — Barabási–Albert preferential attachment (the generator
+//!   family Yoo et al. [34, 35] used);
+//! * [`er`] — Erdős–Rényi `G(n, M)`;
+//! * [`mesh`] — regular 2D/3D grids, the mesh-like contrast workload for
+//!   which 1D graph partitioning is known to shine;
+//! * [`proxy`] — named configurations reproducing each matrix of the
+//!   paper's Table 1 at reduced scale.
+//!
+//! Every generator takes an explicit `u64` seed and is deterministic given
+//! it (we use `ChaCha8Rng`, whose stream is stable across platforms and
+//! releases, unlike `StdRng`).
+
+pub mod bter;
+pub mod chung_lu;
+pub mod er;
+pub mod mesh;
+pub mod powerlaw;
+pub mod pref;
+pub mod proxy;
+pub mod rmat;
+mod util;
+
+pub use bter::{bter, BterConfig};
+pub use chung_lu::chung_lu;
+pub use er::erdos_renyi;
+pub use mesh::{grid_2d, grid_3d};
+pub use powerlaw::powerlaw_degrees;
+pub use pref::preferential_attachment;
+pub use proxy::{proxy_matrix, ProxyConfig, ProxyKind, PAPER_MATRICES};
+pub use rmat::{rmat, RmatConfig};

@@ -1,0 +1,122 @@
+//! Power-law degree-sequence sampling.
+//!
+//! Produces the target degree sequences consumed by [`chung_lu`](crate::chung_lu::chung_lu)
+//! and [`bter`](crate::bter::bter): `P(d) ∝ d^{-γ}` on `[dmin, dmax]`, sampled by
+//! inverse-CDF on the discrete distribution.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Samples `n` degrees from the discrete power law `P(d) ∝ d^{-γ}`,
+/// `d ∈ [dmin, dmax]`.
+///
+/// The returned sequence is sorted descending (hubs first), which both
+/// Chung–Lu and BTER want. The sum is forced even (graphs need an even
+/// total degree) by decrementing one entry if necessary.
+///
+/// # Panics
+/// Panics unless `1 <= dmin <= dmax` and `γ > 1`.
+pub fn powerlaw_degrees(n: usize, gamma: f64, dmin: usize, dmax: usize, seed: u64) -> Vec<usize> {
+    assert!(dmin >= 1 && dmin <= dmax, "need 1 <= dmin <= dmax");
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Build the CDF once: sizes here are modest (dmax <= vertices).
+    let mut cdf = Vec::with_capacity(dmax - dmin + 1);
+    let mut acc = 0.0f64;
+    for d in dmin..=dmax {
+        acc += (d as f64).powf(-gamma);
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            // partition_point returns the first index with cdf > u.
+            let idx = cdf.partition_point(|&c| c <= u);
+            dmin + idx.min(dmax - dmin)
+        })
+        .collect();
+
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let sum: usize = degrees.iter().sum();
+    if sum % 2 == 1 {
+        // Decrement the *smallest* entry that can afford it — decrementing
+        // an earlier (larger) one could break the descending order when it
+        // ties with its successor.
+        if let Some(d) = degrees.iter_mut().rev().find(|d| **d > dmin) {
+            *d -= 1;
+        } else {
+            degrees[0] += 1;
+        }
+    }
+    degrees
+}
+
+/// Expected mean of the discrete power law `P(d) ∝ d^{-γ}` on `[dmin, dmax]`.
+/// Useful for picking `(γ, dmin, dmax)` to hit a target average degree.
+pub fn powerlaw_mean(gamma: f64, dmin: usize, dmax: usize) -> f64 {
+    let mut z = 0.0;
+    let mut m = 0.0;
+    for d in dmin..=dmax {
+        let p = (d as f64).powf(-gamma);
+        z += p;
+        m += d as f64 * p;
+    }
+    m / z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_bounds_and_evenness() {
+        let d = powerlaw_degrees(1001, 2.0, 2, 100, 3);
+        assert_eq!(d.len(), 1001);
+        assert!(d.iter().all(|&x| (2..=100).contains(&x)));
+        assert_eq!(d.iter().sum::<usize>() % 2, 0);
+    }
+
+    #[test]
+    fn sorted_descending() {
+        let d = powerlaw_degrees(500, 2.2, 1, 50, 9);
+        for w in d.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            powerlaw_degrees(100, 2.0, 1, 30, 5),
+            powerlaw_degrees(100, 2.0, 1, 30, 5)
+        );
+    }
+
+    #[test]
+    fn heavier_tail_for_smaller_gamma() {
+        // gamma 1.5 should produce a larger mean degree than gamma 3.0.
+        let light = powerlaw_degrees(20_000, 3.0, 1, 1000, 7);
+        let heavy = powerlaw_degrees(20_000, 1.5, 1, 1000, 7);
+        let ml: f64 = light.iter().sum::<usize>() as f64 / 20_000.0;
+        let mh: f64 = heavy.iter().sum::<usize>() as f64 / 20_000.0;
+        assert!(mh > 2.0 * ml, "means {mh} vs {ml}");
+    }
+
+    #[test]
+    fn empirical_mean_matches_theory() {
+        let d = powerlaw_degrees(50_000, 2.0, 2, 500, 21);
+        let emp = d.iter().sum::<usize>() as f64 / d.len() as f64;
+        let theory = powerlaw_mean(2.0, 2, 500);
+        assert!((emp - theory).abs() / theory < 0.05, "{emp} vs {theory}");
+    }
+
+    #[test]
+    fn degenerate_single_degree() {
+        let d = powerlaw_degrees(10, 2.0, 4, 4, 0);
+        assert!(d.iter().all(|&x| x == 4));
+    }
+}

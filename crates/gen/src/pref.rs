@@ -1,0 +1,104 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Yoo et al. \[34\] — the paper's main 2D-block point of comparison —
+//! evaluated on preferential-attachment graphs \[35\]. We include the model
+//! both for fidelity to that baseline and because its *naturally balanced*
+//! per-process nonzero counts (noted in the paper's §2.5) make it a useful
+//! contrast to R-MAT in tests: block layouts look better on BA graphs than
+//! they do on real data.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sf2d_graph::{CooMatrix, CsrMatrix, Vtx};
+
+/// Generates a Barabási–Albert graph: starts from a clique on `m + 1`
+/// vertices, then each new vertex attaches to `m` existing vertices chosen
+/// proportionally to their current degree.
+///
+/// # Panics
+/// Panics unless `n > m >= 1`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> CsrMatrix {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // `endpoints` holds every edge endpoint ever created; sampling a uniform
+    // element of it IS degree-proportional sampling (the classic trick).
+    let mut endpoints: Vec<Vtx> = Vec::with_capacity(2 * m * n);
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * m * n);
+
+    // Seed clique on m+1 vertices.
+    for u in 0..=(m as Vtx) {
+        for v in (u + 1)..=(m as Vtx) {
+            coo.push_sym(u, v, 1.0);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for new in (m + 1)..n {
+        let newv = new as Vtx;
+        // Draw until m distinct targets; duplicates are rare because
+        // endpoint multiplicity >> m. A Vec with linear membership check
+        // keeps insertion order deterministic (HashSet iteration is not).
+        let mut chosen: Vec<Vtx> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            coo.push_sym(newv, t, 1.0);
+            endpoints.push(newv);
+            endpoints.push(t);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_graph::stats::{looks_scale_free, DegreeStats};
+
+    #[test]
+    fn deterministic_and_symmetric() {
+        let a = preferential_attachment(200, 3, 1);
+        assert_eq!(a, preferential_attachment(200, 3, 1));
+        assert!(a.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn edge_count_matches_model() {
+        let (n, m) = (300usize, 4usize);
+        let a = preferential_attachment(n, m, 2);
+        // clique edges + m per additional vertex.
+        let expect = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(a.nnz() / 2, expect);
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let a = preferential_attachment(500, 3, 3);
+        for i in 0..a.nrows() {
+            assert!(a.row_nnz(i) >= 3, "vertex {i} degree {}", a.row_nnz(i));
+        }
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let a = preferential_attachment(5000, 2, 4);
+        assert!(looks_scale_free(&a), "{:?}", DegreeStats::of(&a));
+        // Early vertices should on average be the hubs.
+        let early: usize = (0..10).map(|i| a.row_nnz(i)).sum();
+        let late: usize = (4980..4990).map(|i| a.row_nnz(i)).sum();
+        assert!(early > 3 * late, "early {early} late {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > m")]
+    fn invalid_sizes_rejected() {
+        preferential_attachment(3, 3, 0);
+    }
+}

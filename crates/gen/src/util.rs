@@ -1,0 +1,152 @@
+//! Sampling utilities shared by the generators.
+
+use rand::Rng;
+
+/// Walker's alias method for O(1) sampling from a fixed discrete
+/// distribution — the workhorse behind Chung–Lu and BTER, where every edge
+/// endpoint is drawn proportionally to a vertex weight.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (at least one positive).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite value"
+        );
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0, "negative weight");
+                w * n as f64 / total
+            })
+            .collect();
+        let mut alias = vec![0u32; n];
+
+        // Standard two-worklist construction.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical slack: anything left gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    #[allow(dead_code)] // used by tests and kept for API symmetry
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true: `new` rejects empty input).
+    #[allow(dead_code)]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index distributed proportionally to the input weights.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 4]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let t = AliasTable::new(&[9.0, 1.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut ones = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if t.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / N as f64;
+        assert!((frac - 0.1).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn zero_weights_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn all_zero_weights_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_rejected() {
+        AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests on generator invariants.
+
+use proptest::prelude::*;
+use sf2d_gen::{
+    bter, chung_lu, erdos_renyi, powerlaw_degrees, preferential_attachment, rmat, BterConfig,
+    RmatConfig,
+};
+use sf2d_graph::stats::DegreeStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// R-MAT output is always a valid loop-free symmetric unit-pattern
+    /// matrix of the declared size, deterministic in its seed.
+    #[test]
+    fn rmat_invariants(scale in 4u32..9, ef in 1usize..6, seed in 0u64..200) {
+        let cfg = RmatConfig { edge_factor: ef, ..RmatConfig::graph500(scale) };
+        let a = rmat(&cfg, seed);
+        prop_assert_eq!(a.nrows(), 1usize << scale);
+        prop_assert!(a.is_structurally_symmetric());
+        prop_assert!(a.values().iter().all(|&v| v == 1.0));
+        for i in 0..a.nrows() {
+            prop_assert_eq!(a.get(i, i as u32), None);
+        }
+        prop_assert_eq!(rmat(&cfg, seed), a);
+    }
+
+    /// Erdős–Rényi delivers the exact requested edge count.
+    #[test]
+    fn er_exact_edges(n in 4usize..60, frac in 0.05f64..0.9, seed in 0u64..200) {
+        let max_edges = n * (n - 1) / 2;
+        let m = ((max_edges as f64 * frac) as usize).max(1);
+        let a = erdos_renyi(n, m, seed);
+        prop_assert_eq!(a.nnz(), 2 * m);
+        prop_assert!(a.is_structurally_symmetric());
+    }
+
+    /// Power-law degree sequences respect their bounds and have even sums.
+    #[test]
+    fn powerlaw_bounds(
+        n in 10usize..500,
+        gamma in 1.3f64..3.5,
+        dmin in 1usize..4,
+        extra in 1usize..50,
+        seed in 0u64..100,
+    ) {
+        let dmax = dmin + extra;
+        let d = powerlaw_degrees(n, gamma, dmin, dmax, seed);
+        prop_assert_eq!(d.len(), n);
+        prop_assert!(d.iter().all(|&x| x >= dmin.min(dmax) && x <= dmax + 1));
+        prop_assert_eq!(d.iter().sum::<usize>() % 2, 0);
+        // Sorted descending.
+        prop_assert!(d.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Chung–Lu never produces self loops and is deterministic.
+    #[test]
+    fn chung_lu_invariants(n in 8usize..80, m in 8usize..200, seed in 0u64..100) {
+        let degs = vec![3usize; n];
+        let a = chung_lu(&degs, m, 0, 0.0, seed);
+        prop_assert!(a.is_structurally_symmetric());
+        for i in 0..n {
+            prop_assert_eq!(a.get(i, i as u32), None);
+        }
+        prop_assert_eq!(chung_lu(&degs, m, 0, 0.0, seed), a);
+    }
+
+    /// Preferential attachment: exact edge count and minimum degree m.
+    #[test]
+    fn pref_attachment_invariants(n in 10usize..120, m in 1usize..5, seed in 0u64..100) {
+        prop_assume!(n > m + 1);
+        let a = preferential_attachment(n, m, seed);
+        let expect = m * (m + 1) / 2 + (n - m - 1) * m;
+        prop_assert_eq!(a.nnz() / 2, expect);
+        for i in 0..n {
+            prop_assert!(a.row_nnz(i) >= m, "vertex {} degree {}", i, a.row_nnz(i));
+        }
+    }
+
+    /// BTER stays within its declared dimensions and is loop-free.
+    #[test]
+    fn bter_invariants(n in 50usize..300, dmax in 5usize..40, seed in 0u64..50) {
+        let a = bter(&BterConfig::paper(n, dmax), seed);
+        prop_assert_eq!(a.nrows(), n);
+        prop_assert!(a.is_structurally_symmetric());
+        for i in 0..n {
+            prop_assert_eq!(a.get(i, i as u32), None);
+        }
+        // Degrees bounded by the graph size.
+        let s = DegreeStats::of(&a);
+        prop_assert!(s.max_row_nnz < n);
+    }
+}

@@ -1,0 +1,223 @@
+//! Basic graph algorithms: BFS and connected components.
+//!
+//! Used by the reordering module (RCM is BFS-based), by proxy validation
+//! (a proxy that shatters into fragments would distort partitioning
+//! results), and by examples.
+
+use std::collections::VecDeque;
+
+use crate::{CsrMatrix, Vtx};
+
+/// Breadth-first order over the pattern of a symmetric matrix, starting at
+/// `start`; unreachable vertices are appended afterwards in index order (so
+/// the result is always a permutation-ready full ordering).
+pub fn bfs_order(a: &CsrMatrix, start: Vtx) -> Vec<Vtx> {
+    let n = a.nrows();
+    assert!((start as usize) < n, "start vertex out of range");
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+
+    queue.push_back(start);
+    seen[start as usize] = true;
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let (nbrs, _) = a.row(u as usize);
+        for &v in nbrs {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    for v in 0..n as Vtx {
+        if !seen[v as usize] {
+            order.push(v);
+        }
+    }
+    order
+}
+
+/// Connected components of a symmetric pattern. Returns `(labels, count)`
+/// with labels in `0..count`, numbered by first appearance.
+pub fn connected_components(a: &CsrMatrix) -> (Vec<u32>, usize) {
+    let n = a.nrows();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = count;
+        stack.push(s as Vtx);
+        while let Some(u) = stack.pop() {
+            let (nbrs, _) = a.row(u as usize);
+            for &v in nbrs {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(a: &CsrMatrix) -> usize {
+    let (labels, count) = connected_components(a);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Global clustering coefficient: `3 x triangles / wedges` (a.k.a.
+/// transitivity). Scale-free models differ sharply here — BTER's whole
+/// point is matching it while Chung–Lu and R-MAT produce near-zero values
+/// at equal density.
+pub fn clustering_coefficient(a: &CsrMatrix) -> f64 {
+    let n = a.nrows();
+    let mut triangles = 0usize;
+    let mut wedges = 0usize;
+    for u in 0..n {
+        let (nbrs, _) = a.row(u);
+        let d = nbrs.len();
+        wedges += d * d.saturating_sub(1) / 2;
+        for (i, &v) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                if a.get(v as usize, w).is_some() {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        triangles as f64 / wedges as f64
+    }
+}
+
+/// Eccentricity-ish heuristic: runs BFS twice to find a pseudo-peripheral
+/// vertex (standard starting point for RCM).
+pub fn pseudo_peripheral_vertex(a: &CsrMatrix, start: Vtx) -> Vtx {
+    let mut v = start;
+    let mut last_level = 0usize;
+    // Two BFS sweeps usually suffice; cap at 4 for safety.
+    for _ in 0..4 {
+        let (far, level) = bfs_farthest(a, v);
+        if level <= last_level {
+            break;
+        }
+        last_level = level;
+        v = far;
+    }
+    v
+}
+
+/// Farthest vertex from `start` (within its component) and its BFS depth.
+fn bfs_farthest(a: &CsrMatrix, start: Vtx) -> (Vtx, usize) {
+    let n = a.nrows();
+    let mut depth = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    depth[start as usize] = 0;
+    queue.push_back(start);
+    let mut far = start;
+    let mut far_depth = 0usize;
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u as usize];
+        if du > far_depth {
+            far_depth = du;
+            far = u;
+        }
+        let (nbrs, _) = a.row(u as usize);
+        for &v in nbrs {
+            if depth[v as usize] == usize::MAX {
+                depth[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    (far, far_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn path(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push_sym(i as Vtx, (i + 1) as Vtx, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn bfs_visits_in_level_order() {
+        let a = path(5);
+        assert_eq!(bfs_order(&a, 2), vec![2, 1, 3, 0, 4]);
+        assert_eq!(bfs_order(&a, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_appends_unreachable() {
+        // Two disconnected edges: 0-1 and 2-3.
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push_sym(0, 1, 1.0);
+        coo.push_sym(2, 3, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let order = bfs_order(&a, 0);
+        assert_eq!(order.len(), 4);
+        assert_eq!(&order[..2], &[0, 1]);
+    }
+
+    #[test]
+    fn components_counted() {
+        let mut coo = CooMatrix::new(6, 6);
+        coo.push_sym(0, 1, 1.0);
+        coo.push_sym(1, 2, 1.0);
+        coo.push_sym(3, 4, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let (labels, count) = connected_components(&a);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(largest_component_size(&a), 3);
+    }
+
+    #[test]
+    fn peripheral_vertex_of_path_is_an_end() {
+        let a = path(9);
+        let v = pseudo_peripheral_vertex(&a, 4);
+        assert!(v == 0 || v == 8, "got {v}");
+    }
+
+    #[test]
+    fn clustering_of_triangle_and_path() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 1, 1.0);
+        coo.push_sym(1, 2, 1.0);
+        coo.push_sym(0, 2, 1.0);
+        let tri = CsrMatrix::from_coo(&coo);
+        assert!((clustering_coefficient(&tri) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&path(4)), 0.0);
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                coo.push_sym(i, j, 1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        assert_eq!(connected_components(&a).1, 1);
+    }
+}

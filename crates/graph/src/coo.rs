@@ -1,0 +1,224 @@
+//! Coordinate (triplet) matrix assembly.
+//!
+//! Graph generators and file readers produce unordered `(row, col, value)`
+//! triplets; [`CooMatrix`] collects them and is the input to
+//! [`CsrMatrix::from_coo`](crate::CsrMatrix::from_coo). Duplicate entries are
+//! *summed* on conversion, matching the behaviour of Epetra's
+//! `InsertGlobalValues` + `FillComplete` pipeline the paper's implementation
+//! uses.
+
+use crate::{GraphError, Val, Vtx};
+
+/// An unordered list of `(row, col, value)` triplets with declared dimensions.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Row indices, parallel to `cols` and `vals`.
+    pub rows: Vec<Vtx>,
+    /// Column indices.
+    pub cols: Vec<Vtx>,
+    /// Nonzero values.
+    pub vals: Vec<Val>,
+}
+
+impl CooMatrix {
+    /// Creates an empty triplet list for an `nrows x ncols` matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension exceeds `u32::MAX` (indices are `u32`).
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            nrows <= u32::MAX as usize,
+            "nrows {nrows} exceeds u32 index range"
+        );
+        assert!(
+            ncols <= u32::MAX as usize,
+            "ncols {ncols} exceeds u32 index range"
+        );
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet list with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut m = Self::new(nrows, ncols);
+        m.rows.reserve(cap);
+        m.cols.reserve(cap);
+        m.vals.reserve(cap);
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no triplets have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends one entry. Debug-asserts bounds; use [`try_push`](Self::try_push)
+    /// for checked insertion of untrusted data.
+    #[inline]
+    pub fn push(&mut self, row: Vtx, col: Vtx, val: Val) {
+        debug_assert!((row as usize) < self.nrows, "row {row} out of bounds");
+        debug_assert!((col as usize) < self.ncols, "col {col} out of bounds");
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Appends one entry, returning an error when it lies outside the
+    /// declared dimensions.
+    pub fn try_push(&mut self, row: Vtx, col: Vtx, val: Val) -> Result<(), GraphError> {
+        if (row as usize) >= self.nrows || (col as usize) >= self.ncols {
+            return Err(GraphError::IndexOutOfBounds {
+                row: row as u64,
+                col: col as u64,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.push(row, col, val);
+        Ok(())
+    }
+
+    /// Appends the entry and its transpose: `(u, v, w)` **and** `(v, u, w)`.
+    ///
+    /// Undirected graph edges are stored twice in matrix form, as the paper
+    /// notes in §3.1 ("undirected edges are stored twice in the matrix").
+    /// Self-loops are inserted once.
+    #[inline]
+    pub fn push_sym(&mut self, u: Vtx, v: Vtx, w: Val) {
+        self.push(u, v, w);
+        if u != v {
+            self.push(v, u, w);
+        }
+    }
+
+    /// Appends all triplets of `other` (dimensions must match).
+    pub fn extend_from(&mut self, other: &CooMatrix) -> Result<(), GraphError> {
+        if other.nrows != self.nrows {
+            return Err(GraphError::DimensionMismatch {
+                context: "CooMatrix::extend_from rows",
+                expected: self.nrows,
+                actual: other.nrows,
+            });
+        }
+        if other.ncols != self.ncols {
+            return Err(GraphError::DimensionMismatch {
+                context: "CooMatrix::extend_from cols",
+                expected: self.ncols,
+                actual: other.ncols,
+            });
+        }
+        self.rows.extend_from_slice(&other.rows);
+        self.cols.extend_from_slice(&other.cols);
+        self.vals.extend_from_slice(&other.vals);
+        Ok(())
+    }
+
+    /// Iterates over `(row, col, value)` triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vtx, Vtx, Val)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.vals.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Returns the transpose as a new triplet list (rows and columns swapped).
+    pub fn transposed(&self) -> CooMatrix {
+        CooMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iter_roundtrip() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 1, 2.0);
+        m.push(2, 0, -1.0);
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 1, 2.0), (2, 0, -1.0)]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn push_sym_stores_both_directions_once_for_loops() {
+        let mut m = CooMatrix::new(4, 4);
+        m.push_sym(1, 2, 1.0);
+        m.push_sym(3, 3, 5.0);
+        assert_eq!(m.len(), 3); // (1,2), (2,1), (3,3)
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_bounds() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.try_push(0, 0, 1.0).is_ok());
+        assert!(matches!(
+            m.try_push(2, 0, 1.0),
+            Err(GraphError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.try_push(0, 5, 1.0),
+            Err(GraphError::IndexOutOfBounds { .. })
+        ));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn extend_from_checks_dims() {
+        let mut a = CooMatrix::new(2, 3);
+        let mut b = CooMatrix::new(2, 3);
+        b.push(1, 2, 9.0);
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 1);
+
+        let c = CooMatrix::new(3, 3);
+        assert!(matches!(
+            a.extend_from(&c),
+            Err(GraphError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transposed_swaps_dims_and_indices() {
+        let mut a = CooMatrix::new(2, 5);
+        a.push(1, 4, 7.0);
+        let t = a.transposed();
+        assert_eq!((t.nrows(), t.ncols()), (5, 2));
+        assert_eq!(t.iter().next(), Some((4, 1, 7.0)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared by the graph crate.
+
+use std::fmt;
+
+/// Errors arising from matrix construction and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An entry's row or column index is outside the declared dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: u64,
+        /// Column index of the offending entry.
+        col: u64,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// A file did not parse as the expected format.
+    Parse {
+        /// 1-based line number where parsing failed, if known.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// An operation required a square matrix but got a rectangular one.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// Dimension mismatch between two operands.
+    DimensionMismatch {
+        /// What the caller was doing.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix dimensions {nrows} x {ncols}"
+            ),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::NotSquare { nrows, ncols } => {
+                write!(
+                    f,
+                    "operation requires a square matrix, got {nrows} x {ncols}"
+                )
+            }
+            GraphError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(f, "{context}: expected dimension {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::IndexOutOfBounds {
+            row: 7,
+            col: 9,
+            nrows: 4,
+            ncols: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(7, 9)"));
+        assert!(s.contains("4 x 4"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn parse_error_mentions_line() {
+        let e = GraphError::Parse {
+            line: 42,
+            msg: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 42"));
+    }
+}

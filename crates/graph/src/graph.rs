@@ -1,0 +1,180 @@
+//! Undirected-graph view over a symmetric sparse matrix.
+//!
+//! Partitioners (crate `sf2d-partition`) consume this view: vertices with
+//! weights, neighbour lists with edge weights. A [`Graph`] borrows nothing —
+//! it owns its CSR adjacency so coarsened graphs in the multilevel hierarchy
+//! can be stored independently.
+
+use crate::{CooMatrix, CsrMatrix, Val, Vtx};
+
+/// An undirected weighted graph stored as a symmetric CSR adjacency matrix
+/// plus per-vertex weights.
+///
+/// Self-loops are removed at construction (they are irrelevant to both
+/// partitioning and Laplacians). Edge `(u, v)` appears in both `u`'s and
+/// `v`'s neighbour list.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: CsrMatrix,
+    /// One weight per vertex. For the paper's experiments this is the number
+    /// of nonzeros in the vertex's matrix row ("we will always balance the
+    /// nonzeros", §2.2); multiconstraint partitioning adds a unit weight.
+    pub vwgt: Vec<i64>,
+}
+
+impl Graph {
+    /// Builds a graph from a structurally-symmetric matrix, dropping
+    /// self-loops and taking `|a_ij|` as edge weights. Vertex weights
+    /// default to `1 + row nnz` of the *original* matrix (diagonal included),
+    /// i.e. the SpMV work for that row.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or not structurally symmetric.
+    pub fn from_symmetric_matrix(a: &CsrMatrix) -> Graph {
+        assert_eq!(a.nrows(), a.ncols(), "graph requires a square matrix");
+        debug_assert!(
+            a.is_structurally_symmetric(),
+            "graph requires symmetric structure"
+        );
+        let vwgt = (0..a.nrows()).map(|i| a.row_nnz(i).max(1) as i64).collect();
+        Graph {
+            adj: a.without_diagonal(),
+            vwgt,
+        }
+    }
+
+    /// Builds a graph from an arbitrary square matrix by symmetrizing the
+    /// pattern (`A + Aᵀ`) first — the paper's §5.1 preprocessing.
+    pub fn from_matrix_symmetrized(a: &CsrMatrix) -> Graph {
+        let s = a.plus_transpose().expect("square matrix required");
+        Graph::from_symmetric_matrix(&s)
+    }
+
+    /// Builds a graph directly from an undirected edge list.
+    pub fn from_edges(nv: usize, edges: &[(Vtx, Vtx)]) -> Graph {
+        let mut coo = CooMatrix::with_capacity(nv, nv, 2 * edges.len());
+        for &(u, v) in edges {
+            if u != v {
+                coo.push_sym(u, v, 1.0);
+            }
+        }
+        let adj = CsrMatrix::from_coo(&coo);
+        let vwgt = (0..nv).map(|i| adj.row_nnz(i).max(1) as i64).collect();
+        Graph { adj, vwgt }
+    }
+
+    /// Builds a graph from an adjacency matrix and explicit vertex weights.
+    ///
+    /// # Panics
+    /// Panics if `vwgt.len() != a.nrows()`.
+    pub fn with_weights(a: CsrMatrix, vwgt: Vec<i64>) -> Graph {
+        assert_eq!(vwgt.len(), a.nrows());
+        let adj = a.without_diagonal();
+        Graph { adj, vwgt }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn nv(&self) -> usize {
+        self.adj.nrows()
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    #[inline]
+    pub fn ne(&self) -> usize {
+        self.adj.nnz() / 2
+    }
+
+    /// The underlying symmetric adjacency matrix (no diagonal).
+    #[inline]
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Neighbours of `u` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> (&[Vtx], &[Val]) {
+        self.adj.row(u)
+    }
+
+    /// Degree of vertex `u` (number of distinct neighbours).
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj.row_nnz(u)
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> i64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_ewgt(&self) -> Val {
+        self.adj.values().iter().sum::<Val>() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn from_edges_counts() {
+        let g = path3();
+        assert_eq!(g.nv(), 3);
+        assert_eq!(g.ne(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1).0, &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.ne(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.ne(), 1);
+        // Two parallel unit edges merge into weight 2.
+        assert_eq!(g.neighbors(0).1, &[2.0]);
+        assert_eq!(g.total_ewgt(), 2.0);
+    }
+
+    #[test]
+    fn default_vertex_weights_are_row_nnz() {
+        let g = path3();
+        assert_eq!(g.vwgt, vec![1, 2, 1]);
+        assert_eq!(g.total_vwgt(), 4);
+    }
+
+    #[test]
+    fn from_symmetric_matrix_keeps_nnz_weight_including_diagonal() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push_sym(0, 1, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let g = Graph::from_symmetric_matrix(&a);
+        // Row 0 had 2 nonzeros (diag + edge); weight preserves SpMV work.
+        assert_eq!(g.vwgt, vec![2, 1]);
+        assert_eq!(g.ne(), 1);
+    }
+
+    #[test]
+    fn symmetrized_construction_from_directed_input() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0); // directed edge only
+        coo.push(2, 1, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let g = Graph::from_matrix_symmetrized(&a);
+        assert_eq!(g.ne(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Compact binary CSR container.
+//!
+//! Generated proxy matrices are expensive to rebuild for every benchmark
+//! invocation; this module serializes a [`CsrMatrix`] to a little-endian
+//! binary blob with a magic header, using the `bytes` crate for buffer
+//! management.
+//!
+//! Layout (all little-endian):
+//! ```text
+//! magic   : 8 bytes  = b"SF2DCSR1"
+//! nrows   : u64
+//! ncols   : u64
+//! nnz     : u64
+//! rowptr  : (nrows + 1) x u64
+//! colidx  : nnz x u32
+//! values  : nnz x f64
+//! ```
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{CsrMatrix, GraphError, Vtx};
+
+const MAGIC: &[u8; 8] = b"SF2DCSR1";
+
+/// Serializes a matrix into an owned byte buffer.
+pub fn to_bytes(a: &CsrMatrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + 8 * (a.nrows() + 1) + 12 * a.nnz());
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(a.nrows() as u64);
+    buf.put_u64_le(a.ncols() as u64);
+    buf.put_u64_le(a.nnz() as u64);
+    for &p in a.rowptr() {
+        buf.put_u64_le(p as u64);
+    }
+    for &c in a.colidx() {
+        buf.put_u32_le(c);
+    }
+    for &v in a.values() {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a matrix from a byte buffer, validating all invariants.
+pub fn from_bytes(mut buf: impl Buf) -> Result<CsrMatrix, GraphError> {
+    let fail = |msg: &str| GraphError::Parse {
+        line: 0,
+        msg: msg.into(),
+    };
+    if buf.remaining() < 32 {
+        return Err(fail("truncated header"));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let nrows = buf.get_u64_le() as usize;
+    let ncols = buf.get_u64_le() as usize;
+    let nnz = buf.get_u64_le() as usize;
+    let need = 8 * (nrows + 1) + 12 * nnz;
+    if buf.remaining() < need {
+        return Err(fail("truncated body"));
+    }
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    for _ in 0..=nrows {
+        rowptr.push(buf.get_u64_le() as usize);
+    }
+    let mut colidx: Vec<Vtx> = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        colidx.push(buf.get_u32_le());
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(buf.get_f64_le());
+    }
+    CsrMatrix::from_parts(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Writes a matrix to any `Write` sink in the binary format.
+pub fn write_binary_csr<W: Write>(a: &CsrMatrix, mut writer: W) -> Result<(), GraphError> {
+    writer.write_all(&to_bytes(a))?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a matrix from any `Read` source in the binary format.
+pub fn read_binary_csr<R: Read>(mut reader: R) -> Result<CsrMatrix, GraphError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(5, 7);
+        coo.push(0, 6, 1.5);
+        coo.push(2, 0, -2.0);
+        coo.push(4, 3, 1e-300);
+        coo.push(4, 4, f64::MAX);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let m = sample();
+        let back = from_bytes(to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn roundtrip_io() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_binary_csr(&m, &mut buf).unwrap();
+        let back = read_binary_csr(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut data = to_bytes(&sample()).to_vec();
+        data[0] = b'X';
+        assert!(from_bytes(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let data = to_bytes(&sample());
+        for cut in [0, 10, 31, data.len() - 1] {
+            assert!(
+                from_bytes(data.slice(..cut)).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_structure() {
+        let m = sample();
+        let mut data = to_bytes(&m).to_vec();
+        // Corrupt rowptr[1] to a huge value: from_parts must reject it.
+        let off = 32 + 8;
+        data[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(from_bytes(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = CsrMatrix::from_coo(&CooMatrix::new(0, 0));
+        assert_eq!(from_bytes(to_bytes(&m)).unwrap(), m);
+    }
+}

@@ -1,0 +1,139 @@
+//! SNAP-style edge-list I/O.
+//!
+//! SNAP datasets (com-orkut, com-liveJournal, cit-Patents, …) ship as plain
+//! text: one `u v` pair per line, `#` comments. We read them as directed
+//! edges with unit weight; callers symmetrize via
+//! [`CsrMatrix::plus_transpose`](crate::CsrMatrix::plus_transpose) or build
+//! a [`Graph`](crate::Graph) directly.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::{CooMatrix, CsrMatrix, GraphError, Vtx};
+
+/// Reads a whitespace-separated edge list.
+///
+/// Vertex ids may be arbitrary `u64`s; they are compacted to `0..nv` in
+/// first-appearance order (SNAP files often have gaps in their id space).
+/// Returns the unit-weight directed adjacency matrix over the compacted ids.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrMatrix, GraphError> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    for (lineno0, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                msg: "missing source".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: lineno,
+                msg: format!("bad source: {e}"),
+            })?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                msg: "missing target".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: lineno,
+                msg: format!("bad target: {e}"),
+            })?;
+        edges.push((u, v));
+    }
+
+    // Compact ids in first-appearance order.
+    let mut remap = std::collections::HashMap::new();
+    let mut next: Vtx = 0;
+    let mut id = |raw: u64, remap: &mut std::collections::HashMap<u64, Vtx>| -> Vtx {
+        *remap.entry(raw).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        })
+    };
+    let compact: Vec<(Vtx, Vtx)> = edges
+        .iter()
+        .map(|&(u, v)| (id(u, &mut remap), id(v, &mut remap)))
+        .collect();
+    let nv = next as usize;
+
+    let mut coo = CooMatrix::with_capacity(nv, nv, compact.len());
+    for (u, v) in compact {
+        coo.push(u, v, 1.0);
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+/// Writes the sparsity pattern as a `u v` edge list with a size comment.
+pub fn write_edge_list<W: Write>(a: &CsrMatrix, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# sf2d edge list: {} vertices, {} edges",
+        a.nrows(),
+        a.nnz()
+    )?;
+    for (r, c, _) in a.iter() {
+        writeln!(w, "{r} {c}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_simple_list_with_comments() {
+        let src = "# SNAP header\n0 1\n1 2\n\n2 0\n";
+        let m = read_edge_list(src.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn compacts_sparse_id_space() {
+        let src = "1000000 5\n5 99\n";
+        let m = read_edge_list(src.as_bytes()).unwrap();
+        // Ids compacted to 0,1,2 in first-appearance order.
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.get(0, 1), Some(1.0)); // 1000000 -> 0, 5 -> 1
+        assert_eq!(m.get(1, 2), Some(1.0)); // 99 -> 2
+    }
+
+    #[test]
+    fn duplicate_edges_sum() {
+        let src = "0 1\n0 1\n";
+        let m = read_edge_list(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "0 1\n1 2\n2 0\n";
+        let m = read_edge_list(src.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&m, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(back.nnz(), m.nnz());
+        assert_eq!(back.nrows(), m.nrows());
+    }
+}

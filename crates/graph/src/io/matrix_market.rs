@@ -1,0 +1,286 @@
+//! Matrix Market (`.mtx`) coordinate-format reader/writer.
+//!
+//! Supports the subset the UF Sparse Matrix Collection / SNAP exports use:
+//! `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+//! Pattern entries get value `1.0`; symmetric files are expanded to full
+//! storage (both `(i,j)` and `(j,i)`), matching how the paper stores
+//! undirected edges twice.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::{CooMatrix, CsrMatrix, GraphError, Vtx};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a Matrix Market coordinate file into a CSR matrix.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix, GraphError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: "empty file".into(),
+                });
+            }
+        }
+    };
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: format!("bad MatrixMarket header: {header}"),
+        });
+    }
+    if toks[2] != "coordinate" {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: format!("only coordinate format supported, got {}", toks[2]),
+        });
+    }
+    let field = match toks[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(GraphError::Parse {
+                line: lineno,
+                msg: format!("unsupported field type {other}"),
+            });
+        }
+    };
+    let symmetry = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(GraphError::Parse {
+                line: lineno,
+                msg: format!("unsupported symmetry {other}"),
+            });
+        }
+    };
+
+    // Size line: skip comments.
+    let size_line = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                let t = l.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break l;
+                }
+            }
+            None => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: "missing size line".into(),
+                });
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| GraphError::Parse {
+            line: lineno,
+            msg: format!("bad size line: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: format!("size line needs 3 fields, got {}", dims.len()),
+        });
+    }
+    let (nrows, ncols, nnz_decl) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == Symmetry::Symmetric {
+            2 * nnz_decl
+        } else {
+            nnz_decl
+        },
+    );
+    let mut read = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                msg: "missing row".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: lineno,
+                msg: format!("bad row: {e}"),
+            })?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                msg: "missing col".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: lineno,
+                msg: format!("bad col: {e}"),
+            })?;
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "missing value".into(),
+                })?
+                .parse()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    msg: format!("bad value: {e}"),
+                })?,
+        };
+        if i == 0 || j == 0 {
+            return Err(GraphError::Parse {
+                line: lineno,
+                msg: "MatrixMarket indices are 1-based; found 0".into(),
+            });
+        }
+        let (r, c) = ((i - 1) as Vtx, (j - 1) as Vtx);
+        coo.try_push(r, c, v)?;
+        if symmetry == Symmetry::Symmetric && r != c {
+            coo.push(c, r, v);
+        }
+        read += 1;
+    }
+    if read != nnz_decl {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: format!("declared {nnz_decl} entries, found {read}"),
+        });
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+/// Writes a matrix in Matrix Market `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(a: &CsrMatrix, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by sf2d-graph")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (r, c, v) in a.iter() {
+        writeln!(w, "{} {} {v:.17}", r + 1, c + 1)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   % comment\n\
+                   3 3 2\n\
+                   1 2 5.0\n\
+                   3 1 -1.5\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(2, 0), Some(-1.5));
+    }
+
+    #[test]
+    fn reads_symmetric_pattern_expanding_entries() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                   3 3 2\n\
+                   2 1\n\
+                   3 3\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3); // (1,0), (0,1), (2,2)
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+        assert_eq!(m.get(2, 2), Some(1.0));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let mut coo = crate::CooMatrix::new(4, 4);
+        coo.push(0, 3, 2.25);
+        coo.push(2, 1, -7.0);
+        coo.push(3, 3, 0.5);
+        let m = CsrMatrix::from_coo(&coo);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch_and_zero_index() {
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+        let zero = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(zero.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(src.as_bytes()),
+            Err(GraphError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn integer_field_parses() {
+        let src = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(7.0));
+    }
+}

@@ -1,0 +1,225 @@
+//! METIS graph-file format.
+//!
+//! The format ParMETIS (the paper's partitioner) consumes: first line
+//! `nv ne [fmt [ncon]]`, then one line per vertex listing its neighbours
+//! (1-based). We support plain graphs (`fmt` absent or `0`), vertex
+//! weights (`fmt = 10`), and edge weights (`fmt = 1` / `11`), matching the
+//! format manual's common cases.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::{CooMatrix, CsrMatrix, Graph, GraphError, Vtx};
+
+/// Reads a METIS graph file into a [`Graph`].
+pub fn read_metis<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    // Header (skip % comments).
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                let t = l.trim().to_string();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break t;
+                }
+            }
+            None => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: "empty file".into(),
+                })
+            }
+        }
+    };
+    let head: Vec<u64> = header
+        .split_whitespace()
+        .map(|t| t.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| GraphError::Parse {
+            line: lineno,
+            msg: format!("bad header: {e}"),
+        })?;
+    if head.len() < 2 {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: "header needs nv ne".into(),
+        });
+    }
+    let (nv, ne) = (head[0] as usize, head[1] as usize);
+    let fmt = head.get(2).copied().unwrap_or(0);
+    let has_vwgt = fmt / 10 % 10 == 1;
+    let has_ewgt = fmt % 10 == 1;
+    let ncon = head.get(3).copied().unwrap_or(1) as usize;
+    if has_vwgt && ncon != 1 {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: format!("only ncon = 1 supported, got {ncon}"),
+        });
+    }
+
+    let mut coo = CooMatrix::with_capacity(nv, nv, 2 * ne);
+    let mut vwgt: Vec<i64> = Vec::with_capacity(nv);
+    let mut v = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if v >= nv {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(GraphError::Parse {
+                line: lineno,
+                msg: "extra vertex lines".into(),
+            });
+        }
+        let mut it = t.split_whitespace();
+        if has_vwgt {
+            let w: i64 = it
+                .next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    msg: "missing vwgt".into(),
+                })?
+                .parse()
+                .map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    msg: format!("bad vwgt: {e}"),
+                })?;
+            vwgt.push(w);
+        }
+        while let Some(tok) = it.next() {
+            let u: usize = tok.parse().map_err(|e| GraphError::Parse {
+                line: lineno,
+                msg: format!("bad nbr: {e}"),
+            })?;
+            if u == 0 || u > nv {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    msg: format!("neighbour {u} out of 1..={nv}"),
+                });
+            }
+            let w: f64 = if has_ewgt {
+                it.next()
+                    .ok_or_else(|| GraphError::Parse {
+                        line: lineno,
+                        msg: "missing ewgt".into(),
+                    })?
+                    .parse()
+                    .map_err(|e| GraphError::Parse {
+                        line: lineno,
+                        msg: format!("bad ewgt: {e}"),
+                    })?
+            } else {
+                1.0
+            };
+            // METIS lists each edge from both endpoints, so pushing every
+            // neighbour reference once yields the full symmetric pattern.
+            coo.push(v as Vtx, (u - 1) as Vtx, w);
+        }
+        v += 1;
+    }
+    if v != nv {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: format!("declared {nv} vertices, found {v}"),
+        });
+    }
+    let adj = CsrMatrix::from_coo(&coo);
+    if !adj.is_structurally_symmetric() {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: "METIS graph must be symmetric (every edge listed from both endpoints)".into(),
+        });
+    }
+    if adj.nnz() != 2 * ne {
+        return Err(GraphError::Parse {
+            line: lineno,
+            msg: format!("declared {ne} edges, found {}", adj.nnz() / 2),
+        });
+    }
+    Ok(if has_vwgt {
+        Graph::with_weights(adj, vwgt)
+    } else {
+        Graph::from_symmetric_matrix(&adj)
+    })
+}
+
+/// Writes a graph in METIS format with vertex weights (`fmt = 10`).
+pub fn write_metis<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "% written by sf2d-graph")?;
+    writeln!(w, "{} {} 10", g.nv(), g.ne())?;
+    for v in 0..g.nv() {
+        write!(w, "{}", g.vwgt[v])?;
+        let (nbrs, _) = g.neighbors(v);
+        for &u in nbrs {
+            write!(w, " {}", u + 1)?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_plain_graph() {
+        // Triangle: 3 vertices, 3 edges.
+        let src = "% comment\n3 3\n2 3\n1 3\n1 2\n";
+        let g = read_metis(src.as_bytes()).unwrap();
+        assert_eq!(g.nv(), 3);
+        assert_eq!(g.ne(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn reads_vertex_weights() {
+        let src = "2 1 10\n5 2\n7 1\n";
+        let g = read_metis(src.as_bytes()).unwrap();
+        assert_eq!(g.vwgt, vec![5, 7]);
+        assert_eq!(g.ne(), 1);
+    }
+
+    #[test]
+    fn reads_edge_weights() {
+        let src = "2 1 1\n2 4\n1 4\n";
+        let g = read_metis(src.as_bytes()).unwrap();
+        assert_eq!(g.neighbors(0).1, &[4.0]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let back = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(back.nv(), g.nv());
+        assert_eq!(back.ne(), g.ne());
+        assert_eq!(back.vwgt, g.vwgt);
+        for v in 0..g.nv() {
+            assert_eq!(back.neighbors(v).0, g.neighbors(v).0);
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistencies() {
+        // Asymmetric edge listing.
+        assert!(read_metis("2 1\n2\n\n".as_bytes()).is_err());
+        // Wrong edge count.
+        assert!(read_metis("3 5\n2\n1 3\n2\n".as_bytes()).is_err());
+        // Out-of-range neighbour.
+        assert!(read_metis("2 1\n9\n1\n".as_bytes()).is_err());
+        // Wrong vertex count.
+        assert!(read_metis("3 1\n2\n1\n".as_bytes()).is_err());
+    }
+}

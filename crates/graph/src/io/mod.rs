@@ -1,0 +1,20 @@
+//! Graph and matrix file I/O.
+//!
+//! Four formats:
+//! * [`matrix_market`] — the UF Sparse Matrix Collection format the paper's
+//!   inputs ship in (`.mtx`, coordinate, real/pattern, general/symmetric);
+//! * [`edge_list`] — SNAP-style whitespace-separated `u v` lines;
+//! * [`binary`] — a compact little-endian binary CSR container for fast
+//!   reload of generated proxy matrices between benchmark runs;
+//! * [`metis`] — the METIS/ParMETIS graph format (the partitioner the
+//!   paper used reads this).
+
+pub mod binary;
+pub mod edge_list;
+pub mod matrix_market;
+pub mod metis;
+
+pub use binary::{read_binary_csr, write_binary_csr};
+pub use edge_list::{read_edge_list, write_edge_list};
+pub use matrix_market::{read_matrix_market, write_matrix_market};
+pub use metis::{read_metis, write_metis};

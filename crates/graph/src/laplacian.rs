@@ -1,0 +1,200 @@
+//! Graph Laplacians and the PageRank (Google) matrix.
+//!
+//! The paper's eigensolver experiments (§5.3) target the **normalized
+//! Laplacian** `L̂ = I − D^{−1/2} A D^{−1/2}`, whose ten largest eigenpairs
+//! reveal near-bipartite subgraphs (Kirkland & Paul \[23\]). PageRank (§1) is
+//! the power method on the Google matrix built from the web-link adjacency.
+
+use crate::{CooMatrix, CsrMatrix, GraphError, Val, Vtx};
+
+/// Builds the normalized Laplacian `L̂ = I − D^{−1/2} A D^{−1/2}` of a
+/// symmetric adjacency matrix `A` (self-loops ignored).
+///
+/// `D` is the diagonal degree matrix, `d_ii = Σ_j |pattern a_ij|` counted on
+/// the loop-free pattern. Isolated vertices get `L̂_ii = 1` (the `I` term)
+/// and no off-diagonals, the standard convention.
+///
+/// Eigenvalues of `L̂` lie in `[0, 2]`; the value 2 is attained iff a
+/// connected component is bipartite.
+pub fn normalized_laplacian(a: &CsrMatrix) -> Result<CsrMatrix, GraphError> {
+    if a.nrows() != a.ncols() {
+        return Err(GraphError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let adj = a.without_diagonal();
+    let n = adj.nrows();
+    let inv_sqrt_deg: Vec<Val> = (0..n)
+        .map(|i| {
+            let d = adj.row_nnz(i);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / (d as Val).sqrt()
+            }
+        })
+        .collect();
+
+    let mut coo = CooMatrix::with_capacity(n, n, adj.nnz() + n);
+    for i in 0..n {
+        coo.push(i as Vtx, i as Vtx, 1.0);
+        let (cols, _) = adj.row(i);
+        for &j in cols {
+            coo.push(i as Vtx, j, -inv_sqrt_deg[i] * inv_sqrt_deg[j as usize]);
+        }
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+/// Builds the combinatorial Laplacian `L = D − A` (pattern-based, self-loops
+/// ignored). Its smallest nonzero eigenvalue is the algebraic connectivity.
+pub fn combinatorial_laplacian(a: &CsrMatrix) -> Result<CsrMatrix, GraphError> {
+    if a.nrows() != a.ncols() {
+        return Err(GraphError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let adj = a.without_diagonal();
+    let n = adj.nrows();
+    let mut coo = CooMatrix::with_capacity(n, n, adj.nnz() + n);
+    for i in 0..n {
+        let d = adj.row_nnz(i);
+        coo.push(i as Vtx, i as Vtx, d as Val);
+        let (cols, _) = adj.row(i);
+        for &j in cols {
+            coo.push(i as Vtx, j, -1.0);
+        }
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+/// Builds the column-stochastic PageRank transition matrix
+/// `P = A_colnorm` from a (possibly directed) link matrix, where
+/// `a_ij ≠ 0` means a link `j → i` contributes to page `i`'s rank.
+///
+/// Dangling columns (pages with no out-links) are left all-zero; the power
+/// method in `sf2d-eigen::power` redistributes their mass uniformly, the
+/// standard PageRank fix, so `P` itself stays as sparse as `A`.
+pub fn adjacency_to_pagerank(a: &CsrMatrix) -> Result<CsrMatrix, GraphError> {
+    if a.nrows() != a.ncols() {
+        return Err(GraphError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    // Column sums = out-degrees.
+    let mut colsum = vec![0.0; a.ncols()];
+    for (_, c, v) in a.iter() {
+        colsum[c as usize] += v.abs();
+    }
+    let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
+    for (r, c, v) in a.iter() {
+        let s = colsum[c as usize];
+        if s > 0.0 {
+            coo.push(r, c, v.abs() / s);
+        }
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push_sym(i as Vtx, (i + 1) as Vtx, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn normalized_laplacian_of_edge() {
+        // Single edge: L̂ = [[1, -1], [-1, 1]], eigenvalues {0, 2}.
+        let a = path_graph(2);
+        let l = normalized_laplacian(&a).unwrap();
+        assert_eq!(l.get(0, 0), Some(1.0));
+        assert_eq!(l.get(0, 1), Some(-1.0));
+        assert_eq!(l.get(1, 0), Some(-1.0));
+        assert_eq!(l.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn normalized_laplacian_rows_annihilate_sqrt_degree() {
+        // L̂ D^{1/2} 1 = 0 for any graph: check on a path of 5.
+        let a = path_graph(5);
+        let l = normalized_laplacian(&a).unwrap();
+        let adj = a.without_diagonal();
+        let sqrt_deg: Vec<f64> = (0..5).map(|i| (adj.row_nnz(i) as f64).sqrt()).collect();
+        let y = l.spmv_dense(&sqrt_deg);
+        for v in y {
+            assert!(v.abs() < 1e-12, "residual {v}");
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_handles_isolated_vertices() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 1, 1.0); // vertex 2 isolated
+        let a = CsrMatrix::from_coo(&coo);
+        let l = normalized_laplacian(&a).unwrap();
+        assert_eq!(l.get(2, 2), Some(1.0));
+        assert_eq!(l.row_nnz(2), 1);
+    }
+
+    #[test]
+    fn normalized_laplacian_ignores_self_loops() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 5.0);
+        coo.push_sym(0, 1, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let l = normalized_laplacian(&a).unwrap();
+        assert_eq!(l.get(0, 1), Some(-1.0)); // degree 1, loop ignored
+    }
+
+    #[test]
+    fn combinatorial_laplacian_row_sums_zero() {
+        let a = path_graph(6);
+        let l = combinatorial_laplacian(&a).unwrap();
+        let y = l.spmv_dense(&[1.0; 6]);
+        for v in y {
+            assert!(v.abs() < 1e-12);
+        }
+        assert_eq!(l.get(0, 0), Some(1.0));
+        assert_eq!(l.get(1, 1), Some(2.0));
+    }
+
+    #[test]
+    fn pagerank_matrix_is_column_stochastic() {
+        // Directed triangle plus a dangling node 3.
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(1, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        coo.push(0, 2, 1.0);
+        coo.push(3, 2, 1.0); // 2 links to both 0 and 3
+        let a = CsrMatrix::from_coo(&coo);
+        let p = adjacency_to_pagerank(&a).unwrap();
+        let mut colsum = [0.0; 4];
+        for (_, c, v) in p.iter() {
+            assert!(v > 0.0);
+            colsum[c as usize] += v;
+        }
+        assert!((colsum[0] - 1.0).abs() < 1e-12);
+        assert!((colsum[1] - 1.0).abs() < 1e-12);
+        assert!((colsum[2] - 1.0).abs() < 1e-12);
+        assert_eq!(colsum[3], 0.0); // dangling column left empty
+        assert_eq!(p.get(0, 2), Some(0.5));
+    }
+
+    #[test]
+    fn rectangular_inputs_rejected() {
+        let coo = CooMatrix::new(2, 3);
+        let a = CsrMatrix::from_coo(&coo);
+        assert!(normalized_laplacian(&a).is_err());
+        assert!(combinatorial_laplacian(&a).is_err());
+        assert!(adjacency_to_pagerank(&a).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+// Loops that index several parallel arrays at once are clearer as range
+// loops than as the zipped-iterator rewrites clippy suggests.
+#![allow(clippy::needless_range_loop)]
+
+//! # sf2d-graph
+//!
+//! Sparse-matrix and graph data structures underpinning the SC'13 paper
+//! *"Scalable Matrix Computations on Large Scale-Free Graphs Using 2D Graph
+//! Partitioning"* (Boman, Devine, Rajamanickam).
+//!
+//! The paper treats a graph and its (symmetric) adjacency matrix
+//! interchangeably; so does this crate. The central type is [`CsrMatrix`],
+//! a compressed-sparse-row matrix with `u32` column indices and `f64`
+//! values, built from [`CooMatrix`] triplet lists. Graph-flavoured views
+//! and operations (degrees, neighbours, Laplacians) live alongside the
+//! matrix-flavoured ones (SpMV, transpose, permutation).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sf2d_graph::{CooMatrix, CsrMatrix};
+//!
+//! // The 4-cycle as an undirected graph / symmetric sparse matrix.
+//! let mut coo = CooMatrix::new(4, 4);
+//! for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+//!     coo.push_sym(u, v, 1.0);
+//! }
+//! let a = CsrMatrix::from_coo(&coo);
+//! assert_eq!(a.nnz(), 8);
+//! assert!(a.is_structurally_symmetric());
+//!
+//! let y = a.spmv_dense(&[1.0; 4]);
+//! assert_eq!(y, vec![2.0; 4]); // every vertex has degree 2
+//! ```
+
+pub mod algorithms;
+pub mod coo;
+pub mod csr;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod laplacian;
+pub mod ops;
+pub mod permute;
+pub mod reorder;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use laplacian::{adjacency_to_pagerank, combinatorial_laplacian, normalized_laplacian};
+pub use permute::Permutation;
+pub use stats::DegreeStats;
+
+/// Vertex / row / column index type.
+///
+/// The paper's largest graph (uk-2005) has 39.5M rows; our proxies are far
+/// smaller, and `u32` halves index memory vs `usize` — SpMV is memory-bound,
+/// so this matters (see the Rust Performance Book's "Type Sizes" chapter).
+pub type Vtx = u32;
+
+/// Nonzero value type. The paper times SpMV on doubles ("number of doubles
+/// sent" is its communication-volume unit), so we fix `f64`.
+pub type Val = f64;

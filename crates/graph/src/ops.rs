@@ -1,0 +1,122 @@
+//! Dense vector kernels used throughout the workspace.
+//!
+//! These are the sequential reference versions; `sf2d-spmv::multivec` wraps
+//! them per-rank for the distributed case. They are deliberately simple,
+//! allocation-free loops — the hot paths the Rust Performance Book tells us
+//! to keep branch-free and bounds-check-friendly.
+
+use crate::Val;
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: Val, x: &[Val], y: &mut [Val]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+#[inline]
+pub fn axpby(alpha: Val, x: &[Val], beta: Val, y: &mut [Val]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Dot product `xᵀ y`.
+#[inline]
+pub fn dot(x: &[Val], y: &[Val]) -> Val {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[Val]) -> Val {
+    dot(x, x).sqrt()
+}
+
+/// Scales `x` in place by `alpha`.
+#[inline]
+pub fn scale(alpha: Val, x: &mut [Val]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// 1-norm `Σ |x_i|`.
+#[inline]
+pub fn norm1(x: &[Val]) -> Val {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm `max |x_i]`.
+#[inline]
+pub fn norm_inf(x: &[Val]) -> Val {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Elementwise multiply `y_i *= x_i` (diagonal scaling).
+#[inline]
+pub fn hadamard(x: &[Val], y: &mut [Val]) {
+    assert_eq!(x.len(), y.len(), "hadamard length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi *= xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 42.0]);
+    }
+
+    #[test]
+    fn axpby_combines() {
+        let mut y = vec![1.0, 1.0];
+        axpby(3.0, &[1.0, 2.0], -1.0, &mut y);
+        assert_eq!(y, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn scale_and_hadamard() {
+        let mut x = vec![1.0, -2.0, 3.0];
+        scale(-2.0, &mut x);
+        assert_eq!(x, vec![-2.0, 4.0, -6.0]);
+        hadamard(&[0.5, 0.5, 0.5], &mut x);
+        assert_eq!(x, vec![-1.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn empty_vectors_are_fine() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+        let mut y: Vec<f64> = vec![];
+        axpy(1.0, &[], &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

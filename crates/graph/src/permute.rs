@@ -1,0 +1,201 @@
+//! Symmetric permutations `PᵀAP`.
+//!
+//! The paper explains its 2D layout as "partition the permuted matrix PᵀAP
+//! by the block 2D method, where the block sizes correspond to the part
+//! sizes from the graph partition" (§3.1) — the permutation is conceptual
+//! there, but we implement it for tests that verify the conceptual and
+//! implemented layouts coincide, and for the `layout_explorer` example that
+//! renders Figure 3.
+
+use crate::{CooMatrix, CsrMatrix, GraphError, Vtx};
+
+/// A permutation of `0..n`, stored as `perm` with `perm[old] = new`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<Vtx>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Permutation {
+        Permutation {
+            perm: (0..n as Vtx).collect(),
+        }
+    }
+
+    /// Builds from `perm[old] = new`. Returns an error if `perm` is not a
+    /// bijection on `0..perm.len()`.
+    pub fn from_vec(perm: Vec<Vtx>) -> Result<Permutation, GraphError> {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            if (p as usize) >= n || seen[p as usize] {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    msg: format!("not a permutation: value {p} repeated or out of range"),
+                });
+            }
+            seen[p as usize] = true;
+        }
+        Ok(Permutation { perm })
+    }
+
+    /// Builds the permutation that *sorts by part number*: vertices of part
+    /// 0 first, then part 1, etc., preserving original order within a part
+    /// (a stable counting sort). This is the `P` of the paper's Figure 3.
+    pub fn sort_by_part(part: &[u32], nparts: usize) -> Permutation {
+        let mut counts = vec![0usize; nparts + 1];
+        for &p in part {
+            assert!((p as usize) < nparts, "part id {p} >= nparts {nparts}");
+            counts[p as usize + 1] += 1;
+        }
+        for i in 0..nparts {
+            counts[i + 1] += counts[i];
+        }
+        let mut perm = vec![0 as Vtx; part.len()];
+        for (old, &p) in part.iter().enumerate() {
+            perm[old] = counts[p as usize] as Vtx;
+            counts[p as usize] += 1;
+        }
+        Permutation { perm }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the permutation is over the empty set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// New position of `old`.
+    #[inline]
+    pub fn apply(&self, old: usize) -> usize {
+        self.perm[old] as usize
+    }
+
+    /// The inverse permutation (`inv[new] = old`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0 as Vtx; self.perm.len()];
+        for (old, &new) in self.perm.iter().enumerate() {
+            inv[new as usize] = old as Vtx;
+        }
+        Permutation { perm: inv }
+    }
+
+    /// Applies the symmetric permutation to a square matrix: returns
+    /// `B = PᵀAP` with `b_{perm(i), perm(j)} = a_{ij}`.
+    pub fn permute_matrix(&self, a: &CsrMatrix) -> Result<CsrMatrix, GraphError> {
+        if a.nrows() != a.ncols() {
+            return Err(GraphError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        if a.nrows() != self.perm.len() {
+            return Err(GraphError::DimensionMismatch {
+                context: "Permutation::permute_matrix",
+                expected: self.perm.len(),
+                actual: a.nrows(),
+            });
+        }
+        let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
+        for (r, c, v) in a.iter() {
+            coo.push(self.perm[r as usize], self.perm[c as usize], v);
+        }
+        Ok(CsrMatrix::from_coo(&coo))
+    }
+
+    /// Permutes a dense vector: `out[perm[i]] = v[i]`.
+    pub fn permute_vec<T: Copy + Default>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.perm.len());
+        let mut out = vec![T::default(); v.len()];
+        for (old, &new) in self.perm.iter().enumerate() {
+            out[new as usize] = v[old];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(3);
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 2, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        assert_eq!(p.permute_matrix(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn from_vec_rejects_non_bijections() {
+        assert!(Permutation::from_vec(vec![0, 0]).is_err());
+        assert!(Permutation::from_vec(vec![0, 5]).is_err());
+        assert!(Permutation::from_vec(vec![1, 0, 2]).is_ok());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let inv = p.inverse();
+        for i in 0..3 {
+            assert_eq!(inv.apply(p.apply(i)), i);
+        }
+    }
+
+    #[test]
+    fn permute_matrix_moves_entries() {
+        // perm: 0->1, 1->0 (swap).
+        let p = Permutation::from_vec(vec![1, 0]).unwrap();
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 3.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let b = p.permute_matrix(&a).unwrap();
+        assert_eq!(b.get(1, 0), Some(3.0));
+        assert_eq!(b.get(0, 1), None);
+    }
+
+    #[test]
+    fn sort_by_part_groups_vertices() {
+        let part = [1u32, 0, 1, 0, 2];
+        let p = Permutation::sort_by_part(&part, 3);
+        // Part 0 holds old vertices 1, 3 -> new 0, 1; part 1 holds 0, 2 ->
+        // new 2, 3; part 2 holds 4 -> new 4.
+        assert_eq!(p.apply(1), 0);
+        assert_eq!(p.apply(3), 1);
+        assert_eq!(p.apply(0), 2);
+        assert_eq!(p.apply(2), 3);
+        assert_eq!(p.apply(4), 4);
+    }
+
+    #[test]
+    fn permute_vec_matches_apply() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let out = p.permute_vec(&[10, 20, 30]);
+        assert_eq!(out, vec![20, 30, 10]);
+    }
+
+    #[test]
+    fn spectrum_preserved_under_permutation() {
+        // PᵀAP has the same row sums multiset as A for symmetric A.
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push_sym(0, 1, 1.0);
+        coo.push_sym(1, 2, 1.0);
+        coo.push_sym(2, 3, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let p = Permutation::from_vec(vec![3, 1, 0, 2]).unwrap();
+        let b = p.permute_matrix(&a).unwrap();
+        let mut sums_a: Vec<f64> = a.spmv_dense(&[1.0; 4]);
+        let mut sums_b: Vec<f64> = b.spmv_dense(&[1.0; 4]);
+        sums_a.sort_by(f64::total_cmp);
+        sums_b.sort_by(f64::total_cmp);
+        assert_eq!(sums_a, sums_b);
+    }
+}

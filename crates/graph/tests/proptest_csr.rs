@@ -1,0 +1,140 @@
+//! Property-based tests for the core sparse-matrix invariants.
+
+use proptest::prelude::*;
+use sf2d_graph::io::binary;
+use sf2d_graph::{CooMatrix, CsrMatrix, Permutation};
+
+/// Strategy: a random COO matrix with dims up to 24x24 and up to 96 entries
+/// (duplicates allowed, so `from_coo` duplicate-merging is exercised).
+fn coo_strategy() -> impl Strategy<Value = CooMatrix> {
+    (1usize..24, 1usize..24).prop_flat_map(|(nr, nc)| {
+        proptest::collection::vec((0..nr as u32, 0..nc as u32, -100.0f64..100.0), 0..96).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(nr, nc);
+                for (r, c, v) in entries {
+                    coo.push(r, c, v);
+                }
+                coo
+            },
+        )
+    })
+}
+
+/// Strategy: a random square symmetric matrix.
+fn sym_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..2.0), 0..64).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(n, n);
+                for (r, c, v) in entries {
+                    coo.push_sym(r, c, v);
+                }
+                CsrMatrix::from_coo(&coo)
+            },
+        )
+    })
+}
+
+proptest! {
+    /// CSR construction preserves the sum of all values per (row, col) cell.
+    #[test]
+    fn from_coo_sums_duplicates(coo in coo_strategy()) {
+        let m = CsrMatrix::from_coo(&coo);
+        // Accumulate expected sums with a hash map oracle.
+        let mut expect = std::collections::HashMap::new();
+        for (r, c, v) in coo.iter() {
+            *expect.entry((r, c)).or_insert(0.0) += v;
+        }
+        prop_assert_eq!(m.nnz(), expect.len());
+        for ((r, c), v) in expect {
+            let got = m.get(r as usize, c).unwrap();
+            prop_assert!((got - v).abs() <= 1e-9 * (1.0 + v.abs()));
+        }
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_involution(coo in coo_strategy()) {
+        let m = CsrMatrix::from_coo(&coo);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// (Aᵀ)x via transpose equals manual column-wise accumulation.
+    #[test]
+    fn transpose_spmv_consistent(coo in coo_strategy()) {
+        let m = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..m.nrows()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let y_t = m.transpose().spmv_dense(&x);
+        // Oracle: y_t[j] = sum_i a_ij x_i.
+        let mut oracle = vec![0.0; m.ncols()];
+        for (r, c, v) in m.iter() {
+            oracle[c as usize] += v * x[r as usize];
+        }
+        for (a, b) in y_t.iter().zip(&oracle) {
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// A + Aᵀ is numerically symmetric for any square matrix.
+    #[test]
+    fn plus_transpose_symmetric(n in 1usize..16, entries in proptest::collection::vec((0u32..16, 0u32..16, -10.0f64..10.0), 0..64)) {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c, v) in entries {
+            if (r as usize) < n && (c as usize) < n {
+                coo.push(r, c, v);
+            }
+        }
+        let m = CsrMatrix::from_coo(&coo);
+        let s = m.plus_transpose().unwrap();
+        prop_assert!(s.is_numerically_symmetric(1e-12));
+    }
+
+    /// Binary serialization round-trips exactly.
+    #[test]
+    fn binary_roundtrip(coo in coo_strategy()) {
+        let m = CsrMatrix::from_coo(&coo);
+        let back = binary::from_bytes(binary::to_bytes(&m)).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// Permute then inverse-permute restores the matrix, and permutation
+    /// commutes with SpMV: P(Ax) = (PᵀAP)(Px).
+    #[test]
+    fn permutation_consistency(m in sym_strategy(), seed in 0u64..1000) {
+        let n = m.nrows();
+        // Derive a deterministic permutation from the seed.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        for i in (1..n).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let j = (s % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let p = Permutation::from_vec(perm).unwrap();
+        let b = p.permute_matrix(&m).unwrap();
+        let back = p.inverse().permute_matrix(&b).unwrap();
+        prop_assert_eq!(&back, &m);
+
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let lhs = p.permute_vec(&m.spmv_dense(&x));
+        let rhs = b.spmv_dense(&p.permute_vec(&x));
+        for (a, bb) in lhs.iter().zip(&rhs) {
+            prop_assert!((a - bb).abs() <= 1e-9 * (1.0 + bb.abs()));
+        }
+    }
+
+    /// Matrix Market round-trip preserves the matrix.
+    #[test]
+    fn matrix_market_roundtrip(coo in coo_strategy()) {
+        let m = CsrMatrix::from_coo(&coo);
+        let mut buf = Vec::new();
+        sf2d_graph::io::write_matrix_market(&m, &mut buf).unwrap();
+        let back = sf2d_graph::io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.nrows(), m.nrows());
+        prop_assert_eq!(back.nnz(), m.nnz());
+        for (r, c, v) in m.iter() {
+            let got = back.get(r as usize, c).unwrap();
+            prop_assert!((got - v).abs() <= 1e-12 * (1.0 + v.abs()));
+        }
+    }
+}

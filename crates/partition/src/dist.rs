@@ -1,0 +1,413 @@
+//! Matrix data layouts — the paper's Algorithms 1 and 2.
+//!
+//! A [`MatrixDist`] answers the two questions SpMV distribution needs:
+//! *who owns vector entry `k`* and *who owns nonzero `a_ij`*. Both are
+//! derived from a single 1D part vector `rpart` over the rows/columns:
+//!
+//! * **1D layouts** own nonzero `a_ij` at `rpart[i]` (row-wise);
+//! * **2D layouts** push `rpart` through Algorithm 2's Cartesian map:
+//!   nonzero `a_ij` goes to process `(φ(rpart[i]), ψ(rpart[j]))` of a
+//!   `pr × pc` grid, with `φ(k) = k mod pr` and `ψ(k) = ⌊k/pr⌋`, numbered
+//!   column-major: `rank = φ(rpart[i]) + ψ(rpart[j]) · pr`.
+//!
+//! Vector entries always live at `rpart[k]` — the paper's requirement that
+//! `x` and `y` share one distribution so no remap communication is needed.
+//!
+//! The paper's §3.1 notes φ and ψ may be interchanged, yielding a second
+//! candidate distribution to evaluate; [`DistMode::TwoD`]'s `swapped` flag
+//! implements that ablation.
+
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sf2d_graph::Vtx;
+
+use crate::types::Partition;
+
+/// How nonzeros are mapped to ranks given the 1D part vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DistMode {
+    /// Row-wise: `a_ij` owned by `rpart[i]`.
+    OneD,
+    /// Algorithm 2's Cartesian map onto a `pr x pc` process grid.
+    TwoD {
+        /// Process-grid rows.
+        pr: u32,
+        /// Process-grid columns.
+        pc: u32,
+        /// Interchange φ and ψ (the paper's §3.1 alternative).
+        swapped: bool,
+    },
+}
+
+/// A complete data layout: vector ownership plus nonzero ownership.
+///
+/// ```
+/// use sf2d_partition::{MatrixDist, Partition};
+///
+/// // Algorithm 1+2 on a 2x3 grid: part q's diagonal block lands on rank q.
+/// let part = Partition::new(vec![0, 1, 2, 3, 4, 5], 6);
+/// let d = MatrixDist::cartesian_2d(&part, 2, 3, false);
+/// assert_eq!(d.nonzero_owner(4, 4), d.vector_owner(4));
+/// // Off-diagonal nonzero (row in part 5, column in part 0):
+/// // phi(5) = 5 % 2 = 1, psi(0) = 0 / 2 = 0 -> rank 1 + 0*2 = 1.
+/// assert_eq!(d.nonzero_owner(5, 0), 1);
+/// assert_eq!(d.message_bound(), 2 + 3 - 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixDist {
+    /// `rpart[k]` = part (process) of row/column/vector entry `k`.
+    rpart: Arc<Vec<u32>>,
+    /// Number of processes `p` (for 2D, `p = pr * pc`).
+    p: usize,
+    /// Nonzero mapping mode.
+    mode: DistMode,
+}
+
+/// Picks the process-grid shape for `p` ranks: the factorization
+/// `pr * pc = p` with `pr` the largest divisor `<= sqrt(p)` (so the grid is
+/// as square as possible — what the ScaLAPACK-style analysis in §2.3
+/// assumes).
+pub fn grid_shape(p: usize) -> (u32, u32) {
+    assert!(p >= 1);
+    let mut pr = (p as f64).sqrt() as usize;
+    while pr > 1 && !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1) as u32, (p / pr.max(1)) as u32)
+}
+
+impl MatrixDist {
+    /// 1D block layout: `n/p` consecutive rows per process (the Epetra
+    /// default the paper calls 1D-Block).
+    pub fn block_1d(n: usize, p: usize) -> MatrixDist {
+        MatrixDist {
+            rpart: Arc::new(block_rpart(n, p)),
+            p,
+            mode: DistMode::OneD,
+        }
+    }
+
+    /// 1D random layout: each row assigned to a uniformly random process
+    /// (§2.4's randomization), deterministic in `seed`.
+    pub fn random_1d(n: usize, p: usize, seed: u64) -> MatrixDist {
+        MatrixDist {
+            rpart: Arc::new(random_rpart(n, p, seed)),
+            p,
+            mode: DistMode::OneD,
+        }
+    }
+
+    /// 1D layout from a partitioner's output (1D-GP / 1D-HP).
+    pub fn from_partition_1d(part: &Partition) -> MatrixDist {
+        MatrixDist {
+            rpart: Arc::new(part.part.clone()),
+            p: part.k,
+            mode: DistMode::OneD,
+        }
+    }
+
+    /// 2D block layout (Yoo et al. \[34\]): Algorithm 2 applied to a block
+    /// `rpart` — the "stripes" of the paper's Figure 2.
+    pub fn block_2d(n: usize, pr: u32, pc: u32) -> MatrixDist {
+        let p = (pr * pc) as usize;
+        MatrixDist {
+            rpart: Arc::new(block_rpart(n, p)),
+            p,
+            mode: DistMode::TwoD {
+                pr,
+                pc,
+                swapped: false,
+            },
+        }
+    }
+
+    /// 2D random layout: Algorithm 2 applied to a random `rpart`.
+    pub fn random_2d(n: usize, pr: u32, pc: u32, seed: u64) -> MatrixDist {
+        let p = (pr * pc) as usize;
+        MatrixDist {
+            rpart: Arc::new(random_rpart(n, p, seed)),
+            p,
+            mode: DistMode::TwoD {
+                pr,
+                pc,
+                swapped: false,
+            },
+        }
+    }
+
+    /// **The paper's contribution** (Algorithms 1 + 2): 2D Cartesian layout
+    /// driven by a graph/hypergraph partition (2D-GP / 2D-HP).
+    ///
+    /// # Panics
+    /// Panics if `part.k != pr * pc`.
+    pub fn cartesian_2d(part: &Partition, pr: u32, pc: u32, swapped: bool) -> MatrixDist {
+        assert_eq!(
+            part.k,
+            (pr * pc) as usize,
+            "partition must have pr*pc parts"
+        );
+        MatrixDist {
+            rpart: Arc::new(part.part.clone()),
+            p: part.k,
+            mode: DistMode::TwoD { pr, pc, swapped },
+        }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// Number of rows/columns covered.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.rpart.len()
+    }
+
+    /// The layout mode.
+    #[inline]
+    pub fn mode(&self) -> DistMode {
+        self.mode
+    }
+
+    /// The underlying 1D part vector.
+    #[inline]
+    pub fn rpart(&self) -> &[u32] {
+        &self.rpart
+    }
+
+    /// Owner of vector entry `k` (domain and range distributions coincide).
+    ///
+    /// For the swapped-(φ, ψ) variant the part→rank labelling changes (the
+    /// grid is effectively transposed to `pc x pr`), so vector ownership
+    /// follows the same relabelling — this keeps every diagonal nonzero
+    /// `a_kk` co-resident with `x_k`, as Algorithm 2 guarantees for the
+    /// unswapped map.
+    #[inline]
+    pub fn vector_owner(&self, k: Vtx) -> u32 {
+        let q = self.rpart[k as usize];
+        match self.mode {
+            DistMode::OneD | DistMode::TwoD { swapped: false, .. } => q,
+            DistMode::TwoD {
+                pr,
+                pc,
+                swapped: true,
+            } => psi(q, pr, pc) + phi(q, pr) * pc,
+        }
+    }
+
+    /// Owner of nonzero `a_ij` — Algorithm 1 line 6.
+    #[inline]
+    pub fn nonzero_owner(&self, i: Vtx, j: Vtx) -> u32 {
+        match self.mode {
+            DistMode::OneD => self.rpart[i as usize],
+            DistMode::TwoD { pr, pc, swapped } => {
+                if swapped {
+                    // Interchanged map: grid transposed to pc rows x pr cols.
+                    let ri = psi(self.rpart[i as usize], pr, pc);
+                    let cj = phi(self.rpart[j as usize], pr);
+                    ri + cj * pc
+                } else {
+                    let ri = phi(self.rpart[i as usize], pr);
+                    let cj = psi(self.rpart[j as usize], pr, pc);
+                    // Column-major process numbering, as in Algorithm 1.
+                    ri + cj * pr
+                }
+            }
+        }
+    }
+
+    /// Returns the variant with φ and ψ interchanged (identity for 1D).
+    /// The paper suggests evaluating both and keeping the better one.
+    pub fn interchanged(&self) -> MatrixDist {
+        let mode = match self.mode {
+            DistMode::OneD => DistMode::OneD,
+            DistMode::TwoD { pr, pc, swapped } => DistMode::TwoD {
+                pr,
+                pc,
+                swapped: !swapped,
+            },
+        };
+        MatrixDist {
+            rpart: Arc::clone(&self.rpart),
+            p: self.p,
+            mode,
+        }
+    }
+
+    /// Upper bound on messages per process: `p - 1` for 1D,
+    /// `pr + pc - 2` for 2D (§3.2).
+    pub fn message_bound(&self) -> usize {
+        match self.mode {
+            DistMode::OneD => self.p - 1,
+            DistMode::TwoD { pr, pc, .. } => (pr + pc) as usize - 2,
+        }
+    }
+}
+
+/// Algorithm 2 line 2: process-grid row of part `k`.
+#[inline]
+fn phi(k: u32, pr: u32) -> u32 {
+    k % pr
+}
+
+/// Algorithm 2 line 4: process-grid column of part `k`.
+#[inline]
+fn psi(k: u32, pr: u32, _pc: u32) -> u32 {
+    k / pr
+}
+
+/// Contiguous block part vector: first `n mod p` parts get one extra row.
+fn block_rpart(n: usize, p: usize) -> Vec<u32> {
+    assert!(p >= 1 && p <= u32::MAX as usize);
+    let base = n / p;
+    let extra = n % p;
+    let mut rpart = Vec::with_capacity(n);
+    for part in 0..p {
+        let size = base + usize::from(part < extra);
+        rpart.extend(std::iter::repeat_n(part as u32, size));
+    }
+    rpart
+}
+
+/// Random-but-balanced part vector: a shuffled round-robin assignment, so
+/// row counts per part differ by at most one while placement is uniform.
+fn random_rpart(n: usize, p: usize, seed: u64) -> Vec<u32> {
+    assert!(p >= 1 && p <= u32::MAX as usize);
+    let mut rpart: Vec<u32> = (0..n).map(|i| (i % p) as u32).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rpart.shuffle(&mut rng);
+    rpart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_prefers_square() {
+        assert_eq!(grid_shape(64), (8, 8));
+        assert_eq!(grid_shape(256), (16, 16));
+        assert_eq!(grid_shape(12), (3, 4));
+        assert_eq!(grid_shape(2), (1, 2));
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(7), (1, 7)); // prime
+    }
+
+    #[test]
+    fn block_rpart_is_contiguous_and_balanced() {
+        let r = block_rpart(10, 3);
+        assert_eq!(r, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn random_rpart_is_balanced() {
+        let r = random_rpart(1000, 7, 3);
+        let mut counts = vec![0usize; 7];
+        for &p in &r {
+            counts[p as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "{counts:?}");
+        // And deterministic.
+        assert_eq!(r, random_rpart(1000, 7, 3));
+        assert_ne!(r, random_rpart(1000, 7, 4));
+    }
+
+    #[test]
+    fn one_d_owner_is_row_part() {
+        let d = MatrixDist::block_1d(8, 2);
+        assert_eq!(d.nonzero_owner(1, 7), 0);
+        assert_eq!(d.nonzero_owner(7, 1), 1);
+        assert_eq!(d.vector_owner(5), 1);
+        assert_eq!(d.message_bound(), 1);
+    }
+
+    #[test]
+    fn algorithm2_mapping_matches_paper() {
+        // 6 parts on a 2x3 grid; rpart[k] = k for 6 rows, so part ids map
+        // directly: phi = k mod 2, psi = k div 2.
+        let part = Partition::new(vec![0, 1, 2, 3, 4, 5], 6);
+        let d = MatrixDist::cartesian_2d(&part, 2, 3, false);
+        // Nonzero (i=0, j=0): part (0,0) -> rank 0.
+        assert_eq!(d.nonzero_owner(0, 0), 0);
+        // (i=1, j=0): phi(1)=1, psi(0)=0 -> rank 1 (column-major).
+        assert_eq!(d.nonzero_owner(1, 0), 1);
+        // (i=0, j=1): phi(0)=0, psi(1)=0 -> rank 0.
+        assert_eq!(d.nonzero_owner(0, 1), 0);
+        // (i=0, j=2): psi(2)=1 -> rank 0 + 1*2 = 2.
+        assert_eq!(d.nonzero_owner(0, 2), 2);
+        // (i=5, j=4): phi(5)=1, psi(4)=2 -> 1 + 2*2 = 5.
+        assert_eq!(d.nonzero_owner(5, 4), 5);
+        assert_eq!(d.message_bound(), 3); // 2 + 3 - 2
+    }
+
+    #[test]
+    fn diagonal_nonzeros_stay_with_vector_owner() {
+        // Key property for SpMV: a_kk lives at the rank that owns x_k,
+        // because phi(q) + psi(q)*pr enumerates exactly rank q.
+        let part = Partition::new(vec![3, 1, 4, 0, 2, 5, 3, 1], 6);
+        let d = MatrixDist::cartesian_2d(&part, 2, 3, false);
+        for k in 0..8u32 {
+            assert_eq!(d.nonzero_owner(k, k), d.vector_owner(k));
+        }
+    }
+
+    #[test]
+    fn swapped_variant_also_keeps_diagonal_home() {
+        let part = Partition::new(vec![3, 1, 4, 0, 2, 5], 6);
+        let d = MatrixDist::cartesian_2d(&part, 2, 3, true);
+        for k in 0..6u32 {
+            assert_eq!(d.nonzero_owner(k, k), d.vector_owner(k));
+        }
+        // And interchanging twice is the identity.
+        let d2 = d.interchanged().interchanged();
+        assert_eq!(d2.nonzero_owner(1, 4), d.nonzero_owner(1, 4));
+    }
+
+    #[test]
+    fn two_d_block_equals_cartesian_on_block_rpart() {
+        let n = 24;
+        let (pr, pc) = (2u32, 3u32);
+        let d = MatrixDist::block_2d(n, pr, pc);
+        let part = Partition::new(block_rpart(n, 6), 6);
+        let c = MatrixDist::cartesian_2d(&part, pr, pc, false);
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                assert_eq!(d.nonzero_owner(i, j), c.nonzero_owner(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_row_of_owner_fixed_by_i_column_by_j() {
+        // Every nonzero in matrix-row i lands in the same process-grid row,
+        // and every nonzero in matrix-column j in the same grid column —
+        // this is what caps messages at pr + pc - 2.
+        let part = Partition::new((0..60u32).map(|v| v % 6).collect(), 6);
+        let d = MatrixDist::cartesian_2d(&part, 2, 3, false);
+        for i in 0..60u32 {
+            let row0 = d.nonzero_owner(i, 0) % 2;
+            for j in 0..60u32 {
+                assert_eq!(d.nonzero_owner(i, j) % 2, row0);
+            }
+        }
+        for j in 0..60u32 {
+            let col0 = d.nonzero_owner(0, j) / 2;
+            for i in 0..60u32 {
+                assert_eq!(d.nonzero_owner(i, j) / 2, col0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pr*pc parts")]
+    fn wrong_grid_size_rejected() {
+        let part = Partition::new(vec![0, 1], 2);
+        MatrixDist::cartesian_2d(&part, 2, 3, false);
+    }
+}

@@ -1,0 +1,152 @@
+//! Graph contraction for the coarsening phase.
+//!
+//! Matched pairs collapse into single coarse vertices; parallel edges merge
+//! by summing weights and self-edges vanish. The `cmap` returned maps fine
+//! vertices to coarse ids so partitions can be projected back down.
+
+use super::matching::UNMATCHED;
+use super::work::WorkGraph;
+
+/// Contracts a graph along a matching. Returns the coarse graph and the
+/// fine→coarse vertex map.
+pub fn contract(wg: &WorkGraph, mate: &[u32]) -> (WorkGraph, Vec<u32>) {
+    let nv = wg.nv();
+    assert_eq!(mate.len(), nv);
+
+    // Assign coarse ids: each matched pair and each unmatched vertex gets
+    // one. The lower endpoint of a pair claims the id.
+    let mut cmap = vec![u32::MAX; nv];
+    let mut cnv = 0u32;
+    for v in 0..nv {
+        if cmap[v] != u32::MAX {
+            continue;
+        }
+        let m = mate[v];
+        cmap[v] = cnv;
+        if m != UNMATCHED {
+            cmap[m as usize] = cnv;
+        }
+        cnv += 1;
+    }
+    let cnv = cnv as usize;
+
+    // Merge adjacency. A dense "last seen" stamp array gives O(deg) merge
+    // per coarse vertex without hashing.
+    let ncon = wg.ncon;
+    let mut xadj = Vec::with_capacity(cnv + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<u32> = Vec::with_capacity(wg.adjncy.len());
+    let mut adjwgt: Vec<i64> = Vec::with_capacity(wg.adjwgt.len());
+    let mut vwgt = vec![0i64; cnv * ncon];
+    let mut stamp = vec![u32::MAX; cnv];
+    let mut slot = vec![0usize; cnv];
+
+    // Iterate coarse vertices in id order by walking fine vertices.
+    let mut done = vec![false; nv];
+    for v in 0..nv {
+        if done[v] {
+            continue;
+        }
+        let cv = cmap[v] as usize;
+        let row_start = adjncy.len();
+        let mut members = [v, usize::MAX];
+        if mate[v] != UNMATCHED {
+            members[1] = mate[v] as usize;
+        }
+        for &fv in members.iter().take_while(|&&m| m != usize::MAX) {
+            done[fv] = true;
+            for c in 0..ncon {
+                vwgt[cv * ncon + c] += wg.vw(fv, c);
+            }
+            let (nbrs, wgts) = wg.neighbors(fv);
+            for (&u, &w) in nbrs.iter().zip(wgts) {
+                let cu = cmap[u as usize] as usize;
+                if cu == cv {
+                    continue; // internal edge disappears
+                }
+                if stamp[cu] == cv as u32 {
+                    adjwgt[slot[cu]] += w;
+                } else {
+                    stamp[cu] = cv as u32;
+                    slot[cu] = adjncy.len();
+                    adjncy.push(cu as u32);
+                    adjwgt.push(w);
+                }
+            }
+        }
+        let _ = row_start;
+        xadj.push(adjncy.len());
+    }
+
+    (
+        WorkGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            ncon,
+            vwgt,
+        },
+        cmap,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_graph::Graph;
+
+    fn path4() -> WorkGraph {
+        WorkGraph::from_graph(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]))
+    }
+
+    #[test]
+    fn contract_matched_path() {
+        // Match (0,1) and (2,3): coarse graph is a single edge.
+        let wg = path4();
+        let mate = vec![1, 0, 3, 2];
+        let (cg, cmap) = contract(&wg, &mate);
+        assert_eq!(cg.nv(), 2);
+        assert_eq!(cmap, vec![0, 0, 1, 1]);
+        assert_eq!(cg.neighbors(0).0, &[1]);
+        assert_eq!(cg.neighbors(0).1, &[1]); // edge (1,2) survives with weight 1
+                                             // Vertex weights sum: path vwgt = [1,2,2,1].
+        assert_eq!(cg.vwgt, vec![3, 3]);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        // Square 0-1-2-3-0; match (0,1) and (2,3): coarse vertices joined by
+        // the two edges (1,2) and (0,3) -> weight 2.
+        let wg = WorkGraph::from_graph(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]));
+        let (cg, _) = contract(&wg, &[1, 0, 3, 2]);
+        assert_eq!(cg.nv(), 2);
+        assert_eq!(cg.neighbors(0).1, &[2]);
+    }
+
+    #[test]
+    fn unmatched_vertices_survive() {
+        let wg = path4();
+        let mate = vec![1, 0, UNMATCHED, UNMATCHED];
+        let (cg, cmap) = contract(&wg, &mate);
+        assert_eq!(cg.nv(), 3);
+        assert_eq!(cmap, vec![0, 0, 1, 2]);
+        assert_eq!(cg.neighbors(1).0, &[0, 2]);
+    }
+
+    #[test]
+    fn total_weight_preserved() {
+        let wg = path4();
+        let (cg, _) = contract(&wg, &[1, 0, 3, 2]);
+        assert_eq!(cg.total_wgt()[0], wg.total_wgt()[0]);
+    }
+
+    #[test]
+    fn mc_weights_summed() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let wg = WorkGraph::from_graph_mc(&g);
+        let (cg, _) = contract(&wg, &[1, 0]);
+        assert_eq!(cg.nv(), 1);
+        assert_eq!(cg.vwgt, vec![2, 2]); // rows: 1+1, nnz: 1+1
+        assert!(cg.adjncy.is_empty());
+    }
+}

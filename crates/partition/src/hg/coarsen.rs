@@ -1,0 +1,138 @@
+//! Heavy-connectivity matching for hypergraph coarsening.
+//!
+//! Two vertices score highly when they share many (small) nets — the
+//! inner-product heuristic PaToH calls HCM. Huge nets (hub columns in a
+//! scale-free matrix) are skipped during scoring: they connect everything
+//! to everything and carry no locality signal, and walking their pin lists
+//! for every vertex would cost `O(max_degree · nnz)`.
+
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+
+use super::hypergraph::Hypergraph;
+
+/// Nets with more pins than this are ignored while scoring matches.
+pub const MAX_SCORED_NET: usize = 96;
+
+/// Computes a heavy-connectivity matching; same contract as the graph
+/// version (`mate[v]` = partner or `u32::MAX`, symmetric).
+pub fn heavy_connectivity_matching(
+    h: &Hypergraph,
+    max_vwgt: i64,
+    rng: &mut ChaCha8Rng,
+) -> Vec<u32> {
+    let nv = h.nv();
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    order.shuffle(rng);
+
+    let mut mate = vec![u32::MAX; nv];
+    // Scoring scratch: score per candidate with a visit stamp.
+    let mut score = vec![0.0f32; nv];
+    let mut stamp = vec![u32::MAX; nv];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for (round, &v) in order.iter().enumerate() {
+        let v = v as usize;
+        if mate[v] != u32::MAX {
+            continue;
+        }
+        touched.clear();
+        for &net in h.vertex_nets(v) {
+            let pins = h.net_pins(net as usize);
+            if pins.len() > MAX_SCORED_NET {
+                continue;
+            }
+            // 1/(|net|-1) weighting rewards sharing *exclusive* nets.
+            let w = 1.0 / (pins.len() as f32 - 1.0);
+            for &u in pins {
+                let u = u as usize;
+                if u == v || mate[u] != u32::MAX {
+                    continue;
+                }
+                if h.vwgt[v] + h.vwgt[u] > max_vwgt {
+                    continue;
+                }
+                if stamp[u] != round as u32 {
+                    stamp[u] = round as u32;
+                    score[u] = 0.0;
+                    touched.push(u as u32);
+                }
+                score[u] += w;
+            }
+        }
+        // Best-scoring candidate, ties toward smaller id for determinism.
+        let mut best: Option<(f32, u32)> = None;
+        for &u in &touched {
+            let s = score[u as usize];
+            match best {
+                Some((bs, bu)) if (s, std::cmp::Reverse(u)) <= (bs, std::cmp::Reverse(bu)) => {}
+                _ => best = Some((s, u)),
+            }
+        }
+        if let Some((_, u)) = best {
+            mate[v] = u;
+            mate[u as usize] = v as u32;
+        }
+    }
+    mate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sf2d_graph::{CooMatrix, CsrMatrix};
+
+    fn hg_of(edges: &[(u32, u32)], n: usize) -> Hypergraph {
+        let mut coo = CooMatrix::new(n, n);
+        for &(u, v) in edges {
+            coo.push_sym(u, v, 1.0);
+        }
+        Hypergraph::column_net_model(&CsrMatrix::from_coo(&coo))
+    }
+
+    #[test]
+    fn matching_is_symmetric() {
+        let h = hg_of(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mate = heavy_connectivity_matching(&h, i64::MAX, &mut rng);
+        for v in 0..4usize {
+            if mate[v] != u32::MAX {
+                assert_eq!(mate[mate[v] as usize], v as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn strongly_connected_pairs_matched() {
+        // Vertices 0,1 share three nets (columns 0, 1 and 2 all contain
+        // both); 2 and 3 are attached loosely.
+        let h = hg_of(&[(0, 1), (0, 2), (1, 2), (2, 3)], 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mate = heavy_connectivity_matching(&h, i64::MAX, &mut rng);
+        // The triangle vertices have the tight connectivity; at least two of
+        // {0,1,2} must be matched together.
+        let matched_in_triangle = (0..3)
+            .filter(|&v| mate[v] != u32::MAX && mate[v] < 3)
+            .count();
+        assert!(matched_in_triangle >= 2, "mate {mate:?}");
+    }
+
+    #[test]
+    fn weight_cap_respected() {
+        let h = hg_of(&[(0, 1)], 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Each vertex weight 2 (diag-free path: row nnz 1 -> max(1)=1)...
+        // cap 1 forbids all matches.
+        let mate = heavy_connectivity_matching(&h, 1, &mut rng);
+        assert_eq!(mate, vec![u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = hg_of(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)], 5);
+        let m1 = heavy_connectivity_matching(&h, i64::MAX, &mut ChaCha8Rng::seed_from_u64(9));
+        let m2 = heavy_connectivity_matching(&h, i64::MAX, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Hypergraph structure, the column-net model, contraction, and net-split
+//! subhypergraphs for recursive bisection.
+
+use sf2d_graph::CsrMatrix;
+
+/// A hypergraph: vertices, nets (hyperedges), and the pin relation stored
+/// both net-major and vertex-major.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    /// Net pointers into `pins` (`nnets + 1`).
+    pub nptr: Vec<usize>,
+    /// Net-major pin lists (vertex ids).
+    pub pins: Vec<u32>,
+    /// Vertex pointers into `vnets` (`nv + 1`).
+    pub vptr: Vec<usize>,
+    /// Vertex-major net lists (net ids).
+    pub vnets: Vec<u32>,
+    /// Vertex weights (single constraint — the paper's HP runs balance nnz).
+    pub vwgt: Vec<i64>,
+    /// Net weights (cost of cutting the net).
+    pub nwgt: Vec<i64>,
+}
+
+impl Hypergraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn nv(&self) -> usize {
+        self.vptr.len() - 1
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn nnets(&self) -> usize {
+        self.nptr.len() - 1
+    }
+
+    /// Pins of net `n`.
+    #[inline]
+    pub fn net_pins(&self, n: usize) -> &[u32] {
+        &self.pins[self.nptr[n]..self.nptr[n + 1]]
+    }
+
+    /// Nets of vertex `v`.
+    #[inline]
+    pub fn vertex_nets(&self, v: usize) -> &[u32] {
+        &self.vnets[self.vptr[v]..self.vptr[v + 1]]
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> i64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Builds the **column-net model** of a square matrix: vertex `i` is row
+    /// `i` (weight = row nnz, the SpMV work), net `j` connects `{j} union {i : a_ij != 0}`. For a 1D row distribution whose vector follows the rows,
+    /// the connectivity−1 of net `j` is exactly the number of remote parts
+    /// `x_j` must be expanded to — the paper's reason HP "accurately
+    /// models communication volume".
+    ///
+    /// Single-pin nets (isolated diagonal-only columns) are dropped; they
+    /// can never be cut.
+    pub fn column_net_model(a: &CsrMatrix) -> Hypergraph {
+        assert_eq!(
+            a.nrows(),
+            a.ncols(),
+            "column-net model needs a square matrix"
+        );
+        let n = a.nrows();
+
+        // Build nets from the transpose pattern: net j = column j's rows.
+        let at = a.transpose();
+        let mut nptr = Vec::with_capacity(n + 1);
+        let mut pins: Vec<u32> = Vec::with_capacity(a.nnz() + n);
+        nptr.push(0usize);
+        let mut kept_nets = 0usize;
+        let mut scratch: Vec<u32> = Vec::new();
+        for j in 0..n {
+            scratch.clear();
+            let (rows, _) = at.row(j);
+            let mut has_self = false;
+            for &i in rows {
+                scratch.push(i);
+                if i as usize == j {
+                    has_self = true;
+                }
+            }
+            if !has_self {
+                scratch.push(j as u32);
+                scratch.sort_unstable();
+            }
+            if scratch.len() >= 2 {
+                pins.extend_from_slice(&scratch);
+                nptr.push(pins.len());
+                kept_nets += 1;
+            }
+        }
+        let _ = kept_nets;
+
+        let vwgt = (0..n).map(|i| a.row_nnz(i).max(1) as i64).collect();
+        let nwgt = vec![1i64; nptr.len() - 1];
+        let (vptr, vnets) = invert_pins(n, &nptr, &pins);
+        Hypergraph {
+            nptr,
+            pins,
+            vptr,
+            vnets,
+            vwgt,
+            nwgt,
+        }
+    }
+
+    /// Builds a hypergraph from explicit net-major pin lists.
+    ///
+    /// `net_pins[n]` lists the (deduplicated) vertices of net `n`; nets
+    /// with fewer than 2 pins are dropped. Used by the Mondriaan
+    /// partitioner to build row- and column-split hypergraphs of nonzero
+    /// subsets.
+    pub fn from_pins(nv: usize, net_pins: &[Vec<u32>], vwgt: Vec<i64>) -> Hypergraph {
+        assert_eq!(vwgt.len(), nv);
+        let mut nptr = vec![0usize];
+        let mut pins: Vec<u32> = Vec::new();
+        let mut nwgt: Vec<i64> = Vec::new();
+        for np in net_pins {
+            debug_assert!(np.iter().all(|&v| (v as usize) < nv));
+            if np.len() >= 2 {
+                pins.extend_from_slice(np);
+                nptr.push(pins.len());
+                nwgt.push(1);
+            }
+        }
+        let (vptr, vnets) = invert_pins(nv, &nptr, &pins);
+        Hypergraph {
+            nptr,
+            pins,
+            vptr,
+            vnets,
+            vwgt,
+            nwgt,
+        }
+    }
+
+    /// Contracts along a matching (`mate[v]` = partner or `u32::MAX`).
+    /// Returns the coarse hypergraph and the fine→coarse map. Nets reduced
+    /// to fewer than 2 distinct pins are dropped; duplicate pins merge.
+    pub fn contract(&self, mate: &[u32]) -> (Hypergraph, Vec<u32>) {
+        let nv = self.nv();
+        let mut cmap = vec![u32::MAX; nv];
+        let mut cnv = 0u32;
+        for v in 0..nv {
+            if cmap[v] != u32::MAX {
+                continue;
+            }
+            cmap[v] = cnv;
+            let m = mate[v];
+            if m != u32::MAX {
+                cmap[m as usize] = cnv;
+            }
+            cnv += 1;
+        }
+        let cnv = cnv as usize;
+
+        let mut cvwgt = vec![0i64; cnv];
+        for v in 0..nv {
+            cvwgt[cmap[v] as usize] += self.vwgt[v];
+        }
+
+        let mut nptr = vec![0usize];
+        let mut pins: Vec<u32> = Vec::with_capacity(self.pins.len());
+        let mut nwgt: Vec<i64> = Vec::new();
+        let mut stamp = vec![u32::MAX; cnv];
+        for net in 0..self.nnets() {
+            let start = pins.len();
+            for &p in self.net_pins(net) {
+                let cp = cmap[p as usize];
+                if stamp[cp as usize] != net as u32 {
+                    stamp[cp as usize] = net as u32;
+                    pins.push(cp);
+                }
+            }
+            if pins.len() - start >= 2 {
+                nptr.push(pins.len());
+                nwgt.push(self.nwgt[net]);
+            } else {
+                pins.truncate(start);
+            }
+        }
+
+        let (vptr, vnets) = invert_pins(cnv, &nptr, &pins);
+        (
+            Hypergraph {
+                nptr,
+                pins,
+                vptr,
+                vnets,
+                vwgt: cvwgt,
+                nwgt,
+            },
+            cmap,
+        )
+    }
+
+    /// Vertex-induced subhypergraph with **net splitting**: nets restricted
+    /// to the kept vertices, dropped when fewer than 2 pins remain. With
+    /// net splitting, the sum of bisection cuts down the RB tree equals the
+    /// k-way connectivity−1 objective.
+    pub fn subhypergraph(&self, keep: &[u32]) -> Hypergraph {
+        let mut newid = vec![u32::MAX; self.nv()];
+        for (new, &old) in keep.iter().enumerate() {
+            newid[old as usize] = new as u32;
+        }
+        let mut nptr = vec![0usize];
+        let mut pins: Vec<u32> = Vec::new();
+        let mut nwgt: Vec<i64> = Vec::new();
+        for net in 0..self.nnets() {
+            let start = pins.len();
+            for &p in self.net_pins(net) {
+                let np = newid[p as usize];
+                if np != u32::MAX {
+                    pins.push(np);
+                }
+            }
+            if pins.len() - start >= 2 {
+                nptr.push(pins.len());
+                nwgt.push(self.nwgt[net]);
+            } else {
+                pins.truncate(start);
+            }
+        }
+        let vwgt = keep.iter().map(|&v| self.vwgt[v as usize]).collect();
+        let (vptr, vnets) = invert_pins(keep.len(), &nptr, &pins);
+        Hypergraph {
+            nptr,
+            pins,
+            vptr,
+            vnets,
+            vwgt,
+            nwgt,
+        }
+    }
+
+    /// Connectivity−1 of a k-way partition: `Σ_net w_n (λ_n − 1)` where
+    /// `λ_n` is the number of parts net `n` touches.
+    pub fn connectivity_minus_one(&self, part: &[u32], k: usize) -> i64 {
+        let mut mark = vec![u32::MAX; k];
+        let mut total = 0i64;
+        for net in 0..self.nnets() {
+            let mut lambda = 0i64;
+            for &p in self.net_pins(net) {
+                let q = part[p as usize] as usize;
+                if mark[q] != net as u32 {
+                    mark[q] = net as u32;
+                    lambda += 1;
+                }
+            }
+            total += self.nwgt[net] * (lambda - 1).max(0);
+        }
+        total
+    }
+}
+
+/// Builds the vertex-major pin lists from the net-major ones.
+fn invert_pins(nv: usize, nptr: &[usize], pins: &[u32]) -> (Vec<usize>, Vec<u32>) {
+    let mut vptr = vec![0usize; nv + 1];
+    for &p in pins {
+        vptr[p as usize + 1] += 1;
+    }
+    for i in 0..nv {
+        vptr[i + 1] += vptr[i];
+    }
+    let mut vnets = vec![0u32; pins.len()];
+    let mut next = vptr.clone();
+    for net in 0..nptr.len() - 1 {
+        for &p in &pins[nptr[net]..nptr[net + 1]] {
+            vnets[next[p as usize]] = net as u32;
+            next[p as usize] += 1;
+        }
+    }
+    (vptr, vnets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_graph::CooMatrix;
+
+    fn path_matrix(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push_sym(i as u32, (i + 1) as u32, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn column_net_model_of_path() {
+        let a = path_matrix(4);
+        let h = Hypergraph::column_net_model(&a);
+        assert_eq!(h.nv(), 4);
+        assert_eq!(h.nnets(), 4);
+        // Net 0 = {0 (self), 1}; net 1 = {0, 1 (self), 2}.
+        assert_eq!(h.net_pins(0), &[0, 1]);
+        assert_eq!(h.net_pins(1), &[0, 1, 2]);
+        // Vertex-major inverse is consistent.
+        assert_eq!(h.vertex_nets(0), &[0, 1]);
+        assert_eq!(h.vwgt, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn connectivity_equals_comm_volume_for_1d() {
+        // For a bisection of the path at the midpoint, x_1 must reach part 1
+        // and x_2 part 0: volume 2 = connectivity-1 sum.
+        let a = path_matrix(4);
+        let h = Hypergraph::column_net_model(&a);
+        let part = vec![0u32, 0, 1, 1];
+        assert_eq!(h.connectivity_minus_one(&part, 2), 2);
+    }
+
+    #[test]
+    fn contract_merges_pins_and_drops_trivial_nets() {
+        let a = path_matrix(4);
+        let h = Hypergraph::column_net_model(&a);
+        // Match (0,1) and (2,3).
+        let (c, cmap) = h.contract(&[1, 0, 3, 2]);
+        assert_eq!(cmap, vec![0, 0, 1, 1]);
+        assert_eq!(c.nv(), 2);
+        // Nets 0 ({0,1}) collapses to single pin -> dropped. Nets 1 and 2
+        // ({0,1,2}, {1,2,3}) become {0,1}.
+        assert_eq!(c.nnets(), 2);
+        assert_eq!(c.vwgt, vec![3, 3]);
+    }
+
+    #[test]
+    fn subhypergraph_splits_nets() {
+        let a = path_matrix(5);
+        let h = Hypergraph::column_net_model(&a);
+        let s = h.subhypergraph(&[0, 1, 2]);
+        assert_eq!(s.nv(), 3);
+        // All surviving nets have >= 2 pins among {0,1,2}.
+        for n in 0..s.nnets() {
+            assert!(s.net_pins(n).len() >= 2);
+            assert!(s.net_pins(n).iter().all(|&p| p < 3));
+        }
+    }
+
+    #[test]
+    fn from_pins_drops_single_pin_nets() {
+        let h = Hypergraph::from_pins(
+            4,
+            &[vec![0, 1], vec![2], vec![1, 2, 3], vec![]],
+            vec![1, 2, 3, 4],
+        );
+        assert_eq!(h.nnets(), 2); // {0,1} and {1,2,3} survive
+        assert_eq!(h.net_pins(0), &[0, 1]);
+        assert_eq!(h.net_pins(1), &[1, 2, 3]);
+        assert_eq!(h.vertex_nets(1), &[0, 1]);
+        assert_eq!(h.total_vwgt(), 10);
+    }
+
+    #[test]
+    fn trivial_partition_has_zero_connectivity() {
+        let a = path_matrix(6);
+        let h = Hypergraph::column_net_model(&a);
+        assert_eq!(h.connectivity_minus_one(&[0; 6], 1), 0);
+    }
+}

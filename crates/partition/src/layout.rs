@@ -1,0 +1,153 @@
+//! The general layout abstraction.
+//!
+//! [`MatrixDist`] covers every *Cartesian* layout
+//! in the paper, but §2.3 also surveys non-Cartesian 2D methods — the
+//! fine-grain model and Mondriaan — where each nonzero is assigned
+//! independently. [`NonzeroLayout`] is the common interface the distributed
+//! matrix and the metrics accept, and [`FineLayout`] the fully general
+//! per-nonzero implementation that [`mondriaan`](crate::mondriaan::mondriaan)
+//! produces.
+
+use sf2d_graph::{CsrMatrix, Vtx};
+
+use crate::dist::MatrixDist;
+
+/// Anything that assigns vector entries and nonzeros to ranks.
+pub trait NonzeroLayout {
+    /// Number of ranks.
+    fn nprocs(&self) -> usize;
+    /// Matrix dimension covered.
+    fn n(&self) -> usize;
+    /// Owner of vector entry `k` (domain = range distribution).
+    fn vector_owner(&self, k: Vtx) -> u32;
+    /// Owner of nonzero `a_ij`. Only called for stored entries.
+    fn nonzero_owner(&self, i: Vtx, j: Vtx) -> u32;
+}
+
+impl NonzeroLayout for MatrixDist {
+    fn nprocs(&self) -> usize {
+        MatrixDist::nprocs(self)
+    }
+    fn n(&self) -> usize {
+        MatrixDist::n(self)
+    }
+    fn vector_owner(&self, k: Vtx) -> u32 {
+        MatrixDist::vector_owner(self, k)
+    }
+    fn nonzero_owner(&self, i: Vtx, j: Vtx) -> u32 {
+        MatrixDist::nonzero_owner(self, i, j)
+    }
+}
+
+/// A fully general per-nonzero assignment, tied to one matrix's pattern.
+///
+/// Owners are stored row-major, parallel to the matrix's CSR entries;
+/// lookup is a binary search within the row.
+#[derive(Debug, Clone)]
+pub struct FineLayout {
+    rowptr: Vec<usize>,
+    colidx: Vec<Vtx>,
+    owner: Vec<u32>,
+    vec_owner: Vec<u32>,
+    p: usize,
+}
+
+impl FineLayout {
+    /// Builds from per-nonzero owners (in `a.iter()` order) and per-index
+    /// vector owners.
+    ///
+    /// # Panics
+    /// Panics on length mismatches or out-of-range ranks.
+    pub fn new(a: &CsrMatrix, owner: Vec<u32>, vec_owner: Vec<u32>, p: usize) -> FineLayout {
+        assert_eq!(owner.len(), a.nnz(), "one owner per nonzero");
+        assert_eq!(vec_owner.len(), a.nrows(), "one owner per vector entry");
+        assert_eq!(a.nrows(), a.ncols(), "square matrices only");
+        assert!(
+            owner.iter().all(|&r| (r as usize) < p),
+            "nonzero owner out of range"
+        );
+        assert!(
+            vec_owner.iter().all(|&r| (r as usize) < p),
+            "vector owner out of range"
+        );
+        FineLayout {
+            rowptr: a.rowptr().to_vec(),
+            colidx: a.colidx().to_vec(),
+            owner,
+            vec_owner,
+            p,
+        }
+    }
+
+    /// Owners per nonzero, row-major (parallel to the matrix's entries).
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+}
+
+impl NonzeroLayout for FineLayout {
+    fn nprocs(&self) -> usize {
+        self.p
+    }
+    fn n(&self) -> usize {
+        self.rowptr.len() - 1
+    }
+    fn vector_owner(&self, k: Vtx) -> u32 {
+        self.vec_owner[k as usize]
+    }
+    fn nonzero_owner(&self, i: Vtx, j: Vtx) -> u32 {
+        let (lo, hi) = (self.rowptr[i as usize], self.rowptr[i as usize + 1]);
+        let pos = self.colidx[lo..hi]
+            .binary_search(&j)
+            .expect("nonzero_owner queried for a structural zero");
+        self.owner[lo + pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_graph::CooMatrix;
+
+    fn small() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 1, 1.0);
+        coo.push_sym(1, 2, 1.0);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn fine_layout_lookup() {
+        let a = small();
+        // Entries in CSR order: (0,1), (1,0), (1,2), (2,1).
+        let fl = FineLayout::new(&a, vec![0, 1, 2, 3], vec![0, 1, 2], 4);
+        assert_eq!(fl.nonzero_owner(0, 1), 0);
+        assert_eq!(fl.nonzero_owner(1, 0), 1);
+        assert_eq!(fl.nonzero_owner(1, 2), 2);
+        assert_eq!(fl.nonzero_owner(2, 1), 3);
+        assert_eq!(fl.vector_owner(2), 2);
+        assert_eq!(fl.nprocs(), 4);
+        assert_eq!(fl.n(), 3);
+    }
+
+    #[test]
+    fn matrix_dist_implements_trait() {
+        fn takes_layout<L: NonzeroLayout>(l: &L) -> usize {
+            l.nprocs()
+        }
+        let d = MatrixDist::block_1d(6, 3);
+        assert_eq!(takes_layout(&d), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one owner per nonzero")]
+    fn wrong_owner_count_rejected() {
+        FineLayout::new(&small(), vec![0, 1], vec![0, 0, 0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank_rejected() {
+        FineLayout::new(&small(), vec![0, 1, 2, 9], vec![0, 0, 0], 4);
+    }
+}

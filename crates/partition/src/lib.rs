@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+// Loops that index several parallel arrays at once are clearer as range
+// loops than as the zipped-iterator rewrites clippy suggests.
+#![allow(clippy::needless_range_loop)]
+
+//! # sf2d-partition
+//!
+//! Every data layout studied in the SC'13 paper, plus the partitioners that
+//! feed them:
+//!
+//! * [`dist`] — the unified [`MatrixDist`] layout type.
+//!   The paper's six layouts collapse onto one mechanism: a 1D part vector
+//!   `rpart` (block, random, graph- or hypergraph-partitioned) used either
+//!   directly (1D layouts) or pushed through **Algorithm 2**'s `(φ, ψ)`
+//!   Cartesian nonzero map (2D layouts). `2D-Block` is Algorithm 2 applied
+//!   to a block `rpart`, `2D-Random` to a random one, and `2D-GP/HP` — the
+//!   paper's contribution — to a partitioner's output.
+//! * [`gp`] — a serial multilevel graph partitioner (heavy-edge matching,
+//!   greedy graph growing, Fiduccia–Mattheyses refinement, recursive
+//!   bisection), standing in for ParMETIS, with a multiconstraint mode for
+//!   the paper's `GP-MC` experiments.
+//! * [`hg`] — a serial multilevel hypergraph partitioner on the column-net
+//!   model with the connectivity−1 objective, standing in for Zoltan PHG.
+//! * [`metrics`] — the quantities of the paper's Tables 3 and 5: nonzero
+//!   and vector imbalance, max messages per process, total communication
+//!   volume for the expand and fold phases.
+
+pub mod dist;
+pub mod gp;
+pub mod hg;
+pub mod layout;
+pub mod metrics;
+pub mod mondriaan;
+pub mod spectral;
+pub mod types;
+
+pub use dist::{grid_shape, DistMode, MatrixDist};
+pub use gp::{partition_graph, GpConfig};
+pub use hg::{partition_hypergraph_matrix, HgConfig};
+pub use layout::{FineLayout, NonzeroLayout};
+pub use metrics::LayoutMetrics;
+pub use mondriaan::{mondriaan, MondriaanConfig};
+pub use spectral::{partition_spectral, SpectralConfig};
+pub use types::Partition;

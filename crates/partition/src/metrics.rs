@@ -1,0 +1,274 @@
+//! Layout quality metrics — the columns of the paper's Tables 3 and 5.
+//!
+//! Given a matrix and a [`MatrixDist`](crate::dist::MatrixDist), computes exactly (not modelled):
+//!
+//! * nonzeros per rank → **nonzero imbalance** (max/avg);
+//! * vector entries per rank → **vector imbalance**;
+//! * per-rank message counts for the **expand** (send `x_j` to ranks owning
+//!   column-`j` nonzeros) and **fold** (send partial `y_i` to the row
+//!   owner) phases → **max messages per process**;
+//! * per-rank send volumes in doubles → **total communication volume**.
+//!
+//! These quantities are platform-independent — the paper compares them
+//! across its two clusters for exactly that reason — and they are the
+//! inputs to `sf2d-sim`'s machine model.
+
+use std::collections::HashSet;
+
+use sf2d_graph::CsrMatrix;
+
+use crate::layout::NonzeroLayout;
+
+/// Exact communication and balance metrics of a layout on a matrix.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LayoutMetrics {
+    /// Number of ranks.
+    pub p: usize,
+    /// Stored nonzeros per rank.
+    pub nnz_per_rank: Vec<usize>,
+    /// Vector entries per rank.
+    pub vec_per_rank: Vec<usize>,
+    /// Expand-phase messages sent per rank.
+    pub expand_send_msgs: Vec<usize>,
+    /// Expand-phase messages received per rank.
+    pub expand_recv_msgs: Vec<usize>,
+    /// Expand-phase doubles sent per rank.
+    pub expand_send_vol: Vec<usize>,
+    /// Fold-phase messages sent per rank.
+    pub fold_send_msgs: Vec<usize>,
+    /// Fold-phase messages received per rank.
+    pub fold_recv_msgs: Vec<usize>,
+    /// Fold-phase doubles sent per rank.
+    pub fold_send_vol: Vec<usize>,
+}
+
+impl LayoutMetrics {
+    /// Computes all metrics in `O(nnz)` time (plus one transpose).
+    pub fn compute<L: NonzeroLayout + ?Sized>(a: &CsrMatrix, dist: &L) -> LayoutMetrics {
+        assert_eq!(a.nrows(), a.ncols(), "metrics require a square matrix");
+        assert_eq!(
+            a.nrows(),
+            dist.n(),
+            "distribution covers a different dimension"
+        );
+        let n = a.nrows();
+        let p = dist.nprocs();
+
+        let mut nnz_per_rank = vec![0usize; p];
+        let mut vec_per_rank = vec![0usize; p];
+        for k in 0..n {
+            vec_per_rank[dist.vector_owner(k as u32) as usize] += 1;
+        }
+
+        // Fold phase: per row, each rank holding nonzeros of that row and
+        // different from the row owner sends one partial sum.
+        let mut fold_send_vol = vec![0usize; p];
+        let mut fold_pairs: HashSet<u64> = HashSet::new();
+        let mut stamp = vec![u64::MAX; p];
+        for i in 0..n {
+            let owner = dist.vector_owner(i as u32);
+            let (cols, _) = a.row(i);
+            for &j in cols {
+                let r = dist.nonzero_owner(i as u32, j) as usize;
+                nnz_per_rank[r] += 1;
+                if stamp[r] != i as u64 {
+                    stamp[r] = i as u64;
+                    if r as u32 != owner {
+                        fold_send_vol[r] += 1;
+                        fold_pairs.insert(r as u64 * p as u64 + owner as u64);
+                    }
+                }
+            }
+        }
+
+        // Expand phase: per column, the vector owner sends x_j to each other
+        // rank holding a nonzero in that column. Iterate columns via the
+        // transpose pattern.
+        let at = a.transpose();
+        let mut expand_send_vol = vec![0usize; p];
+        let mut expand_pairs: HashSet<u64> = HashSet::new();
+        stamp.fill(u64::MAX);
+        for j in 0..n {
+            let owner = dist.vector_owner(j as u32);
+            let (rows, _) = at.row(j);
+            for &i in rows {
+                let r = dist.nonzero_owner(i, j as u32) as usize;
+                if stamp[r] != j as u64 {
+                    stamp[r] = j as u64;
+                    if r as u32 != owner {
+                        expand_send_vol[owner as usize] += 1;
+                        expand_pairs.insert(owner as u64 * p as u64 + r as u64);
+                    }
+                }
+            }
+        }
+
+        let count = |pairs: &HashSet<u64>| -> (Vec<usize>, Vec<usize>) {
+            let mut send = vec![0usize; p];
+            let mut recv = vec![0usize; p];
+            for &key in pairs {
+                send[(key / p as u64) as usize] += 1;
+                recv[(key % p as u64) as usize] += 1;
+            }
+            (send, recv)
+        };
+        let (expand_send_msgs, expand_recv_msgs) = count(&expand_pairs);
+        let (fold_send_msgs, fold_recv_msgs) = count(&fold_pairs);
+
+        LayoutMetrics {
+            p,
+            nnz_per_rank,
+            vec_per_rank,
+            expand_send_msgs,
+            expand_recv_msgs,
+            expand_send_vol,
+            fold_send_msgs,
+            fold_recv_msgs,
+            fold_send_vol,
+        }
+    }
+
+    /// Max/avg imbalance of a per-rank count vector.
+    fn imbalance(v: &[usize]) -> f64 {
+        let total: usize = v.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / v.len() as f64;
+        *v.iter().max().unwrap() as f64 / avg
+    }
+
+    /// Nonzero imbalance (Table 3's "Imbal (nz)").
+    pub fn nnz_imbalance(&self) -> f64 {
+        Self::imbalance(&self.nnz_per_rank)
+    }
+
+    /// Vector-entry imbalance (Table 5's "Vector Imbal").
+    pub fn vec_imbalance(&self) -> f64 {
+        Self::imbalance(&self.vec_per_rank)
+    }
+
+    /// Max messages per process per SpMV (expand + fold sends, Table 3's
+    /// "Max Msgs").
+    pub fn max_msgs(&self) -> usize {
+        (0..self.p)
+            .map(|r| self.expand_send_msgs[r] + self.fold_send_msgs[r])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total communication volume in doubles per SpMV (Table 3's "Total CV").
+    pub fn total_comm_volume(&self) -> usize {
+        self.expand_send_vol.iter().sum::<usize>() + self.fold_send_vol.iter().sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::MatrixDist;
+    use crate::types::Partition;
+    use sf2d_graph::CooMatrix;
+
+    /// 4-cycle adjacency on 4 vertices.
+    fn cycle4() -> CsrMatrix {
+        let mut coo = CooMatrix::new(4, 4);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)] {
+            coo.push_sym(u, v, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn one_d_block_on_cycle() {
+        let a = cycle4();
+        let d = MatrixDist::block_1d(4, 2);
+        let m = LayoutMetrics::compute(&a, &d);
+        assert_eq!(m.nnz_per_rank, vec![4, 4]);
+        assert_eq!(m.vec_per_rank, vec![2, 2]);
+        // Expand: rank 0 needs x_2 (row 1 has a_{1,2}) wait—rank 0 owns rows
+        // 0,1: needs x_3 (row 0) and x_2 (row 1): both from rank 1 -> one
+        // message carrying 2 doubles; symmetric for rank 1.
+        assert_eq!(m.expand_send_msgs, vec![1, 1]);
+        assert_eq!(m.expand_send_vol, vec![2, 2]);
+        // No fold phase for 1D.
+        assert_eq!(m.fold_send_msgs, vec![0, 0]);
+        assert_eq!(m.total_comm_volume(), 4);
+        assert_eq!(m.max_msgs(), 1);
+        assert_eq!(m.nnz_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn single_rank_has_no_comm() {
+        let a = cycle4();
+        let d = MatrixDist::block_1d(4, 1);
+        let m = LayoutMetrics::compute(&a, &d);
+        assert_eq!(m.total_comm_volume(), 0);
+        assert_eq!(m.max_msgs(), 0);
+        assert_eq!(m.nnz_per_rank, vec![8]);
+    }
+
+    #[test]
+    fn nonzeros_conserved_across_layouts() {
+        let a = cycle4();
+        for d in [
+            MatrixDist::block_1d(4, 2),
+            MatrixDist::random_1d(4, 3, 1),
+            MatrixDist::block_2d(4, 2, 2),
+            MatrixDist::random_2d(4, 2, 2, 1),
+        ] {
+            let m = LayoutMetrics::compute(&a, &d);
+            assert_eq!(m.nnz_per_rank.iter().sum::<usize>(), a.nnz());
+            assert_eq!(m.vec_per_rank.iter().sum::<usize>(), 4);
+        }
+    }
+
+    #[test]
+    fn two_d_message_bound_holds() {
+        // Dense-ish random symmetric matrix, 2D block on a 2x3 grid: no rank
+        // may send more than pr+pc-2 = 3 messages.
+        let mut coo = CooMatrix::new(12, 12);
+        for i in 0..12u32 {
+            for j in 0..12u32 {
+                if i != j && (i * 7 + j * 3) % 4 == 0 {
+                    coo.push(i, j, 1.0);
+                }
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo).plus_transpose().unwrap();
+        let d = MatrixDist::block_2d(12, 2, 3);
+        let m = LayoutMetrics::compute(&a, &d);
+        assert!(
+            m.max_msgs() <= d.message_bound(),
+            "{} > {}",
+            m.max_msgs(),
+            d.message_bound()
+        );
+    }
+
+    #[test]
+    fn one_d_gp_expand_volume_equals_lambda_minus_one() {
+        // The column-net connectivity-1 equals the 1D expand volume.
+        let a = cycle4();
+        let part = Partition::new(vec![0, 0, 1, 1], 2);
+        let d = MatrixDist::from_partition_1d(&part);
+        let m = LayoutMetrics::compute(&a, &d);
+        let h = crate::hg::hypergraph::Hypergraph::column_net_model(&a);
+        assert_eq!(
+            m.expand_send_vol.iter().sum::<usize>() as i64,
+            h.connectivity_minus_one(&part.part, 2)
+        );
+    }
+
+    #[test]
+    fn diagonal_entries_never_communicate() {
+        let a = CsrMatrix::identity(8);
+        for d in [
+            MatrixDist::block_2d(8, 2, 2),
+            MatrixDist::random_1d(8, 4, 2),
+        ] {
+            let m = LayoutMetrics::compute(&a, &d);
+            assert_eq!(m.total_comm_volume(), 0);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! A Mondriaan-style non-Cartesian 2D partitioner (Vastenhouw & Bisseling
+//! \[33\]) — the comparison the paper's §6 leaves as future work.
+//!
+//! Mondriaan recursively bisects the *nonzero set*: at every node it tries
+//! splitting by rows and by columns (each a hypergraph bisection balancing
+//! nonzeros, minimizing cut nets = communication volume) and keeps the
+//! cheaper direction. The result assigns each nonzero independently, so —
+//! unlike the paper's Cartesian method — it has no `O(√p)` bound on
+//! messages per process, trading message count for volume. The `ablations`
+//! harness binary quantifies that trade against 2D-GP.
+//!
+//! The vector distribution is chosen greedily afterwards: each entry goes
+//! to a rank that owns nonzeros in its row (so the fold for that entry is
+//! partly local), ties broken toward the least-loaded rank.
+
+use sf2d_graph::{CsrMatrix, Vtx};
+
+use crate::hg::hypergraph::Hypergraph;
+use crate::hg::refine::cut_of;
+use crate::hg::{multilevel_bisect, HgConfig};
+use crate::layout::FineLayout;
+
+/// Tuning knobs for the Mondriaan partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct MondriaanConfig {
+    /// Seed for the underlying hypergraph bisections.
+    pub seed: u64,
+    /// Hypergraph bisection settings.
+    pub hg: HgConfig,
+    /// Evaluate both split directions at every node (slower, better). When
+    /// false, directions simply alternate (the original paper's cheap
+    /// variant).
+    pub try_both: bool,
+}
+
+impl Default for MondriaanConfig {
+    fn default() -> Self {
+        MondriaanConfig {
+            seed: 0,
+            hg: HgConfig::default(),
+            try_both: true,
+        }
+    }
+}
+
+/// Partitions the nonzeros of a square matrix into `p` parts.
+pub fn mondriaan(a: &CsrMatrix, p: usize, cfg: &MondriaanConfig) -> FineLayout {
+    assert!(p >= 1);
+    assert_eq!(a.nrows(), a.ncols(), "square matrices only");
+    let nnz = a.nnz();
+    // Row index per stored nonzero (columns already live in the CSR).
+    let mut rows = Vec::with_capacity(nnz);
+    for i in 0..a.nrows() {
+        rows.extend(std::iter::repeat_n(i as Vtx, a.row_nnz(i)));
+    }
+    let cols = a.colidx();
+
+    let mut owner = vec![0u32; nnz];
+    if p > 1 {
+        let all: Vec<u32> = (0..nnz as u32).collect();
+        rec(&rows, cols, all, p, 0, cfg, &mut owner, 1, true);
+    }
+
+    let vec_owner = assign_vector(a, &owner, p);
+    FineLayout::new(a, owner, vec_owner, p)
+}
+
+/// Recursive bisection of a nonzero subset (`idxs` are flat CSR positions).
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    rows: &[Vtx],
+    cols: &[Vtx],
+    idxs: Vec<u32>,
+    k: usize,
+    offset: u32,
+    cfg: &MondriaanConfig,
+    owner: &mut [u32],
+    salt: u64,
+    row_dir_hint: bool,
+) {
+    if k == 1 || idxs.len() <= 1 {
+        for &i in &idxs {
+            owner[i as usize] = offset;
+        }
+        return;
+    }
+    let k1 = k / 2;
+    let k2 = k - k1;
+    let frac = k1 as f64 / k as f64;
+    let hcfg = HgConfig {
+        seed: cfg.seed ^ salt,
+        ..cfg.hg
+    };
+
+    // A split along `dim` groups nonzeros by their row (or column) id and
+    // bisects those groups; the other dimension's ids become the nets.
+    let split = |by_rows: bool| -> (Vec<bool>, i64) {
+        let (key, net): (&[Vtx], &[Vtx]) = if by_rows { (rows, cols) } else { (cols, rows) };
+        let (h, key_of_group, group_of_key) = build_split_hypergraph(key, net, &idxs);
+        if h.nv() < 2 {
+            // Degenerate: everything in one row/column; cannot split here.
+            return (vec![false; idxs.len()], i64::MAX);
+        }
+        let side = multilevel_bisect(&h, frac, &hcfg, salt);
+        let cut = cut_of(&h, &side);
+        let _ = key_of_group;
+        let nz_side: Vec<bool> = idxs
+            .iter()
+            .map(|&i| side[group_of_key[key[i as usize] as usize] as usize] == 1)
+            .collect();
+        (nz_side, cut)
+    };
+
+    let (nz_side, _dir_used_rows) = if cfg.try_both {
+        let (row_side, row_cut) = split(true);
+        let (col_side, col_cut) = split(false);
+        if row_cut <= col_cut {
+            (row_side, true)
+        } else {
+            (col_side, false)
+        }
+    } else {
+        let (side, cut) = split(row_dir_hint);
+        if cut == i64::MAX {
+            // Fall back to the other direction on degenerate subsets.
+            let (other, _) = split(!row_dir_hint);
+            (other, !row_dir_hint)
+        } else {
+            (side, row_dir_hint)
+        }
+    };
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (&i, &s) in idxs.iter().zip(&nz_side) {
+        if s {
+            right.push(i);
+        } else {
+            left.push(i);
+        }
+    }
+    // Guard against empty sides (tiny/degenerate subsets): split evenly.
+    if left.is_empty() || right.is_empty() {
+        let mid = idxs.len() * k1 / k;
+        left = idxs[..mid].to_vec();
+        right = idxs[mid..].to_vec();
+    }
+    rec(
+        rows,
+        cols,
+        left,
+        k1,
+        offset,
+        cfg,
+        owner,
+        2 * salt,
+        !_dir_used_rows,
+    );
+    rec(
+        rows,
+        cols,
+        right,
+        k2,
+        offset + k1 as u32,
+        cfg,
+        owner,
+        2 * salt + 1,
+        !_dir_used_rows,
+    );
+}
+
+/// Builds the hypergraph for one split direction: vertices = distinct `key`
+/// ids among the subset (weight = nonzeros carried), nets = distinct `net`
+/// ids with the key-groups they touch as pins.
+///
+/// Returns `(hypergraph, group -> key id, key id -> group)`.
+type SplitHypergraph = (Hypergraph, Vec<Vtx>, Vec<u32>);
+
+fn build_split_hypergraph(key: &[Vtx], net: &[Vtx], idxs: &[u32]) -> SplitHypergraph {
+    // Compact the key space.
+    let max_key = idxs.iter().map(|&i| key[i as usize]).max().unwrap_or(0) as usize;
+    let mut group_of_key = vec![u32::MAX; max_key + 1];
+    let mut key_of_group: Vec<Vtx> = Vec::new();
+    let mut vwgt: Vec<i64> = Vec::new();
+    for &i in idxs {
+        let k = key[i as usize] as usize;
+        if group_of_key[k] == u32::MAX {
+            group_of_key[k] = key_of_group.len() as u32;
+            key_of_group.push(k as Vtx);
+            vwgt.push(0);
+        }
+        vwgt[group_of_key[k] as usize] += 1;
+    }
+
+    // Nets: group (net id -> pins) via sort over (net, group) pairs.
+    let mut pairs: Vec<(Vtx, u32)> = idxs
+        .iter()
+        .map(|&i| (net[i as usize], group_of_key[key[i as usize] as usize]))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut net_pins: Vec<Vec<u32>> = Vec::new();
+    let mut cur_net = None;
+    for (n, g) in pairs {
+        if cur_net != Some(n) {
+            cur_net = Some(n);
+            net_pins.push(Vec::new());
+        }
+        net_pins.last_mut().unwrap().push(g);
+    }
+
+    let h = Hypergraph::from_pins(key_of_group.len(), &net_pins, vwgt);
+    (h, key_of_group, group_of_key)
+}
+
+/// Greedy vector assignment: entry `k` goes to the candidate rank owning
+/// the most nonzeros in row `k`, ties and empty rows resolved toward the
+/// least-loaded rank.
+fn assign_vector(a: &CsrMatrix, owner: &[u32], p: usize) -> Vec<u32> {
+    let n = a.nrows();
+    let mut load = vec![0usize; p];
+    let mut vec_owner = vec![0u32; n];
+    let mut counts: Vec<(u32, u32)> = Vec::new(); // (rank, count) scratch
+    for i in 0..n {
+        let (lo, hi) = (a.rowptr()[i], a.rowptr()[i + 1]);
+        counts.clear();
+        for &r in &owner[lo..hi] {
+            match counts.iter_mut().find(|(rank, _)| *rank == r) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((r, 1)),
+            }
+        }
+        let chosen = counts
+            .iter()
+            .max_by_key(|&&(rank, c)| (c, std::cmp::Reverse(load[rank as usize])))
+            .map(|&(rank, _)| rank)
+            .unwrap_or_else(|| {
+                // Empty row: least-loaded rank.
+                (0..p as u32).min_by_key(|&r| load[r as usize]).unwrap()
+            });
+        vec_owner[i] = chosen;
+        load[chosen as usize] += 1;
+    }
+    vec_owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::NonzeroLayout;
+    use crate::metrics::LayoutMetrics;
+    use crate::MatrixDist;
+    use sf2d_gen::{grid_2d, rmat, RmatConfig};
+
+    #[test]
+    fn covers_every_nonzero_in_range() {
+        let a = rmat(&RmatConfig::graph500(7), 3);
+        let fl = mondriaan(&a, 8, &MondriaanConfig::default());
+        assert_eq!(fl.owners().len(), a.nnz());
+        assert!(fl.owners().iter().all(|&r| r < 8));
+        // Every rank used.
+        let mut used = vec![false; 8];
+        for &r in fl.owners() {
+            used[r as usize] = true;
+        }
+        assert!(used.iter().all(|&u| u), "{used:?}");
+    }
+
+    #[test]
+    fn balances_nonzeros() {
+        let a = rmat(&RmatConfig::graph500(8), 5);
+        let fl = mondriaan(&a, 8, &MondriaanConfig::default());
+        let m = LayoutMetrics::compute(&a, &fl);
+        assert!(m.nnz_imbalance() < 1.5, "imbalance {}", m.nnz_imbalance());
+    }
+
+    #[test]
+    fn volume_competitive_with_2d_block_on_structure() {
+        // On a mesh, Mondriaan should move far fewer doubles than 2D block.
+        let a = grid_2d(24, 24);
+        let fl = mondriaan(&a, 16, &MondriaanConfig::default());
+        let m_mon = LayoutMetrics::compute(&a, &fl);
+        let m_blk = LayoutMetrics::compute(&a, &MatrixDist::block_2d(a.nrows(), 4, 4));
+        assert!(
+            m_mon.total_comm_volume() < m_blk.total_comm_volume(),
+            "mondriaan {} vs 2d-block {}",
+            m_mon.total_comm_volume(),
+            m_blk.total_comm_volume()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(&RmatConfig::graph500(6), 9);
+        let f1 = mondriaan(&a, 4, &MondriaanConfig::default());
+        let f2 = mondriaan(&a, 4, &MondriaanConfig::default());
+        assert_eq!(f1.owners(), f2.owners());
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let a = grid_2d(4, 4);
+        let fl = mondriaan(&a, 1, &MondriaanConfig::default());
+        assert!(fl.owners().iter().all(|&r| r == 0));
+        assert_eq!(fl.nprocs(), 1);
+    }
+
+    #[test]
+    fn alternate_direction_variant_works() {
+        let a = rmat(&RmatConfig::graph500(7), 2);
+        let cfg = MondriaanConfig {
+            try_both: false,
+            ..Default::default()
+        };
+        let fl = mondriaan(&a, 8, &cfg);
+        let m = LayoutMetrics::compute(&a, &fl);
+        assert!(m.nnz_imbalance() < 2.0);
+    }
+}

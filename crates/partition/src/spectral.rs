@@ -1,0 +1,240 @@
+//! Spectral recursive bisection — a third partitioner family, for
+//! comparison against the multilevel graph and hypergraph partitioners.
+//!
+//! Classic spectral bisection (Fiedler, Pothen–Simon–Liou): split at the
+//! weighted median of the Fiedler vector (the eigenvector of the second
+//! smallest eigenvalue of the combinatorial Laplacian `L = D − A`), then
+//! clean up with FM. The Fiedler vector is computed by power iteration on
+//! the spectrally shifted operator `cI − L` with the constant vector
+//! deflated — no external eigensolver needed, keeping this crate free of a
+//! dependency cycle with `sf2d-eigen`.
+//!
+//! Spectral methods were the historical alternative to multilevel KL/FM;
+//! on scale-free graphs they struggle (hubs dominate the spectrum), which
+//! the `ablations` data quantifies.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sf2d_graph::Graph;
+
+use crate::gp::initpart::side_weights;
+use crate::gp::refine::fm_refine;
+use crate::gp::work::{WorkGraph, MAX_CON};
+use crate::types::Partition;
+
+/// Tuning knobs for spectral recursive bisection.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralConfig {
+    /// RNG seed for the power-iteration start vector.
+    pub seed: u64,
+    /// Power-iteration steps per bisection.
+    pub iters: usize,
+    /// Imbalance allowance handed to the FM cleanup.
+    pub ub: f64,
+    /// FM passes after the median split.
+    pub fm_passes: usize,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig {
+            seed: 0,
+            iters: 120,
+            ub: 1.05,
+            fm_passes: 4,
+        }
+    }
+}
+
+/// Partitions a graph into `k` parts by spectral recursive bisection.
+pub fn partition_spectral(g: &Graph, k: usize, cfg: &SpectralConfig) -> Partition {
+    assert!(k >= 1);
+    let wg = WorkGraph::from_graph(g);
+    let mut part = vec![0u32; wg.nv()];
+    if k > 1 {
+        let ids: Vec<u32> = (0..wg.nv() as u32).collect();
+        rec(&wg, &ids, k, 0, cfg, &mut part, 1);
+    }
+    Partition::new(part, k)
+}
+
+fn rec(
+    wg: &WorkGraph,
+    map: &[u32],
+    k: usize,
+    offset: u32,
+    cfg: &SpectralConfig,
+    out: &mut [u32],
+    salt: u64,
+) {
+    if k == 1 {
+        for &orig in map {
+            out[orig as usize] = offset;
+        }
+        return;
+    }
+    let k1 = k / 2;
+    let k2 = k - k1;
+    let side = spectral_bisection(wg, k1 as f64 / k as f64, cfg, salt);
+
+    let (mut keep0, mut keep1) = (Vec::new(), Vec::new());
+    for (v, &s) in side.iter().enumerate() {
+        if s == 0 {
+            keep0.push(v as u32);
+        } else {
+            keep1.push(v as u32);
+        }
+    }
+    for (keep, kk, off, s2) in [
+        (keep0, k1, offset, 2 * salt),
+        (keep1, k2, offset + k1 as u32, 2 * salt + 1),
+    ] {
+        if kk == 1 || keep.is_empty() {
+            for &local in &keep {
+                out[map[local as usize] as usize] = off;
+            }
+        } else {
+            let (sub, submap) = wg.subgraph(&keep);
+            let orig: Vec<u32> = submap.iter().map(|&l| map[l as usize]).collect();
+            rec(&sub, &orig, kk, off, cfg, out, s2);
+        }
+    }
+}
+
+/// One spectral bisection: Fiedler vector → weighted split at the target
+/// fraction → FM cleanup.
+pub fn spectral_bisection(wg: &WorkGraph, frac: f64, cfg: &SpectralConfig, salt: u64) -> Vec<u8> {
+    let nv = wg.nv();
+    if nv <= 1 {
+        return vec![0; nv];
+    }
+    let fiedler = fiedler_vector(wg, cfg, salt);
+
+    // Weighted split: sort by Fiedler value, fill side 0 to the target.
+    let tot = wg.total_wgt();
+    let target0 = frac * tot[0] as f64;
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    order.sort_by(|&a, &b| fiedler[a as usize].total_cmp(&fiedler[b as usize]));
+    let mut side = vec![1u8; nv];
+    let mut acc = 0i64;
+    for &v in &order {
+        if (acc as f64) >= target0 {
+            break;
+        }
+        side[v as usize] = 0;
+        acc += wg.vw(v as usize, 0);
+    }
+
+    let mut targets = [[0.0f64; MAX_CON]; 2];
+    for c in 0..wg.ncon {
+        targets[0][c] = frac * tot[c] as f64;
+        targets[1][c] = (1.0 - frac) * tot[c] as f64;
+    }
+    fm_refine(wg, &mut side, &targets, cfg.ub, cfg.fm_passes);
+    // Guard: FM cannot leave a side empty unless the graph is degenerate.
+    let w = side_weights(wg, &side);
+    if w[0][0] == 0 || w[1][0] == 0 {
+        for (i, s) in side.iter_mut().enumerate() {
+            *s = u8::from(i >= nv / 2);
+        }
+    }
+    side
+}
+
+/// Approximates the Fiedler vector by power iteration on `cI − L` with the
+/// (weighted) constant vector deflated.
+fn fiedler_vector(wg: &WorkGraph, cfg: &SpectralConfig, salt: u64) -> Vec<f64> {
+    let nv = wg.nv();
+    // Weighted degrees d_v = sum of incident edge weights.
+    let deg: Vec<f64> = (0..nv)
+        .map(|v| wg.neighbors(v).1.iter().map(|&w| w as f64).sum())
+        .collect();
+    let c = 2.0 * deg.iter().fold(0.0f64, |m, &d| m.max(d)) + 1.0;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut x: Vec<f64> = (0..nv).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut y = vec![0.0f64; nv];
+
+    for _ in 0..cfg.iters {
+        // Deflate the constant vector (eigenvector of eigenvalue 0 of L).
+        let mean = x.iter().sum::<f64>() / nv as f64;
+        for xv in &mut x {
+            *xv -= mean;
+        }
+        // y = (cI - L) x = (c - d_v) x_v + sum_u w_uv x_u.
+        for v in 0..nv {
+            let (nbrs, wgts) = wg.neighbors(v);
+            let mut acc = (c - deg[v]) * x[v];
+            for (&u, &w) in nbrs.iter().zip(wgts) {
+                acc += w as f64 * x[u as usize];
+            }
+            y[v] = acc;
+        }
+        // Normalize.
+        let nrm = y.iter().map(|t| t * t).sum::<f64>().sqrt();
+        if nrm < 1e-300 {
+            break;
+        }
+        for (xv, yv) in x.iter_mut().zip(&y) {
+            *xv = yv / nrm;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_gen::{grid_2d, rmat, RmatConfig};
+    use sf2d_graph::Graph;
+
+    #[test]
+    fn fiedler_splits_a_path_at_the_middle() {
+        // Path: Fiedler vector is monotone, so the split is contiguous.
+        let edges: Vec<(u32, u32)> = (0..29).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(30, &edges);
+        let wg = WorkGraph::from_graph(&g);
+        let side = spectral_bisection(&wg, 0.5, &SpectralConfig::default(), 1);
+        // The cut should be small (1 for a perfect contiguous split; FM may
+        // keep it there).
+        let cut = crate::gp::initpart::cut_of(&wg, &side);
+        assert!(cut <= 3, "cut {cut}");
+    }
+
+    #[test]
+    fn partitions_grid_reasonably() {
+        let a = grid_2d(16, 16);
+        let g = Graph::from_symmetric_matrix(&a);
+        let p = partition_spectral(&g, 4, &SpectralConfig::default());
+        assert_eq!(p.k, 4);
+        let counts = p.part_weights(&vec![1i64; 256]);
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        // Spectral on a grid is decent: well under random cut (~75% of 480).
+        assert!(p.edge_cut(&g) < 150.0, "cut {}", p.edge_cut(&g));
+    }
+
+    #[test]
+    fn valid_on_scale_free_input() {
+        let a = rmat(&RmatConfig::graph500(8), 3);
+        let g = Graph::from_symmetric_matrix(&a);
+        let p = partition_spectral(&g, 8, &SpectralConfig::default());
+        assert!(p.part.iter().all(|&x| x < 8));
+        assert!(
+            p.imbalance(&g.vwgt) < 2.0,
+            "imbalance {}",
+            p.imbalance(&g.vwgt)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = grid_2d(10, 10);
+        let g = Graph::from_symmetric_matrix(&a);
+        let cfg = SpectralConfig::default();
+        assert_eq!(
+            partition_spectral(&g, 4, &cfg).part,
+            partition_spectral(&g, 4, &cfg).part
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! The k-way partition type shared by the graph and hypergraph partitioners.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use sf2d_graph::{Graph, GraphError};
+
+/// A k-way assignment of vertices (matrix rows) to parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `part[v]` is the part of vertex `v`, in `0..k`.
+    pub part: Vec<u32>,
+    /// Number of parts.
+    pub k: usize,
+}
+
+impl Partition {
+    /// Wraps a part vector, validating the range.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= k`.
+    pub fn new(part: Vec<u32>, k: usize) -> Partition {
+        assert!(
+            part.iter().all(|&p| (p as usize) < k),
+            "part id out of range"
+        );
+        Partition { part, k }
+    }
+
+    /// The all-zeros trivial partition.
+    pub fn trivial(n: usize) -> Partition {
+        Partition {
+            part: vec![0; n],
+            k: 1,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.part.len()
+    }
+
+    /// True when there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.part.is_empty()
+    }
+
+    /// Sum of the given per-vertex weights in each part.
+    pub fn part_weights(&self, wgt: &[i64]) -> Vec<i64> {
+        assert_eq!(wgt.len(), self.part.len());
+        let mut sums = vec![0i64; self.k];
+        for (&p, &w) in self.part.iter().zip(wgt) {
+            sums[p as usize] += w;
+        }
+        sums
+    }
+
+    /// Load imbalance under the given weights: `max / avg` over parts
+    /// (1.0 = perfect). Matches the paper's definition ("maximum number of
+    /// nonzeros per process divided by the average", §5.2).
+    pub fn imbalance(&self, wgt: &[i64]) -> f64 {
+        let sums = self.part_weights(wgt);
+        let total: i64 = sums.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.k as f64;
+        sums.iter().copied().max().unwrap_or(0) as f64 / avg
+    }
+
+    /// Total weight of cut edges (each undirected edge counted once).
+    pub fn edge_cut(&self, g: &Graph) -> f64 {
+        let mut cut = 0.0;
+        for u in 0..g.nv() {
+            let (nbrs, wgts) = g.neighbors(u);
+            for (&v, &w) in nbrs.iter().zip(wgts) {
+                if self.part[u] != self.part[v as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut / 2.0
+    }
+
+    /// Writes the partition in the METIS convention: one part id per line.
+    /// Reusable across analyses, as the paper's pre-partitioning workflow
+    /// assumes (§5.1).
+    pub fn write<W: Write>(&self, writer: W) -> Result<(), GraphError> {
+        let mut w = BufWriter::new(writer);
+        for &p in &self.part {
+            writeln!(w, "{p}")?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a one-part-id-per-line partition file; `k` is inferred as
+    /// `max + 1`.
+    pub fn read<R: Read>(reader: R) -> Result<Partition, GraphError> {
+        let mut part = Vec::new();
+        for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            let p: u32 = t.parse().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("bad part id: {e}"),
+            })?;
+            part.push(p);
+        }
+        let k = part
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(1);
+        Ok(Partition { part, k })
+    }
+
+    /// 1D communication volume of the partition: for each vertex, the
+    /// number of *other* parts its neighbourhood touches (the λ−1 metric of
+    /// the column-net hypergraph model). This is exactly the number of
+    /// doubles sent in the expand phase of a 1D row distribution.
+    pub fn comm_volume(&self, g: &Graph) -> usize {
+        let mut vol = 0usize;
+        let mut mark = vec![u32::MAX; self.k];
+        for u in 0..g.nv() {
+            let pu = self.part[u];
+            let (nbrs, _) = g.neighbors(u);
+            for &v in nbrs {
+                let pv = self.part[v as usize];
+                if pv != pu && mark[pv as usize] != u as u32 {
+                    mark[pv as usize] = u as u32;
+                    vol += 1;
+                }
+            }
+        }
+        vol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        // Vertices 0-2 and 3-5 are triangles, joined by edge (2,3).
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn part_weights_and_imbalance() {
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let w = [1i64, 2, 3, 4];
+        assert_eq!(p.part_weights(&w), vec![3, 7]);
+        assert!((p.imbalance(&w) - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_balance_is_one() {
+        let p = Partition::new(vec![0, 1, 0, 1], 2);
+        assert_eq!(p.imbalance(&[1, 1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn edge_cut_counts_cut_edges_once() {
+        let g = two_triangles();
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(p.edge_cut(&g), 1.0); // only (2,3) is cut
+        let bad = Partition::new(vec![0, 1, 0, 1, 0, 1], 2);
+        assert!(bad.edge_cut(&g) > 3.0);
+    }
+
+    #[test]
+    fn comm_volume_is_boundary_vertex_count_for_bisection() {
+        let g = two_triangles();
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        // Vertices 2 and 3 are boundary: each sends its value to one other
+        // part -> volume 2.
+        assert_eq!(p.comm_volume(&g), 2);
+    }
+
+    #[test]
+    fn comm_volume_counts_distinct_parts() {
+        // Star: center 0 with 3 leaves in 3 different parts.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let p = Partition::new(vec![0, 1, 2, 3], 4);
+        // Center sends to 3 parts; each leaf sends to 1 (the center's).
+        assert_eq!(p.comm_volume(&g), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_part_rejected() {
+        Partition::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let p = Partition::new(vec![0, 3, 1, 3, 2], 4);
+        let mut buf = Vec::new();
+        p.write(&mut buf).unwrap();
+        let back = Partition::read(buf.as_slice()).unwrap();
+        assert_eq!(back.part, p.part);
+        assert_eq!(back.k, 4);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(Partition::read("0\nxyz\n".as_bytes()).is_err());
+        // Empty file: trivial single-part partition of zero vertices.
+        let empty = Partition::read("".as_bytes()).unwrap();
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.k, 1);
+    }
+}

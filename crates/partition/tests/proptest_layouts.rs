@@ -1,0 +1,142 @@
+//! Property-based tests for layout and partitioner invariants.
+
+use proptest::prelude::*;
+use sf2d_graph::{CooMatrix, CsrMatrix, Graph};
+use sf2d_partition::{
+    grid_shape, partition_graph, partition_hypergraph_matrix, GpConfig, HgConfig, LayoutMetrics,
+    MatrixDist, Partition,
+};
+
+fn sym_matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (4usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0u32..40, 0u32..40), 1..150).prop_map(move |edges| {
+            let mut coo = CooMatrix::new(n, n);
+            for (u, v) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    coo.push_sym(u, v, 1.0);
+                }
+            }
+            CsrMatrix::from_coo(&coo)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Algorithm 2's diagonal-home property: a_kk always lives with x_k,
+    /// for any rpart, any grid, both orientations.
+    #[test]
+    fn diagonal_stays_home(
+        n in 2usize..60,
+        pr in 1u32..6,
+        pc in 1u32..6,
+        seed in 0u64..500,
+        swapped in proptest::bool::ANY,
+    ) {
+        let p = (pr * pc) as usize;
+        let rpart = MatrixDist::random_1d(n, p, seed).rpart().to_vec();
+        let part = Partition::new(rpart, p);
+        let d = MatrixDist::cartesian_2d(&part, pr, pc, swapped);
+        for k in 0..n as u32 {
+            prop_assert_eq!(d.nonzero_owner(k, k), d.vector_owner(k));
+        }
+    }
+
+    /// The grid-row/grid-column alignment that gives the O(sqrt p) bound:
+    /// all nonzeros of matrix row i land in one grid row; all of column j
+    /// in one grid column (unswapped orientation).
+    #[test]
+    fn cartesian_alignment(
+        n in 2usize..40,
+        pr in 1u32..5,
+        pc in 1u32..5,
+        seed in 0u64..100,
+    ) {
+        let _p = (pr * pc) as usize;
+        let d = MatrixDist::random_2d(n, pr, pc, seed);
+        for i in 0..n as u32 {
+            let gr = d.nonzero_owner(i, 0) % pr;
+            for j in 0..n as u32 {
+                prop_assert_eq!(d.nonzero_owner(i, j) % pr, gr);
+            }
+        }
+        for j in 0..n as u32 {
+            let gc = d.nonzero_owner(0, j) / pr;
+            for i in 0..n as u32 {
+                prop_assert_eq!(d.nonzero_owner(i, j) / pr, gc);
+            }
+        }
+    }
+
+    /// Metrics conservation: per-rank nonzeros sum to nnz, vector entries
+    /// to n, and the message bound holds for 2D layouts.
+    #[test]
+    fn metrics_conservation(a in sym_matrix_strategy(), p in 1usize..10, seed in 0u64..100) {
+        let n = a.nrows();
+        let (pr, pc) = grid_shape(p);
+        for d in [
+            MatrixDist::block_1d(n, p),
+            MatrixDist::random_1d(n, p, seed),
+            MatrixDist::block_2d(n, pr, pc),
+            MatrixDist::random_2d(n, pr, pc, seed),
+        ] {
+            let m = LayoutMetrics::compute(&a, &d);
+            prop_assert_eq!(m.nnz_per_rank.iter().sum::<usize>(), a.nnz());
+            prop_assert_eq!(m.vec_per_rank.iter().sum::<usize>(), n);
+            prop_assert!(m.max_msgs() <= d.message_bound().max(1));
+            // Send and receive message totals match (every message has both).
+            prop_assert_eq!(
+                m.expand_send_msgs.iter().sum::<usize>(),
+                m.expand_recv_msgs.iter().sum::<usize>()
+            );
+            prop_assert_eq!(
+                m.fold_send_msgs.iter().sum::<usize>(),
+                m.fold_recv_msgs.iter().sum::<usize>()
+            );
+        }
+    }
+
+    /// The graph partitioner always returns a valid partition with every
+    /// part id in range, and it is deterministic.
+    #[test]
+    fn gp_output_valid(a in sym_matrix_strategy(), k in 1usize..9, seed in 0u64..50) {
+        let g = Graph::from_symmetric_matrix(&a);
+        let cfg = GpConfig { seed, ..GpConfig::default() };
+        let p1 = partition_graph(&g, k, &cfg);
+        prop_assert_eq!(p1.len(), g.nv());
+        prop_assert!(p1.part.iter().all(|&x| (x as usize) < k));
+        let p2 = partition_graph(&g, k, &cfg);
+        prop_assert_eq!(p1.part, p2.part);
+    }
+
+    /// Same for the hypergraph partitioner, plus the λ−1 = 1D expand volume
+    /// identity.
+    #[test]
+    fn hp_output_valid_and_lambda_identity(a in sym_matrix_strategy(), k in 1usize..7) {
+        let part = partition_hypergraph_matrix(&a, k, &HgConfig::default());
+        prop_assert!(part.part.iter().all(|&x| (x as usize) < k));
+        let d = MatrixDist::from_partition_1d(&part);
+        let m = LayoutMetrics::compute(&a, &d);
+        let h = sf2d_partition::hg::hypergraph::Hypergraph::column_net_model(&a);
+        prop_assert_eq!(
+            m.expand_send_vol.iter().sum::<usize>() as i64,
+            h.connectivity_minus_one(&part.part, k)
+        );
+    }
+
+    /// Partition::comm_volume equals the layout metrics' 1D expand volume.
+    #[test]
+    fn comm_volume_identity(a in sym_matrix_strategy(), k in 1usize..7, seed in 0u64..50) {
+        let g = Graph::from_symmetric_matrix(&a);
+        let rpart = MatrixDist::random_1d(g.nv(), k, seed).rpart().to_vec();
+        let part = Partition::new(rpart, k);
+        let d = MatrixDist::from_partition_1d(&part);
+        let m = LayoutMetrics::compute(g.adjacency(), &d);
+        prop_assert_eq!(
+            m.expand_send_vol.iter().sum::<usize>(),
+            part.comm_volume(&g)
+        );
+    }
+}

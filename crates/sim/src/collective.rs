@@ -1,0 +1,105 @@
+//! Collective operations: execution and cost models.
+//!
+//! The eigensolver's dots and norms reduce scalars across all ranks. We
+//! execute the reduction exactly (sum of per-rank partials, deterministic
+//! order) and charge the standard recursive-doubling cost:
+//! `⌈log₂ p⌉ · (α + β·bytes + γ·(bytes/8))` per rank.
+
+use crate::cost::PhaseCost;
+
+/// Executes an allreduce-sum over per-rank partial values. Every rank
+/// observes the same total; summation is in rank order, so the result is
+/// deterministic (floating-point addition is not associative — fixing the
+/// order is what makes the whole simulator reproducible).
+pub fn allreduce_sum(partials: &[f64]) -> f64 {
+    partials.iter().sum()
+}
+
+/// Executes an elementwise allreduce-sum over per-rank vectors.
+///
+/// # Panics
+/// Panics if the per-rank vectors disagree in length.
+pub fn allreduce_sum_vec(partials: &[Vec<f64>]) -> Vec<f64> {
+    let len = partials.first().map(|v| v.len()).unwrap_or(0);
+    let mut out = vec![0.0; len];
+    for part in partials {
+        assert_eq!(part.len(), len, "allreduce length mismatch");
+        for (o, &x) in out.iter_mut().zip(part) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Per-rank cost of an allreduce of `n_doubles` values over `p` ranks
+/// (recursive doubling: log₂p rounds of one message + local add).
+pub fn allreduce_cost(p: usize, n_doubles: usize) -> PhaseCost {
+    if p <= 1 {
+        return PhaseCost::compute(0);
+    }
+    let rounds = (p as f64).log2().ceil() as u64;
+    PhaseCost {
+        msgs: rounds,
+        bytes: rounds * 8 * n_doubles as u64,
+        flops: rounds * n_doubles as u64,
+    }
+}
+
+/// Per-rank cost of a broadcast of `n_doubles` from one root (binomial
+/// tree: log₂p rounds).
+pub fn broadcast_cost(p: usize, n_doubles: usize) -> PhaseCost {
+    if p <= 1 {
+        return PhaseCost::compute(0);
+    }
+    let rounds = (p as f64).log2().ceil() as u64;
+    PhaseCost {
+        msgs: rounds,
+        bytes: rounds * 8 * n_doubles as u64,
+        flops: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_allreduce_sums() {
+        assert_eq!(allreduce_sum(&[1.0, 2.0, 3.5]), 6.5);
+        assert_eq!(allreduce_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn vector_allreduce_sums_elementwise() {
+        let out = allreduce_sum_vec(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        assert_eq!(out, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn vector_allreduce_rejects_ragged_input() {
+        allreduce_sum_vec(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn allreduce_cost_scales_logarithmically() {
+        let c64 = allreduce_cost(64, 1);
+        assert_eq!(c64.msgs, 6);
+        let c4096 = allreduce_cost(4096, 1);
+        assert_eq!(c4096.msgs, 12);
+        // Doubling p once more only adds one round.
+        assert_eq!(allreduce_cost(8192, 1).msgs, 13);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        assert_eq!(allreduce_cost(1, 100), PhaseCost::compute(0));
+        assert_eq!(broadcast_cost(1, 100), PhaseCost::compute(0));
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_up() {
+        assert_eq!(allreduce_cost(65, 1).msgs, 7);
+        assert_eq!(broadcast_cost(3, 2).bytes, 2 * 16);
+    }
+}

@@ -1,0 +1,234 @@
+//! The per-phase cost ledger.
+//!
+//! Every simulated operation reports a [`PhaseCost`] per rank; the ledger
+//! closes the phase BSP-style (elapsed time advances by the *maximum* rank
+//! time — stragglers stall everyone, which is exactly how load imbalance
+//! hurts the paper's block layouts) and keeps a per-phase-kind breakdown
+//! for Table 5's "SpMV time vs total solve time" split.
+
+use std::collections::BTreeMap;
+
+use crate::machine::Machine;
+
+/// Work done by one rank in one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseCost {
+    /// Point-to-point messages sent.
+    pub msgs: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+}
+
+impl PhaseCost {
+    /// Pure compute.
+    pub fn compute(flops: u64) -> PhaseCost {
+        PhaseCost {
+            msgs: 0,
+            bytes: 0,
+            flops,
+        }
+    }
+
+    /// Pure communication.
+    pub fn comm(msgs: u64, bytes: u64) -> PhaseCost {
+        PhaseCost {
+            msgs,
+            bytes,
+            flops: 0,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &PhaseCost) -> PhaseCost {
+        PhaseCost {
+            msgs: self.msgs + other.msgs,
+            bytes: self.bytes + other.bytes,
+            flops: self.flops + other.flops,
+        }
+    }
+}
+
+/// SpMV / solver phase kinds, for the time breakdown.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Phase {
+    /// Expand: ship `x_j` to ranks owning column-`j` nonzeros.
+    Expand,
+    /// Local `y += A_loc x` compute.
+    LocalCompute,
+    /// Fold: ship partial `y_i` to the row owner.
+    Fold,
+    /// Summing received partials.
+    Sum,
+    /// Dense vector work (axpy, dot local parts, orthogonalization).
+    VectorOp,
+    /// Collectives (allreduce in dots/norms).
+    Collective,
+}
+
+/// Accumulates simulated time across supersteps.
+#[derive(Debug, Clone)]
+pub struct CostLedger {
+    machine: Machine,
+    /// Total simulated seconds.
+    pub total: f64,
+    /// Per-phase-kind breakdown.
+    pub by_phase: BTreeMap<Phase, f64>,
+    /// Number of supersteps closed.
+    pub steps: usize,
+    /// Chronological superstep log `(phase, seconds)` — lets callers plot
+    /// a solve's time series or locate which step spiked.
+    pub history: Vec<(Phase, f64)>,
+}
+
+impl CostLedger {
+    /// New empty ledger for a machine.
+    pub fn new(machine: Machine) -> CostLedger {
+        CostLedger {
+            machine,
+            total: 0.0,
+            by_phase: BTreeMap::new(),
+            steps: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The machine being modelled.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Closes a superstep: all ranks ran `costs[rank]`; elapsed time grows
+    /// by the slowest rank. Returns that step time.
+    pub fn superstep(&mut self, phase: Phase, costs: &[PhaseCost]) -> f64 {
+        let t = costs
+            .iter()
+            .map(|c| self.machine.phase_time(c))
+            .fold(0.0f64, f64::max);
+        self.total += t;
+        *self.by_phase.entry(phase).or_insert(0.0) += t;
+        self.steps += 1;
+        self.history.push((phase, t));
+        t
+    }
+
+    /// Closes a superstep where every rank has the same cost (collectives).
+    pub fn superstep_uniform(&mut self, phase: Phase, cost: PhaseCost, p: usize) -> f64 {
+        assert!(p >= 1);
+        let t = self.machine.phase_time(&cost);
+        self.total += t;
+        *self.by_phase.entry(phase).or_insert(0.0) += t;
+        self.steps += 1;
+        self.history.push((phase, t));
+        t
+    }
+
+    /// Time attributed to SpMV phases (expand+local+fold+sum) — the "SpMV
+    /// Time" column of Table 5.
+    pub fn spmv_time(&self) -> f64 {
+        [Phase::Expand, Phase::LocalCompute, Phase::Fold, Phase::Sum]
+            .iter()
+            .map(|ph| self.by_phase.get(ph).copied().unwrap_or(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_machine() -> Machine {
+        Machine {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            name: "unit",
+        }
+    }
+
+    #[test]
+    fn superstep_takes_the_max() {
+        let mut l = CostLedger::new(unit_machine());
+        let t = l.superstep(
+            Phase::Expand,
+            &[
+                PhaseCost::comm(1, 0),
+                PhaseCost::comm(5, 0),
+                PhaseCost::comm(3, 0),
+            ],
+        );
+        assert_eq!(t, 5.0);
+        assert_eq!(l.total, 5.0);
+        assert_eq!(l.steps, 1);
+    }
+
+    #[test]
+    fn phases_accumulate_separately() {
+        let mut l = CostLedger::new(unit_machine());
+        l.superstep(Phase::Expand, &[PhaseCost::comm(2, 0)]);
+        l.superstep(Phase::Fold, &[PhaseCost::comm(3, 0)]);
+        l.superstep(Phase::Expand, &[PhaseCost::comm(1, 0)]);
+        assert_eq!(l.by_phase[&Phase::Expand], 3.0);
+        assert_eq!(l.by_phase[&Phase::Fold], 3.0);
+        assert_eq!(l.total, 6.0);
+    }
+
+    #[test]
+    fn spmv_time_excludes_vector_ops() {
+        let mut l = CostLedger::new(unit_machine());
+        l.superstep(Phase::LocalCompute, &[PhaseCost::comm(4, 0)]);
+        l.superstep(Phase::VectorOp, &[PhaseCost::comm(7, 0)]);
+        assert_eq!(l.spmv_time(), 4.0);
+        assert_eq!(l.total, 11.0);
+    }
+
+    #[test]
+    fn phase_cost_arithmetic() {
+        let a = PhaseCost {
+            msgs: 1,
+            bytes: 2,
+            flops: 3,
+        };
+        let b = PhaseCost::compute(7);
+        assert_eq!(
+            a.add(&b),
+            PhaseCost {
+                msgs: 1,
+                bytes: 2,
+                flops: 10
+            }
+        );
+        assert_eq!(
+            PhaseCost::comm(4, 5),
+            PhaseCost {
+                msgs: 4,
+                bytes: 5,
+                flops: 0
+            }
+        );
+    }
+
+    #[test]
+    fn history_records_every_step_in_order() {
+        let mut l = CostLedger::new(unit_machine());
+        l.superstep(Phase::Expand, &[PhaseCost::comm(2, 0)]);
+        l.superstep(Phase::Fold, &[PhaseCost::comm(1, 0)]);
+        l.superstep_uniform(Phase::Collective, PhaseCost::comm(3, 0), 4);
+        assert_eq!(
+            l.history,
+            vec![(Phase::Expand, 2.0), (Phase::Fold, 1.0), (Phase::Collective, 3.0)]
+        );
+        assert_eq!(l.history.len(), l.steps);
+        let sum: f64 = l.history.iter().map(|&(_, t)| t).sum();
+        assert_eq!(sum, l.total);
+    }
+
+    #[test]
+    fn empty_superstep_costs_nothing() {
+        let mut l = CostLedger::new(unit_machine());
+        assert_eq!(l.superstep(Phase::Sum, &[]), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Node-aware (hierarchical) communication costing.
+//!
+//! The paper's clusters pack 16 MPI ranks per node (cab) or 24 (Hopper);
+//! messages between ranks on the same node move through shared memory at a
+//! fraction of the network's latency and inverse bandwidth. The flat α-β
+//! model ignores this. [`NodeModel`] prices each (src, dst) pair by
+//! whether the ranks share a node (`rank / node_size` equality, the usual
+//! block mapping of ranks to nodes) — the `ablations` harness uses it to
+//! check that the paper's layout rankings are robust to the model choice.
+
+/// Two-level machine: remote (network) and local (intra-node) parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeModel {
+    /// Ranks per node (block mapping: node of rank r = r / node_size).
+    pub node_size: usize,
+    /// Network latency per message, seconds.
+    pub alpha_remote: f64,
+    /// Network seconds per byte.
+    pub beta_remote: f64,
+    /// Shared-memory latency per message, seconds.
+    pub alpha_local: f64,
+    /// Shared-memory seconds per byte.
+    pub beta_local: f64,
+    /// Seconds per flop.
+    pub gamma: f64,
+}
+
+impl NodeModel {
+    /// cab-like: 16 ranks/node, shared memory ~10x cheaper both ways.
+    pub fn cab16() -> NodeModel {
+        NodeModel {
+            node_size: 16,
+            alpha_remote: 1.5e-6,
+            beta_remote: 1.0 / 3.2e9,
+            alpha_local: 1.5e-7,
+            beta_local: 1.0 / 3.2e10,
+            gamma: 1.0 / 4.0e9,
+        }
+    }
+
+    /// Degenerate single-rank nodes: equivalent to the flat model.
+    pub fn flat(alpha: f64, beta: f64, gamma: f64) -> NodeModel {
+        NodeModel {
+            node_size: 1,
+            alpha_remote: alpha,
+            beta_remote: beta,
+            alpha_local: alpha,
+            beta_local: beta,
+            gamma,
+        }
+    }
+
+    /// Node id of a rank.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.node_size.max(1)
+    }
+
+    /// Whether two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Time one rank spends sending `traffic` = (dst, doubles) pairs plus
+    /// receiving `recv_traffic` = (src, doubles) pairs.
+    pub fn comm_time(
+        &self,
+        rank: usize,
+        traffic: &[(usize, usize)],
+        recv: &[(usize, usize)],
+    ) -> f64 {
+        let mut t = 0.0;
+        for &(peer, doubles) in traffic.iter().chain(recv) {
+            if self.same_node(rank, peer) {
+                t += self.alpha_local + self.beta_local * 8.0 * doubles as f64;
+            } else {
+                t += self.alpha_remote + self.beta_remote * 8.0 * doubles as f64;
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_mapping() {
+        let m = NodeModel::cab16();
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(15), 0);
+        assert_eq!(m.node_of(16), 1);
+        assert!(m.same_node(3, 12));
+        assert!(!m.same_node(3, 19));
+    }
+
+    #[test]
+    fn local_traffic_is_cheaper() {
+        let m = NodeModel::cab16();
+        let local = m.comm_time(0, &[(1, 100)], &[]);
+        let remote = m.comm_time(0, &[(17, 100)], &[]);
+        assert!(local < remote / 5.0, "{local} vs {remote}");
+    }
+
+    #[test]
+    fn flat_model_ignores_nodes() {
+        let m = NodeModel::flat(1e-6, 1e-9, 1e-9);
+        let a = m.comm_time(0, &[(1, 10)], &[]);
+        let b = m.comm_time(0, &[(999, 10)], &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn receive_side_charged() {
+        let m = NodeModel::cab16();
+        let send_only = m.comm_time(0, &[(17, 10)], &[]);
+        let both = m.comm_time(0, &[(17, 10)], &[(33, 10)]);
+        assert!((both - 2.0 * send_only).abs() < 1e-18);
+    }
+}

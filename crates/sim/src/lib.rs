@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+// Loops that index several parallel arrays at once are clearer as range
+// loops than as the zipped-iterator rewrites clippy suggests.
+#![allow(clippy::needless_range_loop)]
+
+//! # sf2d-sim
+//!
+//! A deterministic distributed-memory **simulator** standing in for the
+//! paper's MPI clusters (LLNL *cab*, NERSC *Hopper*).
+//!
+//! The paper's conclusions rest on three platform-independent quantities —
+//! per-rank message counts, communication volumes, and load imbalance —
+//! which this workspace *measures exactly* on logical ranks, then converts
+//! to time with an **α-β-γ machine model** (latency per message, seconds
+//! per byte, seconds per flop), following the BSP cost methodology of
+//! Bisseling's textbook \[5\] that the paper builds on:
+//!
+//! ```text
+//! T_phase = max over ranks of (α·msgs + β·bytes + γ·flops)
+//! T_total = Σ phases T_phase          (phases synchronize, BSP-style)
+//! ```
+//!
+//! * [`machine`] — the cost parameters, with presets calibrated to the
+//!   paper's two platforms;
+//! * [`cost`] — the per-phase ledger that accumulates simulated time;
+//! * [`runtime`] — message routing between logical ranks (sequential
+//!   deterministic, plus a crossbeam-threaded variant used to check that
+//!   results do not depend on the execution schedule);
+//! * [`collective`] — cost formulas and executors for allreduce/broadcast.
+
+pub mod collective;
+pub mod cost;
+pub mod hierarchy;
+pub mod machine;
+pub mod runtime;
+
+pub use cost::{CostLedger, Phase, PhaseCost};
+pub use hierarchy::NodeModel;
+pub use machine::Machine;
+pub use runtime::{route_sequential, route_threaded, RankMessage};

@@ -1,0 +1,168 @@
+//! The α-β-γ machine model.
+
+use crate::cost::PhaseCost;
+
+/// Cost parameters of a distributed-memory machine.
+///
+/// * `alpha` — seconds of latency per point-to-point message;
+/// * `beta` — seconds per byte transferred (inverse effective bandwidth);
+/// * `gamma` — seconds per flop of *sparse* compute (an effective rate that
+///   bakes in the memory-bound nature of SpMV, not the peak FPU rate).
+///
+/// ```
+/// use sf2d_sim::{Machine, PhaseCost};
+///
+/// let m = Machine::cab();
+/// // 63 messages of latency already cost more than 100 KB of bandwidth —
+/// // the regime where the paper's O(sqrt p) message bound pays off.
+/// let msgs = m.phase_time(&PhaseCost::comm(63, 0));
+/// let bytes = m.phase_time(&PhaseCost::comm(0, 100 * 1024));
+/// assert!(msgs > bytes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Machine {
+    /// Latency per message, seconds.
+    pub alpha: f64,
+    /// Seconds per byte.
+    pub beta: f64,
+    /// Seconds per flop (fused multiply-add counted as two flops).
+    pub gamma: f64,
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+}
+
+impl Machine {
+    /// LLNL *cab*-like: Infiniband QDR (~1.5 µs latency, ~3.2 GB/s effective
+    /// per-rank bandwidth), Xeon cores sustaining ~4 GFlop/s on sparse
+    /// kernels. This is where the paper's 64–4096-rank runs happened.
+    pub fn cab() -> Machine {
+        Machine {
+            alpha: 1.5e-6,
+            beta: 1.0 / 3.2e9,
+            gamma: 1.0 / 4.0e9,
+            name: "cab",
+        }
+    }
+
+    /// NERSC *Hopper*-like: Cray XE6 Gemini (~2.5 µs latency, ~2 GB/s per
+    /// rank), Magny-Cours cores ~3 GFlop/s sparse. The paper's 16K-rank
+    /// platform — slower per core and per byte, which is why it warns the
+    /// two tables are "not directly comparable".
+    pub fn hopper() -> Machine {
+        Machine {
+            alpha: 2.5e-6,
+            beta: 1.0 / 2.0e9,
+            gamma: 1.0 / 3.0e9,
+            name: "hopper",
+        }
+    }
+
+    /// Free communication (compute-only); useful in tests and ablations.
+    pub fn zero_comm() -> Machine {
+        Machine {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0 / 4.0e9,
+            name: "zero-comm",
+        }
+    }
+
+    /// Time one rank spends on a phase with the given cost.
+    #[inline]
+    pub fn phase_time(&self, c: &PhaseCost) -> f64 {
+        self.alpha * c.msgs as f64 + self.beta * c.bytes as f64 + self.gamma * c.flops as f64
+    }
+
+    /// Scales the *workload-proportional* terms (β, γ) by `s`, leaving the
+    /// per-message latency α unchanged.
+    ///
+    /// This is the scaled-replay trick behind the proxy methodology: a
+    /// proxy matrix `s`x smaller than the paper's original moves `s`x fewer
+    /// bytes and flops per rank, but its message counts are structural and
+    /// saturate at the same values (p−1 for 1D, pr+pc−2 for 2D). Charging
+    /// each proxy byte/flop `s` times restores the paper's
+    /// latency-vs-bandwidth-vs-compute regime, so crossover points land
+    /// where they did at full scale.
+    pub fn with_workload_scale(mut self, s: f64) -> Machine {
+        assert!(s > 0.0 && s.is_finite());
+        self.beta *= s;
+        self.gamma *= s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_time_is_linear() {
+        let m = Machine {
+            alpha: 1e-6,
+            beta: 1e-9,
+            gamma: 1e-9,
+            name: "t",
+        };
+        let c = PhaseCost {
+            msgs: 2,
+            bytes: 1000,
+            flops: 500,
+        };
+        let t = m.phase_time(&c);
+        assert!((t - (2e-6 + 1e-6 + 0.5e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn presets_have_sane_magnitudes() {
+        for m in [Machine::cab(), Machine::hopper()] {
+            assert!(m.alpha > 1e-7 && m.alpha < 1e-4, "{}", m.name);
+            assert!(m.beta > 1e-11 && m.beta < 1e-8);
+            assert!(m.gamma > 1e-11 && m.gamma < 1e-8);
+            // Latency costs about as much as a few KB of bandwidth — the
+            // regime where message *counts* matter, the paper's key effect.
+            let kb_equiv = m.alpha / (m.beta * 1024.0);
+            assert!(kb_equiv > 1.0 && kb_equiv < 20.0, "{}: {kb_equiv}", m.name);
+        }
+    }
+
+    #[test]
+    fn hopper_slower_than_cab() {
+        let c = PhaseCost {
+            msgs: 10,
+            bytes: 1 << 20,
+            flops: 1 << 20,
+        };
+        assert!(Machine::hopper().phase_time(&c) > Machine::cab().phase_time(&c));
+    }
+
+    #[test]
+    fn workload_scale_leaves_latency_alone() {
+        let m = Machine::cab().with_workload_scale(64.0);
+        let base = Machine::cab();
+        assert_eq!(m.alpha, base.alpha);
+        assert_eq!(m.beta, base.beta * 64.0);
+        assert_eq!(m.gamma, base.gamma * 64.0);
+        // A message-only phase costs the same; a byte-heavy one scales.
+        let msgs = PhaseCost::comm(10, 0);
+        assert_eq!(m.phase_time(&msgs), base.phase_time(&msgs));
+        let bytes = PhaseCost::comm(0, 1000);
+        assert_eq!(m.phase_time(&bytes), 64.0 * base.phase_time(&bytes));
+    }
+
+    #[test]
+    #[should_panic]
+    fn workload_scale_rejects_nonpositive() {
+        let _ = Machine::cab().with_workload_scale(0.0);
+    }
+
+    #[test]
+    fn zero_comm_ignores_messages() {
+        let m = Machine::zero_comm();
+        let t = m.phase_time(&PhaseCost {
+            msgs: 1000,
+            bytes: 1 << 30,
+            flops: 0,
+        });
+        assert_eq!(t, 0.0);
+    }
+}

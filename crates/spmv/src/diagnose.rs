@@ -1,0 +1,299 @@
+//! Layout diagnosis: who is the straggler, and why.
+//!
+//! The BSP model makes every phase as slow as its slowest rank, so the
+//! interesting question for a layout is *which rank bounds each phase and
+//! what it is paying for* (messages? bytes? flops?). This module computes
+//! the per-phase breakdown without running an SpMV — the same per-rank
+//! costs [`spmv`](crate::spmv::spmv) would charge — and names the
+//! bottleneck term. The `sf2d diagnose` CLI subcommand prints it.
+
+use sf2d_sim::cost::{Phase, PhaseCost};
+use sf2d_sim::Machine;
+
+use crate::distmat::DistCsrMatrix;
+
+/// What dominates a rank's phase time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Per-message latency (α · msgs).
+    Latency,
+    /// Bandwidth (β · bytes).
+    Bandwidth,
+    /// Compute (γ · flops).
+    Compute,
+}
+
+impl Bottleneck {
+    fn of(machine: &Machine, c: &PhaseCost) -> Bottleneck {
+        let a = machine.alpha * c.msgs as f64;
+        let b = machine.beta * c.bytes as f64;
+        let g = machine.gamma * c.flops as f64;
+        if a >= b && a >= g {
+            Bottleneck::Latency
+        } else if b >= g {
+            Bottleneck::Bandwidth
+        } else {
+            Bottleneck::Compute
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Bottleneck::Latency => "latency",
+            Bottleneck::Bandwidth => "bandwidth",
+            Bottleneck::Compute => "compute",
+        }
+    }
+}
+
+/// One phase of the SpMV, analyzed.
+#[derive(Debug, Clone)]
+pub struct PhaseDiagnosis {
+    /// Which phase.
+    pub phase: Phase,
+    /// Seconds the phase takes (= the straggler's time).
+    pub time: f64,
+    /// Mean rank time — `time / mean` is the phase's own imbalance.
+    pub mean_time: f64,
+    /// The straggler rank.
+    pub straggler: usize,
+    /// The straggler's cost detail.
+    pub straggler_cost: PhaseCost,
+    /// What the straggler is paying for.
+    pub bottleneck: Bottleneck,
+}
+
+/// Computes the per-phase diagnosis of one SpMV under `machine`.
+pub fn diagnose_spmv(a: &DistCsrMatrix, machine: &Machine) -> Vec<PhaseDiagnosis> {
+    let p = a.nprocs();
+    let mut phases: Vec<(Phase, Vec<PhaseCost>)> = Vec::with_capacity(4);
+
+    phases.push((Phase::Expand, a.import.phase_costs()));
+    let compute: Vec<PhaseCost> = a
+        .blocks
+        .iter()
+        .map(|b| PhaseCost::compute(2 * b.local.nnz() as u64))
+        .collect();
+    phases.push((Phase::LocalCompute, compute));
+    phases.push((Phase::Fold, a.export.phase_costs()));
+    let mut sum = vec![PhaseCost::default(); p];
+    for (r, s) in sum.iter_mut().enumerate() {
+        let local_rows = a.blocks[r]
+            .rowmap
+            .iter()
+            .filter(|&&g| a.vmap.owner(g) == r as u32)
+            .count() as u64;
+        let received: u64 = a.export.sends[r].iter().map(|(_, g)| g.len() as u64).sum();
+        s.flops = local_rows + received;
+    }
+    phases.push((Phase::Sum, sum));
+
+    phases
+        .into_iter()
+        .map(|(phase, costs)| {
+            let times: Vec<f64> = costs.iter().map(|c| machine.phase_time(c)).collect();
+            let (straggler, &time) = times
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one rank");
+            let mean_time = times.iter().sum::<f64>() / times.len() as f64;
+            PhaseDiagnosis {
+                phase,
+                time,
+                mean_time,
+                straggler,
+                straggler_cost: costs[straggler],
+                bottleneck: Bottleneck::of(machine, &costs[straggler]),
+            }
+        })
+        .collect()
+}
+
+/// Renders the diagnosis as an aligned text table.
+pub fn render(diag: &[PhaseDiagnosis]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let total: f64 = diag.iter().map(|d| d.time).sum();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>8} {:>10} {:>10} {:>12} {:>12}  bound by",
+        "phase", "time (s)", "share", "straggler", "imbal", "msgs", "bytes"
+    );
+    for d in diag {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12.3e} {:>7.1}% {:>10} {:>10.2} {:>12} {:>12}  {}",
+            format!("{:?}", d.phase),
+            d.time,
+            if total > 0.0 {
+                100.0 * d.time / total
+            } else {
+                0.0
+            },
+            d.straggler,
+            if d.mean_time > 0.0 {
+                d.time / d.mean_time
+            } else {
+                1.0
+            },
+            d.straggler_cost.msgs,
+            d.straggler_cost.bytes,
+            d.bottleneck.label(),
+        );
+    }
+    let _ = writeln!(out, "total per SpMV: {total:.3e} s");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_partition::MatrixDist;
+    use sf2d_sim::{CostLedger, Machine};
+
+    fn demo() -> DistCsrMatrix {
+        let mut coo = sf2d_graph::CooMatrix::new(32, 32);
+        for i in 0..32u32 {
+            coo.push_sym(i, (i + 1) % 32, 1.0);
+            coo.push_sym(0, i.max(1), 1.0); // hub at 0
+        }
+        let a = sf2d_graph::CsrMatrix::from_coo(&coo);
+        DistCsrMatrix::from_global(&a, &MatrixDist::block_2d(32, 2, 2))
+    }
+
+    #[test]
+    fn diagnosis_matches_the_ledger() {
+        // The sum of phase times must equal what an actual SpMV charges.
+        let dm = demo();
+        let machine = Machine::cab();
+        let diag = diagnose_spmv(&dm, &machine);
+        let predicted: f64 = diag.iter().map(|d| d.time).sum();
+
+        let x = crate::DistVector::random(std::sync::Arc::clone(&dm.vmap), 1);
+        let mut y = crate::DistVector::zeros(std::sync::Arc::clone(&dm.vmap));
+        let mut ledger = CostLedger::new(machine);
+        crate::spmv(&dm, &x, &mut y, &mut ledger);
+        assert!(
+            (predicted - ledger.total).abs() < 1e-15 + 1e-9 * ledger.total,
+            "{predicted} vs {ledger_total}",
+            ledger_total = ledger.total
+        );
+    }
+
+    #[test]
+    fn phases_present_and_bottlenecks_sane() {
+        let dm = demo();
+        let diag = diagnose_spmv(&dm, &Machine::cab());
+        assert_eq!(diag.len(), 4);
+        assert_eq!(diag[0].phase, Phase::Expand);
+        // At this tiny scale latency dominates communication phases.
+        assert_eq!(diag[0].bottleneck, Bottleneck::Latency);
+        // Local compute is bound by flops by construction.
+        assert_eq!(diag[1].bottleneck, Bottleneck::Compute);
+        assert!(diag[0].straggler < 4);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let dm = demo();
+        let diag = diagnose_spmv(&dm, &Machine::cab());
+        let text = render(&diag);
+        assert!(text.contains("Expand"));
+        assert!(text.contains("total per SpMV"));
+        assert!(text.contains("latency") || text.contains("bandwidth"));
+    }
+}
+
+/// Predicted SpMV time under a node-aware (hierarchical) machine: each
+/// expand/fold message is priced by whether its endpoints share a node,
+/// compute by γ — the robustness check for the flat α-β-γ conclusions.
+pub fn spmv_time_hierarchical(a: &DistCsrMatrix, nm: &sf2d_sim::hierarchy::NodeModel) -> f64 {
+    let p = a.nprocs();
+    let plan_traffic = |plan: &crate::plan::CommPlan, r: usize| {
+        let sends: Vec<(usize, usize)> = plan.sends[r]
+            .iter()
+            .map(|(d, g)| (*d as usize, g.len()))
+            .collect();
+        let recvs: Vec<(usize, usize)> = plan.recvs[r]
+            .iter()
+            .map(|(s, g)| (*s as usize, g.len()))
+            .collect();
+        (sends, recvs)
+    };
+    let mut total = 0.0;
+    // Expand and fold: BSP max over ranks of the node-aware comm time.
+    for plan in [&a.import, &a.export] {
+        let t = (0..p)
+            .map(|r| {
+                let (s, rx) = plan_traffic(plan, r);
+                nm.comm_time(r, &s, &rx)
+            })
+            .fold(0.0f64, f64::max);
+        total += t;
+    }
+    // Local compute and sum.
+    let compute = a
+        .blocks
+        .iter()
+        .map(|b| nm.gamma * 2.0 * b.local.nnz() as f64)
+        .fold(0.0f64, f64::max);
+    total + compute
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+    use sf2d_partition::MatrixDist;
+    use sf2d_sim::hierarchy::NodeModel;
+    use sf2d_sim::Machine;
+
+    #[test]
+    fn flat_node_model_matches_flat_machine_comm() {
+        // With node_size = 1 and matching parameters, the hierarchical
+        // prediction equals the ledger's Expand + Fold + LocalCompute.
+        let mut coo = sf2d_graph::CooMatrix::new(64, 64);
+        for i in 0..64u32 {
+            coo.push_sym(i, (i + 7) % 64, 1.0);
+            coo.push_sym(i, (i + 13) % 64, 1.0);
+        }
+        let a = sf2d_graph::CsrMatrix::from_coo(&coo);
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_2d(64, 4, 4));
+        let m = Machine::cab();
+        let nm = NodeModel::flat(m.alpha, m.beta, m.gamma);
+        let hier = spmv_time_hierarchical(&dm, &nm);
+        let diag = diagnose_spmv(&dm, &m);
+        let flat: f64 = diag
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.phase,
+                    sf2d_sim::Phase::Expand | sf2d_sim::Phase::Fold | sf2d_sim::Phase::LocalCompute
+                )
+            })
+            .map(|d| d.time)
+            .sum();
+        assert!(
+            (hier - flat).abs() < 1e-12 * flat.max(1e-30),
+            "{hier} vs {flat}"
+        );
+    }
+
+    #[test]
+    fn intra_node_locality_reduces_cost() {
+        // A layout whose communication stays within 16-rank nodes should be
+        // cheaper under cab16 than the flat network price.
+        let mut coo = sf2d_graph::CooMatrix::new(256, 256);
+        for i in 0..256u32 {
+            coo.push_sym(i, (i + 1) % 256, 1.0);
+        }
+        let a = sf2d_graph::CsrMatrix::from_coo(&coo);
+        // Block layout on a ring: neighbours are in adjacent ranks, mostly
+        // same node.
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_1d(256, 64));
+        let nm = NodeModel::cab16();
+        let flat = NodeModel::flat(nm.alpha_remote, nm.beta_remote, nm.gamma);
+        assert!(spmv_time_hierarchical(&dm, &nm) < spmv_time_hierarchical(&dm, &flat));
+    }
+}

@@ -1,0 +1,169 @@
+//! Data-migration (redistribution) cost between two layouts.
+//!
+//! The paper's §5.1 is explicit that partitioning/distribution time was
+//! excluded and matters for "use-cases requiring very few matrix
+//! operations": one must weigh the one-time redistribution cost against
+//! the per-iteration SpMV savings. This module computes that trade
+//! exactly: every nonzero whose owner changes must move (global row id,
+//! column id, value — 16 bytes in the wire format below), as must
+//! reassigned vector entries, and the α-β model prices the exchange.
+
+use sf2d_graph::CsrMatrix;
+use sf2d_partition::NonzeroLayout;
+use sf2d_sim::cost::PhaseCost;
+use sf2d_sim::Machine;
+
+/// Exact migration traffic between two layouts of the same matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// Ranks involved.
+    pub p: usize,
+    /// Nonzeros changing owner.
+    pub moved_nnz: usize,
+    /// Vector entries changing owner.
+    pub moved_vec: usize,
+    /// Bytes sent per rank (16 per nonzero: two u32 ids + f64 value;
+    /// 12 per vector entry: u32 id + f64 value).
+    pub bytes_sent: Vec<u64>,
+    /// Messages sent per rank (distinct destinations).
+    pub msgs_sent: Vec<u64>,
+}
+
+impl MigrationPlan {
+    /// Builds the plan for redistributing `a` from `from` to `to`.
+    ///
+    /// # Panics
+    /// Panics if the layouts disagree on dimension or rank count.
+    pub fn build<F, T>(a: &CsrMatrix, from: &F, to: &T) -> MigrationPlan
+    where
+        F: NonzeroLayout + ?Sized,
+        T: NonzeroLayout + ?Sized,
+    {
+        assert_eq!(from.n(), to.n(), "layouts cover different dimensions");
+        assert_eq!(from.nprocs(), to.nprocs(), "rank counts differ");
+        assert_eq!(a.nrows(), from.n(), "matrix/layout mismatch");
+        let p = from.nprocs();
+
+        let mut bytes = vec![0u64; p];
+        let mut moved_nnz = 0usize;
+        let mut moved_vec = 0usize;
+        // Distinct (src, dst) pairs per rank via a stamp matrix substitute.
+        let mut pair_stamp = std::collections::HashSet::new();
+
+        for (i, j, _) in a.iter() {
+            let src = from.nonzero_owner(i, j);
+            let dst = to.nonzero_owner(i, j);
+            if src != dst {
+                moved_nnz += 1;
+                bytes[src as usize] += 16;
+                pair_stamp.insert((src, dst));
+            }
+        }
+        for k in 0..a.nrows() as u32 {
+            let src = from.vector_owner(k);
+            let dst = to.vector_owner(k);
+            if src != dst {
+                moved_vec += 1;
+                bytes[src as usize] += 12;
+                pair_stamp.insert((src, dst));
+            }
+        }
+        let mut msgs = vec![0u64; p];
+        for (src, _) in pair_stamp {
+            msgs[src as usize] += 1;
+        }
+        MigrationPlan {
+            p,
+            moved_nnz,
+            moved_vec,
+            bytes_sent: bytes,
+            msgs_sent: msgs,
+        }
+    }
+
+    /// Simulated seconds for the redistribution (one BSP exchange step).
+    pub fn time(&self, machine: &Machine) -> f64 {
+        (0..self.p)
+            .map(|r| machine.phase_time(&PhaseCost::comm(self.msgs_sent[r], self.bytes_sent[r])))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// The §5.1 amortization question: how many SpMV iterations must run
+    /// before migrating from a layout costing `t_old` per iteration to one
+    /// costing `t_new` pays for itself? `None` when the new layout is not
+    /// faster.
+    pub fn break_even_iterations(
+        &self,
+        machine: &Machine,
+        t_old: f64,
+        t_new: f64,
+    ) -> Option<usize> {
+        if t_new >= t_old {
+            return None;
+        }
+        Some((self.time(machine) / (t_old - t_new)).ceil() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_graph::CooMatrix;
+    use sf2d_partition::MatrixDist;
+
+    fn cycle(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push_sym(i as u32, ((i + 1) % n) as u32, 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn identical_layouts_move_nothing() {
+        let a = cycle(12);
+        let d = MatrixDist::block_1d(12, 3);
+        let plan = MigrationPlan::build(&a, &d, &d);
+        assert_eq!(plan.moved_nnz, 0);
+        assert_eq!(plan.moved_vec, 0);
+        assert_eq!(plan.time(&Machine::cab()), 0.0);
+    }
+
+    #[test]
+    fn full_shuffle_moves_everything_remote() {
+        let a = cycle(12);
+        let from = MatrixDist::block_1d(12, 3);
+        // Shift every row's owner by one part.
+        let shifted: Vec<u32> = from.rpart().iter().map(|&r| (r + 1) % 3).collect();
+        let to = MatrixDist::from_partition_1d(&sf2d_partition::Partition::new(shifted, 3));
+        let plan = MigrationPlan::build(&a, &from, &to);
+        assert_eq!(plan.moved_nnz, a.nnz());
+        assert_eq!(plan.moved_vec, 12);
+        assert!(plan.time(&Machine::cab()) > 0.0);
+    }
+
+    #[test]
+    fn break_even_math() {
+        let a = cycle(12);
+        let from = MatrixDist::block_1d(12, 3);
+        let to = MatrixDist::random_1d(12, 3, 1);
+        let plan = MigrationPlan::build(&a, &from, &to);
+        let m = Machine::cab();
+        // New layout slower: never pays off.
+        assert_eq!(plan.break_even_iterations(&m, 1.0, 2.0), None);
+        // Faster by 1 ms/iter: break-even = ceil(migration / 1ms).
+        let k = plan.break_even_iterations(&m, 2e-3, 1e-3).unwrap();
+        assert_eq!(k, (plan.time(&m) / 1e-3).ceil() as usize);
+    }
+
+    #[test]
+    fn one_d_to_two_d_counts_partial_moves() {
+        let a = cycle(16);
+        let from = MatrixDist::block_1d(16, 4);
+        let to = MatrixDist::block_2d(16, 2, 2);
+        let plan = MigrationPlan::build(&a, &from, &to);
+        // Vector stays (same rpart), some nonzeros move.
+        assert_eq!(plan.moved_vec, 0);
+        assert!(plan.moved_nnz > 0 && plan.moved_nnz < a.nnz());
+    }
+}

@@ -1,0 +1,353 @@
+//! The 4-phase distributed SpMV of the paper's §2.1.
+//!
+//! ```text
+//! 1. Expand:  send x_j to the ranks owning a nonzero a_ij   (import plan)
+//! 2. Local:   y_loc += A_loc x_loc
+//! 3. Fold:    send partial y_i to the owner of y_i          (export plan)
+//! 4. Sum:     y = Σ received partials
+//! ```
+//!
+//! 1D layouts skip phases 3–4 (their export plans are empty, costing
+//! nothing), exactly as the paper notes "for 1D distributions, only the
+//! first two phases are necessary".
+
+use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
+
+use crate::distmat::DistCsrMatrix;
+use crate::multivec::DistVector;
+
+/// Computes `y = A x`, charging each phase to the ledger.
+///
+/// # Panics
+/// Panics if `x` or `y` is on a different map than the matrix.
+pub fn spmv(a: &DistCsrMatrix, x: &DistVector, y: &mut DistVector, ledger: &mut CostLedger) {
+    let p = a.nprocs();
+    assert!(
+        std::sync::Arc::ptr_eq(&x.map, &a.vmap) || x.map.n() == a.n,
+        "x map mismatch"
+    );
+
+    // Phase 1 — expand. Remote x values arrive as (gid, value) pairs.
+    let imported = a.import.execute_gather(&a.vmap, &x.locals);
+    ledger.superstep(Phase::Expand, &a.import.phase_costs());
+
+    // Phase 2 — local compute: y_loc = A_loc * x_cols.
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(p);
+    let mut compute_costs = Vec::with_capacity(p);
+    for r in 0..p {
+        let block = &a.blocks[r];
+        // Assemble the column-aligned x buffer: owned entries from the local
+        // slice, remote entries from the import.
+        let mut xcols = vec![0.0; block.colmap.len()];
+        for (lid, &g) in block.colmap.iter().enumerate() {
+            if a.vmap.owner(g) == r as u32 {
+                xcols[lid] = x.locals[r][a.vmap.lid(g)];
+            }
+        }
+        for &(g, v) in &imported[r] {
+            xcols[block.col_lid(g)] = v;
+        }
+        partials.push(block.local.spmv_dense(&xcols));
+        compute_costs.push(PhaseCost::compute(2 * block.local.nnz() as u64));
+    }
+    ledger.superstep(Phase::LocalCompute, &compute_costs);
+
+    // Phase 3 — fold: ship partial sums for rows we don't own; phase 4 —
+    // sum: owners accumulate. Owned rows are added locally first.
+    for l in &mut y.locals {
+        l.fill(0.0);
+    }
+    let mut contributions: Vec<Vec<(u32, f64)>> = vec![Vec::new(); p];
+    let mut sum_costs = vec![PhaseCost::default(); p];
+    for r in 0..p {
+        let block = &a.blocks[r];
+        for (li, &g) in block.rowmap.iter().enumerate() {
+            if a.vmap.owner(g) == r as u32 {
+                y.locals[r][a.vmap.lid(g)] += partials[r][li];
+                sum_costs[r].flops += 1;
+            } else {
+                contributions[r].push((g, partials[r][li]));
+            }
+        }
+    }
+    ledger.superstep(Phase::Fold, &a.export.phase_costs());
+    a.export
+        .execute_scatter_add(&a.vmap, &contributions, &mut y.locals);
+    // Charge the receive-side additions of the fold.
+    for r in 0..p {
+        let received: u64 = a.export.sends[r].iter().map(|(_, g)| g.len() as u64).sum();
+        sum_costs[r].flops += received;
+    }
+    ledger.superstep(Phase::Sum, &sum_costs);
+}
+
+/// Blocked SpMM `Y = A X` over a [`DistMultiVector`](crate::multivec::DistMultiVector).
+///
+/// Identical communication *pattern* to [`spmv`] but each expand/fold
+/// message carries all `ncols` values of an entry: message counts stay the
+/// same while bytes scale with `ncols` — the latency-amortization that
+/// makes block Krylov methods communication-efficient. Costs are charged
+/// accordingly (msgs x1, bytes x ncols, flops x ncols).
+pub fn spmm(
+    a: &DistCsrMatrix,
+    x: &crate::multivec::DistMultiVector,
+    y: &mut crate::multivec::DistMultiVector,
+    ledger: &mut CostLedger,
+) {
+    assert_eq!(x.ncols, y.ncols, "column count mismatch");
+    let p = a.nprocs();
+    let m = x.ncols;
+
+    // Expand: one plan execution per column moves the same gids; charge a
+    // single superstep with ncols-wide payloads.
+    let mut imported: Vec<Vec<Vec<(u32, f64)>>> = Vec::with_capacity(m);
+    for c in 0..m {
+        let col_locals: Vec<Vec<f64>> = (0..p).map(|r| x.col(r, c).to_vec()).collect();
+        imported.push(a.import.execute_gather(&a.vmap, &col_locals));
+    }
+    let widened: Vec<PhaseCost> = a
+        .import
+        .phase_costs()
+        .into_iter()
+        .map(|c| PhaseCost {
+            msgs: c.msgs,
+            bytes: c.bytes * m as u64,
+            flops: 0,
+        })
+        .collect();
+    ledger.superstep(Phase::Expand, &widened);
+
+    // Local compute per column.
+    let mut partials: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(p); m];
+    let mut compute_costs = vec![PhaseCost::default(); p];
+    for r in 0..p {
+        let block = &a.blocks[r];
+        for (c, import_c) in imported.iter().enumerate() {
+            let mut xcols = vec![0.0; block.colmap.len()];
+            for (lid, &g) in block.colmap.iter().enumerate() {
+                if a.vmap.owner(g) == r as u32 {
+                    xcols[lid] = x.col(r, c)[a.vmap.lid(g)];
+                }
+            }
+            for &(g, v) in &import_c[r] {
+                xcols[block.col_lid(g)] = v;
+            }
+            partials[c].push(block.local.spmv_dense(&xcols));
+        }
+        compute_costs[r].flops += 2 * (m * block.local.nnz()) as u64;
+    }
+    ledger.superstep(Phase::LocalCompute, &compute_costs);
+
+    // Fold + sum per column, widened fold costs charged once.
+    for l in &mut y.locals {
+        l.fill(0.0);
+    }
+    let mut sum_costs = vec![PhaseCost::default(); p];
+    let widened: Vec<PhaseCost> = a
+        .export
+        .phase_costs()
+        .into_iter()
+        .map(|c| PhaseCost {
+            msgs: c.msgs,
+            bytes: c.bytes * m as u64,
+            flops: 0,
+        })
+        .collect();
+    ledger.superstep(Phase::Fold, &widened);
+    for (c, partial_c) in partials.iter().enumerate() {
+        let mut contributions: Vec<Vec<(u32, f64)>> = vec![Vec::new(); p];
+        for r in 0..p {
+            let block = &a.blocks[r];
+            for (li, &g) in block.rowmap.iter().enumerate() {
+                if a.vmap.owner(g) == r as u32 {
+                    let lid = a.vmap.lid(g);
+                    y.col_mut(r, c)[lid] += partial_c[r][li];
+                    sum_costs[r].flops += 1;
+                } else {
+                    contributions[r].push((g, partial_c[r][li]));
+                }
+            }
+        }
+        // Scatter-add into a per-column view, then write back.
+        let mut col_locals: Vec<Vec<f64>> = (0..p).map(|r| y.col(r, c).to_vec()).collect();
+        a.export
+            .execute_scatter_add(&a.vmap, &contributions, &mut col_locals);
+        for r in 0..p {
+            y.col_mut(r, c).copy_from_slice(&col_locals[r]);
+        }
+    }
+    for r in 0..p {
+        let received: u64 = a.export.sends[r].iter().map(|(_, g)| g.len() as u64).sum();
+        sum_costs[r].flops += m as u64 * received;
+    }
+    ledger.superstep(Phase::Sum, &sum_costs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use sf2d_gen::{grid_2d, rmat, RmatConfig};
+    use sf2d_partition::{grid_shape, GpConfig, MatrixDist};
+    use sf2d_sim::{CostLedger, Machine};
+
+    fn check_layout(a: &sf2d_graph::CsrMatrix, dist: &MatrixDist) {
+        let dm = DistCsrMatrix::from_global(a, dist);
+        let x_global: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 31 + 7) % 13) as f64 - 6.0)
+            .collect();
+        let x = DistVector::from_global(Arc::clone(&dm.vmap), &x_global);
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut ledger = CostLedger::new(Machine::cab());
+        spmv(&dm, &x, &mut y, &mut ledger);
+        let want = a.spmv_dense(&x_global);
+        let got = y.to_global();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                "row {i}: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_layouts_match_sequential_on_rmat() {
+        let a = rmat(&RmatConfig::graph500(7), 11);
+        let n = a.nrows();
+        for p in [1usize, 4, 6] {
+            let (pr, pc) = grid_shape(p);
+            check_layout(&a, &MatrixDist::block_1d(n, p));
+            check_layout(&a, &MatrixDist::random_1d(n, p, 5));
+            check_layout(&a, &MatrixDist::block_2d(n, pr, pc));
+            check_layout(&a, &MatrixDist::random_2d(n, pr, pc, 6));
+        }
+    }
+
+    #[test]
+    fn gp_layouts_match_sequential() {
+        let a = grid_2d(12, 12);
+        let g = sf2d_graph::Graph::from_symmetric_matrix(&a);
+        let part = sf2d_partition::partition_graph(&g, 6, &GpConfig::default());
+        check_layout(&a, &MatrixDist::from_partition_1d(&part));
+        let (pr, pc) = grid_shape(6);
+        check_layout(&a, &MatrixDist::cartesian_2d(&part, pr, pc, false));
+        check_layout(&a, &MatrixDist::cartesian_2d(&part, pr, pc, true));
+    }
+
+    #[test]
+    fn expand_volume_charged_matches_plan() {
+        let a = rmat(&RmatConfig::graph500(6), 2);
+        let d = MatrixDist::block_1d(a.nrows(), 4);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let x = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        // Unit-alpha, zero-beta/gamma machine: total expand time = max over
+        // ranks of (messages sent + received), since both endpoints pay α.
+        let m = Machine {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            name: "msgs",
+        };
+        let mut ledger = CostLedger::new(m);
+        spmv(&dm, &x, &mut y, &mut ledger);
+        let expand = ledger.by_phase[&Phase::Expand];
+        let want = (0..4)
+            .map(|r| dm.import.sends[r].len() + dm.import.recvs[r].len())
+            .max()
+            .unwrap();
+        assert_eq!(expand as usize, want);
+    }
+
+    #[test]
+    fn one_d_has_zero_fold_time() {
+        let a = rmat(&RmatConfig::graph500(6), 3);
+        let d = MatrixDist::random_1d(a.nrows(), 5, 1);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let x = DistVector::random(Arc::clone(&dm.vmap), 3);
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut ledger = CostLedger::new(Machine::cab());
+        spmv(&dm, &x, &mut y, &mut ledger);
+        assert_eq!(
+            ledger.by_phase.get(&Phase::Fold).copied().unwrap_or(0.0),
+            0.0
+        );
+        assert!(ledger.by_phase[&Phase::Expand] > 0.0);
+    }
+
+    #[test]
+    fn spmm_matches_column_wise_spmv() {
+        use crate::multivec::DistMultiVector;
+        let a = rmat(&RmatConfig::graph500(6), 4);
+        let d = MatrixDist::block_2d(a.nrows(), 2, 2);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let n = a.nrows();
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|c| {
+                (0..n)
+                    .map(|i| ((i * (c + 2) + 1) % 7) as f64 - 3.0)
+                    .collect()
+            })
+            .collect();
+        let x = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+        let mut y = DistMultiVector::zeros(Arc::clone(&dm.vmap), 3);
+        let mut ledger = CostLedger::new(Machine::cab());
+        spmm(&dm, &x, &mut y, &mut ledger);
+        for (c, col) in cols.iter().enumerate() {
+            let want = a.spmv_dense(col);
+            let got = y.col_to_global(c);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()), "col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_amortizes_latency_vs_repeated_spmv() {
+        use crate::multivec::DistMultiVector;
+        let a = rmat(&RmatConfig::graph500(8), 6);
+        let d = MatrixDist::random_1d(a.nrows(), 16, 2);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let m = 8usize;
+
+        // m separate SpMVs.
+        let x = DistVector::random(Arc::clone(&dm.vmap), 1);
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l_single = CostLedger::new(Machine::cab());
+        for _ in 0..m {
+            spmv(&dm, &x, &mut y, &mut l_single);
+        }
+
+        // One m-column SpMM.
+        let cols: Vec<Vec<f64>> = (0..m).map(|_| x.to_global()).collect();
+        let xm = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+        let mut ym = DistMultiVector::zeros(Arc::clone(&dm.vmap), m);
+        let mut l_block = CostLedger::new(Machine::cab());
+        spmm(&dm, &xm, &mut ym, &mut l_block);
+
+        // Same bytes and flops, 1/m the messages: strictly cheaper.
+        assert!(
+            l_block.total < l_single.total,
+            "blocked {} not below repeated {}",
+            l_block.total,
+            l_single.total
+        );
+    }
+
+    #[test]
+    fn repeated_spmv_accumulates_time_linearly() {
+        let a = grid_2d(8, 8);
+        let d = MatrixDist::block_2d(64, 2, 2);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let x = DistVector::random(Arc::clone(&dm.vmap), 7);
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut ledger = CostLedger::new(Machine::cab());
+        spmv(&dm, &x, &mut y, &mut ledger);
+        let t1 = ledger.total;
+        for _ in 0..9 {
+            spmv(&dm, &x, &mut y, &mut ledger);
+        }
+        assert!((ledger.total - 10.0 * t1).abs() < 1e-12 * ledger.total.max(1e-30));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for communication plans: conservation, gather /
+//! scatter duality, and cost bookkeeping on random maps and need-sets.
+
+use proptest::prelude::*;
+use sf2d_partition::MatrixDist;
+use sf2d_spmv::{CommPlan, VectorMap};
+
+/// Random map + per-rank sorted need lists.
+fn setup_strategy() -> impl Strategy<Value = (VectorMap, Vec<Vec<u32>>)> {
+    (4usize..40, 2usize..8, 0u64..500)
+        .prop_flat_map(|(n, p, seed)| {
+            let _map = VectorMap::from_dist(&MatrixDist::random_1d(n, p, seed));
+            proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 0..n), p..=p)
+                .prop_map(move |mut needs| {
+                    for need in &mut needs {
+                        need.sort_unstable();
+                        need.dedup();
+                    }
+                    (
+                        VectorMap::from_dist(&MatrixDist::random_1d(n, p, seed)),
+                        needs,
+                    )
+                })
+        })
+        .prop_map(|(m, n)| (m, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A gather delivers exactly the remote gids requested, with the right
+    /// values, in deterministic source order.
+    #[test]
+    fn gather_delivers_exactly_the_remote_needs((map, needs) in setup_strategy()) {
+        let p = map.nprocs();
+        let plan = CommPlan::gather(&needs, &map);
+        // Locals: value of gid g is g * 3.0 + 1.
+        let locals: Vec<Vec<f64>> = (0..p)
+            .map(|r| map.gids(r).iter().map(|&g| g as f64 * 3.0 + 1.0).collect())
+            .collect();
+        let got = plan.execute_gather(&map, &locals);
+        for (r, need) in needs.iter().enumerate() {
+            let expect: Vec<u32> =
+                need.iter().copied().filter(|&g| map.owner(g) != r as u32).collect();
+            let got_gids: Vec<u32> = got[r].iter().map(|&(g, _)| g).collect();
+            let mut sorted = got_gids.clone();
+            sorted.sort_unstable();
+            let mut expect_sorted = expect.clone();
+            expect_sorted.sort_unstable();
+            prop_assert_eq!(sorted, expect_sorted, "rank {}", r);
+            for &(g, v) in &got[r] {
+                prop_assert_eq!(v, g as f64 * 3.0 + 1.0);
+            }
+        }
+    }
+
+    /// Volume bookkeeping: plan volume equals the number of delivered
+    /// values; send costs sum to 8 bytes per double.
+    #[test]
+    fn plan_volume_matches_traffic((map, needs) in setup_strategy()) {
+        let p = map.nprocs();
+        let plan = CommPlan::gather(&needs, &map);
+        let locals: Vec<Vec<f64>> = (0..p).map(|r| vec![0.0; map.nlocal(r)]).collect();
+        let got = plan.execute_gather(&map, &locals);
+        let delivered: usize = got.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(plan.total_volume(), delivered);
+        let bytes: u64 = plan.send_costs().iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(bytes, 8 * delivered as u64);
+    }
+
+    /// Gather/scatter duality: scatter-adding ones along the reverse plan
+    /// increments each requested gid exactly once per requesting rank.
+    #[test]
+    fn scatter_add_conserves_mass((map, needs) in setup_strategy()) {
+        let p = map.nprocs();
+        let plan = CommPlan::gather(&needs, &map);
+        let mut locals: Vec<Vec<f64>> = (0..p).map(|r| vec![0.0; map.nlocal(r)]).collect();
+        let contributions: Vec<Vec<(u32, f64)>> = (0..p)
+            .map(|r| {
+                plan.recvs[r]
+                    .iter()
+                    .flat_map(|(_, gids)| gids.iter().map(|&g| (g, 1.0)))
+                    .collect()
+            })
+            .collect();
+        let total_sent: f64 =
+            contributions.iter().map(|c| c.iter().map(|&(_, v)| v).sum::<f64>()).sum();
+        plan.execute_scatter_add(&map, &contributions, &mut locals);
+        let total_received: f64 = locals.iter().flat_map(|l| l.iter()).sum();
+        prop_assert!((total_sent - total_received).abs() < 1e-12);
+    }
+
+    /// No self-messages ever appear in a plan.
+    #[test]
+    fn no_self_messages((map, needs) in setup_strategy()) {
+        let plan = CommPlan::gather(&needs, &map);
+        for (r, out) in plan.sends.iter().enumerate() {
+            for (dst, _) in out {
+                prop_assert_ne!(*dst as usize, r);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's recurring contrast, measured side by side: partitioning and
+//! layout behave completely differently on **mesh-like** problems
+//! (scientific computing) and **scale-free** graphs (data analysis).
+//!
+//! * On a mesh: GP crushes random layouts (locality exists and 1D
+//!   partitioning finds it); randomization is a *bad* idea (§2.4).
+//! * On a scale-free graph: block layouts collapse under load imbalance,
+//!   message counts dominate at scale, and the 2D Cartesian GP layout is
+//!   the only one that controls both.
+//!
+//! Run with: `cargo run --release -p sf2d-examples --bin mesh_vs_scalefree`
+
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_gen::{grid_3d, rmat, RmatConfig};
+
+fn report(label: &str, a: &CsrMatrix, p: usize) {
+    println!(
+        "### {label}: {} rows, {} nnz on {p} ranks",
+        a.nrows(),
+        a.nnz()
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "layout", "time (s)", "max msgs", "total CV", "nnz imbal"
+    );
+    let mut builder = LayoutBuilder::new(a, 0);
+    for m in Method::spmv_set(false) {
+        let dist = builder.dist(m, p);
+        let row = spmv_experiment(a, &dist, Machine::cab(), 100);
+        println!(
+            "{:<12} {:>10.4} {:>10} {:>12} {:>10.2}",
+            m.name(),
+            row.sim_time,
+            row.max_msgs,
+            row.total_cv,
+            row.nnz_imbalance
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let p = 64;
+
+    // A 3D finite-difference mesh: the scientific-computing regime.
+    let mesh = grid_3d(22, 22, 22);
+    report("3D mesh (22^3, 7-point stencil)", &mesh, p);
+
+    // An R-MAT scale-free graph of comparable size.
+    let sf = rmat(
+        &RmatConfig {
+            edge_factor: 3,
+            ..RmatConfig::graph500(13)
+        },
+        9,
+    );
+    report("R-MAT scale-free graph", &sf, p);
+
+    println!("reading guide:");
+    println!("- mesh: 1D-GP's volume is a small fraction of 1D-Random's — locality");
+    println!("  exists and the partitioner finds it (randomization is harmful here);");
+    println!("- scale-free: every 1D layout pays ~p messages; the 2D layouts cap it");
+    println!("  at 14, and among them the GP variant moves the fewest doubles —");
+    println!("  the paper's 2D Cartesian graph partitioning.");
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Final wrap-up: rebuild, re-record the SpMV-side artifacts with the final
+# binaries, stitch the report, then record test and bench outputs.
+set -u
+cd "$(dirname "$0")"
+cargo build --release -p sf2d-bench --bins 2>&1 | tail -1
+for bin in table1 table2 table3 fig5 fig6_7 fig8 ablations make_report; do
+  echo "=== $bin ($(date +%H:%M:%S))"
+  ./target/release/$bin --shrink 2 --seeds 11,22 > "results/$bin.txt" 2> "results/$bin.log"
+done
+echo FINISH_DONE

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every table and figure; tee'd into results/*.txt.
+set -u
+cd "$(dirname "$0")"
+SHRINK="${1:-2}"
+mkdir -p results
+for bin in table1 table2 table3 fig5 fig6_7 fig8 table4 table5 fig9 ablations make_report; do
+  echo "=== $bin (shrink $SHRINK) ==="
+  ./target/release/$bin --shrink "$SHRINK" --seeds 11,22 > "results/$bin.txt" 2> "results/$bin.log"
+  echo "--- done $bin ($(date +%H:%M:%S))"
+done
+echo ALL_DONE

@@ -1,0 +1,22 @@
+import json, statistics
+from collections import defaultdict
+
+rows = [json.loads(l) for l in open('results/table2.jsonl')]
+probs = defaultdict(dict)
+for r in rows:
+    probs[(r['matrix'], r['p'])][r['method']] = r['sim_time']
+red = {}
+for k, methods in probs.items():
+    gp = methods.get('2D-GP', methods.get('2D-HP'))
+    others = [t for m, t in methods.items() if m not in ('2D-GP', '2D-HP')]
+    red[k] = 100 * (min(others) - gp) / min(others)
+vals = sorted(red.values())
+best = sum(1 for k, methods in probs.items()
+           if methods.get('2D-GP', methods.get('2D-HP')) <= min(methods.values()) * (1 + 1e-9))
+win15 = sum(1 for k, methods in probs.items()
+            if methods.get('2D-GP', methods.get('2D-HP')) <= min(methods.values()) * 1.5)
+near = sum(1 for v in red.values() if v > -1)
+print(f"instances={len(red)} best={best} ({100*best/len(red):.1f}%) within1.5x={win15}")
+print(f"reductions: min={vals[0]:.1f} max={vals[-1]:.1f} mean={statistics.mean(vals):.1f} median={statistics.median(vals):.1f} cells>-1%={near}")
+print("worst cells:", sorted(red.items(), key=lambda kv: kv[1])[:3])
+print("best cells:", sorted(red.items(), key=lambda kv: kv[1])[-3:])

@@ -1,0 +1,152 @@
+//! Cross-crate eigensolver integration: the full pipeline (generate →
+//! partition → distribute → normalized Laplacian → Krylov-Schur) against
+//! dense oracles and invariants.
+
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_eigen::dense::{symmetric_eig, DenseMat};
+use sf2d_core::sf2d_eigen::krylov_schur_largest;
+use sf2d_core::sf2d_gen::{chung_lu, grid_2d, powerlaw_degrees, rmat, RmatConfig};
+use sf2d_core::sf2d_graph::normalized_laplacian;
+
+fn dense_eigenvalues(a: &CsrMatrix) -> Vec<f64> {
+    let n = a.nrows();
+    let mut d = DenseMat::zeros(n);
+    for (i, j, v) in a.iter() {
+        d[(i as usize, j as usize)] = v;
+    }
+    let (vals, _) = symmetric_eig(&d);
+    vals
+}
+
+fn solve_with(a: &CsrMatrix, method: Method, p: usize, nev: usize) -> Vec<f64> {
+    let stripped = a.without_diagonal();
+    let degrees: Vec<usize> = (0..stripped.nrows()).map(|i| stripped.row_nnz(i)).collect();
+    let mut builder = LayoutBuilder::new(a, 0);
+    let dist = builder.dist(method, p);
+    let dm = DistCsrMatrix::from_global(&stripped, &dist);
+    let op = NormalizedLaplacianOp::new(dm, &degrees);
+    let cfg = KrylovSchurConfig {
+        nev,
+        max_basis: (4 * nev).max(nev + 8),
+        tol: 1e-9,
+        max_restarts: 400,
+        seed: 3,
+    };
+    let mut ledger = CostLedger::new(Machine::cab());
+    let res = krylov_schur_largest(&op, &cfg, &mut ledger);
+    assert!(
+        res.converged,
+        "{}: residuals {:?}",
+        method.name(),
+        res.residuals
+    );
+    res.values
+}
+
+#[test]
+fn distributed_solver_matches_dense_oracle() {
+    // Rectangular grid: simple, non-degenerate spectrum.
+    let a = grid_2d(6, 9);
+    let lhat = normalized_laplacian(&a).unwrap();
+    let dense = dense_eigenvalues(&lhat);
+    let want: Vec<f64> = dense.iter().rev().take(4).copied().collect();
+    for method in [Method::OneDBlock, Method::TwoDGp, Method::TwoDRandom] {
+        let got = solve_with(&a, method, 6, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-7, "{}: {g} vs {w}", method.name());
+        }
+    }
+}
+
+#[test]
+fn eigenvalues_layout_invariant_on_scale_free_graph() {
+    let a = rmat(&RmatConfig::graph500(7), 13);
+    let reference = solve_with(&a, Method::OneDBlock, 4, 5);
+    for method in [
+        Method::OneDRandom,
+        Method::TwoDBlock,
+        Method::TwoDGp,
+        Method::TwoDHp,
+    ] {
+        let got = solve_with(&a, method, 9, 5);
+        for (g, r) in got.iter().zip(&reference) {
+            assert!((g - r).abs() < 1e-7, "{}: {g} vs {r}", method.name());
+        }
+    }
+}
+
+#[test]
+fn normalized_laplacian_spectrum_bounds_hold() {
+    // Any graph: eigenvalues of L-hat lie in [0, 2].
+    let d = powerlaw_degrees(300, 2.0, 2, 40, 5);
+    let a = chung_lu(&d, 600, 0, 0.0, 5);
+    let vals = solve_with(&a, Method::TwoDRandom, 6, 6);
+    for v in vals {
+        assert!(
+            (-1e-9..=2.0 + 1e-9).contains(&v),
+            "eigenvalue {v} out of [0,2]"
+        );
+    }
+}
+
+#[test]
+fn solver_costs_reflect_layout_quality() {
+    // Same solve, two layouts: the trajectory (op applies) is identical,
+    // but the 1D layout pays more simulated communication at high p.
+    let a = rmat(&RmatConfig::graph500(8), 17);
+    let stripped = a.without_diagonal();
+    let degrees: Vec<usize> = (0..stripped.nrows()).map(|i| stripped.row_nnz(i)).collect();
+    let cfg = KrylovSchurConfig {
+        nev: 3,
+        max_basis: 16,
+        tol: 1e-4,
+        max_restarts: 60,
+        seed: 1,
+    };
+
+    let mut times = Vec::new();
+    let mut applies = Vec::new();
+    for method in [Method::OneDBlock, Method::TwoDGp] {
+        let mut builder = LayoutBuilder::new(&a, 0);
+        let dist = builder.dist(method, 64);
+        let dm = DistCsrMatrix::from_global(&stripped, &dist);
+        let op = NormalizedLaplacianOp::new(dm, &degrees);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = krylov_schur_largest(&op, &cfg, &mut ledger);
+        times.push(ledger.total);
+        applies.push(res.op_applies);
+    }
+    assert_eq!(
+        applies[0], applies[1],
+        "trajectory must be layout-invariant"
+    );
+    assert!(
+        times[1] < times[0],
+        "2D-GP {} should beat 1D-Block {} at 64 ranks",
+        times[1],
+        times[0]
+    );
+}
+
+#[test]
+fn pagerank_and_eigensolver_share_distributions() {
+    // Both solvers run on the same distributed matrix infrastructure; a
+    // PageRank on the symmetrized graph converges under any layout.
+    let a = rmat(&RmatConfig::graph500(6), 19);
+    let p_matrix = sf2d_core::sf2d_graph::adjacency_to_pagerank(&a).unwrap();
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let mut totals = Vec::new();
+    for method in [Method::OneDBlock, Method::TwoDGp] {
+        let dist = builder.dist(method, 8);
+        let dm = DistCsrMatrix::from_global(&p_matrix, &dist);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = sf2d_core::sf2d_eigen::pagerank(&dm, 0.85, 1e-10, 300, &mut ledger);
+        let ranks = res.ranks.to_global();
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "{}: sum {sum}", method.name());
+        totals.push(ranks);
+    }
+    for (x, y) in totals[0].iter().zip(&totals[1]) {
+        assert!((x - y).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,140 @@
+//! Tests that the paper's *qualitative claims* hold in the reproduction —
+//! the analysis of §3.2 and the empirical findings of §5 at test scale.
+
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_gen::{grid_2d, rmat, RmatConfig};
+
+/// §3.2 "Number of messages": 2D-GP's messages per process are bounded by
+/// pr + pc − 2, while 1D layouts approach p − 1.
+#[test]
+fn message_counts_match_analysis() {
+    let a = rmat(&RmatConfig::graph500(9), 1);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let p = 64;
+    let one_d = LayoutMetrics::compute(&a, &builder.dist(Method::OneDRandom, p));
+    let two_d = LayoutMetrics::compute(&a, &builder.dist(Method::TwoDGp, p));
+    assert!(one_d.max_msgs() > 50, "1D msgs {}", one_d.max_msgs());
+    assert!(two_d.max_msgs() <= 14, "2D msgs {}", two_d.max_msgs());
+}
+
+/// §3.2 "Communication volume": 2D-GP volume is similar to 1D-GP (same
+/// rpart), and below 2D-Random's.
+#[test]
+fn volume_comparisons_match_analysis() {
+    let a = rmat(
+        &RmatConfig {
+            edge_factor: 4,
+            ..RmatConfig::graph500(11)
+        },
+        2,
+    );
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let p = 64;
+    let gp1 = LayoutMetrics::compute(&a, &builder.dist(Method::OneDGp, p));
+    let gp2 = LayoutMetrics::compute(&a, &builder.dist(Method::TwoDGp, p));
+    let rand2 = LayoutMetrics::compute(&a, &builder.dist(Method::TwoDRandom, p));
+    // "Similar" volume: within 2.5x either way (the paper says it "may vary
+    // depending on the sparsity pattern").
+    let ratio = gp2.total_comm_volume() as f64 / gp1.total_comm_volume() as f64;
+    assert!(ratio < 2.5 && ratio > 0.4, "2D/1D GP volume ratio {ratio}");
+    assert!(
+        gp2.total_comm_volume() < rand2.total_comm_volume(),
+        "2D-GP volume {} not below 2D-Random {}",
+        gp2.total_comm_volume(),
+        rand2.total_comm_volume()
+    );
+}
+
+/// §3.2 "Load balance": the 2D-GP vector distribution equals 1D-GP's, and
+/// nonzero balance is "roughly the same" as 1D.
+#[test]
+fn load_balance_matches_analysis() {
+    let a = rmat(&RmatConfig::graph500(9), 3);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let d1 = builder.dist(Method::OneDGp, 16);
+    let d2 = builder.dist(Method::TwoDGp, 16);
+    let m1 = LayoutMetrics::compute(&a, &d1);
+    let m2 = LayoutMetrics::compute(&a, &d2);
+    assert_eq!(
+        m1.vec_per_rank, m2.vec_per_rank,
+        "vector distribution must coincide"
+    );
+    assert!(m2.nnz_imbalance() < 3.0 * m1.nnz_imbalance() + 0.5);
+}
+
+/// §2.4: randomization fixes block layouts' imbalance on skewed graphs
+/// (the paper saw up to 130x block imbalance).
+#[test]
+fn randomization_fixes_block_imbalance() {
+    let a = rmat(&RmatConfig::graph500(10), 4);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let p = 64;
+    let block = LayoutMetrics::compute(&a, &builder.dist(Method::TwoDBlock, p));
+    let random = LayoutMetrics::compute(&a, &builder.dist(Method::TwoDRandom, p));
+    assert!(
+        block.nnz_imbalance() > 2.0,
+        "block imbalance {}",
+        block.nnz_imbalance()
+    );
+    // At test scale a rank holds only ~16 rows, so the hub keeps the random
+    // layout's imbalance near 1.6; what matters is the multiple vs block.
+    assert!(
+        2.0 * random.nnz_imbalance() < block.nnz_imbalance(),
+        "random {} vs block {}",
+        random.nnz_imbalance(),
+        block.nnz_imbalance()
+    );
+    // But randomization costs volume (§2.4's trade-off).
+    assert!(random.total_comm_volume() >= block.total_comm_volume());
+}
+
+/// §2.4: "randomization is a poor load balancing method for meshes" — on a
+/// grid, GP crushes random in communication volume.
+#[test]
+fn randomization_is_poor_on_meshes() {
+    let a = grid_2d(40, 40);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let gp = LayoutMetrics::compute(&a, &builder.dist(Method::OneDGp, 16));
+    let rand = LayoutMetrics::compute(&a, &builder.dist(Method::OneDRandom, 16));
+    assert!(
+        5 * gp.total_comm_volume() < rand.total_comm_volume(),
+        "gp volume {} vs random {}",
+        gp.total_comm_volume(),
+        rand.total_comm_volume()
+    );
+}
+
+/// §5.2 second finding: at large p, 2D beats 1D in simulated SpMV time.
+#[test]
+fn two_d_wins_at_scale() {
+    let a = rmat(
+        &RmatConfig {
+            edge_factor: 4,
+            ..RmatConfig::graph500(12)
+        },
+        5,
+    );
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let machine = Machine::cab().with_workload_scale(64.0);
+    let p = 1024;
+    let t1 = spmv_experiment(&a, &builder.dist(Method::OneDGp, p), machine, 100).sim_time;
+    let t2 = spmv_experiment(&a, &builder.dist(Method::TwoDGp, p), machine, 100).sim_time;
+    assert!(t2 < t1, "2D-GP {t2} not below 1D-GP {t1} at p={p}");
+}
+
+/// Fig 2 equivalence: Algorithm 2 on a block rpart IS the 2D block-stripe
+/// layout of Yoo et al. — verified structurally in `sf2d-partition`; here
+/// we confirm the experiment pipeline treats them identically.
+#[test]
+fn two_d_block_is_algorithm2_on_block_rpart() {
+    let a = rmat(&RmatConfig::graph500(7), 6);
+    let n = a.nrows();
+    let d1 = MatrixDist::block_2d(n, 4, 4);
+    let part =
+        sf2d_core::sf2d_partition::Partition::new(MatrixDist::block_1d(n, 16).rpart().to_vec(), 16);
+    let d2 = MatrixDist::cartesian_2d(&part, 4, 4, false);
+    let m1 = LayoutMetrics::compute(&a, &d1);
+    let m2 = LayoutMetrics::compute(&a, &d2);
+    assert_eq!(m1.nnz_per_rank, m2.nnz_per_rank);
+    assert_eq!(m1.expand_send_vol, m2.expand_send_vol);
+}

@@ -1,0 +1,128 @@
+//! End-to-end correctness: distributed SpMV equals sequential SpMV for
+//! every layout, every generator family, and randomized configurations.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_gen::{bter, grid_2d, preferential_attachment, rmat, BterConfig, RmatConfig};
+
+fn check_all_layouts(a: &CsrMatrix, p: usize, seed: u64) {
+    let x_global: Vec<f64> = (0..a.nrows())
+        .map(|i| ((i * 37 + 11) % 17) as f64 - 8.0)
+        .collect();
+    let want = a.spmv_dense(&x_global);
+    let mut builder = LayoutBuilder::new(a, seed);
+    let mut methods = Method::eigen_set(false);
+    methods.push(Method::OneDHp);
+    methods.push(Method::TwoDHp);
+    for m in methods {
+        let dist = builder.dist(m, p);
+        let dm = DistCsrMatrix::from_global(a, &dist);
+        let x = DistVector::from_global(Arc::clone(&dm.vmap), &x_global);
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut ledger = CostLedger::new(Machine::cab());
+        spmv(&dm, &x, &mut y, &mut ledger);
+        let got = y.to_global();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                "{} p={p} row {i}: {g} vs {w}",
+                m.name()
+            );
+        }
+        // Every nonzero placed exactly once.
+        assert_eq!(dm.nnz(), a.nnz(), "{}", m.name());
+    }
+}
+
+#[test]
+fn all_layouts_on_rmat() {
+    let a = rmat(&RmatConfig::graph500(8), 5);
+    for p in [2usize, 6, 16] {
+        check_all_layouts(&a, p, 1);
+    }
+}
+
+#[test]
+fn all_layouts_on_bter() {
+    let a = bter(&BterConfig::paper(400, 40), 3);
+    check_all_layouts(&a, 8, 2);
+}
+
+#[test]
+fn all_layouts_on_preferential_attachment() {
+    let a = preferential_attachment(500, 3, 7);
+    check_all_layouts(&a, 12, 3);
+}
+
+#[test]
+fn all_layouts_on_mesh() {
+    let a = grid_2d(20, 17);
+    check_all_layouts(&a, 9, 4);
+}
+
+#[test]
+fn more_ranks_than_rows() {
+    let a = grid_2d(3, 4);
+    check_all_layouts(&a, 24, 5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random symmetric matrices x random rank counts x both 2D variants.
+    #[test]
+    fn random_matrices_random_layouts(
+        n in 4usize..40,
+        p in 1usize..12,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..120),
+        seed in 0u64..1000,
+    ) {
+        let mut coo = CooMatrix::new(n, n);
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            coo.push_sym(u, v, 1.0 + (u as f64) * 0.1);
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let x_global: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let want = a.spmv_dense(&x_global);
+
+        let (pr, pc) = grid_shape(p);
+        for dist in [
+            MatrixDist::block_1d(n, p),
+            MatrixDist::random_1d(n, p, seed),
+            MatrixDist::block_2d(n, pr, pc),
+            MatrixDist::random_2d(n, pr, pc, seed),
+            MatrixDist::random_2d(n, pr, pc, seed).interchanged(),
+        ] {
+            let dm = DistCsrMatrix::from_global(&a, &dist);
+            let x = DistVector::from_global(Arc::clone(&dm.vmap), &x_global);
+            let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+            let mut ledger = CostLedger::new(Machine::cab());
+            spmv(&dm, &x, &mut y, &mut ledger);
+            let got = y.to_global();
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+            }
+        }
+    }
+
+    /// The 2D message bound pr + pc - 2 holds for every matrix and grid.
+    #[test]
+    fn two_d_message_bound_structural(
+        n in 8usize..48,
+        edges in proptest::collection::vec((0u32..48, 0u32..48), 1..200),
+        pr in 1u32..5,
+        pc in 1u32..5,
+    ) {
+        let mut coo = CooMatrix::new(n, n);
+        for (u, v) in edges {
+            coo.push_sym(u % n as u32, v % n as u32, 1.0);
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let dist = MatrixDist::block_2d(n, pr, pc);
+        let m = LayoutMetrics::compute(&a, &dist);
+        prop_assert!(m.max_msgs() <= (pr + pc) as usize - 2 + usize::from(pr * pc == 1));
+    }
+}
