@@ -95,13 +95,75 @@ fn distributed_spmv(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR's headline kernels: a 100-iteration SpMV sweep and a 4-column
+/// SpMM, compiled local-index path vs the gid-based reference executor,
+/// on the paper's 2D-GP layout. Mirrors the `bench_spmv` tracker binary
+/// (which records `BENCH_spmv.json`), at a criterion-friendly scale.
+fn spmv_hot_path(c: &mut Criterion) {
+    use sf2d_core::sf2d_spmv::{reference, spmm_with, spmv_with, DistMultiVector, SpmvWorkspace};
+
+    let a = rmat(&RmatConfig::graph500(11), 7);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let dist = builder.dist(Method::TwoDGp, 64);
+    let dm = DistCsrMatrix::from_global(&a, &dist);
+    let x = DistVector::random(std::sync::Arc::clone(&dm.vmap), 1);
+    let mut y = DistVector::zeros(std::sync::Arc::clone(&dm.vmap));
+    let cols: Vec<Vec<f64>> = (0..4)
+        .map(|c| (0..a.nrows()).map(|i| ((i + c) as f64).cos()).collect())
+        .collect();
+    let xm = DistMultiVector::from_columns(std::sync::Arc::clone(&dm.vmap), &cols);
+    let mut ym = DistMultiVector::zeros(std::sync::Arc::clone(&dm.vmap), 4);
+    let mut ws = SpmvWorkspace::new();
+
+    let mut g = c.benchmark_group("spmv100_2dgp_p64");
+    g.sample_size(10);
+    g.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut ledger = CostLedger::new(Machine::cab());
+            for _ in 0..100 {
+                spmv_with(&dm, &x, &mut y, &mut ledger, &mut ws);
+            }
+            std::hint::black_box(ledger.total)
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut ledger = CostLedger::new(Machine::cab());
+            for _ in 0..100 {
+                reference::spmv_ref(&dm, &x, &mut y, &mut ledger);
+            }
+            std::hint::black_box(ledger.total)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("spmm4_2dgp_p64");
+    g.sample_size(10);
+    g.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut ledger = CostLedger::new(Machine::cab());
+            spmm_with(&dm, &xm, &mut ym, &mut ledger, &mut ws);
+            std::hint::black_box(ledger.total)
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut ledger = CostLedger::new(Machine::cab());
+            reference::spmm_ref(&dm, &xm, &mut ym, &mut ledger);
+            std::hint::black_box(ledger.total)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     spmv_kernel,
     csr_assembly,
     partitioners,
     layout_machinery,
-    distributed_spmv
+    distributed_spmv,
+    spmv_hot_path
 );
 
 // --- appended groups: solver and redistribution kernels ---
@@ -132,9 +194,7 @@ mod extra {
         let adj = rmat(&RmatConfig::graph500(10), 5);
         let l = sf2d_core::sf2d_graph::normalized_laplacian(&adj).unwrap();
         let d = MatrixDist::block_2d(l.nrows(), 4, 4);
-        let op = PlainSpmvOp {
-            a: DistCsrMatrix::from_global(&l, &d),
-        };
+        let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&l, &d));
         let cfg = KrylovSchurConfig {
             nev: 4,
             max_basis: 24,

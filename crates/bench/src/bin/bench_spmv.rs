@@ -1,0 +1,152 @@
+//! Wall-clock SpMV/SpMM kernel tracker: times the compiled fast path
+//! against the gid-based reference executor and writes `BENCH_spmv.json`
+//! (median ns per kernel invocation) so successive PRs can track the
+//! perf trajectory without digging through criterion output.
+//!
+//! Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p sf2d-bench --bin bench_spmv
+//! ```
+//!
+//! The file lands in the current directory (pass a path argument to put
+//! it elsewhere).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_gen::{rmat, RmatConfig};
+use sf2d_core::sf2d_spmv::{reference, spmm_with, spmv_with, DistMultiVector, SpmvWorkspace};
+use sf2d_core::LayoutBuilder;
+
+const SAMPLES: usize = 7;
+const SPMV_ITERS: usize = 100;
+const SPMM_COLS: usize = 4;
+
+#[derive(serde::Serialize)]
+struct KernelResult {
+    name: String,
+    median_ns_per_iter: u64,
+    samples: u64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    description: String,
+    matrix: String,
+    layout: String,
+    p: u64,
+    kernels: Vec<KernelResult>,
+    speedup_spmv100: f64,
+    speedup_spmm4: f64,
+}
+
+/// Median wall-clock nanoseconds of `SAMPLES` runs of `f`.
+fn median_ns(mut f: impl FnMut()) -> u64 {
+    // One warmup to populate caches / size the workspaces.
+    f();
+    let mut times: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_spmv.json".to_string());
+
+    // The acceptance scenario: a 2D-GP layout at p = 256 on a scale-free
+    // graph, the configuration every table harness hammers hardest.
+    let p = 256usize;
+    let a = rmat(&RmatConfig::graph500(12), 7);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let dist = builder.dist(Method::TwoDGp, p);
+    let dm = DistCsrMatrix::from_global(&a, &dist);
+
+    let x = DistVector::random(Arc::clone(&dm.vmap), 1);
+    let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+    let mut ws = SpmvWorkspace::new();
+
+    eprintln!(
+        "bench_spmv: {} rows, {} nnz, 2D-GP, p={p}, {SPMV_ITERS}-iteration SpMV + {SPMM_COLS}-column SpMM",
+        a.nrows(),
+        a.nnz()
+    );
+
+    let compiled_spmv = median_ns(|| {
+        let mut ledger = CostLedger::new(Machine::cab());
+        for _ in 0..SPMV_ITERS {
+            spmv_with(&dm, &x, &mut y, &mut ledger, &mut ws);
+        }
+        std::hint::black_box(ledger.total);
+    });
+    let reference_spmv = median_ns(|| {
+        let mut ledger = CostLedger::new(Machine::cab());
+        for _ in 0..SPMV_ITERS {
+            reference::spmv_ref(&dm, &x, &mut y, &mut ledger);
+        }
+        std::hint::black_box(ledger.total);
+    });
+
+    let cols: Vec<Vec<f64>> = (0..SPMM_COLS).map(|_| x.to_global()).collect();
+    let xm = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+    let mut ym = DistMultiVector::zeros(Arc::clone(&dm.vmap), SPMM_COLS);
+    let compiled_spmm = median_ns(|| {
+        let mut ledger = CostLedger::new(Machine::cab());
+        spmm_with(&dm, &xm, &mut ym, &mut ledger, &mut ws);
+        std::hint::black_box(ledger.total);
+    });
+    let reference_spmm = median_ns(|| {
+        let mut ledger = CostLedger::new(Machine::cab());
+        reference::spmm_ref(&dm, &xm, &mut ym, &mut ledger);
+        std::hint::black_box(ledger.total);
+    });
+
+    let report = BenchReport {
+        description: format!(
+            "median wall-clock ns per kernel invocation over {SAMPLES} samples \
+             (spmv kernels run {SPMV_ITERS} iterations per invocation)"
+        ),
+        matrix: format!("rmat graph500 scale 12 ({} nnz)", a.nnz()),
+        layout: "2D-GP".to_string(),
+        p: p as u64,
+        kernels: vec![
+            KernelResult {
+                name: format!("spmv{SPMV_ITERS}/compiled"),
+                median_ns_per_iter: compiled_spmv,
+                samples: SAMPLES as u64,
+            },
+            KernelResult {
+                name: format!("spmv{SPMV_ITERS}/reference"),
+                median_ns_per_iter: reference_spmv,
+                samples: SAMPLES as u64,
+            },
+            KernelResult {
+                name: format!("spmm{SPMM_COLS}/compiled"),
+                median_ns_per_iter: compiled_spmm,
+                samples: SAMPLES as u64,
+            },
+            KernelResult {
+                name: format!("spmm{SPMM_COLS}/reference"),
+                median_ns_per_iter: reference_spmm,
+                samples: SAMPLES as u64,
+            },
+        ],
+        speedup_spmv100: reference_spmv as f64 / compiled_spmv as f64,
+        speedup_spmm4: reference_spmm as f64 / compiled_spmm as f64,
+    };
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_spmv.json");
+    eprintln!(
+        "bench_spmv: spmv {:.2}x, spmm {:.2}x -> {out_path}",
+        report.speedup_spmv100, report.speedup_spmm4
+    );
+}

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use sf2d_eigen::{krylov_schur_largest, KrylovSchurConfig};
 use sf2d_graph::CsrMatrix;
 use sf2d_partition::{LayoutMetrics, NonzeroLayout};
-use sf2d_sim::{CostLedger, Machine};
-use sf2d_spmv::{spmv, DistCsrMatrix, DistVector, NormalizedLaplacianOp};
+use sf2d_sim::{CostLedger, Machine, RuntimeConfig};
+use sf2d_spmv::{spmv_with, DistCsrMatrix, DistVector, NormalizedLaplacianOp, SpmvWorkspace};
 
 use crate::layout::Method;
 
@@ -46,7 +46,10 @@ pub fn spmv_experiment<L: NonzeroLayout + ?Sized>(
     let x = DistVector::random(Arc::clone(&dm.vmap), 7);
     let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
     let mut ledger = CostLedger::new(machine);
-    spmv(&dm, &x, &mut y, &mut ledger);
+    // SF2D_THREADS only changes the simulator's wall clock, never the
+    // modeled costs (the parallel engine is bit-identical to sequential).
+    let mut ws = SpmvWorkspace::with_threads(RuntimeConfig::from_env().threads);
+    spmv_with(&dm, &x, &mut y, &mut ledger, &mut ws);
     let m = LayoutMetrics::compute(a, dist);
     SpmvRow {
         matrix: String::new(),
@@ -102,7 +105,8 @@ pub fn eigen_experiment<L: NonzeroLayout + ?Sized>(
     let stripped = adj.without_diagonal();
     let degrees: Vec<usize> = (0..stripped.nrows()).map(|i| stripped.row_nnz(i)).collect();
     let dm = DistCsrMatrix::from_global(&stripped, dist);
-    let op = NormalizedLaplacianOp::new(dm, &degrees);
+    let op =
+        NormalizedLaplacianOp::new(dm, &degrees).with_threads(RuntimeConfig::from_env().threads);
 
     let mut solve_time = 0.0;
     let mut spmv_time = 0.0;

@@ -51,9 +51,9 @@ pub mod prelude {
     pub use sf2d_gen::{proxy_matrix, ProxyConfig, PAPER_MATRICES};
     pub use sf2d_graph::{CooMatrix, CsrMatrix, Graph};
     pub use sf2d_partition::{grid_shape, LayoutMetrics, MatrixDist, NonzeroLayout};
-    pub use sf2d_sim::{CostLedger, Machine};
+    pub use sf2d_sim::{CostLedger, Machine, RuntimeConfig};
     pub use sf2d_spmv::{
-        spmm, spmv, DistCsrMatrix, DistMultiVector, DistVector, LinearOperator, MigrationPlan,
-        NormalizedLaplacianOp, PlainSpmvOp,
+        spmm, spmm_with, spmv, spmv_with, DistCsrMatrix, DistMultiVector, DistVector,
+        LinearOperator, MigrationPlan, NormalizedLaplacianOp, PlainSpmvOp, SpmvWorkspace,
     };
 }

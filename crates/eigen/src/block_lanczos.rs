@@ -132,9 +132,7 @@ mod tests {
 
     fn op_of(a: &sf2d_graph::CsrMatrix, p: usize) -> PlainSpmvOp {
         let d = MatrixDist::block_1d(a.nrows(), p);
-        PlainSpmvOp {
-            a: DistCsrMatrix::from_global(a, &d),
-        }
+        PlainSpmvOp::new(DistCsrMatrix::from_global(a, &d))
     }
 
     #[test]

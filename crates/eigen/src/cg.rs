@@ -128,9 +128,7 @@ mod tests {
         }
         let spd = CsrMatrix::from_coo(&coo);
         let d = MatrixDist::block_2d(spd.nrows(), 2, (p / 2).max(1) as u32);
-        let op = PlainSpmvOp {
-            a: DistCsrMatrix::from_global(&spd, &d),
-        };
+        let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&spd, &d));
         (spd, op)
     }
 
@@ -192,9 +190,7 @@ mod tests {
             MatrixDist::block_1d(spd.nrows(), 4),
             MatrixDist::random_2d(spd.nrows(), 2, 3, 1),
         ] {
-            let op = PlainSpmvOp {
-                a: DistCsrMatrix::from_global(&spd, &d),
-            };
+            let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&spd, &d));
             let b = DistVector::from_global(std::sync::Arc::clone(op.vmap()), &b_global);
             let mut ledger = CostLedger::new(Machine::cab());
             let res = conjugate_gradient(&op, &b, &CgConfig::default(), &mut ledger);
@@ -217,9 +213,7 @@ mod tests {
             CsrMatrix::from_coo(&coo)
         };
         let d = MatrixDist::block_1d(36, 3);
-        let op = PlainSpmvOp {
-            a: DistCsrMatrix::from_global(&neg, &d),
-        };
+        let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&neg, &d));
         let b = DistVector::random(std::sync::Arc::clone(op.vmap()), 1);
         let mut ledger = CostLedger::new(Machine::cab());
         let res = conjugate_gradient(&op, &b, &CgConfig::default(), &mut ledger);

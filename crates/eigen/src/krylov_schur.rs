@@ -246,9 +246,7 @@ mod tests {
 
     fn dist_op(a: &sf2d_graph::CsrMatrix, p: usize) -> PlainSpmvOp {
         let d = MatrixDist::block_1d(a.nrows(), p);
-        PlainSpmvOp {
-            a: DistCsrMatrix::from_global(a, &d),
-        }
+        PlainSpmvOp::new(DistCsrMatrix::from_global(a, &d))
     }
 
     /// Dense oracle via repeated Jacobi on the full matrix.
@@ -362,9 +360,7 @@ mod tests {
 
         let op1 = dist_op(&l, 2);
         let d2 = MatrixDist::block_2d(l.nrows(), 2, 2);
-        let op2 = PlainSpmvOp {
-            a: DistCsrMatrix::from_global(&l, &d2),
-        };
+        let op2 = PlainSpmvOp::new(DistCsrMatrix::from_global(&l, &d2));
 
         let mut l1 = CostLedger::new(Machine::cab());
         let mut l2 = CostLedger::new(Machine::cab());

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use sf2d_sim::collective::{allreduce_cost, allreduce_sum};
 use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
-use sf2d_spmv::{spmv, DistCsrMatrix, DistVector};
+use sf2d_spmv::{spmv_with, DistCsrMatrix, DistVector, SpmvWorkspace};
 
 /// PageRank result.
 #[derive(Debug)]
@@ -42,12 +42,15 @@ pub fn pagerank(
     // Start uniform.
     let mut x = DistVector::from_global(Arc::clone(&map), &vec![1.0 / n as f64; n]);
     let mut y = DistVector::zeros(Arc::clone(&map));
+    // One workspace for the whole solve: scratch buffers warm up on the
+    // first iteration and are reused from then on.
+    let mut ws = SpmvWorkspace::new();
 
     let mut iterations = 0;
     let mut delta = f64::INFINITY;
     while iterations < max_iters && delta > tol {
         iterations += 1;
-        spmv(p_matrix, &x, &mut y, ledger);
+        spmv_with(p_matrix, &x, &mut y, ledger, &mut ws);
 
         // Column-stochastic P loses exactly the dangling mass: the global
         // sum of y tells us how much to redistribute.
@@ -102,9 +105,10 @@ pub fn power_method(
     let nrm = x.norm2(ledger);
     x.scale(1.0 / nrm, ledger);
     let mut y = DistVector::zeros(Arc::clone(&map));
+    let mut ws = SpmvWorkspace::new();
     let mut lambda = 0.0f64;
     for it in 1..=max_iters {
-        spmv(a, &x, &mut y, ledger);
+        spmv_with(a, &x, &mut y, ledger, &mut ws);
         let new_lambda = y.dot(&x, ledger);
         let nrm = y.norm2(ledger);
         if nrm == 0.0 {

@@ -38,7 +38,7 @@ proptest! {
     #[test]
     fn krylov_schur_invariants(a in sym_strategy(), p in 1usize..7, seed in 0u64..50) {
         let d = MatrixDist::random_1d(a.nrows(), p, seed);
-        let op = PlainSpmvOp { a: DistCsrMatrix::from_global(&a, &d) };
+        let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&a, &d));
         let cfg = KrylovSchurConfig {
             nev: 2,
             max_basis: 16,
@@ -92,7 +92,7 @@ proptest! {
         let mut vals = Vec::new();
         for p in [2usize, 5] {
             let d = MatrixDist::block_1d(a.nrows(), p);
-            let op = PlainSpmvOp { a: DistCsrMatrix::from_global(&a, &d) };
+            let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&a, &d));
             let mut ledger = CostLedger::new(Machine::cab());
             let res = krylov_schur_largest(&op, &cfg, &mut ledger);
             prop_assume!(res.converged);
@@ -108,7 +108,7 @@ proptest! {
     #[test]
     fn seed_independence_of_spectrum(a in sym_strategy()) {
         let d = MatrixDist::block_1d(a.nrows(), 3);
-        let op = PlainSpmvOp { a: DistCsrMatrix::from_global(&a, &d) };
+        let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&a, &d));
         let mut tops = Vec::new();
         for seed in [1u64, 99] {
             let cfg = KrylovSchurConfig {
@@ -131,7 +131,7 @@ proptest! {
     fn plain_op_equals_spmv(a in sym_strategy(), p in 1usize..6) {
         let d = MatrixDist::block_1d(a.nrows(), p);
         let dm = DistCsrMatrix::from_global(&a, &d);
-        let op = PlainSpmvOp { a: dm };
+        let op = PlainSpmvOp::new(dm);
         let x = DistVector::random(Arc::clone(op.vmap()), 7);
         let mut y1 = DistVector::zeros(Arc::clone(op.vmap()));
         let mut ledger = CostLedger::new(Machine::cab());

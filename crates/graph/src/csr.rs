@@ -349,8 +349,20 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `x.len() != ncols`.
     pub fn spmv_dense(&self, x: &[Val]) -> Vec<Val> {
-        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         let mut y = vec![0.0; self.nrows];
+        self.spmv_dense_into(x, &mut y);
+        y
+    }
+
+    /// [`spmv_dense`](CsrMatrix::spmv_dense) into a caller-provided output
+    /// buffer — the allocation-free form the distributed SpMV workspaces
+    /// use. Overwrites `y` entirely.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn spmv_dense_into(&self, x: &[Val], y: &mut [Val]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
         for i in 0..self.nrows {
             let (cols, vals) = self.row(i);
             // Manual accumulation: the autovectorizer handles this fine and
@@ -361,7 +373,6 @@ impl CsrMatrix {
             }
             y[i] = acc;
         }
-        y
     }
 
     /// Maximum number of nonzeros in any row (the "Max nonzeros/row" column

@@ -219,7 +219,11 @@ mod tests {
         l.superstep_uniform(Phase::Collective, PhaseCost::comm(3, 0), 4);
         assert_eq!(
             l.history,
-            vec![(Phase::Expand, 2.0), (Phase::Fold, 1.0), (Phase::Collective, 3.0)]
+            vec![
+                (Phase::Expand, 2.0),
+                (Phase::Fold, 1.0),
+                (Phase::Collective, 3.0)
+            ]
         );
         assert_eq!(l.history.len(), l.steps);
         let sum: f64 = l.history.iter().map(|&(_, t)| t).sum();

@@ -37,4 +37,4 @@ pub mod runtime;
 pub use cost::{CostLedger, Phase, PhaseCost};
 pub use hierarchy::NodeModel;
 pub use machine::Machine;
-pub use runtime::{route_sequential, route_threaded, RankMessage};
+pub use runtime::{par_ranks, route_sequential, route_threaded, RankMessage, RuntimeConfig};

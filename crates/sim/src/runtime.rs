@@ -18,6 +18,68 @@ pub struct RankMessage {
     pub data: Vec<f64>,
 }
 
+/// Execution-tuning knobs for the simulator runtime. These change only
+/// how fast the simulator itself runs — never the modeled costs or the
+/// computed values (the parallel engine is bit-identical to sequential).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// OS threads the phase-local per-rank work fans out across
+    /// (1 = fully sequential).
+    pub threads: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig { threads: 1 }
+    }
+}
+
+impl RuntimeConfig {
+    /// Reads the `SF2D_THREADS` environment variable; unset, empty, or
+    /// unparsable values fall back to 1 (sequential).
+    pub fn from_env() -> RuntimeConfig {
+        let threads = std::env::var("SF2D_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        RuntimeConfig { threads }
+    }
+}
+
+/// The parallel superstep engine: runs `f(rank, &mut items[rank])` for
+/// every rank, fanning the ranks out across up to `threads` scoped OS
+/// threads in disjoint contiguous chunks.
+///
+/// Because each rank touches only its own slot (plus whatever shared
+/// read-only state `f` captures), the outcome is **bit-identical** to the
+/// sequential loop for any thread count — asserted by tests here and
+/// property-tested end-to-end in `sf2d-spmv`. `threads <= 1` runs the
+/// plain loop with zero overhead.
+pub fn par_ranks<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        for (r, item) in items.iter_mut().enumerate() {
+            f(r, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    std::thread::scope(|scope| {
+        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, item) in slice.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
 /// Routes `sends[rank] = [(dst, payload), ...]` and returns
 /// `recvs[rank] = [RankMessage, ...]` sorted by source rank.
 ///
@@ -48,23 +110,33 @@ pub fn route_threaded(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<Ran
     assert_eq!(sends.len(), p, "one send list per rank required");
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::unbounded::<RankMessage>()).unzip();
 
+    // Expected inbox sizes, counted up front: inboxes get exact
+    // capacities, and a lost message becomes a loud assert instead of a
+    // silently short inbox.
+    let mut expected = vec![0usize; p];
+    for (src, out) in sends.iter().enumerate() {
+        for (dst, _) in out {
+            assert!((*dst as usize) < p, "rank {src} sent to invalid rank {dst}");
+            expected[*dst as usize] += 1;
+        }
+    }
+
     crossbeam::scope(|scope| {
-        // Sender threads: each rank pushes its messages through its own
-        // clones of the channel senders.
+        // Sender threads: each rank clones exactly the senders its own
+        // messages need (one per message, not the full p-vector — cloning
+        // all `txs` per rank would cost O(p²) refcount traffic).
         for (src, out) in sends.into_iter().enumerate() {
-            let txs = txs.clone();
+            let links: Vec<channel::Sender<RankMessage>> = out
+                .iter()
+                .map(|(dst, _)| txs[*dst as usize].clone())
+                .collect();
             scope.spawn(move |_| {
-                for (dst, data) in out {
-                    assert!(
-                        (dst as usize) < txs.len(),
-                        "rank {src} sent to invalid rank {dst}"
-                    );
-                    txs[dst as usize]
-                        .send(RankMessage {
-                            src: src as u32,
-                            data,
-                        })
-                        .expect("receiver alive");
+                for ((_, data), tx) in out.into_iter().zip(links) {
+                    tx.send(RankMessage {
+                        src: src as u32,
+                        data,
+                    })
+                    .expect("receiver alive");
                 }
             });
         }
@@ -73,8 +145,11 @@ pub fn route_threaded(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<Ran
     // All senders joined; close the channels so draining terminates.
     drop(txs);
     rxs.into_iter()
-        .map(|rx| {
-            let mut inbox: Vec<RankMessage> = rx.into_iter().collect();
+        .enumerate()
+        .map(|(r, rx)| {
+            let mut inbox: Vec<RankMessage> = Vec::with_capacity(expected[r]);
+            inbox.extend(rx);
+            assert_eq!(inbox.len(), expected[r], "rank {r} inbox count mismatch");
             inbox.sort_by_key(|m| m.src);
             inbox
         })
@@ -169,6 +244,63 @@ mod tests {
     #[should_panic(expected = "invalid rank")]
     fn invalid_destination_detected() {
         route_sequential(2, vec![vec![(5, vec![1.0])], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank")]
+    fn threaded_invalid_destination_detected() {
+        route_threaded(2, vec![vec![(5, vec![1.0])], vec![]]);
+    }
+
+    #[test]
+    fn par_ranks_is_bit_identical_to_sequential() {
+        // Per-rank floating-point work whose result would expose any
+        // reordering: the exact value depends on summation order.
+        let work = |r: usize, acc: &mut f64| {
+            *acc = 0.0;
+            for k in 1..200 {
+                *acc += ((r * k) as f64).sin() / k as f64;
+            }
+        };
+        let mut seq = vec![0.0f64; 23];
+        par_ranks(1, &mut seq, work);
+        for threads in [2, 3, 8, 64] {
+            let mut par = vec![0.0f64; 23];
+            par_ranks(threads, &mut par, work);
+            let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_ranks_passes_correct_indices() {
+        let mut items = vec![0usize; 17];
+        par_ranks(4, &mut items, |r, slot| *slot = r * r);
+        for (r, &v) in items.iter().enumerate() {
+            assert_eq!(v, r * r);
+        }
+    }
+
+    #[test]
+    fn par_ranks_handles_edge_shapes() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_ranks(4, &mut empty, |_, _| unreachable!());
+        let mut one = vec![0u8];
+        par_ranks(16, &mut one, |_, v| *v = 7);
+        assert_eq!(one, vec![7]);
+        // More threads than items.
+        let mut few = vec![0u8; 3];
+        par_ranks(100, &mut few, |r, v| *v = r as u8 + 1);
+        assert_eq!(few, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn runtime_config_defaults_to_sequential() {
+        assert_eq!(RuntimeConfig::default().threads, 1);
+        // from_env falls back to 1 on unset/garbage (the variable is not
+        // set in the test environment).
+        assert!(RuntimeConfig::from_env().threads >= 1);
     }
 
     #[test]

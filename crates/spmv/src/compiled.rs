@@ -1,0 +1,376 @@
+//! Compiled local-index schedules for the 4-phase SpMV — the plan
+//! *compilation* step of Epetra's `FillComplete()`.
+//!
+//! [`CommPlan`](crate::plan::CommPlan) stores the communication structure
+//! in **global ids**; executing it directly means every SpMV re-resolves
+//! `owner(gid)` / `lid(gid)` / `col_lid(gid)` for every entry. Since the
+//! maps are immutable after construction, all of those lookups can be done
+//! once: this module lowers the plans plus the row/column maps into flat
+//! local-index copy lists, so the per-iteration path is array indexing
+//! only. Message payloads are bare `Vec<f64>` buffers that live in the
+//! [`SpmvWorkspace`] and are read **in place** by the destination rank
+//! (each unpack entry records the sender's buffer slot), so the steady
+//! state allocates nothing; the bytes accounted to the ledger still equal
+//! the plan's volume exactly. The static per-phase [`PhaseCost`] vectors
+//! are precomputed here too, so a ledger superstep is a slice reduce.
+//!
+//! The compiled schedules change *nothing* observable: results are
+//! bit-identical to the gid-based reference executor
+//! ([`reference`](crate::reference)), and the [`CostLedger`] charges are
+//! byte-for-byte the same — this optimizes the simulator's real wall
+//! clock, not the modeled time.
+//!
+//! [`CostLedger`]: sf2d_sim::cost::CostLedger
+
+use sf2d_sim::cost::PhaseCost;
+
+use crate::distmat::RankBlock;
+use crate::map::VectorMap;
+use crate::plan::CommPlan;
+
+/// One rank's compiled expand-phase schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankExpandPlan {
+    /// `(src_lid, xcols_lid)` pairs for locally-owned column entries:
+    /// `xcols[xcols_lid] = x_local[src_lid]`, in column-map order.
+    pub owned: Vec<(u32, u32)>,
+    /// Per outgoing message, aligned with `import.sends[r]`: the
+    /// destination rank and the local ids (into this rank's `x` slice)
+    /// whose values to pack, in plan order.
+    pub pack: Vec<(u32, Vec<u32>)>,
+    /// Per incoming message, aligned with `import.recvs[r]`: the source
+    /// rank, the slot in the source's `pack` list holding this message's
+    /// payload, and the `xcols` positions the arriving values land in.
+    pub unpack: Vec<(u32, u32, Vec<u32>)>,
+}
+
+/// One rank's compiled fold-phase schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFoldPlan {
+    /// `(partial_idx, y_lid)` pairs for locally-owned rows:
+    /// `y_local[y_lid] += partials[partial_idx]`, in row-map order.
+    pub owned: Vec<(u32, u32)>,
+    /// Per outgoing message, aligned with `export.recvs[r]`: the owning
+    /// rank and the indices into `partials` whose values to ship.
+    pub pack: Vec<(u32, Vec<u32>)>,
+    /// Per incoming message, aligned with `export.sends[r]`: the source
+    /// rank, the slot in the source's `pack` list holding this message's
+    /// payload, and the `y` local ids the arriving partials are added to.
+    pub unpack: Vec<(u32, u32, Vec<u32>)>,
+    /// Sum-phase flops this rank is charged per SpMV column: one per
+    /// locally-summed owned row plus one per received fold value (matches
+    /// the reference executor's accounting exactly).
+    pub sum_flops: u64,
+}
+
+/// The full compiled schedule: one expand and one fold plan per rank.
+///
+/// Built once by [`DistCsrMatrix::from_global`] and reused by every
+/// [`spmv`](crate::spmv::spmv) / [`spmm`](crate::spmv::spmm) call.
+///
+/// [`DistCsrMatrix::from_global`]: crate::distmat::DistCsrMatrix::from_global
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSpmv {
+    /// Per-rank expand schedules.
+    pub expand: Vec<RankExpandPlan>,
+    /// Per-rank fold schedules.
+    pub fold: Vec<RankFoldPlan>,
+    /// Per-rank expand-phase costs (= `import.phase_costs()`), frozen.
+    pub expand_costs: Vec<PhaseCost>,
+    /// Per-rank local-compute costs (2 flops per local nonzero), frozen.
+    pub compute_costs: Vec<PhaseCost>,
+    /// Per-rank fold-phase costs (= `export.phase_costs()`), frozen.
+    pub fold_costs: Vec<PhaseCost>,
+    /// Per-rank sum-phase costs (one flop per `sum_flops`), frozen.
+    pub sum_costs: Vec<PhaseCost>,
+}
+
+impl CompiledSpmv {
+    /// Lowers the gid-based plans and maps into local-index schedules.
+    /// All gid resolution the reference executor performs per call happens
+    /// here, once.
+    pub fn compile(
+        vmap: &VectorMap,
+        blocks: &[RankBlock],
+        import: &CommPlan,
+        export: &CommPlan,
+    ) -> CompiledSpmv {
+        let p = blocks.len();
+        let mut expand = Vec::with_capacity(p);
+        let mut fold = Vec::with_capacity(p);
+        for (r, block) in blocks.iter().enumerate() {
+            // Expand: owned colmap entries copy straight from the local x
+            // slice; remote entries arrive via the import plan.
+            let owned: Vec<(u32, u32)> = block
+                .colmap
+                .iter()
+                .enumerate()
+                .filter(|&(_, &g)| vmap.owner(g) == r as u32)
+                .map(|(lid, &g)| (vmap.lid(g) as u32, lid as u32))
+                .collect();
+            let pack: Vec<(u32, Vec<u32>)> = import.sends[r]
+                .iter()
+                .map(|(dst, gids)| (*dst, gids.iter().map(|&g| vmap.lid(g) as u32).collect()))
+                .collect();
+            let unpack: Vec<(u32, u32, Vec<u32>)> = import.recvs[r]
+                .iter()
+                .map(|(src, gids)| {
+                    let slot = import.sends[*src as usize]
+                        .iter()
+                        .position(|(dst, _)| *dst == r as u32)
+                        .expect("import plan symmetry") as u32;
+                    (
+                        *src,
+                        slot,
+                        gids.iter().map(|&g| block.col_lid(g) as u32).collect(),
+                    )
+                })
+                .collect();
+            expand.push(RankExpandPlan {
+                owned,
+                pack,
+                unpack,
+            });
+
+            // Fold: owned rows sum locally; the rest ship to their owner.
+            // `partials` is indexed by row-map position, so pack lists are
+            // row-map positions and unpack lists are y local ids.
+            let owned: Vec<(u32, u32)> = block
+                .rowmap
+                .iter()
+                .enumerate()
+                .filter(|&(_, &g)| vmap.owner(g) == r as u32)
+                .map(|(li, &g)| (li as u32, vmap.lid(g) as u32))
+                .collect();
+            let pack: Vec<(u32, Vec<u32>)> = export.recvs[r]
+                .iter()
+                .map(|(owner, gids)| {
+                    (
+                        *owner,
+                        gids.iter()
+                            .map(|&g| {
+                                block.rowmap.binary_search(&g).expect("gid in row map") as u32
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let unpack: Vec<(u32, u32, Vec<u32>)> = export.sends[r]
+                .iter()
+                .map(|(src, gids)| {
+                    let slot = export.recvs[*src as usize]
+                        .iter()
+                        .position(|(owner, _)| *owner == r as u32)
+                        .expect("export plan symmetry") as u32;
+                    (
+                        *src,
+                        slot,
+                        gids.iter().map(|&g| vmap.lid(g) as u32).collect(),
+                    )
+                })
+                .collect();
+            let received: u64 = unpack.iter().map(|(_, _, lids)| lids.len() as u64).sum();
+            let sum_flops = owned.len() as u64 + received;
+            fold.push(RankFoldPlan {
+                owned,
+                pack,
+                unpack,
+                sum_flops,
+            });
+        }
+        // The per-phase cost vectors never change after FillComplete —
+        // freeze them so a superstep charge is a slice reduce, not a plan
+        // traversal.
+        let expand_costs = import.phase_costs();
+        let fold_costs = export.phase_costs();
+        let compute_costs = blocks
+            .iter()
+            .map(|b| PhaseCost::compute(2 * b.local.nnz() as u64))
+            .collect();
+        let sum_costs = fold
+            .iter()
+            .map(|f: &RankFoldPlan| PhaseCost::compute(f.sum_flops))
+            .collect();
+        CompiledSpmv {
+            expand,
+            fold,
+            expand_costs,
+            compute_costs,
+            fold_costs,
+            sum_costs,
+        }
+    }
+}
+
+/// Per-rank scratch buffers for one SpMV/SpMM execution.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    /// Column-aligned x values (`colmap.len()` entries).
+    pub xcols: Vec<f64>,
+    /// Per-local-row partial sums (`rowmap.len()` entries).
+    pub partials: Vec<f64>,
+}
+
+/// Reusable scratch space for [`spmv`](crate::spmv::spmv) /
+/// [`spmm`](crate::spmv::spmm): the per-rank `xcols` / `partials` buffers
+/// that the reference executor allocates fresh on every call.
+///
+/// A workspace is not tied to a matrix — buffers are (re)sized on first
+/// use with each matrix — so one workspace can serve a whole solve. The
+/// `threads` knob selects how many OS threads the phase-local work (pack,
+/// local SpMV, unpack, scatter-add) fans out across; any value produces
+/// bit-identical results because ranks only ever touch disjoint slices.
+#[derive(Debug, Clone)]
+pub struct SpmvWorkspace {
+    /// Number of OS threads for phase-local work (1 = fully sequential).
+    pub threads: usize,
+    pub(crate) ranks: Vec<RankScratch>,
+    /// Per-rank expand-phase send payloads, aligned with each rank's
+    /// compiled `pack` list. Destination ranks read them in place (the
+    /// compiled unpack entries carry the sender's slot), so the simulated
+    /// transport is zero-copy and allocation-free at steady state.
+    pub(crate) expand_bufs: Vec<Vec<Vec<f64>>>,
+    /// Per-rank fold-phase send payloads, same discipline.
+    pub(crate) fold_bufs: Vec<Vec<Vec<f64>>>,
+}
+
+impl SpmvWorkspace {
+    /// A sequential (single-threaded) workspace.
+    pub fn new() -> SpmvWorkspace {
+        SpmvWorkspace::with_threads(1)
+    }
+
+    /// A workspace whose phase-local work fans out across `threads` OS
+    /// threads (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> SpmvWorkspace {
+        SpmvWorkspace {
+            threads: threads.max(1),
+            ranks: Vec::new(),
+            expand_bufs: Vec::new(),
+            fold_bufs: Vec::new(),
+        }
+    }
+
+    /// Sizes the per-rank buffers for `blocks`, reusing allocations where
+    /// they already fit.
+    pub(crate) fn ensure(&mut self, blocks: &[RankBlock], compiled: &CompiledSpmv) {
+        self.ranks.resize_with(blocks.len(), RankScratch::default);
+        for (scratch, block) in self.ranks.iter_mut().zip(blocks) {
+            scratch.xcols.resize(block.colmap.len(), 0.0);
+            scratch.partials.resize(block.rowmap.len(), 0.0);
+        }
+        self.expand_bufs.resize_with(blocks.len(), Vec::new);
+        for (bufs, plan) in self.expand_bufs.iter_mut().zip(&compiled.expand) {
+            bufs.resize_with(plan.pack.len(), Vec::new);
+        }
+        self.fold_bufs.resize_with(blocks.len(), Vec::new);
+        for (bufs, plan) in self.fold_bufs.iter_mut().zip(&compiled.fold) {
+            bufs.resize_with(plan.pack.len(), Vec::new);
+        }
+    }
+}
+
+impl Default for SpmvWorkspace {
+    fn default() -> SpmvWorkspace {
+        SpmvWorkspace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distmat::DistCsrMatrix;
+    use sf2d_gen::{rmat, RmatConfig};
+    use sf2d_partition::MatrixDist;
+
+    fn dist_matrix() -> DistCsrMatrix {
+        let a = rmat(&RmatConfig::graph500(6), 5);
+        let d = MatrixDist::block_2d(a.nrows(), 2, 3);
+        DistCsrMatrix::from_global(&a, &d)
+    }
+
+    #[test]
+    fn expand_schedule_is_aligned_with_the_import_plan() {
+        let dm = dist_matrix();
+        for r in 0..dm.nprocs() {
+            let plan = &dm.compiled.expand[r];
+            assert_eq!(plan.pack.len(), dm.import.sends[r].len());
+            assert_eq!(plan.unpack.len(), dm.import.recvs[r].len());
+            // Pack lids resolve to exactly the gids the plan ships.
+            for ((dst, lids), (pdst, gids)) in plan.pack.iter().zip(&dm.import.sends[r]) {
+                assert_eq!(dst, pdst);
+                for (&lid, &g) in lids.iter().zip(gids) {
+                    assert_eq!(dm.vmap.gids(r)[lid as usize], g);
+                }
+            }
+            // Unpack positions land on the matching colmap entries, and
+            // each slot points at the sender's message for this rank.
+            for ((src, slot, lids), (psrc, gids)) in plan.unpack.iter().zip(&dm.import.recvs[r]) {
+                assert_eq!(src, psrc);
+                let (dst, sent) = &dm.import.sends[*src as usize][*slot as usize];
+                assert_eq!(*dst, r as u32);
+                assert_eq!(sent, gids);
+                for (&lid, &g) in lids.iter().zip(gids) {
+                    assert_eq!(dm.blocks[r].colmap[lid as usize], g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_lists_cover_exactly_the_local_entries() {
+        let dm = dist_matrix();
+        for r in 0..dm.nprocs() {
+            let block = &dm.blocks[r];
+            let owned_cols = block
+                .colmap
+                .iter()
+                .filter(|&&g| dm.vmap.owner(g) == r as u32)
+                .count();
+            assert_eq!(dm.compiled.expand[r].owned.len(), owned_cols);
+            for &(src, dst) in &dm.compiled.expand[r].owned {
+                let g = block.colmap[dst as usize];
+                assert_eq!(dm.vmap.owner(g), r as u32);
+                assert_eq!(dm.vmap.lid(g), src as usize);
+            }
+            let owned_rows = block
+                .rowmap
+                .iter()
+                .filter(|&&g| dm.vmap.owner(g) == r as u32)
+                .count();
+            assert_eq!(dm.compiled.fold[r].owned.len(), owned_rows);
+        }
+    }
+
+    #[test]
+    fn sum_flops_match_the_reference_accounting() {
+        let dm = dist_matrix();
+        for r in 0..dm.nprocs() {
+            let received: u64 = dm.export.sends[r].iter().map(|(_, g)| g.len() as u64).sum();
+            let owned = dm.compiled.fold[r].owned.len() as u64;
+            assert_eq!(dm.compiled.fold[r].sum_flops, owned + received);
+        }
+    }
+
+    #[test]
+    fn workspace_resizes_to_the_matrix() {
+        let dm = dist_matrix();
+        let mut ws = SpmvWorkspace::new();
+        assert_eq!(ws.threads, 1);
+        ws.ensure(&dm.blocks, &dm.compiled);
+        for (scratch, block) in ws.ranks.iter().zip(&dm.blocks) {
+            assert_eq!(scratch.xcols.len(), block.colmap.len());
+            assert_eq!(scratch.partials.len(), block.rowmap.len());
+        }
+        for (bufs, plan) in ws.expand_bufs.iter().zip(&dm.compiled.expand) {
+            assert_eq!(bufs.len(), plan.pack.len());
+        }
+        for (bufs, plan) in ws.fold_bufs.iter().zip(&dm.compiled.fold) {
+            assert_eq!(bufs.len(), plan.pack.len());
+        }
+        // Re-ensuring with the same matrix is a no-op resize.
+        ws.ensure(&dm.blocks, &dm.compiled);
+        assert_eq!(ws.ranks.len(), dm.nprocs());
+        assert_eq!(SpmvWorkspace::with_threads(0).threads, 1);
+    }
+}

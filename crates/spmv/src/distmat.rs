@@ -7,6 +7,7 @@ use std::sync::Arc;
 use sf2d_graph::{CooMatrix, CsrMatrix};
 use sf2d_partition::NonzeroLayout;
 
+use crate::compiled::CompiledSpmv;
 use crate::map::VectorMap;
 use crate::plan::CommPlan;
 
@@ -45,6 +46,10 @@ pub struct DistCsrMatrix {
     pub import: CommPlan,
     /// Fold plan: remote partial-y contributions per rank.
     pub export: CommPlan,
+    /// Plans and maps lowered to flat local-index schedules (the
+    /// compilation step of `FillComplete()`): what the SpMV/SpMM kernels
+    /// actually execute.
+    pub compiled: CompiledSpmv,
 }
 
 impl DistCsrMatrix {
@@ -115,6 +120,7 @@ impl DistCsrMatrix {
 
         let import = CommPlan::gather(&needed_cols, &vmap);
         let export = CommPlan::gather(&contributed_rows, &vmap);
+        let compiled = CompiledSpmv::compile(&vmap, &blocks, &import, &export);
 
         DistCsrMatrix {
             n,
@@ -122,6 +128,7 @@ impl DistCsrMatrix {
             blocks,
             import,
             export,
+            compiled,
         }
     }
 

@@ -21,6 +21,7 @@
 //! importer and exporter are constructed transparently from them, and the
 //! communication is point-to-point.
 
+pub mod compiled;
 pub mod diagnose;
 pub mod distmat;
 pub mod map;
@@ -28,8 +29,10 @@ pub mod migrate;
 pub mod multivec;
 pub mod operator;
 pub mod plan;
+pub mod reference;
 pub mod spmv;
 
+pub use compiled::{CompiledSpmv, RankExpandPlan, RankFoldPlan, RankScratch, SpmvWorkspace};
 pub use diagnose::{diagnose_spmv, Bottleneck, PhaseDiagnosis};
 pub use distmat::{DistCsrMatrix, RankBlock};
 pub use map::VectorMap;
@@ -37,4 +40,4 @@ pub use migrate::MigrationPlan;
 pub use multivec::{DistMultiVector, DistVector};
 pub use operator::{LinearOperator, NormalizedLaplacianOp, PlainSpmvOp, ShiftedOp};
 pub use plan::CommPlan;
-pub use spmv::{spmm, spmv};
+pub use spmv::{gather_executions, spmm, spmm_with, spmv, spmv_with};

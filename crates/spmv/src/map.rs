@@ -70,6 +70,15 @@ impl VectorMap {
     pub fn nlocal(&self, rank: usize) -> usize {
         self.gids[rank].len()
     }
+
+    /// Whether two maps describe the **same distribution** — identical
+    /// owner and local-id assignment for every global entry. This is the
+    /// structural compatibility check the SpMV kernels require: two maps
+    /// of equal length but different ownership would silently misalign
+    /// every local slice.
+    pub fn same_distribution(&self, other: &VectorMap) -> bool {
+        self.owner == other.owner && self.lid == other.lid
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +109,18 @@ mod tests {
         // Every entry owned exactly once.
         let total: usize = (0..7).map(|r| m.nlocal(r)).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn same_distribution_is_structural() {
+        let a = VectorMap::from_dist(&MatrixDist::block_1d(30, 3));
+        let b = VectorMap::from_dist(&MatrixDist::block_1d(30, 3));
+        let c = VectorMap::from_dist(&MatrixDist::random_1d(30, 3, 7));
+        assert!(a.same_distribution(&b));
+        assert!(a.same_distribution(&a));
+        // Same length, same rank count, different ownership.
+        assert_eq!(a.n(), c.n());
+        assert!(!a.same_distribution(&c));
     }
 
     #[test]

@@ -6,14 +6,16 @@
 //! `A` plus local diagonal scalings, so the communication pattern (and thus
 //! every layout comparison) is exactly that of SpMV on `A`.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
 
+use crate::compiled::SpmvWorkspace;
 use crate::distmat::DistCsrMatrix;
 use crate::map::VectorMap;
 use crate::multivec::DistVector;
-use crate::spmv::spmv;
+use crate::spmv::spmv_with;
 
 /// Anything that can apply `y = Op(x)` on distributed vectors.
 pub trait LinearOperator {
@@ -27,6 +29,25 @@ pub trait LinearOperator {
 pub struct PlainSpmvOp {
     /// The distributed matrix.
     pub a: DistCsrMatrix,
+    /// Scratch reused across applications (`apply` takes `&self`).
+    workspace: RefCell<SpmvWorkspace>,
+}
+
+impl PlainSpmvOp {
+    /// Wraps a distributed matrix with a sequential workspace.
+    pub fn new(a: DistCsrMatrix) -> PlainSpmvOp {
+        PlainSpmvOp {
+            a,
+            workspace: RefCell::new(SpmvWorkspace::new()),
+        }
+    }
+
+    /// Fans the per-rank phase work across `threads` OS threads
+    /// (bit-identical to sequential for any value).
+    pub fn with_threads(mut self, threads: usize) -> PlainSpmvOp {
+        self.workspace.get_mut().threads = threads.max(1);
+        self
+    }
 }
 
 impl LinearOperator for PlainSpmvOp {
@@ -35,7 +56,7 @@ impl LinearOperator for PlainSpmvOp {
     }
 
     fn apply(&self, x: &DistVector, y: &mut DistVector, ledger: &mut CostLedger) {
-        spmv(&self.a, x, y, ledger);
+        spmv_with(&self.a, x, y, ledger, &mut self.workspace.borrow_mut());
     }
 }
 
@@ -46,7 +67,9 @@ pub struct NormalizedLaplacianOp {
     /// `D^{−1/2}` diagonal, distributed on the same map.
     pub inv_sqrt_deg: DistVector,
     /// Scratch vector reused across applications.
-    scratch: std::cell::RefCell<(DistVector, DistVector)>,
+    scratch: RefCell<(DistVector, DistVector)>,
+    /// SpMV scratch reused across applications.
+    workspace: RefCell<SpmvWorkspace>,
 }
 
 impl NormalizedLaplacianOp {
@@ -60,7 +83,7 @@ impl NormalizedLaplacianOp {
             .map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f64).sqrt() })
             .collect();
         let inv_sqrt_deg = DistVector::from_global(Arc::clone(&a.vmap), &s);
-        let scratch = std::cell::RefCell::new((
+        let scratch = RefCell::new((
             DistVector::zeros(Arc::clone(&a.vmap)),
             DistVector::zeros(Arc::clone(&a.vmap)),
         ));
@@ -68,7 +91,15 @@ impl NormalizedLaplacianOp {
             a,
             inv_sqrt_deg,
             scratch,
+            workspace: RefCell::new(SpmvWorkspace::new()),
         }
+    }
+
+    /// Fans the per-rank phase work across `threads` OS threads
+    /// (bit-identical to sequential for any value).
+    pub fn with_threads(mut self, threads: usize) -> NormalizedLaplacianOp {
+        self.workspace.get_mut().threads = threads.max(1);
+        self
     }
 }
 
@@ -94,7 +125,7 @@ impl LinearOperator for NormalizedLaplacianOp {
         ledger.superstep(Phase::VectorOp, &costs);
 
         // u = A t (the costed distributed SpMV).
-        spmv(&self.a, t, u, ledger);
+        spmv_with(&self.a, t, u, ledger, &mut self.workspace.borrow_mut());
 
         // y = x - s .* u (local, two flops per entry).
         let mut costs = Vec::with_capacity(x.locals.len());
@@ -188,7 +219,7 @@ mod tests {
         let lhat = normalized_laplacian(&a).unwrap();
         let d = MatrixDist::block_1d(lhat.nrows(), 4);
         let da = DistCsrMatrix::from_global(&lhat, &d);
-        let inner = PlainSpmvOp { a: da };
+        let inner = PlainSpmvOp::new(da);
         let op = ShiftedOp {
             inner: &inner,
             shift: 2.0,
@@ -212,7 +243,7 @@ mod tests {
         let a = rmat(&RmatConfig::graph500(5), 1);
         let d = MatrixDist::block_1d(a.nrows(), 3);
         let da = DistCsrMatrix::from_global(&a, &d);
-        let op = PlainSpmvOp { a: da };
+        let op = PlainSpmvOp::new(da);
         let x_global: Vec<f64> = (0..a.nrows()).map(|i| i as f64).collect();
         let x = DistVector::from_global(Arc::clone(op.vmap()), &x_global);
         let mut y = DistVector::zeros(Arc::clone(op.vmap()));

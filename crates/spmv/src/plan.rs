@@ -35,7 +35,10 @@ impl CommPlan {
         // Group each rank's needs by owner; needed lists are sorted, so the
         // per-owner gid lists come out sorted too.
         for (r, need) in needed.iter().enumerate() {
-            debug_assert!(
+            // A real assert (not debug_assert): plans are built once per
+            // matrix, the check is linear, and an unsorted need-list would
+            // silently desync the compiled pack/unpack schedules.
+            assert!(
                 need.windows(2).all(|w| w[0] < w[1]),
                 "needed list must be sorted"
             );

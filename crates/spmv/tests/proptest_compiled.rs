@@ -1,0 +1,137 @@
+//! Property tests pinning the compiled local-index SpMV/SpMM path to the
+//! gid-based reference executor: across random matrices × random layouts
+//! × random rank counts, results must be **bit-identical** (not merely
+//! close) and the cost ledgers byte-for-byte equal, with any `threads`
+//! setting.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sf2d_graph::{CooMatrix, CsrMatrix};
+use sf2d_partition::MatrixDist;
+use sf2d_sim::{CostLedger, Machine};
+use sf2d_spmv::{
+    reference, spmm_with, spmv_with, DistCsrMatrix, DistMultiVector, DistVector, SpmvWorkspace,
+};
+
+/// A random square matrix, a random layout over a random rank count, and
+/// a dense input vector.
+fn setup_strategy() -> impl Strategy<Value = (CsrMatrix, MatrixDist, Vec<f64>)> {
+    (8usize..48, 2usize..9, 0u8..4, 0u64..1000)
+        .prop_flat_map(|(n, p, kind, seed)| {
+            let entries =
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32, -4.0f64..4.0), 1..3 * n);
+            let xs = proptest::collection::vec(-2.0f64..2.0, n..=n);
+            (entries, xs).prop_map(move |(mut entries, xs)| {
+                // One value per coordinate: keep the first of any duplicate.
+                entries.sort_by_key(|&(i, j, _)| (i, j));
+                entries.dedup_by_key(|&mut (i, j, _)| (i, j));
+                let mut coo = CooMatrix::with_capacity(n, n, entries.len());
+                for (i, j, v) in entries {
+                    coo.push(i, j, v);
+                }
+                let a = CsrMatrix::from_coo(&coo);
+                let pr = (1..=p).rev().find(|d| p % d == 0 && *d * *d <= p).unwrap() as u32;
+                let pc = p as u32 / pr;
+                let dist = match kind {
+                    0 => MatrixDist::block_1d(n, p),
+                    1 => MatrixDist::random_1d(n, p, seed),
+                    2 => MatrixDist::block_2d(n, pr, pc),
+                    _ => MatrixDist::random_2d(n, pr, pc, seed),
+                };
+                (a, dist, xs)
+            })
+        })
+        .prop_map(|t| t)
+}
+
+/// Exact bitwise equality of two per-rank value sets (`==` on f64 would
+/// accept `-0.0 == 0.0`; the claim here is stronger).
+fn bits(locals: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    locals
+        .iter()
+        .map(|l| l.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Ledgers must agree step-by-step: same phases, same times, same totals.
+fn assert_ledgers_equal(a: &CostLedger, b: &CostLedger) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.history, &b.history);
+    prop_assert_eq!(a.total.to_bits(), b.total.to_bits());
+    prop_assert_eq!(&a.by_phase, &b.by_phase);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Compiled spmv == reference spmv, bit-for-bit, with identical cost
+    /// accounting, at threads 1 and threads 4.
+    #[test]
+    fn compiled_spmv_is_bit_identical_to_reference((a, dist, xs) in setup_strategy()) {
+        let dm = DistCsrMatrix::from_global(&a, &dist);
+        let x = DistVector::from_global(Arc::clone(&dm.vmap), &xs);
+
+        let mut y_ref = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l_ref = CostLedger::new(Machine::cab());
+        reference::spmv_ref(&dm, &x, &mut y_ref, &mut l_ref);
+
+        for threads in [1usize, 4] {
+            let mut ws = SpmvWorkspace::with_threads(threads);
+            let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+            let mut l = CostLedger::new(Machine::cab());
+            spmv_with(&dm, &x, &mut y, &mut l, &mut ws);
+            prop_assert_eq!(bits(&y.locals), bits(&y_ref.locals), "threads {}", threads);
+            assert_ledgers_equal(&l, &l_ref)?;
+        }
+    }
+
+    /// Compiled spmm (one strided gather) == reference spmm (one gather
+    /// per column), bit-for-bit, sequential and threaded.
+    #[test]
+    fn compiled_spmm_is_bit_identical_to_reference(
+        (a, dist, xs) in setup_strategy(),
+        m in 1usize..4,
+    ) {
+        let dm = DistCsrMatrix::from_global(&a, &dist);
+        let n = xs.len();
+        let cols: Vec<Vec<f64>> = (0..m)
+            .map(|c| xs.iter().enumerate()
+                .map(|(i, &v)| v + (c * i) as f64 / n as f64)
+                .collect())
+            .collect();
+        let x = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+
+        let mut y_ref = DistMultiVector::zeros(Arc::clone(&dm.vmap), m);
+        let mut l_ref = CostLedger::new(Machine::cab());
+        reference::spmm_ref(&dm, &x, &mut y_ref, &mut l_ref);
+
+        for threads in [1usize, 3] {
+            let mut ws = SpmvWorkspace::with_threads(threads);
+            let mut y = DistMultiVector::zeros(Arc::clone(&dm.vmap), m);
+            let mut l = CostLedger::new(Machine::cab());
+            spmm_with(&dm, &x, &mut y, &mut l, &mut ws);
+            prop_assert_eq!(bits(&y.locals), bits(&y_ref.locals), "threads {}", threads);
+            assert_ledgers_equal(&l, &l_ref)?;
+        }
+    }
+
+    /// A workspace survives reuse across calls and matrices of different
+    /// shapes without contaminating results.
+    #[test]
+    fn workspace_reuse_is_stateless((a, dist, xs) in setup_strategy()) {
+        let dm = DistCsrMatrix::from_global(&a, &dist);
+        let x = DistVector::from_global(Arc::clone(&dm.vmap), &xs);
+        let mut ws = SpmvWorkspace::new();
+
+        let mut y1 = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l1 = CostLedger::new(Machine::cab());
+        spmv_with(&dm, &x, &mut y1, &mut l1, &mut ws);
+        // Second call through the same (now warm) workspace.
+        let mut y2 = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l2 = CostLedger::new(Machine::cab());
+        spmv_with(&dm, &x, &mut y2, &mut l2, &mut ws);
+        prop_assert_eq!(bits(&y1.locals), bits(&y2.locals));
+        assert_ledgers_equal(&l1, &l2)?;
+    }
+}

@@ -52,9 +52,7 @@ fn main() {
     let mut builder = LayoutBuilder::new(&spd, 0);
     for m in [Method::OneDBlock, Method::TwoDRandom, Method::TwoDGp] {
         let dist = builder.dist(m, p);
-        let op = PlainSpmvOp {
-            a: DistCsrMatrix::from_global(&spd, &dist),
-        };
+        let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&spd, &dist));
         let b = DistVector::from_global(Arc::clone(op.vmap()), &b_global);
         let mut ledger = CostLedger::new(Machine::cab());
         let res = conjugate_gradient(

@@ -23,9 +23,7 @@ fn cg_solves_a_laplacian_system_under_2d_gp() {
 
     let mut builder = LayoutBuilder::new(&spd, 0);
     let dist = builder.dist(Method::TwoDGp, 16);
-    let op = PlainSpmvOp {
-        a: DistCsrMatrix::from_global(&spd, &dist),
-    };
+    let op = PlainSpmvOp::new(DistCsrMatrix::from_global(&spd, &dist));
 
     let x_true: Vec<f64> = (0..spd.nrows())
         .map(|i| ((i * 3) % 11) as f64 - 5.0)
@@ -51,9 +49,7 @@ fn smallest_eigenpairs_via_spectral_flip() {
     let a = grid_2d(5, 8);
     let lhat = normalized_laplacian(&a).unwrap();
     let d = MatrixDist::block_2d(lhat.nrows(), 2, 2);
-    let inner = PlainSpmvOp {
-        a: DistCsrMatrix::from_global(&lhat, &d),
-    };
+    let inner = PlainSpmvOp::new(DistCsrMatrix::from_global(&lhat, &d));
     let op = ShiftedOp {
         inner: &inner,
         shift: 2.0,

@@ -1,0 +1,304 @@
+//! Offline vendored shim for `criterion`: real wall-clock measurement
+//! behind criterion's macro/API surface (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `BenchmarkId`, `Throughput`).
+//!
+//! Reporting is deliberately simple: each benchmark prints its median
+//! time per iteration (and throughput when configured) to stdout. The
+//! `--test` flag (as in `cargo bench -- --test`) switches to a smoke run
+//! that executes each benchmark body once — the CI mode. Positional
+//! arguments act as substring filters on `group/name`, like criterion.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's display convention.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A parameter-only id (used inside parameterized groups upstream).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Median duration of one iteration, filled by `iter`.
+    median: Option<Duration>,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median over several multi-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.median = Some(Duration::ZERO);
+            self.samples = 1;
+            self.iters_per_sample = 1;
+            return;
+        }
+        // Calibrate: aim for ~10ms per sample, at least one iteration.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+        self.samples = self.sample_size;
+        self.iters_per_sample = iters;
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Builds from CLI arguments (`--test` = smoke mode; positional args
+    /// filter benchmark ids by substring).
+    pub fn from_args() -> Criterion {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion conventionally pass; accept and
+                // ignore so `cargo bench` invocations don't error out.
+                "--bench" | "--verbose" | "--quiet" | "-n" | "--noplot" => {}
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filters }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, None, &id.id, None, 20, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            self.criterion,
+            Some(&self.name),
+            &id.id,
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op in this shim).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if !criterion.matches(&full) {
+        return;
+    }
+    let mut b = Bencher {
+        test_mode: criterion.test_mode,
+        sample_size,
+        median: None,
+        samples: 0,
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    match b.median {
+        None => println!("{full}: no measurement (closure never called iter)"),
+        Some(_) if criterion.test_mode => println!("{full}: ok (smoke)"),
+        Some(med) => {
+            let ns = med.as_nanos();
+            let rate = throughput.and_then(|t| {
+                let secs = med.as_secs_f64();
+                if secs <= 0.0 {
+                    return None;
+                }
+                Some(match t {
+                    Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 / secs),
+                    Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 / secs),
+                })
+            });
+            println!(
+                "{full}: median {ns} ns/iter{} [{} samples x {} iters]",
+                rate.unwrap_or_default(),
+                b.samples,
+                b.iters_per_sample
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export-style helper mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_smokes() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            median: None,
+            samples: 0,
+            iters_per_sample: 0,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            std::hint::black_box(count)
+        });
+        assert!(b.median.is_some());
+        assert!(count > 0);
+
+        let mut s = Bencher {
+            test_mode: true,
+            sample_size: 3,
+            median: None,
+            samples: 0,
+            iters_per_sample: 0,
+        };
+        let mut ran = 0;
+        s.iter(|| ran += 1);
+        assert_eq!(ran, 1);
+        assert_eq!(s.median, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("csr", 100).id, "csr/100");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

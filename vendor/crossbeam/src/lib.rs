@@ -1,0 +1,161 @@
+//! Offline vendored shim for the `crossbeam` facade, implementing the
+//! subset the workspace uses (`channel::unbounded` and `scope`) on top of
+//! `std::sync::mpsc` and `std::thread::scope`. Behavioral, not
+//! performance-tuned; the simulator only relies on the message-passing
+//! contract, not on crossbeam's lock-free internals.
+
+use std::any::Any;
+
+pub mod channel {
+    //! MPMC-ish channel subset (multi-producer, single-consumer is all the
+    //! workspace needs; `Receiver` is also iterable like crossbeam's).
+
+    use std::sync::mpsc;
+
+    /// Sending half (clonable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error on send to a disconnected channel (mirrors crossbeam's).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; `Err` when the channel is empty and all
+        /// senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                std::sync::mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                std::sync::mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Drains remaining messages until disconnect (like crossbeam's
+        /// `into_iter`).
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.0.recv().ok())
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Error for [`Receiver::recv`] on a closed empty channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped-thread handle passed to the closure of [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// (crossbeam's signature) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Crossbeam-style scope: runs `f` with a handle that can spawn scoped
+/// threads; joins them all before returning. Returns `Err` if any spawned
+/// thread panicked (capturing the payload), like crossbeam.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod thread {
+    //! Alias module: `crossbeam::thread::scope` is the canonical path in
+    //! crossbeam; re-export the facade implementation.
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrip_multi_producer() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let mut data = vec![0u64; 4];
+        let res = scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+            42
+        });
+        assert_eq!(res.unwrap(), 42);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let res = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

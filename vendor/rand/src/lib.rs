@@ -1,0 +1,423 @@
+//! Offline vendored shim for the `rand` crate (version 0.8 semantics).
+//!
+//! The build environment for this repository has no network access and no
+//! crates-io mirror, so the real `rand` cannot be fetched. This shim
+//! reimplements exactly the API subset the workspace uses, **bit-compatibly**
+//! with rand 0.8.5 for every sampling algorithm involved:
+//!
+//! * `SeedableRng::seed_from_u64` — the PCG-based seed expansion of
+//!   rand_core 0.6.
+//! * `Rng::gen::<f64>()` — the 53-bit multiply-based `Standard` sampler.
+//! * `Rng::gen::<u8>()` / `u32` / `u64` — low-word casts of `next_u32` /
+//!   `next_u64`.
+//! * `Rng::gen_range` on integer ranges — widening-multiply rejection with
+//!   the `leading_zeros` zone, drawing one `u32` (types ≤ 32 bits) or one
+//!   `u64` (64-bit types) per attempt.
+//! * `Rng::gen_range` on `f64` ranges — the `[1, 2)` exponent-trick sampler
+//!   (`bits >> 12` into the mantissa).
+//! * `SliceRandom::shuffle` / `choose` — reverse Fisher–Yates over
+//!   `seq::gen_index` (a `u32` draw whenever the bound fits, as upstream).
+//!
+//! Bit-compatibility matters because every generated graph (and therefore
+//! every stored result under `results/`) depends on these streams; see
+//! `vendor/README.md`.
+
+/// The core RNG abstraction (rand_core 0.6 subset).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction (rand_core 0.6 subset).
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 sequence used by
+    /// rand_core 0.6 (bit-identical).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable from the `Standard` distribution (rand 0.8 algorithms).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // Multiply-based [0, 1) with 53 bits of precision.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl StandardSample for u8 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for u16 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_impl {
+    // $ty: result type; $uty: its unsigned twin; $large: working draw type
+    // (u32 for ≤32-bit types, u64 for 64-bit); $wide: 2x-width multiply.
+    ($ty:ty, $uty:ty, $large:ty, $wide:ty, $draw:ident) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let range = self.end.wrapping_sub(self.start) as $uty as $large;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.$draw() as $large;
+                    let wide = v as $wide * range as $wide;
+                    let hi = (wide >> (<$large>::BITS)) as $large;
+                    let lo = wide as $large;
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo_b, hi_b) = (*self.start(), *self.end());
+                assert!(lo_b <= hi_b, "empty inclusive range in gen_range");
+                let range = (hi_b.wrapping_sub(lo_b) as $uty as $large).wrapping_add(1);
+                if range == 0 {
+                    // Full type range.
+                    return rng.$draw() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.$draw() as $large;
+                    let wide = v as $wide * range as $wide;
+                    let hi = (wide >> (<$large>::BITS)) as $large;
+                    let lo = wide as $large;
+                    if lo <= zone {
+                        return lo_b.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, u64, next_u32);
+uniform_int_impl!(u16, u16, u32, u64, next_u32);
+uniform_int_impl!(u32, u32, u32, u64, next_u32);
+uniform_int_impl!(u64, u64, u64, u128, next_u64);
+uniform_int_impl!(usize, usize, u64, u128, next_u64);
+uniform_int_impl!(i8, u8, u32, u64, next_u32);
+uniform_int_impl!(i16, u16, u32, u64, next_u32);
+uniform_int_impl!(i32, u32, u32, u64, next_u32);
+uniform_int_impl!(i64, u64, u64, u128, next_u64);
+uniform_int_impl!(isize, usize, u64, u128, next_u64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range in gen_range");
+        let scale = self.end - self.start;
+        loop {
+            // Mantissa trick: 52 random bits with exponent 0 → [1, 2).
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty f32 range in gen_range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// The user-facing sampling extension trait (rand 0.8 subset).
+pub trait Rng: RngCore {
+    /// Samples from the `Standard` distribution.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a range.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw (rand 0.8: 64-bit integer threshold comparison).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        if p == 1.0 {
+            self.next_u64();
+            return true;
+        }
+        let p_int = (p * (1u128 << 64) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Slice sampling helpers (rand 0.8 `SliceRandom` subset).
+
+    use super::{Rng, RngCore};
+
+    /// rand 0.8's `seq::gen_index`: index draws go through a **u32**
+    /// sample whenever the bound fits (which it always does here), not a
+    /// `usize` one — a different word-consumption pattern, so matching it
+    /// exactly is what keeps shuffles on the upstream stream.
+    #[inline]
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// In-place Fisher–Yates shuffle, bit-identical to rand 0.8
+        /// (reverse iteration, `gen_index` draws).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Minimal distributions module for API compatibility.
+
+    pub use super::StandardSample;
+
+    /// Marker for the standard distribution.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+}
+
+pub mod rngs {
+    //! Placeholder module (no `StdRng`/`ThreadRng` in the shim — the
+    //! workspace pins all randomness to `ChaCha8Rng` for determinism).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A replaying stub RNG for algorithm-shape tests.
+    struct Fixed(Vec<u64>, usize);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            v
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_53_bit_multiply() {
+        let mut r = Fixed(vec![u64::MAX], 0);
+        let v: f64 = r.gen();
+        assert_eq!(v, (((1u64 << 53) - 1) as f64) / (1u64 << 53) as f64);
+        let mut r = Fixed(vec![0], 0);
+        let v: f64 = r.gen();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn gen_range_int_uses_widening_multiply() {
+        // v = 0 → hi = 0 → low end; v = MAX → hi = range-1 → high end.
+        let mut r = Fixed(vec![0], 0);
+        assert_eq!(r.gen_range(5usize..10), 5);
+        // v = 2^64 - 2^61: wide = v*5 = 4*2^64 + 3*2^61, so lo = 3*2^61 is
+        // inside the zone (5*2^61 - 1) and hi = 4 -> high end of the range.
+        // (u64::MAX itself is *rejected* by the zone check - by design.)
+        let mut r = Fixed(vec![u64::MAX - (1 << 61) + 1], 0);
+        assert_eq!(r.gen_range(5usize..10), 9);
+        let mut r = Fixed(vec![0], 0);
+        assert_eq!(r.gen_range(3u32..7), 3);
+    }
+
+    #[test]
+    fn f64_range_hits_bounds() {
+        let mut r = Fixed(vec![0], 0);
+        assert_eq!(r.gen_range(-1.0..1.0), -1.0);
+        let mut r = Fixed(vec![u64::MAX], 0);
+        let v = r.gen_range(-1.0..1.0);
+        assert!(v < 1.0 && v > 0.999_999);
+    }
+
+    #[test]
+    fn shuffle_is_reverse_fisher_yates() {
+        let mut r = Fixed(vec![0], 0);
+        let mut v = vec![1, 2, 3, 4];
+        use super::seq::SliceRandom;
+        v.shuffle(&mut r);
+        // i=3: swap(3,0) → [4,2,3,1]; i=2: swap(2,0) → [3,2,4,1];
+        // i=1: swap(1,0) → [2,3,4,1].
+        assert_eq!(v, vec![2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn seed_from_u64_expansion_is_pcg32() {
+        struct Cap([u8; 32]);
+        impl RngCore for Cap {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+        }
+        impl SeedableRng for Cap {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Cap {
+                Cap(seed)
+            }
+        }
+        let a = Cap::seed_from_u64(0);
+        let b = Cap::seed_from_u64(0);
+        let c = Cap::seed_from_u64(1);
+        assert_eq!(a.0, b.0);
+        assert_ne!(a.0, c.0);
+        let expect0 = {
+            let state = 0u64
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(11634580027462260723);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            xorshifted.rotate_right((state >> 59) as u32)
+        };
+        assert_eq!(&a.0[..4], &expect0.to_le_bytes());
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline vendored shim for `rand_chacha` 0.3: a bit-compatible
+//! [`ChaCha8Rng`] (plus the 12- and 20-round variants for completeness).
+//!
+//! Compatibility notes (all verified against the upstream design):
+//!
+//! * The core is D. J. Bernstein's original ChaCha variant: a 64-bit block
+//!   counter in state words 12–13 and a 64-bit stream id in words 14–15
+//!   (both zero for `from_seed`).
+//! * The upstream implementation (via `ppv-lite86`) refills **four blocks
+//!   at a time**, so the `BlockRng` buffer is 64 u32 words. This matters
+//!   for bit-compatibility of `next_u64` calls that straddle a refill:
+//!   the straddle happens at word 63→64, not 15→16.
+//! * `next_u32`/`next_u64` follow rand_core 0.6 `BlockRng` semantics:
+//!   `next_u64` at the last buffered word consumes that word as the low
+//!   half and word 0 of the fresh buffer as the high half.
+//!
+//! The ChaCha quarter-round and block function are pinned by the RFC 7539
+//! test vectors in the test module below.
+
+use rand::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+const BLOCKS_PER_REFILL: u64 = 4;
+
+/// A ChaCha RNG with a const number of double rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter for the *next* refill.
+    counter: u64,
+    /// 64-bit stream id (state words 14..15).
+    stream: u64,
+    /// Buffered output words.
+    buf: [u32; BUF_WORDS],
+    /// Next unread index into `buf`; `BUF_WORDS` means empty.
+    index: usize,
+}
+
+/// ChaCha with 8 rounds (4 double rounds) — the repository's standard RNG.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: input state → 16 output words.
+fn chacha_block<const DOUBLE_ROUNDS: usize>(input: &[u32; 16]) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..DOUBLE_ROUNDS {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (xi, ii) in x.iter_mut().zip(input.iter()) {
+        *xi = xi.wrapping_add(*ii);
+    }
+    x
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    /// Refills the 4-block buffer at the current counter.
+    fn refill(&mut self) {
+        for blk in 0..BLOCKS_PER_REFILL {
+            let ctr = self.counter.wrapping_add(blk);
+            let input: [u32; 16] = [
+                SIGMA[0],
+                SIGMA[1],
+                SIGMA[2],
+                SIGMA[3],
+                self.key[0],
+                self.key[1],
+                self.key[2],
+                self.key[3],
+                self.key[4],
+                self.key[5],
+                self.key[6],
+                self.key[7],
+                ctr as u32,
+                (ctr >> 32) as u32,
+                self.stream as u32,
+                (self.stream >> 32) as u32,
+            ];
+            let out = chacha_block::<DOUBLE_ROUNDS>(&input);
+            self.buf[blk as usize * 16..(blk as usize + 1) * 16].copy_from_slice(&out);
+        }
+        self.counter = self.counter.wrapping_add(BLOCKS_PER_REFILL);
+    }
+
+    /// Refills and positions the read index (rand_core's
+    /// `generate_and_set`).
+    fn refill_and_set(&mut self, index: usize) {
+        self.refill();
+        self.index = index;
+    }
+
+    /// The stream id (always 0 for `from_seed`).
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Selects a different stream (resets buffered output).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = BUF_WORDS;
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill_and_set(0);
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core 0.6 BlockRng::next_u64 semantics.
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index == BUF_WORDS - 1 {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill_and_set(1);
+            (u64::from(self.buf[0]) << 32) | lo
+        } else {
+            self.refill_and_set(2);
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // rand_core BlockRng::fill_bytes: consume whole words, little-endian.
+        let mut read = 0;
+        while read < dest.len() {
+            if self.index >= BUF_WORDS {
+                self.refill_and_set(0);
+            }
+            let word = self.buf[self.index].to_le_bytes();
+            let n = (dest.len() - read).min(4);
+            dest[read..read + n].copy_from_slice(&word[..n]);
+            self.index += 1;
+            read += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// RFC 7539 §2.1.1 quarter-round test vector.
+    #[test]
+    fn rfc7539_quarter_round() {
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    /// RFC 7539 §2.3.2 ChaCha20 block function test vector, mapped onto
+    /// the djb state layout (counter ∥ nonce occupy words 12..16 in both).
+    #[test]
+    fn rfc7539_chacha20_block() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&SIGMA);
+        for i in 0..8 {
+            let b = [
+                (4 * i) as u8,
+                (4 * i + 1) as u8,
+                (4 * i + 2) as u8,
+                (4 * i + 3) as u8,
+            ];
+            input[4 + i] = u32::from_le_bytes(b);
+        }
+        input[12] = 1; // counter
+        input[13] = u32::from_le_bytes([0x00, 0x00, 0x00, 0x09]);
+        input[14] = u32::from_le_bytes([0x00, 0x00, 0x00, 0x4a]);
+        input[15] = 0;
+        let out = chacha_block::<10>(&input);
+        let expect: [u32; 16] = [
+            0xe4e7_f110,
+            0x1559_3bd1,
+            0x1fdd_0f50,
+            0xc471_20a3,
+            0xc7f4_d1c7,
+            0x0368_c033,
+            0x9aaa_2204,
+            0x4e6c_d4c3,
+            0x4664_82d2,
+            0x09aa_9f07,
+            0x05d7_c214,
+            0xa202_8bd9,
+            0xd19c_12b5,
+            0xb94e_16de,
+            0xe883_d0cb,
+            0x4e3c_50a2,
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let va: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn u32_u64_word_sharing_matches_blockrng() {
+        // Consume 63 u32s, then a u64: it must take word 63 as the low
+        // half and word 0 of the next refill as the high half.
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let words: Vec<u32> = (0..64).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let next_word = {
+            let mut t = ChaCha8Rng::seed_from_u64(3);
+            for _ in 0..64 {
+                t.next_u32();
+            }
+            t.next_u32()
+        };
+        for _ in 0..63 {
+            b.next_u32();
+        }
+        let v = b.next_u64();
+        assert_eq!(v as u32, words[63]);
+        assert_eq!((v >> 32) as u32, next_word);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_range() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+            let w = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&w));
+        }
+    }
+}

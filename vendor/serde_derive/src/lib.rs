@@ -1,0 +1,310 @@
+//! Offline vendored shim for `serde_derive`: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the serde *shim* (value-tree model), built
+//! without `syn`/`quote` by walking the raw `TokenStream`.
+//!
+//! Supported input shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields, no generics, no `#[serde(..)]` attributes;
+//! * enums whose variants are unit or have named fields (externally-tagged
+//!   representation, like upstream serde's default).
+//!
+//! Anything else panics at compile time with a clear message, which is the
+//! right failure mode for a vendored shim: loud, at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Consumes leading `#[...]` attributes and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                _ => panic!("serde_derive shim: `#` not followed by an attribute"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type` fields from a brace-group body, returning the names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field name, got `{other}`"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_enum_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple variant `{name}` is unsupported")
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is unsupported");
+        }
+    }
+    let body_group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("serde_derive shim: `{name}` must have a braced body (named fields)"),
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group)),
+        "enum" => Body::Enum(parse_enum_variants(body_group)),
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// `#[derive(Serialize)]` — generates a `serde::Serialize` (shim) impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vn} => \
+                             serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Some(fields) => {
+                            let pat = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pat} }} => serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let code = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive shim: generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — generates a `serde::Deserialize` (shim) impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::get_field(__m, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                     serde::Error::custom(\"expected map for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vn, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(\
+                                 serde::get_field(__m, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| \
+                                 serde::Error::custom(\"expected map body for {name}::{vn}\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            let str_arm = format!(
+                "serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {}\n\
+                     __other => ::core::result::Result::Err(serde::Error::custom(\
+                         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},",
+                unit_arms.join("\n")
+            );
+            let map_arm = if struct_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::core::result::Result::Err(serde::Error::custom(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},",
+                    struct_arms.join("\n")
+                )
+            };
+            format!(
+                "match __v {{\n\
+                     {str_arm}\n\
+                     {map_arm}\n\
+                     __other => ::core::result::Result::Err(serde::Error::custom(\
+                         format!(\"expected enum {name}, got {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let code = format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> \
+                 ::core::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive shim: generated Deserialize impl parses")
+}
