@@ -10,8 +10,13 @@
 //! ```
 //!
 //! The file lands in the current directory (pass a path argument to put
-//! it elsewhere).
+//! it elsewhere). `--scale N` shrinks/grows the R-MAT problem (default
+//! 12); `--trace FILE` (or `SF2D_TRACE=FILE`) additionally captures one
+//! *untimed* traced SpMV + SpMM after the timed loops and writes a Chrome
+//! trace plus a `<FILE>.md` critical-path summary — tracing never runs
+//! inside the timed region, so the recorded medians are unaffected.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -58,14 +63,44 @@ fn median_ns(mut f: impl FnMut()) -> u64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_spmv.json".to_string());
+    let mut out_path = "BENCH_spmv.json".to_string();
+    let mut scale = 12u32;
+    let mut trace: Option<PathBuf> = std::env::var_os("SF2D_TRACE").map(PathBuf::from);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> &str {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value after {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                scale = need_value(i).parse().expect("numeric --scale");
+                i += 2;
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(need_value(i)));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {flag}\nusage: bench_spmv [OUT.json] --scale N --trace FILE"
+                );
+                std::process::exit(2);
+            }
+            positional => {
+                out_path = positional.to_string();
+                i += 1;
+            }
+        }
+    }
 
     // The acceptance scenario: a 2D-GP layout at p = 256 on a scale-free
     // graph, the configuration every table harness hammers hardest.
     let p = 256usize;
-    let a = rmat(&RmatConfig::graph500(12), 7);
+    let a = rmat(&RmatConfig::graph500(scale), 7);
     let mut builder = LayoutBuilder::new(&a, 0);
     let dist = builder.dist(Method::TwoDGp, p);
     let dm = DistCsrMatrix::from_global(&a, &dist);
@@ -114,7 +149,7 @@ fn main() {
             "median wall-clock ns per kernel invocation over {SAMPLES} samples \
              (spmv kernels run {SPMV_ITERS} iterations per invocation)"
         ),
-        matrix: format!("rmat graph500 scale 12 ({} nnz)", a.nnz()),
+        matrix: format!("rmat graph500 scale {scale} ({} nnz)", a.nnz()),
         layout: "2D-GP".to_string(),
         p: p as u64,
         kernels: vec![
@@ -149,4 +184,19 @@ fn main() {
         "bench_spmv: spmv {:.2}x, spmm {:.2}x -> {out_path}",
         report.speedup_spmv100, report.speedup_spmm4
     );
+
+    // Traced run strictly after the timed loops: one SpMV + one SpMM with
+    // the facade on, so the medians above never pay for instrumentation.
+    if let Some(path) = trace {
+        let machine = Machine::cab();
+        let (_, n) = sf2d_bench::capture_trace(&path, &machine, || {
+            let mut ledger = CostLedger::new(machine);
+            spmv_with(&dm, &x, &mut y, &mut ledger, &mut ws);
+            spmm_with(&dm, &xm, &mut ym, &mut ledger, &mut ws);
+        });
+        eprintln!(
+            "bench_spmv: trace ({n} events) -> {} (+ .md summary)",
+            path.display()
+        );
+    }
 }

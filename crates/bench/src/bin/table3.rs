@@ -6,7 +6,7 @@
 //! The headline structural effect: 1D layouts' max messages approach `p`,
 //! 2D layouts' approach `2√p`.
 
-use sf2d_bench::{load_proxy, machine_for, write_jsonl, HarnessOpts};
+use sf2d_bench::{capture_trace, load_proxy, machine_for, write_jsonl, HarnessOpts};
 use sf2d_core::experiment::labeled_spmv;
 use sf2d_core::prelude::*;
 use sf2d_core::report::fmt_secs;
@@ -41,7 +41,21 @@ fn main() {
         let mut rows = Vec::new();
         for m in Method::spmv_set(cfg.use_hp) {
             let dist = builder.dist(m, p);
-            let row = labeled_spmv(spmv_experiment(&a, &dist, machine, 100), cfg.name, m);
+            // --trace / SF2D_TRACE: capture the paper's headline cell
+            // (2D-GP at p = 64) as a Chrome trace + critical-path summary.
+            let row = if opts.trace.is_some() && p == 64 && m == Method::TwoDGp {
+                let path = opts.trace.clone().unwrap();
+                let (row, n) = capture_trace(&path, &machine, || {
+                    labeled_spmv(spmv_experiment(&a, &dist, machine, 100), cfg.name, m)
+                });
+                eprintln!(
+                    "table3: traced 2D-GP p=64 ({n} events) -> {} (+ .md summary)",
+                    path.display()
+                );
+                row
+            } else {
+                labeled_spmv(spmv_experiment(&a, &dist, machine, 100), cfg.name, m)
+            };
             println!(
                 "| {} | {} | {:.1} | {} | {:.1}M | {}{} |",
                 p,

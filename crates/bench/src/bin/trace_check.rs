@@ -1,0 +1,31 @@
+//! Schema check for Chrome `trace_event` files emitted by the sf2d
+//! tracing sinks — the CI gate that keeps traces loadable in Perfetto /
+//! `chrome://tracing`.
+//!
+//! ```text
+//! cargo run --release -p sf2d-bench --bin trace_check -- trace.json [...]
+//! ```
+//!
+//! Exits 0 when every file validates (prints the complete-event count per
+//! file), 1 on the first schema violation, 2 on usage/IO errors.
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json> [...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trace_check: {path}: {e}");
+            std::process::exit(2);
+        });
+        match sf2d_core::sf2d_obs::sink::validate_chrome_trace(&text) {
+            Ok(n) => println!("trace_check: {path}: OK ({n} complete events)"),
+            Err(e) => {
+                eprintln!("trace_check: {path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

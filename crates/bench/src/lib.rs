@@ -40,6 +40,9 @@ pub struct HarnessOpts {
     pub out: PathBuf,
     /// Seeds for eigensolver averaging (paper uses ten; default three).
     pub seeds: Vec<u64>,
+    /// Chrome-trace destination (`--trace PATH`, or the `SF2D_TRACE`
+    /// environment variable). `None` = tracing off, the default.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for HarnessOpts {
@@ -49,6 +52,7 @@ impl Default for HarnessOpts {
             procs: vec![64, 256, 1024, 4096],
             out: PathBuf::from("results"),
             seeds: vec![11, 22, 33],
+            trace: std::env::var_os("SF2D_TRACE").map(PathBuf::from),
         }
     }
 }
@@ -89,9 +93,13 @@ impl HarnessOpts {
                         .collect();
                     i += 2;
                 }
+                "--trace" => {
+                    opts.trace = Some(PathBuf::from(need_value(i)));
+                    i += 2;
+                }
                 other => {
                     eprintln!(
-                        "unknown flag {other}\nusage: --shrink N --procs a,b,c --seeds s1,s2 --out DIR"
+                        "unknown flag {other}\nusage: --shrink N --procs a,b,c --seeds s1,s2 --out DIR --trace FILE"
                     );
                     std::process::exit(2);
                 }
@@ -110,6 +118,28 @@ impl HarnessOpts {
         fs::create_dir_all(&self.out).expect("create results dir");
         self.out.join(name)
     }
+}
+
+/// Runs `f` with the tracing facade enabled and writes the captured events
+/// as a Chrome `trace_event` file at `path` (open it in Perfetto /
+/// `chrome://tracing`) plus a markdown critical-path summary next to it at
+/// `<path>.md`, analyzed under `machine`'s α-β-γ parameters. Returns `f`'s
+/// result and the number of captured events.
+pub fn capture_trace<R>(path: &Path, machine: &Machine, f: impl FnOnce() -> R) -> (R, usize) {
+    use sf2d_core::sf2d_obs as obs;
+    obs::enable();
+    let r = f();
+    obs::disable();
+    let events = obs::take_events();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).expect("create trace dir");
+        }
+    }
+    obs::write_events(path, obs::TraceFormat::Chrome, &events).expect("write chrome trace");
+    let md = sf2d_core::report::trace_markdown(&events, machine, 5);
+    fs::write(PathBuf::from(format!("{}.md", path.display())), md).expect("write trace summary");
+    (r, events.len())
 }
 
 /// Loads (or generates and caches) a proxy matrix at the harness scale.
@@ -214,6 +244,38 @@ mod tests {
         let back: Vec<i32> = read_jsonl(&path).unwrap();
         assert_eq!(back, rows);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capture_trace_writes_valid_chrome_json_and_summary() {
+        use sf2d_core::sf2d_sim::{Phase, PhaseCost};
+
+        let dir = std::env::temp_dir().join("sf2d_bench_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let machine = Machine::cab();
+        let (total, n) = capture_trace(&path, &machine, || {
+            let mut ledger = CostLedger::new(machine);
+            ledger.superstep_uniform(
+                Phase::Expand,
+                PhaseCost {
+                    msgs: 3,
+                    bytes: 4096,
+                    flops: 0,
+                },
+                4,
+            );
+            ledger.total
+        });
+        assert!(total > 0.0);
+        assert!(n >= 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let x_events = sf2d_core::sf2d_obs::sink::validate_chrome_trace(&text).unwrap();
+        assert!(x_events >= 4, "one slice per rank expected, got {x_events}");
+        let md = std::fs::read_to_string(format!("{}.md", path.display())).unwrap();
+        assert!(md.contains("# Trace summary"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{}.md", path.display()));
     }
 
     #[test]

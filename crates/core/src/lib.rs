@@ -24,7 +24,7 @@
 //!
 //! Sub-crates are re-exported so downstream users need only this crate:
 //! [`sf2d_graph`], [`sf2d_gen`], [`sf2d_partition`], [`sf2d_sim`],
-//! [`sf2d_spmv`], [`sf2d_eigen`].
+//! [`sf2d_spmv`], [`sf2d_eigen`], [`sf2d_obs`].
 
 pub mod experiment;
 pub mod layout;
@@ -33,6 +33,7 @@ pub mod report;
 pub use sf2d_eigen;
 pub use sf2d_gen;
 pub use sf2d_graph;
+pub use sf2d_obs;
 pub use sf2d_partition;
 pub use sf2d_sim;
 pub use sf2d_spmv;
@@ -50,6 +51,10 @@ pub mod prelude {
     };
     pub use sf2d_gen::{proxy_matrix, ProxyConfig, PAPER_MATRICES};
     pub use sf2d_graph::{CooMatrix, CsrMatrix, Graph};
+    pub use sf2d_obs::{
+        analyze, CriticalPathReport, MetricsRegistry, PhaseKind, TraceConfig, TraceEvent,
+        TraceFormat,
+    };
     pub use sf2d_partition::{grid_shape, LayoutMetrics, MatrixDist, NonzeroLayout};
     pub use sf2d_sim::{CostLedger, Machine, RuntimeConfig};
     pub use sf2d_spmv::{

@@ -3,6 +3,9 @@
 
 use std::fmt::Write as _;
 
+use sf2d_obs::{CriticalPathReport, TraceEvent};
+use sf2d_sim::Machine;
+
 use crate::experiment::{EigenRow, SpmvRow};
 
 /// Formats seconds the way the paper's tables do (2 decimal places, but
@@ -100,6 +103,21 @@ pub fn performance_profile(times: &[Vec<f64>], tau: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Reconstructs the critical path from a captured trace under `machine`'s
+/// α-β-γ parameters. The report's `total` is the sum over supersteps of the
+/// max per-rank phase time — exactly what the [`sf2d_sim::CostLedger`]
+/// charged, so the two agree within float tolerance.
+pub fn trace_report(events: &[TraceEvent], machine: &Machine, top_k: usize) -> CriticalPathReport {
+    sf2d_obs::analyze(events, machine.cost_params(), top_k)
+}
+
+/// Renders a captured trace as the markdown critical-path summary
+/// (per-phase totals, bounding rank and bounding term per superstep, top-k
+/// straggler ranks). Companion to the Chrome/JSONL sinks in [`sf2d_obs`].
+pub fn trace_markdown(events: &[TraceEvent], machine: &Machine, top_k: usize) -> String {
+    sf2d_obs::analysis::markdown(&trace_report(events, machine, top_k))
+}
+
 /// Serializes any serde-able record as one JSON line.
 pub fn json_line<T: serde::Serialize>(row: &T) -> String {
     serde_json::to_string(row).expect("row serializes")
@@ -158,5 +176,44 @@ mod tests {
         let back: SpmvRow = serde_json::from_str(&line).unwrap();
         assert_eq!(back.method, "2D-GP");
         assert_eq!(back.max_msgs, 14);
+    }
+
+    /// Acceptance criterion: the markdown trace summary reproduces the
+    /// ledger's simulated total within float tolerance.
+    #[test]
+    fn trace_summary_total_matches_ledger_total() {
+        use std::sync::Arc;
+
+        use crate::layout::{LayoutBuilder, Method};
+        use sf2d_sim::CostLedger;
+        use sf2d_spmv::{spmv_with, DistCsrMatrix, DistVector, SpmvWorkspace};
+
+        let a = sf2d_gen::rmat(&sf2d_gen::RmatConfig::graph500(8), 11);
+        let mut b = LayoutBuilder::new(&a, 0);
+        let dist = b.dist(Method::TwoDGp, 16);
+        let dm = DistCsrMatrix::from_global(&a, &dist);
+        let x = DistVector::random(Arc::clone(&dm.vmap), 3);
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let machine = Machine::cab();
+        let mut ledger = CostLedger::new(machine);
+
+        sf2d_obs::enable();
+        spmv_with(&dm, &x, &mut y, &mut ledger, &mut SpmvWorkspace::new());
+        sf2d_obs::disable();
+        let events = sf2d_obs::take_events();
+        assert!(!events.is_empty());
+
+        let report = trace_report(&events, &machine, 3);
+        assert!(
+            (report.total - ledger.total).abs() <= 1e-12 * ledger.total.max(1.0),
+            "report total {} vs ledger total {}",
+            report.total,
+            ledger.total
+        );
+        assert_eq!(report.nranks, 16);
+
+        let md = trace_markdown(&events, &machine, 3);
+        assert!(md.contains("# Trace summary"), "{md}");
+        assert!(md.contains("## Critical path"), "{md}");
     }
 }

@@ -98,6 +98,11 @@ pub fn krylov_schur_largest(
 
     let mut rng_salt = 1u64;
     loop {
+        // Trace one outer (restart) cycle as a span on the simulated
+        // clock, bounded by the ledger totals at entry and exit.
+        let cycle = restarts;
+        let cycle_t0 = ledger.total;
+
         // --- Lanczos expansion from k to m ---
         let mut beta_last = 0.0f64;
         for j in k..m {
@@ -165,6 +170,14 @@ pub fn krylov_schur_largest(
             // Form the Ritz vectors X = V[0..m] * S_sel.
             let vectors = rotate_basis(&basis[..m], &vecs, &sel, p, ledger);
             let values: Vec<f64> = sel.iter().map(|&i| vals[i]).collect();
+            if sf2d_obs::enabled() {
+                sf2d_obs::record_sim_span(
+                    sf2d_obs::PhaseKind::SolverIteration,
+                    format!("krylov-schur cycle {cycle} (final)"),
+                    cycle_t0,
+                    ledger.total,
+                );
+            }
             return EigResult {
                 values,
                 vectors,
@@ -189,6 +202,14 @@ pub fn krylov_schur_largest(
         }
         basis = new_basis;
         k = keep;
+        if sf2d_obs::enabled() {
+            sf2d_obs::record_sim_span(
+                sf2d_obs::PhaseKind::SolverIteration,
+                format!("krylov-schur cycle {cycle}"),
+                cycle_t0,
+                ledger.total,
+            );
+        }
     }
 }
 
@@ -258,6 +279,60 @@ mod tests {
         }
         let (vals, _) = symmetric_eig(&dm);
         vals.into_iter().rev().take(nev).collect()
+    }
+
+    #[test]
+    fn tracing_emits_one_span_per_outer_cycle_without_perturbing() {
+        let a = grid_2d(5, 7);
+        let l = normalized_laplacian(&a).unwrap();
+        let op = dist_op(&l, 3);
+        let cfg = KrylovSchurConfig {
+            nev: 4,
+            max_basis: 20,
+            tol: 1e-8,
+            max_restarts: 100,
+            seed: 1,
+        };
+        let mut l_off = CostLedger::new(Machine::cab());
+        let r_off = krylov_schur_largest(&op, &cfg, &mut l_off);
+
+        sf2d_obs::enable();
+        let mut l_on = CostLedger::new(Machine::cab());
+        let r_on = krylov_schur_largest(&op, &cfg, &mut l_on);
+        sf2d_obs::disable();
+        let events = sf2d_obs::take_events();
+
+        assert_eq!(r_off.values, r_on.values);
+        assert_eq!(r_off.restarts, r_on.restarts);
+        assert_eq!(l_off.total.to_bits(), l_on.total.to_bits());
+
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                sf2d_obs::TraceEvent::SimSpan {
+                    kind: sf2d_obs::PhaseKind::SolverIteration,
+                    label,
+                    t_start,
+                    t_end,
+                } => Some((label.clone(), *t_start, *t_end)),
+                _ => None,
+            })
+            .collect();
+        // One span per restart cycle plus the final cycle.
+        assert_eq!(spans.len(), r_on.restarts + 1);
+        // Spans tile the simulated timeline: contiguous, ending at total.
+        for w in spans.windows(2) {
+            assert_eq!(w[0].2, w[1].1);
+        }
+        // The first cycle starts after the initial normalization's
+        // charges; the last ends exactly at the ledger total.
+        assert!(spans[0].1 > 0.0 && spans[0].1 < spans[0].2);
+        assert_eq!(spans.last().unwrap().2, l_on.total);
+        assert!(spans.last().unwrap().0.contains("final"));
+        // Superstep events rode along from the ledger.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, sf2d_obs::TraceEvent::Superstep { .. })));
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Post-run critical-path analysis over the simulated timeline.
+//!
+//! BSP semantics make the critical path explicit: every superstep's
+//! elapsed time is its slowest rank's time, so the critical path of a run
+//! is the chain of *bounding ranks* — one per superstep — and the total
+//! time is exactly the sum of their sample times. This module reconstructs
+//! that chain from [`TraceEvent::Superstep`] events, classifies what each
+//! bounding rank was paying for under the α-β-γ model, splits volumes into
+//! **bottleneck** (max over ranks) vs **total** (sum over ranks) à la
+//! Ahrens' bottleneck-vs-total communication distinction, and ranks the
+//! top-k imbalance offenders (the ranks everyone else waited for).
+
+use std::collections::BTreeMap;
+
+use crate::event::{PhaseKind, RankSample, TraceEvent};
+
+/// The α-β-γ parameters used to attribute a bounding rank's time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostParams {
+    /// Seconds of latency per message.
+    pub alpha: f64,
+    /// Seconds per byte.
+    pub beta: f64,
+    /// Seconds per flop.
+    pub gamma: f64,
+}
+
+/// Which α-β-γ term dominates a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BoundTerm {
+    /// Per-message latency (α·msgs).
+    Latency,
+    /// Bandwidth (β·bytes).
+    Bandwidth,
+    /// Compute (γ·flops).
+    Compute,
+}
+
+impl BoundTerm {
+    /// Classifies a sample under the given parameters.
+    pub fn of(p: &CostParams, s: &RankSample) -> BoundTerm {
+        let a = p.alpha * s.msgs as f64;
+        let b = p.beta * s.bytes as f64;
+        let g = p.gamma * s.flops as f64;
+        if a >= b && a >= g {
+            BoundTerm::Latency
+        } else if b >= g {
+            BoundTerm::Bandwidth
+        } else {
+            BoundTerm::Compute
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BoundTerm::Latency => "latency",
+            BoundTerm::Bandwidth => "bandwidth",
+            BoundTerm::Compute => "compute",
+        }
+    }
+}
+
+/// One superstep's entry on the critical path.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StepCritical {
+    /// Step ordinal (as recorded by the ledger).
+    pub step: u64,
+    /// Phase kind charged.
+    pub phase: PhaseKind,
+    /// Simulated start time.
+    pub t_start: f64,
+    /// Step time = the bounding rank's time.
+    pub time: f64,
+    /// Mean rank time — `time / mean_time` is the step's imbalance.
+    pub mean_time: f64,
+    /// The rank that bounded the step (first rank achieving the max).
+    pub bound_rank: u32,
+    /// The bounding rank's raw sample.
+    pub bound_sample: RankSample,
+    /// What the bounding rank was paying for.
+    pub term: BoundTerm,
+}
+
+impl StepCritical {
+    /// Max/mean imbalance of the step (1.0 when perfectly balanced or
+    /// when the step was free).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_time > 0.0 {
+            self.time / self.mean_time
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Per-phase aggregate: time plus bottleneck-vs-total traffic.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTotal {
+    /// Phase kind.
+    pub phase: PhaseKind,
+    /// Simulated seconds spent in the phase (sum of its step times).
+    pub time: f64,
+    /// Steps charged to the phase.
+    pub steps: usize,
+    /// Max messages charged to a single rank in a single step (bottleneck).
+    pub msgs_max_rank: u64,
+    /// Total messages charged across ranks and steps.
+    pub msgs_total: u64,
+    /// Max bytes charged to a single rank in a single step (bottleneck).
+    pub bytes_max_rank: u64,
+    /// Total bytes charged across ranks and steps.
+    pub bytes_total: u64,
+    /// Total flops charged.
+    pub flops_total: u64,
+}
+
+/// One rank's imbalance record: how often and how long it bounded steps.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankOffender {
+    /// Rank.
+    pub rank: u32,
+    /// Number of supersteps this rank bounded.
+    pub steps_bound: usize,
+    /// Simulated seconds of steps this rank bounded (its critical-path
+    /// contribution).
+    pub time_bound: f64,
+    /// Total busy time of the rank across all steps.
+    pub busy: f64,
+    /// Total time the rank spent waiting for stragglers.
+    pub idle: f64,
+}
+
+/// The full analysis of one traced run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CriticalPathReport {
+    /// Number of ranks seen.
+    pub nranks: usize,
+    /// Total simulated time = sum of step times (equals the ledger total).
+    pub total: f64,
+    /// The critical path, one entry per superstep, in order.
+    pub steps: Vec<StepCritical>,
+    /// Per-phase aggregates, largest time first.
+    pub phases: Vec<PhaseTotal>,
+    /// Top-k offenders by critical-path contribution, largest first.
+    pub offenders: Vec<RankOffender>,
+    /// Parameters used for term attribution.
+    pub params: CostParams,
+}
+
+/// Analyzes the superstep events of a trace. Non-superstep events are
+/// ignored (they carry no simulated per-rank time).
+pub fn analyze(events: &[TraceEvent], params: CostParams, top_k: usize) -> CriticalPathReport {
+    let mut steps = Vec::new();
+    let mut phases: BTreeMap<PhaseKind, PhaseTotal> = BTreeMap::new();
+    let mut by_rank: BTreeMap<u32, RankOffender> = BTreeMap::new();
+    let mut total = 0.0;
+
+    for ev in events {
+        let TraceEvent::Superstep {
+            step,
+            phase,
+            t_start,
+            samples,
+        } = ev
+        else {
+            continue;
+        };
+        if samples.is_empty() {
+            continue;
+        }
+        // First rank achieving the max bounds the step.
+        let (_, bound) = samples
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.time.total_cmp(&b.1.time).then(b.0.cmp(&a.0)))
+            .expect("non-empty samples");
+        let time = bound.time;
+        let mean_time = samples.iter().map(|s| s.time).sum::<f64>() / samples.len() as f64;
+        total += time;
+
+        let agg = phases.entry(*phase).or_insert(PhaseTotal {
+            phase: *phase,
+            time: 0.0,
+            steps: 0,
+            msgs_max_rank: 0,
+            msgs_total: 0,
+            bytes_max_rank: 0,
+            bytes_total: 0,
+            flops_total: 0,
+        });
+        agg.time += time;
+        agg.steps += 1;
+        for s in samples {
+            agg.msgs_total += s.msgs;
+            agg.bytes_total += s.bytes;
+            agg.flops_total += s.flops;
+            agg.msgs_max_rank = agg.msgs_max_rank.max(s.msgs);
+            agg.bytes_max_rank = agg.bytes_max_rank.max(s.bytes);
+            let r = by_rank.entry(s.rank).or_insert(RankOffender {
+                rank: s.rank,
+                steps_bound: 0,
+                time_bound: 0.0,
+                busy: 0.0,
+                idle: 0.0,
+            });
+            r.busy += s.time;
+            r.idle += time - s.time;
+        }
+        let off = by_rank.get_mut(&bound.rank).expect("bound rank sampled");
+        off.steps_bound += 1;
+        off.time_bound += time;
+
+        steps.push(StepCritical {
+            step: *step,
+            phase: *phase,
+            t_start: *t_start,
+            time,
+            mean_time,
+            bound_rank: bound.rank,
+            bound_sample: *bound,
+            term: BoundTerm::of(&params, bound),
+        });
+    }
+
+    let mut phases: Vec<PhaseTotal> = phases.into_values().collect();
+    phases.sort_by(|a, b| b.time.total_cmp(&a.time).then(a.phase.cmp(&b.phase)));
+    let nranks = by_rank.len();
+    let mut offenders: Vec<RankOffender> = by_rank.into_values().collect();
+    offenders.sort_by(|a, b| {
+        b.time_bound
+            .total_cmp(&a.time_bound)
+            .then(a.rank.cmp(&b.rank))
+    });
+    offenders.truncate(top_k);
+
+    CriticalPathReport {
+        nranks,
+        total,
+        steps,
+        phases,
+        offenders,
+        params,
+    }
+}
+
+/// Renders the report as a markdown summary: per-phase totals with
+/// bottleneck-vs-total volumes, the critical path per superstep, and the
+/// top imbalance offenders.
+pub fn markdown(r: &CriticalPathReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Trace summary");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{} ranks, {} supersteps, total simulated time {:.6e} s \
+         (α={:.3e}, β={:.3e}, γ={:.3e})",
+        r.nranks,
+        r.steps.len(),
+        r.total,
+        r.params.alpha,
+        r.params.beta,
+        r.params.gamma
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Per-phase totals (bottleneck vs total volume)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| phase | time (s) | share | steps | msgs max-rank/total | bytes max-rank/total |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+    for ph in &r.phases {
+        let _ = writeln!(
+            out,
+            "| {} | {:.3e} | {:.1}% | {} | {} / {} | {} / {} |",
+            ph.phase.label(),
+            ph.time,
+            if r.total > 0.0 {
+                100.0 * ph.time / r.total
+            } else {
+                0.0
+            },
+            ph.steps,
+            ph.msgs_max_rank,
+            ph.msgs_total,
+            ph.bytes_max_rank,
+            ph.bytes_total,
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Critical path (bounding rank per superstep)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| step | phase | time (s) | bound rank | imbal (max/mean) | msgs | bytes | flops | bound by |"
+    );
+    let _ = writeln!(out, "|---:|---|---:|---:|---:|---:|---:|---:|---|");
+    for s in &r.steps {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3e} | {} | {:.2} | {} | {} | {} | {} |",
+            s.step,
+            s.phase.label(),
+            s.time,
+            s.bound_rank,
+            s.imbalance(),
+            s.bound_sample.msgs,
+            s.bound_sample.bytes,
+            s.bound_sample.flops,
+            s.term.label(),
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Top imbalance offenders");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| rank | steps bound | time bound (s) | busy (s) | idle (s) |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|");
+    for o in &r.offenders {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3e} | {:.3e} | {:.3e} |",
+            o.rank, o.steps_bound, o.time_bound, o.busy, o.idle
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rank: u32, time: f64, msgs: u64, bytes: u64, flops: u64) -> RankSample {
+        RankSample {
+            rank,
+            time,
+            msgs,
+            bytes,
+            flops,
+        }
+    }
+
+    fn unit_params() -> CostParams {
+        CostParams {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        }
+    }
+
+    fn demo_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Superstep {
+                step: 0,
+                phase: PhaseKind::Expand,
+                t_start: 0.0,
+                samples: vec![sample(0, 1.0, 1, 8, 0), sample(1, 3.0, 3, 24, 0)],
+            },
+            TraceEvent::WallSpan {
+                kind: PhaseKind::Pack,
+                label: "ignored".into(),
+                t_start: 0.0,
+                dur: 1.0,
+            },
+            TraceEvent::Superstep {
+                step: 1,
+                phase: PhaseKind::LocalCompute,
+                t_start: 3.0,
+                samples: vec![sample(0, 5.0, 0, 0, 5), sample(1, 2.0, 0, 0, 2)],
+            },
+        ]
+    }
+
+    #[test]
+    fn critical_path_names_the_bounding_rank_per_step() {
+        let r = analyze(&demo_events(), unit_params(), 8);
+        assert_eq!(r.steps.len(), 2);
+        assert_eq!(r.steps[0].bound_rank, 1);
+        assert_eq!(r.steps[1].bound_rank, 0);
+        assert_eq!(r.total, 8.0);
+        assert_eq!(r.nranks, 2);
+        // Imbalance of step 0: max 3 / mean 2.
+        assert!((r.steps[0].imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn term_attribution_follows_alpha_beta_gamma() {
+        let p = CostParams {
+            alpha: 1.0,
+            beta: 0.1,
+            gamma: 0.01,
+        };
+        assert_eq!(
+            BoundTerm::of(&p, &sample(0, 0.0, 10, 1, 1)),
+            BoundTerm::Latency
+        );
+        assert_eq!(
+            BoundTerm::of(&p, &sample(0, 0.0, 1, 1000, 1)),
+            BoundTerm::Bandwidth
+        );
+        assert_eq!(
+            BoundTerm::of(&p, &sample(0, 0.0, 0, 0, 1000)),
+            BoundTerm::Compute
+        );
+    }
+
+    #[test]
+    fn phase_totals_split_bottleneck_vs_total() {
+        let r = analyze(&demo_events(), unit_params(), 8);
+        let expand = r
+            .phases
+            .iter()
+            .find(|p| p.phase == PhaseKind::Expand)
+            .unwrap();
+        assert_eq!(expand.msgs_total, 4);
+        assert_eq!(expand.msgs_max_rank, 3);
+        assert_eq!(expand.bytes_total, 32);
+        assert_eq!(expand.bytes_max_rank, 24);
+        // Phases sorted by time descending: LocalCompute (5.0) first.
+        assert_eq!(r.phases[0].phase, PhaseKind::LocalCompute);
+    }
+
+    #[test]
+    fn offenders_rank_by_critical_path_contribution() {
+        let r = analyze(&demo_events(), unit_params(), 8);
+        assert_eq!(r.offenders[0].rank, 0); // bounded 5.0 of the 8.0 total
+        assert_eq!(r.offenders[0].steps_bound, 1);
+        assert!((r.offenders[0].time_bound - 5.0).abs() < 1e-12);
+        assert!((r.offenders[0].busy - 6.0).abs() < 1e-12);
+        assert!((r.offenders[0].idle - 2.0).abs() < 1e-12);
+        // top_k truncation
+        let r1 = analyze(&demo_events(), unit_params(), 1);
+        assert_eq!(r1.offenders.len(), 1);
+    }
+
+    #[test]
+    fn ties_go_to_the_lowest_rank() {
+        let ev = vec![TraceEvent::Superstep {
+            step: 0,
+            phase: PhaseKind::Sum,
+            t_start: 0.0,
+            samples: vec![sample(2, 1.0, 0, 0, 1), sample(5, 1.0, 0, 0, 1)],
+        }];
+        let r = analyze(&ev, unit_params(), 8);
+        assert_eq!(r.steps[0].bound_rank, 2);
+    }
+
+    #[test]
+    fn markdown_names_ranks_and_phases() {
+        let md = markdown(&analyze(&demo_events(), unit_params(), 8));
+        assert!(md.contains("Critical path"));
+        assert!(md.contains("Expand"));
+        assert!(md.contains("LocalCompute"));
+        assert!(md.contains("bottleneck vs total"));
+        assert!(md.contains("imbalance offenders"));
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_nothing() {
+        let r = analyze(&[], unit_params(), 4);
+        assert_eq!(r.total, 0.0);
+        assert!(r.steps.is_empty() && r.phases.is_empty() && r.offenders.is_empty());
+    }
+}

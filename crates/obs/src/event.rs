@@ -1,0 +1,206 @@
+//! The event model: what a trace is made of.
+//!
+//! Two clocks coexist in the simulator, and the event model keeps them
+//! apart explicitly:
+//!
+//! * **simulated time** — the α-β-γ seconds the [`CostLedger`] accumulates;
+//!   every [`TraceEvent::Superstep`] carries one per-rank sample set on
+//!   this clock, so the per-rank timeline of a solve can be reconstructed
+//!   exactly (BSP semantics: a superstep starts for every rank at the same
+//!   simulated instant, each rank is busy for its own sample time, and the
+//!   step closes at the maximum);
+//! * **wall-clock time** — how long the *simulator itself* spent in a code
+//!   region ([`TraceEvent::WallSpan`]), used to profile the pack / route /
+//!   unpack machinery of the compiled SpMV and the partitioners.
+//!
+//! [`CostLedger`]: ../../sf2d_sim/cost/struct.CostLedger.html
+
+/// The kind of phase an event belongs to. A superset of the simulator's
+/// ledger phases plus the host-side sub-phases the instrumented code emits.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum PhaseKind {
+    /// Expand: ship `x_j` to ranks owning column-`j` nonzeros.
+    Expand,
+    /// Local `y += A_loc x` compute.
+    LocalCompute,
+    /// Fold: ship partial `y_i` to the row owner.
+    Fold,
+    /// Summing received partials.
+    Sum,
+    /// Dense vector work (axpy, dots, orthogonalization).
+    VectorOp,
+    /// Collectives (allreduce in dots/norms).
+    Collective,
+    /// Host-side: packing values into send buffers.
+    Pack,
+    /// Host-side: routing messages between logical ranks.
+    Route,
+    /// Host-side: unpacking received values (incl. scatter-adds).
+    Unpack,
+    /// Graph/hypergraph partitioning work.
+    Partition,
+    /// One outer iteration (restart cycle) of an iterative solver.
+    SolverIteration,
+    /// Anything else.
+    Other,
+}
+
+impl PhaseKind {
+    /// Every kind, in `tid` order — the Chrome-trace thread layout.
+    pub const ALL: [PhaseKind; 12] = [
+        PhaseKind::Expand,
+        PhaseKind::LocalCompute,
+        PhaseKind::Fold,
+        PhaseKind::Sum,
+        PhaseKind::VectorOp,
+        PhaseKind::Collective,
+        PhaseKind::Pack,
+        PhaseKind::Route,
+        PhaseKind::Unpack,
+        PhaseKind::Partition,
+        PhaseKind::SolverIteration,
+        PhaseKind::Other,
+    ];
+
+    /// Stable human-readable label (also the Chrome-trace thread name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhaseKind::Expand => "Expand",
+            PhaseKind::LocalCompute => "LocalCompute",
+            PhaseKind::Fold => "Fold",
+            PhaseKind::Sum => "Sum",
+            PhaseKind::VectorOp => "VectorOp",
+            PhaseKind::Collective => "Collective",
+            PhaseKind::Pack => "Pack",
+            PhaseKind::Route => "Route",
+            PhaseKind::Unpack => "Unpack",
+            PhaseKind::Partition => "Partition",
+            PhaseKind::SolverIteration => "SolverIteration",
+            PhaseKind::Other => "Other",
+        }
+    }
+
+    /// Stable Chrome-trace thread id for this kind (`tid=phase`).
+    pub fn tid(&self) -> u32 {
+        PhaseKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("kind listed in ALL") as u32
+    }
+}
+
+/// One rank's share of one superstep: its simulated busy time plus the raw
+/// cost terms that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankSample {
+    /// Logical rank.
+    pub rank: u32,
+    /// Simulated seconds this rank was busy in the step.
+    pub time: f64,
+    /// Point-to-point messages charged (both endpoints).
+    pub msgs: u64,
+    /// Bytes charged.
+    pub bytes: u64,
+    /// Flops charged.
+    pub flops: u64,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TraceEvent {
+    /// A closed BSP superstep on the simulated clock: every rank started at
+    /// `t_start` and was busy for its sample's time; the step closed at
+    /// `t_start + max(sample.time)`.
+    Superstep {
+        /// Ordinal of the step within its ledger.
+        step: u64,
+        /// Which phase kind the ledger charged.
+        phase: PhaseKind,
+        /// Simulated start time (the ledger total before the step).
+        t_start: f64,
+        /// One sample per rank.
+        samples: Vec<RankSample>,
+    },
+    /// A host-side span on the wall clock (seconds since tracing was
+    /// enabled on this thread).
+    WallSpan {
+        /// Sub-phase kind.
+        kind: PhaseKind,
+        /// Free-form label, e.g. `spmv:expand-pack`.
+        label: String,
+        /// Wall seconds since tracing began.
+        t_start: f64,
+        /// Duration in wall seconds.
+        dur: f64,
+    },
+    /// A span on the simulated clock that groups supersteps — e.g. one
+    /// solver restart cycle covering everything the ledger charged inside.
+    SimSpan {
+        /// Span kind.
+        kind: PhaseKind,
+        /// Free-form label, e.g. `krylov-schur:restart 3`.
+        label: String,
+        /// Simulated start time.
+        t_start: f64,
+        /// Simulated end time.
+        t_end: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The phase kind of any event variant.
+    pub fn kind(&self) -> PhaseKind {
+        match self {
+            TraceEvent::Superstep { phase, .. } => *phase,
+            TraceEvent::WallSpan { kind, .. } | TraceEvent::SimSpan { kind, .. } => *kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tids_are_stable_and_unique() {
+        let tids: Vec<u32> = PhaseKind::ALL.iter().map(|k| k.tid()).collect();
+        assert_eq!(tids, (0..12).collect::<Vec<u32>>());
+        assert_eq!(PhaseKind::Expand.tid(), 0);
+        assert_eq!(PhaseKind::Other.tid(), 11);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = PhaseKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PhaseKind::ALL.len());
+    }
+
+    #[test]
+    fn kind_accessor_covers_all_variants() {
+        let s = TraceEvent::Superstep {
+            step: 0,
+            phase: PhaseKind::Expand,
+            t_start: 0.0,
+            samples: Vec::new(),
+        };
+        assert_eq!(s.kind(), PhaseKind::Expand);
+        let w = TraceEvent::WallSpan {
+            kind: PhaseKind::Pack,
+            label: "x".into(),
+            t_start: 0.0,
+            dur: 1.0,
+        };
+        assert_eq!(w.kind(), PhaseKind::Pack);
+        let g = TraceEvent::SimSpan {
+            kind: PhaseKind::SolverIteration,
+            label: "r".into(),
+            t_start: 0.0,
+            t_end: 1.0,
+        };
+        assert_eq!(g.kind(), PhaseKind::SolverIteration);
+    }
+}

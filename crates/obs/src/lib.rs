@@ -1,0 +1,397 @@
+#![warn(missing_docs)]
+
+//! # sf2d-obs
+//!
+//! Observability for the sf2d simulator: structured per-rank/per-phase
+//! **trace events**, a per-rank **metrics registry**, and a post-run
+//! **critical-path analyzer** over the α-β-γ timeline.
+//!
+//! The facade is **zero-cost when disabled**: every instrumentation site
+//! guards on [`enabled()`] — a thread-local boolean read — before touching
+//! anything, so the SpMV hot loop does no allocation and no locking with
+//! tracing off (property-tested in `sf2d-spmv` to be bit-identical in both
+//! results and ledger charges either way).
+//!
+//! State is **thread-local** by design: the simulator orchestrates every
+//! run from one thread (the `par_ranks` workers never emit), so a
+//! thread-local tracer makes concurrent tests hermetic and needs no locks.
+//!
+//! ## Usage
+//!
+//! ```
+//! use sf2d_obs as obs;
+//! use sf2d_obs::PhaseKind;
+//!
+//! obs::enable();
+//! let v = obs::trace_span!(PhaseKind::Pack, "demo:pack", { 21 * 2 });
+//! obs::counter!("demo.packs", 0, 1);
+//! let events = obs::take_events();
+//! obs::disable();
+//! assert_eq!(v, 42);
+//! assert_eq!(events.len(), 1);
+//! ```
+//!
+//! ## Environment knobs
+//!
+//! * `SF2D_TRACE=<path>` — enables tracing in binaries that call
+//!   [`install_from_env()`] and names the output file;
+//! * `SF2D_TRACE_FORMAT=chrome|jsonl` — output format (default `chrome`,
+//!   loadable in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)).
+
+pub mod analysis;
+pub mod event;
+pub mod registry;
+pub mod sink;
+
+pub use analysis::{analyze, BoundTerm, CostParams, CriticalPathReport};
+pub use event::{PhaseKind, RankSample, TraceEvent};
+pub use registry::{Histogram, MetricsRegistry};
+
+use std::cell::{Cell, RefCell};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Trace output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome `trace_event` JSON (`chrome://tracing`, Perfetto).
+    Chrome,
+    /// One serde-serialized event per line.
+    Jsonl,
+}
+
+impl TraceFormat {
+    /// Parses `SF2D_TRACE_FORMAT` values; unknown strings mean Chrome.
+    pub fn from_str_lossy(s: &str) -> TraceFormat {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "jsonl" | "json-lines" | "events" => TraceFormat::Jsonl,
+            _ => TraceFormat::Chrome,
+        }
+    }
+}
+
+/// Where and how [`finish()`] writes the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Output path.
+    pub path: PathBuf,
+    /// Output format.
+    pub format: TraceFormat,
+}
+
+struct Tracer {
+    events: Vec<TraceEvent>,
+    registry: MetricsRegistry,
+    origin: Option<Instant>,
+    config: Option<TraceConfig>,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static TRACER: RefCell<Tracer> = RefCell::new(Tracer {
+        events: Vec::new(),
+        registry: MetricsRegistry::new(),
+        origin: None,
+        config: None,
+    });
+}
+
+/// Whether tracing is enabled on this thread. The only cost instrumented
+/// code pays when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Enables tracing on this thread (events accumulate in memory until
+/// [`take_events()`] or [`finish()`]).
+pub fn enable() {
+    ENABLED.with(|e| e.set(true));
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.origin.is_none() {
+            t.origin = Some(Instant::now());
+        }
+    });
+}
+
+/// Disables tracing on this thread. Buffered events stay available.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+}
+
+/// Enables tracing and remembers where [`finish()`] should write.
+pub fn install(config: TraceConfig) {
+    TRACER.with(|t| t.borrow_mut().config = Some(config));
+    enable();
+}
+
+/// Reads `SF2D_TRACE` / `SF2D_TRACE_FORMAT`; when `SF2D_TRACE` names a
+/// path, installs it and returns `true`. The no-trace path costs one env
+/// lookup at startup — nothing per event.
+pub fn install_from_env() -> bool {
+    match std::env::var("SF2D_TRACE") {
+        Ok(path) if !path.trim().is_empty() => {
+            let format = std::env::var("SF2D_TRACE_FORMAT")
+                .map(|s| TraceFormat::from_str_lossy(&s))
+                .unwrap_or(TraceFormat::Chrome);
+            install(TraceConfig {
+                path: PathBuf::from(path),
+                format,
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Records a pre-built event (no-op when disabled).
+pub fn record(event: TraceEvent) {
+    if !enabled() {
+        return;
+    }
+    TRACER.with(|t| t.borrow_mut().events.push(event));
+}
+
+/// Records one closed BSP superstep (no-op when disabled). Called by the
+/// cost ledger with the per-rank samples it just charged.
+pub fn record_superstep(step: u64, phase: PhaseKind, t_start: f64, samples: Vec<RankSample>) {
+    record(TraceEvent::Superstep {
+        step,
+        phase,
+        t_start,
+        samples,
+    });
+}
+
+/// Seconds of wall clock since tracing was enabled on this thread.
+pub fn wall_now() -> f64 {
+    TRACER.with(|t| {
+        t.borrow()
+            .origin
+            .map(|o| o.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    })
+}
+
+/// Records a host-side wall-clock span (no-op when disabled).
+pub fn record_wall_span(kind: PhaseKind, label: &str, t_start: f64, dur: f64) {
+    record(TraceEvent::WallSpan {
+        kind,
+        label: label.to_string(),
+        t_start,
+        dur,
+    });
+}
+
+/// Records a simulated-clock span (no-op when disabled).
+pub fn record_sim_span(kind: PhaseKind, label: String, t_start: f64, t_end: f64) {
+    record(TraceEvent::SimSpan {
+        kind,
+        label,
+        t_start,
+        t_end,
+    });
+}
+
+/// Runs `f` against this thread's metrics registry when tracing is
+/// enabled; returns `None` otherwise.
+pub fn with_registry<R>(f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    Some(TRACER.with(|t| f(&mut t.borrow_mut().registry)))
+}
+
+/// Drains and returns this thread's buffered events.
+pub fn take_events() -> Vec<TraceEvent> {
+    TRACER.with(|t| std::mem::take(&mut t.borrow_mut().events))
+}
+
+/// Drains and returns this thread's metrics registry.
+pub fn take_registry() -> MetricsRegistry {
+    TRACER.with(|t| std::mem::take(&mut t.borrow_mut().registry))
+}
+
+/// Writes `events` to `path` in `format`.
+pub fn write_events(
+    path: &Path,
+    format: TraceFormat,
+    events: &[TraceEvent],
+) -> std::io::Result<()> {
+    let text = match format {
+        TraceFormat::Chrome => sink::chrome_trace_json(events),
+        TraceFormat::Jsonl => sink::events_jsonl(events),
+    };
+    std::fs::write(path, text)
+}
+
+/// Finishes tracing on this thread: if a [`TraceConfig`] was installed,
+/// drains the buffered events, writes them, disables tracing, and returns
+/// the path written (with the events, so callers can analyze them too).
+/// Without a config, drains and disables but writes nothing.
+pub fn finish() -> std::io::Result<Option<(PathBuf, Vec<TraceEvent>)>> {
+    let config = TRACER.with(|t| t.borrow_mut().config.take());
+    let events = take_events();
+    disable();
+    match config {
+        Some(cfg) => {
+            write_events(&cfg.path, cfg.format, &events)?;
+            Ok(Some((cfg.path, events)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Times `$body` as a wall-clock span of `$kind` labelled `$label` when
+/// tracing is enabled; compiles to a bare branch around `$body` otherwise.
+#[macro_export]
+macro_rules! trace_span {
+    ($kind:expr, $label:expr, $body:expr) => {{
+        if $crate::enabled() {
+            let __sf2d_obs_t0 = $crate::wall_now();
+            let __sf2d_obs_out = $body;
+            let __sf2d_obs_t1 = $crate::wall_now();
+            $crate::record_wall_span($kind, $label, __sf2d_obs_t0, __sf2d_obs_t1 - __sf2d_obs_t0);
+            __sf2d_obs_out
+        } else {
+            $body
+        }
+    }};
+}
+
+/// Adds `$delta` to the per-rank counter `$name` when tracing is enabled;
+/// a single boolean check otherwise.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $rank:expr, $delta:expr) => {
+        if $crate::enabled() {
+            let _ = $crate::with_registry(|r| r.add($name, $rank as u32, $delta as u64));
+        }
+    };
+}
+
+/// Records `$value` in histogram `$name` when tracing is enabled.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            let _ = $crate::with_registry(|r| r.observe($name, $value as u64));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests in this module mutate the same thread-local tracer; Rust's
+    // test harness runs each #[test] on its own thread, so they are
+    // hermetic.
+
+    #[test]
+    fn disabled_by_default_and_records_nothing() {
+        assert!(!enabled());
+        record_superstep(0, PhaseKind::Expand, 0.0, vec![]);
+        counter!("c", 0, 1);
+        histogram!("h", 1);
+        let out = trace_span!(PhaseKind::Pack, "noop", 7);
+        assert_eq!(out, 7);
+        assert!(take_events().is_empty());
+        assert!(take_registry().is_empty());
+        assert!(with_registry(|_| ()).is_none());
+    }
+
+    #[test]
+    fn enabled_records_and_drains() {
+        enable();
+        record_superstep(
+            0,
+            PhaseKind::Expand,
+            0.0,
+            vec![RankSample {
+                rank: 0,
+                time: 1.0,
+                msgs: 1,
+                bytes: 8,
+                flops: 0,
+            }],
+        );
+        let out = trace_span!(PhaseKind::Pack, "spanned", 1 + 1);
+        counter!("c", 3, 5);
+        histogram!("h", 9);
+        disable();
+        assert_eq!(out, 2);
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], TraceEvent::Superstep { .. }));
+        match &events[1] {
+            TraceEvent::WallSpan { label, dur, .. } => {
+                assert_eq!(label, "spanned");
+                assert!(*dur >= 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let reg = take_registry();
+        assert_eq!(reg.counter("c", 3), 5);
+        assert_eq!(reg.histogram("h").unwrap().count, 1);
+        // Drained: a second take is empty.
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn finish_writes_the_installed_path() {
+        let dir = std::env::temp_dir().join("sf2d-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("finish_writes.json");
+        install(TraceConfig {
+            path: path.clone(),
+            format: TraceFormat::Chrome,
+        });
+        record_superstep(
+            0,
+            PhaseKind::Sum,
+            0.0,
+            vec![RankSample {
+                rank: 0,
+                time: 2.0,
+                msgs: 0,
+                bytes: 0,
+                flops: 2,
+            }],
+        );
+        let (written, events) = finish().unwrap().expect("config installed");
+        assert_eq!(written, path);
+        assert_eq!(events.len(), 1);
+        assert!(!enabled());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(sink::validate_chrome_trace(&text), Ok(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_without_config_is_a_silent_drain() {
+        enable();
+        record_wall_span(PhaseKind::Other, "x", 0.0, 1.0);
+        assert!(finish().unwrap().is_none());
+        assert!(!enabled());
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn format_parsing_defaults_to_chrome() {
+        assert_eq!(TraceFormat::from_str_lossy("jsonl"), TraceFormat::Jsonl);
+        assert_eq!(TraceFormat::from_str_lossy("JSONL"), TraceFormat::Jsonl);
+        assert_eq!(TraceFormat::from_str_lossy("chrome"), TraceFormat::Chrome);
+        assert_eq!(TraceFormat::from_str_lossy("garbage"), TraceFormat::Chrome);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_within_a_trace() {
+        enable();
+        let a = wall_now();
+        let b = wall_now();
+        assert!(b >= a);
+        disable();
+    }
+}

@@ -1,0 +1,261 @@
+//! The per-rank metrics registry: monotonic counters, gauges, and
+//! log2-bucketed histograms.
+//!
+//! A registry is an owned value — the instrumented code fills one (either
+//! explicitly, like [`spmv_metrics`], or through the global facade's
+//! [`counter!`](crate::counter) / [`histogram!`](crate::histogram) macros)
+//! and the analyzers consume it. Counters and gauges are keyed by
+//! `(name, rank)` so max-over-ranks and sum-over-ranks — the bottleneck vs
+//! total distinction the paper's tables revolve around — are both one
+//! accessor away.
+//!
+//! [`spmv_metrics`]: ../../sf2d_spmv/diagnose/fn.spmv_metrics.html
+
+use std::collections::BTreeMap;
+
+/// A log2-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` holds values `v` with `bit_length(v) == i`, i.e. bucket 0 is
+/// exactly `{0}`, bucket 1 is `{1}`, bucket 2 is `[2,4)`, bucket `i` is
+/// `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(upper_bound_exclusive, count)` pairs;
+    /// bucket 0's bound is 1 (it holds only zeros).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let bound = if i >= 64 { u64::MAX } else { 1u64 << i };
+                (bound, c)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-rank counters, gauges, and named histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(String, u32), u64>,
+    gauges: BTreeMap<(String, u32), f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the monotonic counter `name` for `rank`.
+    pub fn add(&mut self, name: &str, rank: u32, delta: u64) {
+        *self.counters.entry((name.to_string(), rank)).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` for `rank`.
+    pub fn set_gauge(&mut self, name: &str, rank: u32, value: f64) {
+        self.gauges.insert((name.to_string(), rank), value);
+    }
+
+    /// Records an observation in histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Reads one counter (0 when never written).
+    pub fn counter(&self, name: &str, rank: u32) -> u64 {
+        self.counters
+            .get(&(name.to_string(), rank))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Reads one gauge.
+    pub fn gauge(&self, name: &str, rank: u32) -> Option<f64> {
+        self.gauges.get(&(name.to_string(), rank)).copied()
+    }
+
+    /// Reads one histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All `(rank, value)` pairs of a counter, rank-ascending.
+    pub fn per_rank(&self, name: &str) -> Vec<(u32, u64)> {
+        self.counters
+            .range((name.to_string(), 0)..=(name.to_string(), u32::MAX))
+            .map(|(&(_, r), &v)| (r, v))
+            .collect()
+    }
+
+    /// Sum of a counter over all ranks — the "total" reduction.
+    pub fn sum(&self, name: &str) -> u64 {
+        self.per_rank(name).iter().map(|&(_, v)| v).sum()
+    }
+
+    /// The rank holding the maximum of a counter and that maximum — the
+    /// "bottleneck" reduction (first rank wins ties). `None` if unwritten.
+    pub fn max(&self, name: &str) -> Option<(u32, u64)> {
+        self.per_rank(name)
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Distinct counter names, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.counters.keys().map(|(n, _)| n.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's value, histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for ((name, rank), v) in &other.counters {
+            *self.counters.entry((name.clone(), *rank)).or_insert(0) += v;
+        }
+        for ((name, rank), v) in &other.gauges {
+            self.gauges.insert((name.clone(), *rank), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_rank() {
+        let mut r = MetricsRegistry::new();
+        r.add("msgs", 0, 3);
+        r.add("msgs", 0, 2);
+        r.add("msgs", 2, 7);
+        assert_eq!(r.counter("msgs", 0), 5);
+        assert_eq!(r.counter("msgs", 1), 0);
+        assert_eq!(r.per_rank("msgs"), vec![(0, 5), (2, 7)]);
+        assert_eq!(r.sum("msgs"), 12);
+        assert_eq!(r.max("msgs"), Some((2, 7)));
+    }
+
+    #[test]
+    fn max_ties_take_the_first_rank() {
+        let mut r = MetricsRegistry::new();
+        r.add("m", 3, 9);
+        r.add("m", 1, 9);
+        assert_eq!(r.max("m"), Some((1, 9)));
+        assert_eq!(r.max("missing"), None);
+    }
+
+    #[test]
+    fn per_rank_does_not_leak_other_names() {
+        let mut r = MetricsRegistry::new();
+        r.add("a", 0, 1);
+        r.add("b", 0, 2);
+        assert_eq!(r.per_rank("a"), vec![(0, 1)]);
+        assert_eq!(r.counter_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1011);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // 0 -> bucket 0; 1,1 -> bucket 1; 2,3 -> bucket 2; 4 -> bucket 3;
+        // 1000 -> bucket 10 (bound 1024).
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(1, 1), (2, 2), (4, 2), (8, 1), (1024, 1)]
+        );
+        assert!((h.mean() - 1011.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauges_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 0, 1);
+        a.set_gauge("g", 0, 0.5);
+        a.observe("h", 8);
+        let mut b = MetricsRegistry::new();
+        b.add("c", 0, 2);
+        b.set_gauge("g", 0, 0.9);
+        b.observe("h", 9);
+        a.merge(&b);
+        assert_eq!(a.counter("c", 0), 3);
+        assert_eq!(a.gauge("g", 0), Some(0.9));
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+        assert!(!a.is_empty());
+        assert!(MetricsRegistry::new().is_empty());
+    }
+}

@@ -1,0 +1,423 @@
+//! Export sinks: Chrome `trace_event` JSON and JSONL event logs.
+//!
+//! The Chrome format loads directly in `chrome://tracing` and Perfetto:
+//! every superstep sample becomes one complete (`"ph":"X"`) event with
+//! **pid = rank** and **tid = phase kind**, on the simulated clock in
+//! microseconds; host-side wall spans land under a dedicated
+//! [`HOST_PID`] process and solver-iteration sim spans under
+//! [`SIM_PID`]. The writer emits fields in a fixed order
+//! (`name, cat, ph, ts, dur, pid, tid, args`) so traces are byte-stable
+//! for golden-file testing.
+
+use std::fmt::Write as _;
+
+use crate::event::{PhaseKind, TraceEvent};
+
+/// Chrome-trace process id for host-side (wall-clock) spans.
+pub const HOST_PID: u32 = 1_000_000;
+/// Chrome-trace process id for solver-level simulated-clock spans.
+pub const SIM_PID: u32 = 999_999;
+
+/// Formats a f64 as compact JSON (shortest round-trip decimal).
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_complete_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    cat: &str,
+    ts_us: f64,
+    dur_us: f64,
+    pid: u32,
+    tid: u32,
+    args: &[(&str, u64)],
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{",
+        escape(name),
+        cat,
+        num(ts_us),
+        num(dur_us),
+        pid,
+        tid
+    );
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":{v}");
+    }
+    out.push_str("}}");
+}
+
+fn push_metadata(out: &mut String, first: &mut bool, kind: &str, pid: u32, tid: u32, name: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    );
+}
+
+/// Renders events as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Process/thread metadata: one process per rank seen, plus the host
+    // and sim-driver processes; one named thread per phase kind.
+    let mut ranks: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Superstep { samples, .. } => Some(samples.iter().map(|s| s.rank)),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let has_wall = events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::WallSpan { .. }));
+    let has_sim = events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::SimSpan { .. }));
+    let mut step_kinds: Vec<PhaseKind> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Superstep { phase, .. } => Some(*phase),
+            _ => None,
+        })
+        .collect();
+    step_kinds.sort_unstable();
+    step_kinds.dedup();
+    for &r in &ranks {
+        push_metadata(
+            &mut out,
+            &mut first,
+            "process_name",
+            r,
+            0,
+            &format!("rank {r}"),
+        );
+        for k in &step_kinds {
+            push_metadata(&mut out, &mut first, "thread_name", r, k.tid(), k.label());
+        }
+    }
+    if has_sim {
+        push_metadata(
+            &mut out,
+            &mut first,
+            "process_name",
+            SIM_PID,
+            0,
+            "solver (sim clock)",
+        );
+    }
+    if has_wall {
+        push_metadata(
+            &mut out,
+            &mut first,
+            "process_name",
+            HOST_PID,
+            0,
+            "host (wall clock)",
+        );
+    }
+
+    for ev in events {
+        match ev {
+            TraceEvent::Superstep {
+                step,
+                phase,
+                t_start,
+                samples,
+            } => {
+                for s in samples {
+                    push_complete_event(
+                        &mut out,
+                        &mut first,
+                        phase.label(),
+                        "superstep",
+                        t_start * 1e6,
+                        s.time * 1e6,
+                        s.rank,
+                        phase.tid(),
+                        &[
+                            ("step", *step),
+                            ("msgs", s.msgs),
+                            ("bytes", s.bytes),
+                            ("flops", s.flops),
+                        ],
+                    );
+                }
+            }
+            TraceEvent::WallSpan {
+                kind,
+                label,
+                t_start,
+                dur,
+            } => {
+                push_complete_event(
+                    &mut out,
+                    &mut first,
+                    label,
+                    "host",
+                    t_start * 1e6,
+                    dur * 1e6,
+                    HOST_PID,
+                    kind.tid(),
+                    &[],
+                );
+            }
+            TraceEvent::SimSpan {
+                kind,
+                label,
+                t_start,
+                t_end,
+            } => {
+                push_complete_event(
+                    &mut out,
+                    &mut first,
+                    label,
+                    "sim",
+                    t_start * 1e6,
+                    (t_end - t_start) * 1e6,
+                    SIM_PID,
+                    kind.tid(),
+                    &[],
+                );
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders events as JSON lines (one serde-serialized event per line).
+pub fn events_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+type JsonObj = [(String, serde::Value)];
+
+fn field<'v>(obj: &'v JsonObj, name: &str) -> Option<&'v serde::Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn as_str(v: &serde::Value) -> Option<&str> {
+    match v {
+        serde::Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::F64(x) => Some(*x),
+        serde::Value::U64(u) => Some(*u as f64),
+        serde::Value::I64(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &serde::Value) -> Option<u64> {
+    match v {
+        serde::Value::U64(u) => Some(*u),
+        _ => None,
+    }
+}
+
+/// Validates that `text` is a well-formed Chrome trace our tools emit:
+/// a `traceEvents` array whose entries are metadata or complete events
+/// with numeric `ts`/`dur`/`pid`/`tid`. Returns the number of non-metadata
+/// events, or a description of the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let top = doc.as_map().ok_or("top level not an object")?;
+    let events = match field(top, "traceEvents") {
+        Some(serde::Value::Seq(items)) => items,
+        _ => return Err("missing traceEvents array".to_string()),
+    };
+    let mut n = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev.as_map().ok_or(format!("event {i} not an object"))?;
+        let ph = field(obj, "ph")
+            .and_then(as_str)
+            .ok_or(format!("event {i} missing ph"))?;
+        match ph {
+            "M" => {
+                let named = field(obj, "args")
+                    .and_then(|a| a.as_map())
+                    .and_then(|a| field(a, "name"))
+                    .is_some();
+                if !named {
+                    return Err(format!("metadata event {i} missing args.name"));
+                }
+            }
+            "X" => {
+                for key in ["name", "cat"] {
+                    if field(obj, key).and_then(as_str).is_none() {
+                        return Err(format!("event {i} missing string {key}"));
+                    }
+                }
+                for key in ["ts", "dur"] {
+                    let ok = field(obj, key).and_then(as_f64).is_some_and(|v| v >= 0.0);
+                    if !ok {
+                        return Err(format!("event {i} missing non-negative {key}"));
+                    }
+                }
+                for key in ["pid", "tid"] {
+                    if field(obj, key).and_then(as_u64).is_none() {
+                        return Err(format!("event {i} missing numeric {key}"));
+                    }
+                }
+                n += 1;
+            }
+            other => return Err(format!("event {i} has unexpected ph {other:?}")),
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RankSample;
+
+    fn demo_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Superstep {
+                step: 0,
+                phase: PhaseKind::Expand,
+                t_start: 0.0,
+                samples: vec![
+                    RankSample {
+                        rank: 0,
+                        time: 1.5e-6,
+                        msgs: 1,
+                        bytes: 8,
+                        flops: 0,
+                    },
+                    RankSample {
+                        rank: 1,
+                        time: 3.0e-6,
+                        msgs: 2,
+                        bytes: 16,
+                        flops: 0,
+                    },
+                ],
+            },
+            TraceEvent::WallSpan {
+                kind: PhaseKind::Pack,
+                label: "spmv:expand-pack".into(),
+                t_start: 0.001,
+                dur: 0.0005,
+            },
+            TraceEvent::SimSpan {
+                kind: PhaseKind::SolverIteration,
+                label: "restart 0".into(),
+                t_start: 0.0,
+                t_end: 4.5e-6,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_has_pid_rank_tid_phase() {
+        let json = chrome_trace_json(&demo_events());
+        // rank 1's Expand sample: pid=1, tid=Expand's tid (0).
+        assert!(json.contains("\"pid\":1,\"tid\":0"));
+        assert!(json.contains("\"name\":\"Expand\""));
+        // Field order pinned for golden stability.
+        assert!(json.contains("{\"name\":\"Expand\",\"cat\":\"superstep\",\"ph\":\"X\",\"ts\":0,"));
+        assert!(json.contains(&format!("\"pid\":{HOST_PID}")));
+        assert!(json.contains(&format!("\"pid\":{SIM_PID}")));
+    }
+
+    #[test]
+    fn chrome_trace_validates() {
+        let json = chrome_trace_json(&demo_events());
+        // 2 samples + 1 wall span + 1 sim span.
+        assert_eq!(validate_chrome_trace(&json), Ok(4));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\"}]}").is_err()
+        );
+        assert_eq!(validate_chrome_trace("{\"traceEvents\":[]}"), Ok(0));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = demo_events();
+        let text = events_jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        let back: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn numbers_format_compactly() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let ev = vec![TraceEvent::WallSpan {
+            kind: PhaseKind::Other,
+            label: "quote\"back\\slash".into(),
+            t_start: 0.0,
+            dur: 1.0,
+        }];
+        let json = chrome_trace_json(&ev);
+        assert!(validate_chrome_trace(&json).is_ok());
+        assert!(json.contains("quote\\\"back\\\\slash"));
+    }
+}

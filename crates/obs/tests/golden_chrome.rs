@@ -1,0 +1,111 @@
+//! Golden-file test pinning the Chrome trace JSON schema: stable field
+//! order (`name, cat, ph, ts, dur, pid, tid, args`), pid = rank,
+//! tid = phase kind. Regenerate with
+//! `SF2D_BLESS=1 cargo test -p sf2d-obs --test golden_chrome`.
+
+use sf2d_obs::event::{PhaseKind, RankSample, TraceEvent};
+use sf2d_obs::sink::{chrome_trace_json, validate_chrome_trace};
+
+fn fixture_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Superstep {
+            step: 0,
+            phase: PhaseKind::Expand,
+            t_start: 0.0,
+            samples: vec![
+                RankSample {
+                    rank: 0,
+                    time: 1.25e-6,
+                    msgs: 3,
+                    bytes: 96,
+                    flops: 0,
+                },
+                RankSample {
+                    rank: 1,
+                    time: 2.5e-6,
+                    msgs: 5,
+                    bytes: 160,
+                    flops: 0,
+                },
+            ],
+        },
+        TraceEvent::Superstep {
+            step: 1,
+            phase: PhaseKind::LocalCompute,
+            t_start: 2.5e-6,
+            samples: vec![
+                RankSample {
+                    rank: 0,
+                    time: 4.0e-6,
+                    msgs: 0,
+                    bytes: 0,
+                    flops: 4000,
+                },
+                RankSample {
+                    rank: 1,
+                    time: 3.0e-6,
+                    msgs: 0,
+                    bytes: 0,
+                    flops: 3000,
+                },
+            ],
+        },
+        TraceEvent::SimSpan {
+            kind: PhaseKind::SolverIteration,
+            label: "restart 0".to_string(),
+            t_start: 0.0,
+            t_end: 6.5e-6,
+        },
+        TraceEvent::WallSpan {
+            kind: PhaseKind::Pack,
+            label: "spmv:expand-pack".to_string(),
+            t_start: 0.000125,
+            dur: 0.0000625,
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    let rendered = chrome_trace_json(&fixture_events());
+
+    if std::env::var_os("SF2D_BLESS").is_some() {
+        std::fs::write(golden_path, &rendered).expect("bless golden file");
+    }
+
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    assert_eq!(
+        rendered, golden,
+        "Chrome trace output drifted from the golden schema; if the change \
+         is intentional, re-bless with SF2D_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_passes_the_validator() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    // 4 superstep samples + 1 sim span + 1 wall span.
+    assert_eq!(validate_chrome_trace(&golden), Ok(6));
+}
+
+#[test]
+fn golden_file_pins_pid_rank_and_tid_phase() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    // rank 1's LocalCompute sample: pid = rank, tid = the phase's stable id.
+    let tid = PhaseKind::LocalCompute.tid();
+    assert!(golden.contains(&format!("\"pid\":1,\"tid\":{tid}")));
+    // Field order is part of the schema contract.
+    assert!(golden.contains("{\"name\":\"Expand\",\"cat\":\"superstep\",\"ph\":\"X\",\"ts\":0,"));
+}

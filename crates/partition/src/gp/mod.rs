@@ -62,10 +62,18 @@ impl Default for GpConfig {
 /// balance the nonzeros").
 pub fn partition_graph(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
     let wg = WorkGraph::from_graph(g);
-    let mut part = rb::recursive_bisection(&wg, k, cfg);
+    let mut part = sf2d_obs::trace_span!(
+        sf2d_obs::PhaseKind::Partition,
+        "gp:recursive-bisection",
+        rb::recursive_bisection(&wg, k, cfg)
+    );
     // Direct k-way polish on the assembled partition: repairs the cut and
     // the imbalance that compound across recursive-bisection levels.
-    kway::kway_refine(&wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed);
+    sf2d_obs::trace_span!(
+        sf2d_obs::PhaseKind::Partition,
+        "gp:kway-refine",
+        kway::kway_refine(&wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed)
+    );
     part
 }
 
@@ -74,8 +82,16 @@ pub fn partition_graph(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
 /// with ParMETIS' multiconstraint partitioner in §5.3.
 pub fn partition_graph_multiconstraint(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
     let wg = WorkGraph::from_graph_mc(g);
-    let mut part = rb::recursive_bisection(&wg, k, cfg);
-    kway::kway_refine(&wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed);
+    let mut part = sf2d_obs::trace_span!(
+        sf2d_obs::PhaseKind::Partition,
+        "gp-mc:recursive-bisection",
+        rb::recursive_bisection(&wg, k, cfg)
+    );
+    sf2d_obs::trace_span!(
+        sf2d_obs::PhaseKind::Partition,
+        "gp-mc:kway-refine",
+        kway::kway_refine(&wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed)
+    );
     part
 }
 

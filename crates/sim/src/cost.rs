@@ -69,6 +69,20 @@ pub enum Phase {
     Collective,
 }
 
+impl From<Phase> for sf2d_obs::PhaseKind {
+    fn from(p: Phase) -> sf2d_obs::PhaseKind {
+        use sf2d_obs::PhaseKind as K;
+        match p {
+            Phase::Expand => K::Expand,
+            Phase::LocalCompute => K::LocalCompute,
+            Phase::Fold => K::Fold,
+            Phase::Sum => K::Sum,
+            Phase::VectorOp => K::VectorOp,
+            Phase::Collective => K::Collective,
+        }
+    }
+}
+
 /// Accumulates simulated time across supersteps.
 #[derive(Debug, Clone)]
 pub struct CostLedger {
@@ -103,11 +117,31 @@ impl CostLedger {
 
     /// Closes a superstep: all ranks ran `costs[rank]`; elapsed time grows
     /// by the slowest rank. Returns that step time.
+    ///
+    /// When tracing is enabled ([`sf2d_obs::enabled`]), the ledger also
+    /// emits a per-rank [`sf2d_obs::TraceEvent::Superstep`] on the
+    /// simulated clock — this single hook gives every code path that
+    /// charges the ledger a full per-rank timeline for free. With tracing
+    /// off the extra cost is one thread-local boolean read.
     pub fn superstep(&mut self, phase: Phase, costs: &[PhaseCost]) -> f64 {
         let t = costs
             .iter()
             .map(|c| self.machine.phase_time(c))
             .fold(0.0f64, f64::max);
+        if sf2d_obs::enabled() {
+            let samples = costs
+                .iter()
+                .enumerate()
+                .map(|(r, c)| sf2d_obs::RankSample {
+                    rank: r as u32,
+                    time: self.machine.phase_time(c),
+                    msgs: c.msgs,
+                    bytes: c.bytes,
+                    flops: c.flops,
+                })
+                .collect();
+            sf2d_obs::record_superstep(self.steps as u64, phase.into(), self.total, samples);
+        }
         self.total += t;
         *self.by_phase.entry(phase).or_insert(0.0) += t;
         self.steps += 1;
@@ -119,6 +153,18 @@ impl CostLedger {
     pub fn superstep_uniform(&mut self, phase: Phase, cost: PhaseCost, p: usize) -> f64 {
         assert!(p >= 1);
         let t = self.machine.phase_time(&cost);
+        if sf2d_obs::enabled() {
+            let samples = (0..p as u32)
+                .map(|rank| sf2d_obs::RankSample {
+                    rank,
+                    time: t,
+                    msgs: cost.msgs,
+                    bytes: cost.bytes,
+                    flops: cost.flops,
+                })
+                .collect();
+            sf2d_obs::record_superstep(self.steps as u64, phase.into(), self.total, samples);
+        }
         self.total += t;
         *self.by_phase.entry(phase).or_insert(0.0) += t;
         self.steps += 1;
@@ -133,6 +179,33 @@ impl CostLedger {
             .iter()
             .map(|ph| self.by_phase.get(ph).copied().unwrap_or(0.0))
             .sum()
+    }
+
+    /// The per-phase breakdown as `(phase, seconds)` pairs in phase order.
+    pub fn phase_breakdown(&self) -> Vec<(Phase, f64)> {
+        self.by_phase.iter().map(|(&ph, &t)| (ph, t)).collect()
+    }
+
+    /// Folds another ledger's charges into this one, as if the other
+    /// ledger's supersteps had been closed here (in sequence *after* this
+    /// ledger's — BSP supersteps are serial, so merged totals **add**; the
+    /// max-over-ranks reduction happens *within* each superstep, never
+    /// across ledgers). History concatenates in the other's order.
+    ///
+    /// # Panics
+    /// Panics if the machines differ — summing seconds simulated under
+    /// different α-β-γ parameters is a bookkeeping error.
+    pub fn merge(&mut self, other: &CostLedger) {
+        assert_eq!(
+            self.machine, other.machine,
+            "merging ledgers simulated on different machines"
+        );
+        self.total += other.total;
+        for (&ph, &t) in &other.by_phase {
+            *self.by_phase.entry(ph).or_insert(0.0) += t;
+        }
+        self.steps += other.steps;
+        self.history.extend(other.history.iter().copied());
     }
 }
 
@@ -234,5 +307,126 @@ mod tests {
     fn empty_superstep_costs_nothing() {
         let mut l = CostLedger::new(unit_machine());
         assert_eq!(l.superstep(Phase::Sum, &[]), 0.0);
+    }
+
+    #[test]
+    fn superstep_reduction_is_max_over_ranks_not_sum() {
+        // The BSP reduction: within a superstep ranks run concurrently, so
+        // the charge is the straggler's time (max). Summing would model a
+        // serial machine and overcharge 3x here.
+        let mut l = CostLedger::new(unit_machine());
+        let costs = [
+            PhaseCost::comm(2, 0),
+            PhaseCost::comm(4, 0),
+            PhaseCost::comm(6, 0),
+        ];
+        let t = l.superstep(Phase::Expand, &costs);
+        assert_eq!(t, 6.0);
+        let per_rank_sum: f64 = costs.iter().map(|c| l.machine().phase_time(c)).sum();
+        assert_eq!(per_rank_sum, 12.0);
+        assert!(l.total < per_rank_sum);
+    }
+
+    #[test]
+    fn merge_adds_across_ledgers_because_supersteps_are_serial() {
+        // Across ledgers the supersteps happened one after another, so
+        // merged time ADDS — max is only the within-step reduction.
+        let mut a = CostLedger::new(unit_machine());
+        a.superstep(Phase::Expand, &[PhaseCost::comm(5, 0)]);
+        let mut b = CostLedger::new(unit_machine());
+        b.superstep(Phase::Expand, &[PhaseCost::comm(3, 0)]);
+        b.superstep(Phase::Fold, &[PhaseCost::comm(2, 0)]);
+        a.merge(&b);
+        assert_eq!(a.total, 10.0); // 5 + 3 + 2, not max(5, 3, 2)
+        assert_eq!(a.by_phase[&Phase::Expand], 8.0);
+        assert_eq!(a.by_phase[&Phase::Fold], 2.0);
+        assert_eq!(a.steps, 3);
+        assert_eq!(
+            a.history,
+            vec![
+                (Phase::Expand, 5.0),
+                (Phase::Expand, 3.0),
+                (Phase::Fold, 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different machines")]
+    fn merge_rejects_mismatched_machines() {
+        let mut a = CostLedger::new(unit_machine());
+        let b = CostLedger::new(Machine::cab());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn phase_breakdown_matches_by_phase() {
+        let mut l = CostLedger::new(unit_machine());
+        l.superstep(Phase::Fold, &[PhaseCost::comm(1, 0)]);
+        l.superstep(Phase::Expand, &[PhaseCost::comm(2, 0)]);
+        let breakdown = l.phase_breakdown();
+        assert_eq!(breakdown, vec![(Phase::Expand, 2.0), (Phase::Fold, 1.0)]);
+        let sum: f64 = breakdown.iter().map(|&(_, t)| t).sum();
+        assert_eq!(sum, l.total);
+    }
+
+    #[test]
+    fn superstep_emits_trace_samples_when_enabled() {
+        sf2d_obs::enable();
+        let mut l = CostLedger::new(unit_machine());
+        l.superstep(
+            Phase::Expand,
+            &[PhaseCost::comm(1, 8), PhaseCost::comm(3, 24)],
+        );
+        l.superstep_uniform(Phase::Collective, PhaseCost::comm(2, 16), 2);
+        sf2d_obs::disable();
+        let events = sf2d_obs::take_events();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            sf2d_obs::TraceEvent::Superstep {
+                step,
+                phase,
+                t_start,
+                samples,
+            } => {
+                assert_eq!(*step, 0);
+                assert_eq!(*phase, sf2d_obs::PhaseKind::Expand);
+                assert_eq!(*t_start, 0.0);
+                assert_eq!(samples.len(), 2);
+                assert_eq!(samples[1].rank, 1);
+                assert_eq!(samples[1].msgs, 3);
+                assert_eq!(samples[1].bytes, 24);
+                assert_eq!(samples[1].time, 3.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &events[1] {
+            sf2d_obs::TraceEvent::Superstep {
+                step,
+                t_start,
+                samples,
+                ..
+            } => {
+                // Second step starts where the first ended (sim clock).
+                assert_eq!(*step, 1);
+                assert_eq!(*t_start, 3.0);
+                assert_eq!(samples.len(), 2);
+                // Uniform superstep: identical samples apart from the rank.
+                assert_eq!(samples[0].rank, 0);
+                assert_eq!(samples[1].rank, 1);
+                assert_eq!(samples[0].time, samples[1].time);
+                assert_eq!(samples[0].msgs, 2);
+                assert_eq!(samples[0].bytes, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn superstep_emits_nothing_when_disabled() {
+        assert!(!sf2d_obs::enabled());
+        let mut l = CostLedger::new(unit_machine());
+        l.superstep(Phase::Expand, &[PhaseCost::comm(1, 8)]);
+        assert!(sf2d_obs::take_events().is_empty());
     }
 }

@@ -73,6 +73,16 @@ impl Machine {
         self.alpha * c.msgs as f64 + self.beta * c.bytes as f64 + self.gamma * c.flops as f64
     }
 
+    /// The machine's α-β-γ parameters in the form the trace analyzer
+    /// ([`sf2d_obs::analyze`]) attributes bounding terms with.
+    pub fn cost_params(&self) -> sf2d_obs::CostParams {
+        sf2d_obs::CostParams {
+            alpha: self.alpha,
+            beta: self.beta,
+            gamma: self.gamma,
+        }
+    }
+
     /// Scales the *workload-proportional* terms (β, γ) by `s`, leaving the
     /// per-message latency α unchanged.
     ///

@@ -18,6 +18,35 @@ pub struct RankMessage {
     pub data: Vec<f64>,
 }
 
+/// A message in flight, tagged (in debug builds) with its enqueue index
+/// within the source rank's send list so delivery order can be audited.
+#[derive(Debug)]
+struct Tagged {
+    msg: RankMessage,
+    #[cfg(debug_assertions)]
+    seq: u32,
+}
+
+/// Shared inbox finalization for both routers: sorts by source rank
+/// (stably, preserving arrival order within a source) and, in debug
+/// builds, asserts the delivery order is deterministic — `(src, seq)`
+/// strictly lexicographically increasing, i.e. each source's messages
+/// arrive in the order it enqueued them and no message is duplicated.
+fn finish_inbox(rank: usize, mut inbox: Vec<Tagged>) -> Vec<RankMessage> {
+    inbox.sort_by_key(|t| t.msg.src);
+    #[cfg(debug_assertions)]
+    for w in inbox.windows(2) {
+        let prev = (w[0].msg.src, w[0].seq);
+        let next = (w[1].msg.src, w[1].seq);
+        assert!(
+            prev < next,
+            "rank {rank}: nondeterministic delivery order, {prev:?} !< {next:?}"
+        );
+    }
+    let _ = rank;
+    inbox.into_iter().map(|t| t.msg).collect()
+}
+
 /// Execution-tuning knobs for the simulator runtime. These change only
 /// how fast the simulator itself runs — never the modeled costs or the
 /// computed values (the parallel engine is bit-identical to sequential).
@@ -88,27 +117,32 @@ where
 /// plan is a programming error the simulator refuses to mask.
 pub fn route_sequential(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<RankMessage>> {
     assert_eq!(sends.len(), p, "one send list per rank required");
-    let mut recvs: Vec<Vec<RankMessage>> = vec![Vec::new(); p];
+    let mut recvs: Vec<Vec<Tagged>> = (0..p).map(|_| Vec::new()).collect();
     for (src, out) in sends.into_iter().enumerate() {
-        for (dst, data) in out {
+        for (_seq, (dst, data)) in out.into_iter().enumerate() {
             assert!((dst as usize) < p, "rank {src} sent to invalid rank {dst}");
-            recvs[dst as usize].push(RankMessage {
-                src: src as u32,
-                data,
+            recvs[dst as usize].push(Tagged {
+                msg: RankMessage {
+                    src: src as u32,
+                    data,
+                },
+                #[cfg(debug_assertions)]
+                seq: _seq as u32,
             });
         }
     }
-    for inbox in &mut recvs {
-        inbox.sort_by_key(|m| m.src);
-    }
     recvs
+        .into_iter()
+        .enumerate()
+        .map(|(r, inbox)| finish_inbox(r, inbox))
+        .collect()
 }
 
 /// Same contract as [`route_sequential`] but each rank runs on its own
 /// thread, sending through crossbeam channels.
 pub fn route_threaded(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<RankMessage>> {
     assert_eq!(sends.len(), p, "one send list per rank required");
-    let (txs, rxs): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::unbounded::<RankMessage>()).unzip();
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..p).map(|_| channel::unbounded::<Tagged>()).unzip();
 
     // Expected inbox sizes, counted up front: inboxes get exact
     // capacities, and a lost message becomes a loud assert instead of a
@@ -126,15 +160,19 @@ pub fn route_threaded(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<Ran
         // messages need (one per message, not the full p-vector — cloning
         // all `txs` per rank would cost O(p²) refcount traffic).
         for (src, out) in sends.into_iter().enumerate() {
-            let links: Vec<channel::Sender<RankMessage>> = out
+            let links: Vec<channel::Sender<Tagged>> = out
                 .iter()
                 .map(|(dst, _)| txs[*dst as usize].clone())
                 .collect();
             scope.spawn(move |_| {
-                for ((_, data), tx) in out.into_iter().zip(links) {
-                    tx.send(RankMessage {
-                        src: src as u32,
-                        data,
+                for (_seq, ((_, data), tx)) in out.into_iter().zip(links).enumerate() {
+                    tx.send(Tagged {
+                        msg: RankMessage {
+                            src: src as u32,
+                            data,
+                        },
+                        #[cfg(debug_assertions)]
+                        seq: _seq as u32,
                     })
                     .expect("receiver alive");
                 }
@@ -147,18 +185,18 @@ pub fn route_threaded(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<Ran
     rxs.into_iter()
         .enumerate()
         .map(|(r, rx)| {
-            let mut inbox: Vec<RankMessage> = Vec::with_capacity(expected[r]);
+            let mut inbox: Vec<Tagged> = Vec::with_capacity(expected[r]);
             inbox.extend(rx);
             assert_eq!(inbox.len(), expected[r], "rank {r} inbox count mismatch");
-            inbox.sort_by_key(|m| m.src);
-            inbox
+            finish_inbox(r, inbox)
         })
         .collect()
 }
 
-/// Total doubles in flight in a send set — used to cross-check plan volume
-/// bookkeeping against actual traffic.
-pub fn traffic_volume(sends: &[Vec<(u32, Vec<f64>)>]) -> usize {
+/// Total payload items in flight in a send set — used to cross-check plan
+/// volume bookkeeping against actual traffic, and (via the generic
+/// payload) shared with `sf2d-spmv`'s plan/diagnosis accounting.
+pub fn traffic_volume<T>(sends: &[Vec<(u32, Vec<T>)>]) -> usize {
     sends
         .iter()
         .flat_map(|s| s.iter().map(|(_, d)| d.len()))
@@ -301,6 +339,34 @@ mod tests {
         // from_env falls back to 1 on unset/garbage (the variable is not
         // set in the test environment).
         assert!(RuntimeConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn per_source_enqueue_order_survives_both_routers() {
+        // Rank 0 sends rank 1 three messages; the receiver must see them
+        // in enqueue order (the debug-build (src, seq) audit in
+        // finish_inbox enforces this, and the payloads prove it).
+        let sends = vec![
+            vec![
+                (1, vec![1.0]),
+                (0, vec![99.0]),
+                (1, vec![2.0]),
+                (1, vec![3.0]),
+            ],
+            vec![(1, vec![4.0])],
+        ];
+        for recvs in [
+            route_sequential(2, sends.clone()),
+            route_threaded(2, sends.clone()),
+        ] {
+            let from0: Vec<f64> = recvs[1]
+                .iter()
+                .filter(|m| m.src == 0)
+                .map(|m| m.data[0])
+                .collect();
+            assert_eq!(from0, vec![1.0, 2.0, 3.0]);
+            assert_eq!(recvs[1].last().unwrap().src, 1);
+        }
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //!
 //! The BSP model makes every phase as slow as its slowest rank, so the
 //! interesting question for a layout is *which rank bounds each phase and
-//! what it is paying for* (messages? bytes? flops?). This module computes
-//! the per-phase breakdown without running an SpMV — the same per-rank
-//! costs [`spmv`](crate::spmv::spmv) would charge — and names the
-//! bottleneck term. The `sf2d diagnose` CLI subcommand prints it.
+//! what it is paying for* (messages? bytes? flops?). This module fills a
+//! per-rank [`MetricsRegistry`] straight off the compiled schedules'
+//! frozen cost vectors — the exact per-rank charges
+//! [`spmv`](crate::spmv::spmv) puts on the ledger, no ad-hoc recounting —
+//! and diagnoses each phase from those counters. The `sf2d diagnose` CLI
+//! subcommand prints it.
 
+use sf2d_obs::{BoundTerm, MetricsRegistry, RankSample};
 use sf2d_sim::cost::{Phase, PhaseCost};
 use sf2d_sim::Machine;
 
@@ -25,15 +28,19 @@ pub enum Bottleneck {
 
 impl Bottleneck {
     fn of(machine: &Machine, c: &PhaseCost) -> Bottleneck {
-        let a = machine.alpha * c.msgs as f64;
-        let b = machine.beta * c.bytes as f64;
-        let g = machine.gamma * c.flops as f64;
-        if a >= b && a >= g {
-            Bottleneck::Latency
-        } else if b >= g {
-            Bottleneck::Bandwidth
-        } else {
-            Bottleneck::Compute
+        // One classification rule for the whole workspace: delegate to the
+        // trace analyzer's term attribution.
+        let s = RankSample {
+            rank: 0,
+            time: 0.0,
+            msgs: c.msgs,
+            bytes: c.bytes,
+            flops: c.flops,
+        };
+        match BoundTerm::of(&machine.cost_params(), &s) {
+            BoundTerm::Latency => Bottleneck::Latency,
+            BoundTerm::Bandwidth => Bottleneck::Bandwidth,
+            BoundTerm::Compute => Bottleneck::Compute,
         }
     }
 
@@ -45,6 +52,63 @@ impl Bottleneck {
             Bottleneck::Compute => "compute",
         }
     }
+}
+
+/// Counter-name slug of a phase, as used by [`spmv_metrics`] keys
+/// (`spmv.<slug>.msgs` / `.bytes` / `.flops`).
+pub fn phase_slug(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Expand => "expand",
+        Phase::LocalCompute => "local",
+        Phase::Fold => "fold",
+        Phase::Sum => "sum",
+        Phase::VectorOp => "vecop",
+        Phase::Collective => "collective",
+    }
+}
+
+/// The per-phase per-rank cost table of one SpMV, read straight off the
+/// compiled schedules' frozen cost vectors — i.e. exactly what
+/// [`spmv`](crate::spmv::spmv) charges the ledger per superstep.
+pub fn phase_cost_table(a: &DistCsrMatrix) -> [(Phase, &[PhaseCost]); 4] {
+    let c = &a.compiled;
+    [
+        (Phase::Expand, c.expand_costs.as_slice()),
+        (Phase::LocalCompute, c.compute_costs.as_slice()),
+        (Phase::Fold, c.fold_costs.as_slice()),
+        (Phase::Sum, c.sum_costs.as_slice()),
+    ]
+}
+
+/// Fills a [`MetricsRegistry`] describing one SpMV on this matrix:
+///
+/// * counters `spmv.<phase>.msgs|bytes|flops` per rank (from the frozen
+///   compiled cost vectors);
+/// * histogram `spmv.msg_bytes` — size of every individual expand/fold
+///   message (log2 buckets);
+/// * histogram `spmv.rank_flops` — per-rank local-compute flops, whose
+///   spread is the flop-imbalance picture.
+pub fn spmv_metrics(a: &DistCsrMatrix) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for (phase, costs) in phase_cost_table(a) {
+        let slug = phase_slug(phase);
+        for (r, c) in costs.iter().enumerate() {
+            reg.add(&format!("spmv.{slug}.msgs"), r as u32, c.msgs);
+            reg.add(&format!("spmv.{slug}.bytes"), r as u32, c.bytes);
+            reg.add(&format!("spmv.{slug}.flops"), r as u32, c.flops);
+        }
+    }
+    for plan in [&a.import, &a.export] {
+        for out in &plan.sends {
+            for (_dst, gids) in out {
+                reg.observe("spmv.msg_bytes", 8 * gids.len() as u64);
+            }
+        }
+    }
+    for c in &a.compiled.compute_costs {
+        reg.observe("spmv.rank_flops", c.flops);
+    }
+    reg
 }
 
 /// One phase of the SpMV, analyzed.
@@ -64,34 +128,32 @@ pub struct PhaseDiagnosis {
     pub bottleneck: Bottleneck,
 }
 
-/// Computes the per-phase diagnosis of one SpMV under `machine`.
+/// Computes the per-phase diagnosis of one SpMV under `machine`, by way
+/// of the matrix's [`spmv_metrics`] registry.
 pub fn diagnose_spmv(a: &DistCsrMatrix, machine: &Machine) -> Vec<PhaseDiagnosis> {
-    let p = a.nprocs();
-    let mut phases: Vec<(Phase, Vec<PhaseCost>)> = Vec::with_capacity(4);
+    diagnose_from_metrics(&spmv_metrics(a), a.nprocs(), machine)
+}
 
-    phases.push((Phase::Expand, a.import.phase_costs()));
-    let compute: Vec<PhaseCost> = a
-        .blocks
-        .iter()
-        .map(|b| PhaseCost::compute(2 * b.local.nnz() as u64))
-        .collect();
-    phases.push((Phase::LocalCompute, compute));
-    phases.push((Phase::Fold, a.export.phase_costs()));
-    let mut sum = vec![PhaseCost::default(); p];
-    for (r, s) in sum.iter_mut().enumerate() {
-        let local_rows = a.blocks[r]
-            .rowmap
-            .iter()
-            .filter(|&&g| a.vmap.owner(g) == r as u32)
-            .count() as u64;
-        let received: u64 = a.export.sends[r].iter().map(|(_, g)| g.len() as u64).sum();
-        s.flops = local_rows + received;
-    }
-    phases.push((Phase::Sum, sum));
-
-    phases
+/// Diagnoses the four SpMV phases from a registry shaped like
+/// [`spmv_metrics`] output — per-rank `spmv.<phase>.msgs|bytes|flops`
+/// counters — without touching the matrix again.
+pub fn diagnose_from_metrics(
+    reg: &MetricsRegistry,
+    p: usize,
+    machine: &Machine,
+) -> Vec<PhaseDiagnosis> {
+    assert!(p >= 1, "at least one rank");
+    [Phase::Expand, Phase::LocalCompute, Phase::Fold, Phase::Sum]
         .into_iter()
-        .map(|(phase, costs)| {
+        .map(|phase| {
+            let slug = phase_slug(phase);
+            let costs: Vec<PhaseCost> = (0..p as u32)
+                .map(|r| PhaseCost {
+                    msgs: reg.counter(&format!("spmv.{slug}.msgs"), r),
+                    bytes: reg.counter(&format!("spmv.{slug}.bytes"), r),
+                    flops: reg.counter(&format!("spmv.{slug}.flops"), r),
+                })
+                .collect();
             let times: Vec<f64> = costs.iter().map(|c| machine.phase_time(c)).collect();
             let (straggler, &time) = times
                 .iter()
@@ -203,6 +265,71 @@ mod tests {
         assert!(text.contains("Expand"));
         assert!(text.contains("total per SpMV"));
         assert!(text.contains("latency") || text.contains("bandwidth"));
+    }
+
+    #[test]
+    fn metrics_registry_agrees_with_the_plans() {
+        // The registry's message/byte counters come from the compiled cost
+        // vectors; the plans' own accounting must agree with them — the
+        // counts are the same numbers, recorded once.
+        let dm = demo();
+        let reg = spmv_metrics(&dm);
+        let send_msgs: u64 = dm.import.sends.iter().map(|s| s.len() as u64).sum();
+        let recv_msgs: u64 = dm.import.recvs.iter().map(|r| r.len() as u64).sum();
+        // Expand counters charge both endpoints of each message.
+        assert_eq!(reg.sum("spmv.expand.msgs"), send_msgs + recv_msgs);
+        let expand_bytes: u64 = 16 * dm.import.total_volume() as u64; // 8 B × 2 endpoints
+        assert_eq!(reg.sum("spmv.expand.bytes"), expand_bytes);
+        // The message-size histogram saw every planned message once.
+        let planned_msgs: usize = [&dm.import, &dm.export]
+            .iter()
+            .flat_map(|p| p.sends.iter())
+            .map(|s| s.len())
+            .sum();
+        let h = reg.histogram("spmv.msg_bytes").unwrap();
+        assert_eq!(h.count as usize, planned_msgs);
+        assert_eq!(
+            h.sum as usize,
+            8 * (dm.import.total_volume() + dm.export.total_volume())
+        );
+        // Flop-imbalance histogram: one observation per rank.
+        assert_eq!(reg.histogram("spmv.rank_flops").unwrap().count, 4);
+    }
+
+    #[test]
+    fn diagnosis_from_metrics_matches_direct_diagnosis() {
+        let dm = demo();
+        let machine = Machine::cab();
+        let direct = diagnose_spmv(&dm, &machine);
+        let via_reg = diagnose_from_metrics(&spmv_metrics(&dm), dm.nprocs(), &machine);
+        assert_eq!(direct.len(), via_reg.len());
+        for (d, v) in direct.iter().zip(&via_reg) {
+            assert_eq!(d.phase, v.phase);
+            assert_eq!(d.time.to_bits(), v.time.to_bits());
+            assert_eq!(d.straggler, v.straggler);
+            assert_eq!(d.straggler_cost, v.straggler_cost);
+            assert_eq!(d.bottleneck, v.bottleneck);
+        }
+    }
+
+    #[test]
+    fn max_rank_counter_names_the_straggler() {
+        // The registry's bottleneck reduction and the diagnosis agree on
+        // what bounds the expand phase: on a latency-only machine the
+        // straggler pays exactly the max per-rank message count (the two
+        // reductions may name different ranks on exact ties).
+        let dm = demo();
+        let m = Machine {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            name: "msgs-only",
+        };
+        let reg = spmv_metrics(&dm);
+        let diag = diagnose_from_metrics(&reg, dm.nprocs(), &m);
+        let (_, max_msgs) = reg.max("spmv.expand.msgs").unwrap();
+        assert_eq!(diag[0].straggler_cost.msgs, max_msgs);
+        assert_eq!(diag[0].time, max_msgs as f64);
     }
 }
 

@@ -99,12 +99,11 @@ impl CommPlan {
         costs
     }
 
-    /// Total doubles moved by one execution.
+    /// Total doubles moved by one execution (each planned gid is one
+    /// double in flight, so the runtime's traffic accounting applies
+    /// directly to the plan's send lists).
     pub fn total_volume(&self) -> usize {
-        self.sends
-            .iter()
-            .flat_map(|s| s.iter().map(|(_, g)| g.len()))
-            .sum()
+        sf2d_sim::runtime::traffic_volume(&self.sends)
     }
 
     /// Max messages sent by any rank.

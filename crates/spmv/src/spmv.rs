@@ -25,6 +25,7 @@
 
 use std::cell::Cell;
 
+use sf2d_obs::{trace_span, PhaseKind};
 use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
 use sf2d_sim::runtime::par_ranks;
 
@@ -94,12 +95,14 @@ pub fn spmv_with(
     // lid lists into the workspace's resident send buffers. Transport is
     // zero-copy: the destination reads each payload in place via the
     // (src, slot) recorded in its unpack list.
-    par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
-        let xs = &x.locals[r];
-        for (buf, (_dst, lids)) in bufs.iter_mut().zip(&compiled.expand[r].pack) {
-            buf.clear();
-            buf.extend(lids.iter().map(|&l| xs[l as usize]));
-        }
+    trace_span!(PhaseKind::Pack, "spmv:expand-pack", {
+        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
+            let xs = &x.locals[r];
+            for (buf, (_dst, lids)) in bufs.iter_mut().zip(&compiled.expand[r].pack) {
+                buf.clear();
+                buf.extend(lids.iter().map(|&l| xs[l as usize]));
+            }
+        })
     });
     note_gather();
     ledger.superstep(Phase::Expand, &compiled.expand_costs);
@@ -108,34 +111,38 @@ pub fn spmv_with(
     // messages; the two cover every position exactly once) and run the
     // local kernel into the partials buffer.
     let ebufs = &ws.expand_bufs;
-    par_ranks(threads, &mut ws.ranks, |r, scratch| {
-        let plan = &compiled.expand[r];
-        let xs = &x.locals[r];
-        for &(src, dst) in &plan.owned {
-            scratch.xcols[dst as usize] = xs[src as usize];
-        }
-        for (src, slot, lids) in &plan.unpack {
-            let data = &ebufs[*src as usize][*slot as usize];
-            debug_assert_eq!(data.len(), lids.len(), "plan/traffic mismatch at rank {r}");
-            for (&lid, &v) in lids.iter().zip(data) {
-                scratch.xcols[lid as usize] = v;
+    trace_span!(PhaseKind::LocalCompute, "spmv:unpack-compute", {
+        par_ranks(threads, &mut ws.ranks, |r, scratch| {
+            let plan = &compiled.expand[r];
+            let xs = &x.locals[r];
+            for &(src, dst) in &plan.owned {
+                scratch.xcols[dst as usize] = xs[src as usize];
             }
-        }
-        a.blocks[r]
-            .local
-            .spmv_dense_into(&scratch.xcols, &mut scratch.partials);
+            for (src, slot, lids) in &plan.unpack {
+                let data = &ebufs[*src as usize][*slot as usize];
+                debug_assert_eq!(data.len(), lids.len(), "plan/traffic mismatch at rank {r}");
+                for (&lid, &v) in lids.iter().zip(data) {
+                    scratch.xcols[lid as usize] = v;
+                }
+            }
+            a.blocks[r]
+                .local
+                .spmv_dense_into(&scratch.xcols, &mut scratch.partials);
+        })
     });
     ledger.superstep(Phase::LocalCompute, &compiled.compute_costs);
 
     // Phase 3 — fold: owned rows sum locally, the rest ship to their
     // owners through the resident fold buffers.
     let ranks = &ws.ranks;
-    par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
-        let partials = &ranks[r].partials;
-        for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&compiled.fold[r].pack) {
-            buf.clear();
-            buf.extend(idxs.iter().map(|&i| partials[i as usize]));
-        }
+    trace_span!(PhaseKind::Pack, "spmv:fold-pack", {
+        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
+            let partials = &ranks[r].partials;
+            for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&compiled.fold[r].pack) {
+                buf.clear();
+                buf.extend(idxs.iter().map(|&i| partials[i as usize]));
+            }
+        })
     });
     par_ranks(threads, &mut y.locals, |r, yl| {
         yl.fill(0.0);
@@ -150,18 +157,20 @@ pub fn spmv_with(
     // ascending — the same per-element order as the reference executor,
     // which is what makes the result bit-identical).
     let fbufs = &ws.fold_bufs;
-    par_ranks(threads, &mut y.locals, |r, yl| {
-        for (src, slot, lids) in &compiled.fold[r].unpack {
-            let data = &fbufs[*src as usize][*slot as usize];
-            debug_assert_eq!(
-                data.len(),
-                lids.len(),
-                "fold plan/traffic mismatch at rank {r}"
-            );
-            for (&lid, &v) in lids.iter().zip(data) {
-                yl[lid as usize] += v;
+    trace_span!(PhaseKind::Unpack, "spmv:sum-unpack", {
+        par_ranks(threads, &mut y.locals, |r, yl| {
+            for (src, slot, lids) in &compiled.fold[r].unpack {
+                let data = &fbufs[*src as usize][*slot as usize];
+                debug_assert_eq!(
+                    data.len(),
+                    lids.len(),
+                    "fold plan/traffic mismatch at rank {r}"
+                );
+                for (&lid, &v) in lids.iter().zip(data) {
+                    yl[lid as usize] += v;
+                }
             }
-        }
+        })
     });
     ledger.superstep(Phase::Sum, &compiled.sum_costs);
 }
@@ -211,16 +220,18 @@ pub fn spmm_with(
     // Phase 1 — expand, executed ONCE: each message carries all m column
     // values of each entry, gid-major, in the workspace's resident send
     // buffers (read in place by the destination, as in `spmv_with`).
-    par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
-        for (buf, (_dst, lids)) in bufs.iter_mut().zip(&compiled.expand[r].pack) {
-            buf.clear();
-            buf.reserve(lids.len() * m);
-            for &lid in lids {
-                for c in 0..m {
-                    buf.push(x.col(r, c)[lid as usize]);
+    trace_span!(PhaseKind::Pack, "spmm:expand-pack", {
+        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
+            for (buf, (_dst, lids)) in bufs.iter_mut().zip(&compiled.expand[r].pack) {
+                buf.clear();
+                buf.reserve(lids.len() * m);
+                for &lid in lids {
+                    for c in 0..m {
+                        buf.push(x.col(r, c)[lid as usize]);
+                    }
                 }
             }
-        }
+        })
     });
     note_gather();
     let widened: Vec<PhaseCost> = compiled
@@ -238,31 +249,33 @@ pub fn spmm_with(
     // (`partials[c·L + li]`), xcols is reused across columns since every
     // position is overwritten per column.
     let ebufs = &ws.expand_bufs;
-    par_ranks(threads, &mut ws.ranks, |r, scratch| {
-        let plan = &compiled.expand[r];
-        let block = &a.blocks[r];
-        let rl = block.rowmap.len();
-        scratch.partials.resize(m * rl, 0.0);
-        for c in 0..m {
-            let xc = x.col(r, c);
-            for &(src, dst) in &plan.owned {
-                scratch.xcols[dst as usize] = xc[src as usize];
-            }
-            for (src, slot, lids) in &plan.unpack {
-                let data = &ebufs[*src as usize][*slot as usize];
-                debug_assert_eq!(
-                    data.len(),
-                    lids.len() * m,
-                    "plan/traffic mismatch at rank {r}"
-                );
-                for (k, &lid) in lids.iter().enumerate() {
-                    scratch.xcols[lid as usize] = data[k * m + c];
+    trace_span!(PhaseKind::LocalCompute, "spmm:unpack-compute", {
+        par_ranks(threads, &mut ws.ranks, |r, scratch| {
+            let plan = &compiled.expand[r];
+            let block = &a.blocks[r];
+            let rl = block.rowmap.len();
+            scratch.partials.resize(m * rl, 0.0);
+            for c in 0..m {
+                let xc = x.col(r, c);
+                for &(src, dst) in &plan.owned {
+                    scratch.xcols[dst as usize] = xc[src as usize];
                 }
+                for (src, slot, lids) in &plan.unpack {
+                    let data = &ebufs[*src as usize][*slot as usize];
+                    debug_assert_eq!(
+                        data.len(),
+                        lids.len() * m,
+                        "plan/traffic mismatch at rank {r}"
+                    );
+                    for (k, &lid) in lids.iter().enumerate() {
+                        scratch.xcols[lid as usize] = data[k * m + c];
+                    }
+                }
+                block
+                    .local
+                    .spmv_dense_into(&scratch.xcols, &mut scratch.partials[c * rl..(c + 1) * rl]);
             }
-            block
-                .local
-                .spmv_dense_into(&scratch.xcols, &mut scratch.partials[c * rl..(c + 1) * rl]);
-        }
+        })
     });
     let compute_costs: Vec<PhaseCost> = compiled
         .compute_costs
@@ -275,18 +288,20 @@ pub fn spmm_with(
     // first (per y element: owned add, then messages by ascending source —
     // the reference executor's per-element order).
     let ranks = &ws.ranks;
-    par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
-        let partials = &ranks[r].partials;
-        let rl = a.blocks[r].rowmap.len();
-        for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&compiled.fold[r].pack) {
-            buf.clear();
-            buf.reserve(idxs.len() * m);
-            for &pi in idxs {
-                for c in 0..m {
-                    buf.push(partials[c * rl + pi as usize]);
+    trace_span!(PhaseKind::Pack, "spmm:fold-pack", {
+        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
+            let partials = &ranks[r].partials;
+            let rl = a.blocks[r].rowmap.len();
+            for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&compiled.fold[r].pack) {
+                buf.clear();
+                buf.reserve(idxs.len() * m);
+                for &pi in idxs {
+                    for c in 0..m {
+                        buf.push(partials[c * rl + pi as usize]);
+                    }
                 }
             }
-        }
+        })
     });
     par_ranks(threads, &mut y.locals, |r, yl| {
         yl.fill(0.0);
@@ -312,22 +327,24 @@ pub fn spmm_with(
 
     // Phase 4 — sum the arriving strided partials.
     let fbufs = &ws.fold_bufs;
-    par_ranks(threads, &mut y.locals, |r, yl| {
-        let plan = &compiled.fold[r];
-        let nl = a.vmap.nlocal(r);
-        for (src, slot, lids) in &plan.unpack {
-            let data = &fbufs[*src as usize][*slot as usize];
-            debug_assert_eq!(
-                data.len(),
-                lids.len() * m,
-                "fold plan/traffic mismatch at rank {r}"
-            );
-            for (k, &lid) in lids.iter().enumerate() {
-                for c in 0..m {
-                    yl[c * nl + lid as usize] += data[k * m + c];
+    trace_span!(PhaseKind::Unpack, "spmm:sum-unpack", {
+        par_ranks(threads, &mut y.locals, |r, yl| {
+            let plan = &compiled.fold[r];
+            let nl = a.vmap.nlocal(r);
+            for (src, slot, lids) in &plan.unpack {
+                let data = &fbufs[*src as usize][*slot as usize];
+                debug_assert_eq!(
+                    data.len(),
+                    lids.len() * m,
+                    "fold plan/traffic mismatch at rank {r}"
+                );
+                for (k, &lid) in lids.iter().enumerate() {
+                    for c in 0..m {
+                        yl[c * nl + lid as usize] += data[k * m + c];
+                    }
                 }
             }
-        }
+        })
     });
     let sum_costs: Vec<PhaseCost> = compiled
         .sum_costs

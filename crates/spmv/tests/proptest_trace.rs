@@ -1,0 +1,150 @@
+//! Property tests for the tracing facade's zero-interference guarantee:
+//! running the compiled SpMV/SpMM with tracing **enabled** produces
+//! bit-identical results and byte-identical ledger charges to running it
+//! **disabled** — instrumentation observes the computation, never
+//! perturbs it. Also pins that the emitted superstep samples reproduce
+//! the ledger's charges exactly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sf2d_graph::{CooMatrix, CsrMatrix};
+use sf2d_partition::MatrixDist;
+use sf2d_sim::{CostLedger, Machine};
+use sf2d_spmv::{spmm_with, spmv_with, DistCsrMatrix, DistMultiVector, DistVector, SpmvWorkspace};
+
+fn setup_strategy() -> impl Strategy<Value = (CsrMatrix, MatrixDist, Vec<f64>)> {
+    (8usize..40, 2usize..8, 0u8..4, 0u64..1000).prop_flat_map(|(n, p, kind, seed)| {
+        let entries =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, -4.0f64..4.0), 1..3 * n);
+        let xs = proptest::collection::vec(-2.0f64..2.0, n..=n);
+        (entries, xs).prop_map(move |(mut entries, xs)| {
+            entries.sort_by_key(|&(i, j, _)| (i, j));
+            entries.dedup_by_key(|&mut (i, j, _)| (i, j));
+            let mut coo = CooMatrix::with_capacity(n, n, entries.len());
+            for (i, j, v) in entries {
+                coo.push(i, j, v);
+            }
+            let a = CsrMatrix::from_coo(&coo);
+            let pr = (1..=p).rev().find(|d| p % d == 0 && *d * *d <= p).unwrap() as u32;
+            let pc = p as u32 / pr;
+            let dist = match kind {
+                0 => MatrixDist::block_1d(n, p),
+                1 => MatrixDist::random_1d(n, p, seed),
+                2 => MatrixDist::block_2d(n, pr, pc),
+                _ => MatrixDist::random_2d(n, pr, pc, seed),
+            };
+            (a, dist, xs)
+        })
+    })
+}
+
+fn bits(locals: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    locals
+        .iter()
+        .map(|l| l.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// The superstep trace must replay to exactly the ledger's charges: same
+/// step count, each step's time = max of its samples, same phase kinds.
+fn assert_trace_replays_ledger(
+    events: &[sf2d_obs::TraceEvent],
+    ledger: &CostLedger,
+) -> Result<(), TestCaseError> {
+    let steps: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            sf2d_obs::TraceEvent::Superstep { phase, samples, .. } => Some((phase, samples)),
+            _ => None,
+        })
+        .collect();
+    prop_assert_eq!(steps.len(), ledger.history.len());
+    let mut replay_total = 0.0f64;
+    for ((phase, samples), (lphase, ltime)) in steps.iter().zip(&ledger.history) {
+        prop_assert_eq!(**phase, sf2d_obs::PhaseKind::from(*lphase));
+        let t = samples.iter().map(|s| s.time).fold(0.0f64, f64::max);
+        prop_assert_eq!(t.to_bits(), ltime.to_bits());
+        replay_total += t;
+    }
+    prop_assert_eq!(replay_total.to_bits(), ledger.total.to_bits());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// spmv with tracing on == spmv with tracing off, bit for bit, and
+    /// the emitted trace reproduces the ledger.
+    #[test]
+    fn traced_spmv_is_bit_identical_to_untraced((a, dist, xs) in setup_strategy()) {
+        let dm = DistCsrMatrix::from_global(&a, &dist);
+        let x = DistVector::from_global(Arc::clone(&dm.vmap), &xs);
+
+        prop_assert!(!sf2d_obs::enabled());
+        let mut y_off = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l_off = CostLedger::new(Machine::cab());
+        spmv_with(&dm, &x, &mut y_off, &mut l_off, &mut SpmvWorkspace::new());
+
+        sf2d_obs::enable();
+        let mut y_on = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l_on = CostLedger::new(Machine::cab());
+        spmv_with(&dm, &x, &mut y_on, &mut l_on, &mut SpmvWorkspace::new());
+        sf2d_obs::disable();
+        let events = sf2d_obs::take_events();
+
+        prop_assert_eq!(bits(&y_off.locals), bits(&y_on.locals));
+        prop_assert_eq!(&l_off.history, &l_on.history);
+        prop_assert_eq!(l_off.total.to_bits(), l_on.total.to_bits());
+        prop_assert_eq!(&l_off.by_phase, &l_on.by_phase);
+        assert_trace_replays_ledger(&events, &l_on)?;
+    }
+
+    /// Same for the blocked SpMM, at a couple of widths.
+    #[test]
+    fn traced_spmm_is_bit_identical_to_untraced((a, dist, xs) in setup_strategy()) {
+        let dm = DistCsrMatrix::from_global(&a, &dist);
+        let n = a.nrows();
+        for m in [1usize, 3] {
+            let cols: Vec<Vec<f64>> = (0..m)
+                .map(|c| xs.iter().map(|v| v * (c + 1) as f64).collect())
+                .collect();
+            let x = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+            prop_assert_eq!(cols[0].len(), n);
+
+            prop_assert!(!sf2d_obs::enabled());
+            let mut y_off = DistMultiVector::zeros(Arc::clone(&dm.vmap), m);
+            let mut l_off = CostLedger::new(Machine::cab());
+            spmm_with(&dm, &x, &mut y_off, &mut l_off, &mut SpmvWorkspace::new());
+
+            sf2d_obs::enable();
+            let mut y_on = DistMultiVector::zeros(Arc::clone(&dm.vmap), m);
+            let mut l_on = CostLedger::new(Machine::cab());
+            spmm_with(&dm, &x, &mut y_on, &mut l_on, &mut SpmvWorkspace::new());
+            sf2d_obs::disable();
+            let events = sf2d_obs::take_events();
+
+            prop_assert_eq!(bits(&y_off.locals), bits(&y_on.locals));
+            prop_assert_eq!(&l_off.history, &l_on.history);
+            prop_assert_eq!(l_off.total.to_bits(), l_on.total.to_bits());
+            assert_trace_replays_ledger(&events, &l_on)?;
+        }
+    }
+
+    /// The metrics registry agrees with the ledger: the latency-only time
+    /// of the expand phase equals the max per-rank message counter.
+    #[test]
+    fn registry_counters_match_ledger_charges((a, dist, xs) in setup_strategy()) {
+        let dm = DistCsrMatrix::from_global(&a, &dist);
+        let x = DistVector::from_global(Arc::clone(&dm.vmap), &xs);
+        let msgs_only = Machine { alpha: 1.0, beta: 0.0, gamma: 0.0, name: "msgs" };
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut ledger = CostLedger::new(msgs_only);
+        spmv_with(&dm, &x, &mut y, &mut ledger, &mut SpmvWorkspace::new());
+
+        let reg = sf2d_spmv::diagnose::spmv_metrics(&dm);
+        let expand = ledger.by_phase[&sf2d_sim::Phase::Expand];
+        let max_msgs = reg.max("spmv.expand.msgs").map(|(_, v)| v).unwrap_or(0);
+        prop_assert_eq!(expand as u64, max_msgs);
+    }
+}

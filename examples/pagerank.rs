@@ -16,6 +16,10 @@ use sf2d_core::sf2d_gen::{chung_lu, powerlaw_degrees};
 use sf2d_core::sf2d_graph::adjacency_to_pagerank;
 
 fn main() {
+    // SF2D_TRACE=trace.json captures every simulated superstep of both
+    // PageRank runs as a Chrome trace (one pid per simulated rank).
+    sf2d_core::sf2d_obs::install_from_env();
+
     // A web-like graph: power-law in/out degrees, strong host locality.
     let n = 20_000;
     let degrees = powerlaw_degrees(n, 2.1, 2, 2_000, 7);
@@ -59,5 +63,9 @@ fn main() {
     println!("\ntop 5 pages by PageRank:");
     for &i in order.iter().take(5) {
         println!("  page {:>6}: rank {:.6}", i, b[i]);
+    }
+
+    if let Ok(Some((path, events))) = sf2d_core::sf2d_obs::finish() {
+        println!("\ntrace: {} events -> {}", events.len(), path.display());
     }
 }

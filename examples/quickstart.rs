@@ -8,6 +8,10 @@
 use sf2d_core::prelude::*;
 
 fn main() {
+    // Set SF2D_TRACE=trace.json to capture a Chrome trace of every
+    // simulated superstep below (SF2D_TRACE_FORMAT=jsonl for raw events).
+    sf2d_core::sf2d_obs::install_from_env();
+
     // An R-MAT graph with Graph500 parameters — a stand-in for a social
     // network: power-law degrees, hubs, little locality.
     let a = sf2d_core::sf2d_gen::rmat(&sf2d_core::sf2d_gen::RmatConfig::graph500(13), 42);
@@ -46,4 +50,8 @@ fn main() {
     let (t, name) = best.unwrap();
     println!("\nwinner: {name} at {t:.4}s — 2D layouts cap messages at pr+pc-2 = 14,");
     println!("and the graph-partitioned ones move the fewest doubles.");
+
+    if let Ok(Some((path, events))) = sf2d_core::sf2d_obs::finish() {
+        println!("\ntrace: {} events -> {}", events.len(), path.display());
+    }
 }

@@ -1,0 +1,48 @@
+//! Observability demo: trace the same SpMV under a 1D and a 2D layout and
+//! let the critical-path analyzer explain *why* 2D wins — the per-superstep
+//! bounding rank and bounding α/β/γ term, not just the total.
+//!
+//! Run with: `cargo run --release -p sf2d-examples --bin trace_compare`
+//!
+//! Pass a directory argument to also dump the two Chrome traces there
+//! (open them in Perfetto / `chrome://tracing`).
+
+use std::sync::Arc;
+
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_obs as obs;
+
+fn traced_spmv(a: &CsrMatrix, builder: &mut LayoutBuilder, m: Method, p: usize) -> Vec<TraceEvent> {
+    let dist = builder.dist(m, p);
+    let dm = DistCsrMatrix::from_global(a, &dist);
+    let x = DistVector::random(Arc::clone(&dm.vmap), 1);
+    let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+    let mut ledger = CostLedger::new(Machine::cab());
+    obs::enable();
+    spmv_with(&dm, &x, &mut y, &mut ledger, &mut SpmvWorkspace::new());
+    obs::disable();
+    obs::take_events()
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1);
+    let a = sf2d_core::sf2d_gen::rmat(&sf2d_core::sf2d_gen::RmatConfig::graph500(13), 42);
+    let p = 64;
+    let machine = Machine::cab();
+    let mut builder = LayoutBuilder::new(&a, 0);
+
+    for m in [Method::OneDGp, Method::TwoDGp] {
+        let events = traced_spmv(&a, &mut builder, m, p);
+        println!("==== {} ====\n", m.name());
+        println!(
+            "{}",
+            sf2d_core::report::trace_markdown(&events, &machine, 3)
+        );
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+            let path = std::path::Path::new(dir).join(format!("{}.json", m.name()));
+            obs::write_events(&path, obs::TraceFormat::Chrome, &events).expect("write trace");
+            println!("chrome trace -> {}\n", path.display());
+        }
+    }
+}
