@@ -1,0 +1,227 @@
+//! Wall-clock partitioner tracker: times the deterministic multilevel
+//! partitioners sequentially (`threads = 1`) against the task-parallel
+//! path (`threads = N`) over an R-MAT scale sweep, verifies the parallel
+//! result is **byte-identical** to the sequential one (the determinism
+//! contract of `sf2d-partition`), and writes `BENCH_partition.json` in the
+//! same shape as `BENCH_spmv.json` so successive PRs can track both.
+//!
+//! Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p sf2d-bench --bin bench_partition
+//! ```
+//!
+//! The file lands in the current directory (pass a path argument to put
+//! it elsewhere). `--scales a,b,c` sets the R-MAT sweep (default
+//! `12,14`), `--k N` the part count (default 64), `--threads N` the
+//! parallel thread budget (default `SF2D_THREADS`, else 8), `--samples N`
+//! the timing repeats (default 5).
+//!
+//! **Exits nonzero if any parallel result differs from sequential** —
+//! CI runs this as the determinism gate.
+
+use sf2d_core::sf2d_gen::{rmat, RmatConfig};
+use sf2d_core::sf2d_graph::Graph;
+use sf2d_core::sf2d_partition::{
+    mondriaan, partition_graph, partition_graph_multiconstraint, GpConfig, MondriaanConfig,
+};
+
+#[derive(serde::Serialize)]
+struct CaseResult {
+    name: String,
+    scale: u64,
+    k: u64,
+    median_ns_seq: u64,
+    median_ns_par: u64,
+    speedup: f64,
+    identical: bool,
+    samples: u64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    description: String,
+    threads: u64,
+    cases: Vec<CaseResult>,
+    identical_all: bool,
+}
+
+fn main() {
+    let mut out_path = "BENCH_partition.json".to_string();
+    let mut scales: Vec<u32> = vec![12, 14];
+    let mut k = 64usize;
+    let mut threads = match sf2d_core::sf2d_sim::sf2d_par::threads_from_env() {
+        1 => 8,
+        n => n,
+    };
+    let mut samples = 5usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> &str {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value after {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scales" => {
+                scales = need_value(i)
+                    .split(',')
+                    .map(|t| t.parse().expect("numeric scale"))
+                    .collect();
+                i += 2;
+            }
+            "--k" => {
+                k = need_value(i).parse().expect("numeric --k");
+                i += 2;
+            }
+            "--threads" => {
+                threads = need_value(i).parse().expect("numeric --threads");
+                i += 2;
+            }
+            "--samples" => {
+                samples = need_value(i).parse().expect("numeric --samples");
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {flag}\nusage: bench_partition [OUT.json] \
+                     --scales a,b,c --k N --threads N --samples N"
+                );
+                std::process::exit(2);
+            }
+            positional => {
+                out_path = positional.to_string();
+                i += 1;
+            }
+        }
+    }
+    assert!(threads >= 1, "--threads must be >= 1");
+
+    let mut cases = Vec::new();
+    for &scale in &scales {
+        let a = rmat(&RmatConfig::graph500(scale), 7);
+        let g = Graph::from_symmetric_matrix(&a);
+        eprintln!(
+            "bench_partition: scale {scale} ({} rows, {} nnz), k={k}, 1 vs {threads} threads",
+            a.nrows(),
+            a.nnz()
+        );
+
+        let seq_cfg = GpConfig {
+            seed: 7,
+            threads: 1,
+            ..GpConfig::default()
+        };
+        let par_cfg = GpConfig { threads, ..seq_cfg };
+
+        // gp: single-constraint k-way graph partitioning (the 1D/2D-GP path).
+        let seq = partition_graph(&g, k, &seq_cfg);
+        let par = partition_graph(&g, k, &par_cfg);
+        cases.push(case(
+            "gp",
+            scale,
+            k,
+            samples,
+            seq.part == par.part,
+            || std::hint::black_box(partition_graph(&g, k, &seq_cfg)),
+            || std::hint::black_box(partition_graph(&g, k, &par_cfg)),
+        ));
+
+        // gp-mc: multiconstraint (rows + nonzeros), ncon = 2.
+        let seq = partition_graph_multiconstraint(&g, k, &seq_cfg);
+        let par = partition_graph_multiconstraint(&g, k, &par_cfg);
+        cases.push(case(
+            "gp-mc",
+            scale,
+            k,
+            samples,
+            seq.part == par.part,
+            || std::hint::black_box(partition_graph_multiconstraint(&g, k, &seq_cfg)),
+            || std::hint::black_box(partition_graph_multiconstraint(&g, k, &par_cfg)),
+        ));
+
+        // mondriaan: nonzero-level recursive bisection.
+        let mseq_cfg = MondriaanConfig {
+            seed: 7,
+            threads: 1,
+            ..MondriaanConfig::default()
+        };
+        let mpar_cfg = MondriaanConfig {
+            threads,
+            ..mseq_cfg
+        };
+        let seq = mondriaan(&a, k, &mseq_cfg);
+        let par = mondriaan(&a, k, &mpar_cfg);
+        cases.push(case(
+            "mondriaan",
+            scale,
+            k,
+            samples,
+            seq.owners() == par.owners(),
+            || std::hint::black_box(mondriaan(&a, k, &mseq_cfg)),
+            || std::hint::black_box(mondriaan(&a, k, &mpar_cfg)),
+        ));
+    }
+
+    let identical_all = cases.iter().all(|c| c.identical);
+    let report = BenchReport {
+        description: format!(
+            "median wall-clock ns per full k-way partitioning call over {samples} samples; \
+             seq = threads 1, par = threads {threads}; identical = parallel result \
+             byte-identical to sequential"
+        ),
+        threads: threads as u64,
+        cases,
+        identical_all,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_partition.json");
+    for c in &report.cases {
+        eprintln!(
+            "bench_partition: {} scale {}: seq {:.1} ms, par {:.1} ms, {:.2}x, identical={}",
+            c.name,
+            c.scale,
+            c.median_ns_seq as f64 / 1e6,
+            c.median_ns_par as f64 / 1e6,
+            c.speedup,
+            c.identical
+        );
+    }
+    eprintln!("bench_partition: -> {out_path}");
+    if !identical_all {
+        eprintln!("bench_partition: FAIL — parallel result differs from sequential");
+        std::process::exit(1);
+    }
+}
+
+/// Times the sequential and parallel closures and packages one case row.
+fn case<A, B>(
+    name: &str,
+    scale: u32,
+    k: usize,
+    samples: usize,
+    identical: bool,
+    seq: impl FnMut() -> A,
+    par: impl FnMut() -> B,
+) -> CaseResult {
+    let median_ns_seq = sf2d_bench::median_ns(samples, drop_result(seq));
+    let median_ns_par = sf2d_bench::median_ns(samples, drop_result(par));
+    CaseResult {
+        name: name.to_string(),
+        scale: scale as u64,
+        k: k as u64,
+        median_ns_seq,
+        median_ns_par,
+        speedup: median_ns_seq as f64 / median_ns_par.max(1) as f64,
+        identical,
+        samples: samples as u64,
+    }
+}
+
+fn drop_result<R>(mut f: impl FnMut() -> R) -> impl FnMut() {
+    move || {
+        f();
+    }
+}

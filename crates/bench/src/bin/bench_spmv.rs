@@ -18,7 +18,6 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
 use sf2d_core::prelude::*;
 use sf2d_core::sf2d_gen::{rmat, RmatConfig};
@@ -48,18 +47,8 @@ struct BenchReport {
 }
 
 /// Median wall-clock nanoseconds of `SAMPLES` runs of `f`.
-fn median_ns(mut f: impl FnMut()) -> u64 {
-    // One warmup to populate caches / size the workspaces.
-    f();
-    let mut times: Vec<u64> = (0..SAMPLES)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_nanos() as u64
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
+fn median_ns(f: impl FnMut()) -> u64 {
+    sf2d_bench::median_ns(SAMPLES, f)
 }
 
 fn main() {

@@ -120,6 +120,23 @@ impl HarnessOpts {
     }
 }
 
+/// Median wall-clock nanoseconds of `samples` runs of `f`, after one
+/// warmup run (populates caches, sizes workspaces). Shared by the
+/// `bench_spmv` and `bench_partition` trackers so their numbers are
+/// comparable.
+pub fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
 /// Runs `f` with the tracing facade enabled and writes the captured events
 /// as a Chrome `trace_event` file at `path` (open it in Perfetto /
 /// `chrome://tracing`) plus a markdown critical-path summary next to it at

@@ -64,6 +64,22 @@ impl Method {
         )
     }
 
+    /// Whether the layout comes from a partitioner (GP, HP, or GP-MC) and
+    /// therefore promises the partitioner's balance tolerance. Block and
+    /// random layouts make no such promise, so a balance flag against the
+    /// partitioner tolerance only makes sense for these methods.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(
+            self,
+            Method::OneDGp
+                | Method::OneDHp
+                | Method::OneDGpMc
+                | Method::TwoDGp
+                | Method::TwoDHp
+                | Method::TwoDGpMc
+        )
+    }
+
     /// The six layouts of the SpMV study (Table 2), with the partitioned
     /// ones using GP or HP depending on what the paper used for the matrix.
     pub fn spmv_set(use_hp: bool) -> [Method; 6] {
@@ -273,6 +289,10 @@ mod tests {
         assert_eq!(Method::OneDGpMc.name(), "1D-GP-MC");
         assert!(Method::TwoDHp.is_2d());
         assert!(!Method::OneDBlock.is_2d());
+        assert!(Method::TwoDGp.is_partitioned());
+        assert!(Method::OneDHp.is_partitioned());
+        assert!(!Method::TwoDRandom.is_partitioned());
+        assert!(!Method::OneDBlock.is_partitioned());
     }
 
     #[test]

@@ -131,6 +131,34 @@ pub struct RankOffender {
     pub idle: f64,
 }
 
+/// Aggregate of host wall-clock spans ([`TraceEvent::WallSpan`]) sharing a
+/// phase kind — **real** elapsed time of instrumented host-side work
+/// (partitioning, plan compilation), as opposed to the *simulated* seconds
+/// of the superstep records.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WallPhase {
+    /// Phase kind the spans were tagged with.
+    pub phase: PhaseKind,
+    /// Total wall-clock seconds across the spans.
+    pub time: f64,
+    /// Number of spans aggregated.
+    pub spans: usize,
+}
+
+/// Aggregate of host wall-clock spans sharing a label (e.g.
+/// `gp:recursive-bisection`), for the per-stage breakdown.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WallLabel {
+    /// Span label.
+    pub label: String,
+    /// Phase kind of the spans.
+    pub phase: PhaseKind,
+    /// Total wall-clock seconds across same-labelled spans.
+    pub time: f64,
+    /// Number of spans aggregated.
+    pub spans: usize,
+}
+
 /// The full analysis of one traced run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CriticalPathReport {
@@ -144,16 +172,25 @@ pub struct CriticalPathReport {
     pub phases: Vec<PhaseTotal>,
     /// Top-k offenders by critical-path contribution, largest first.
     pub offenders: Vec<RankOffender>,
+    /// Host wall-clock span aggregates by phase kind, largest time first
+    /// (real time, disjoint from the simulated `total`).
+    pub wall: Vec<WallPhase>,
+    /// Host wall-clock span aggregates by label, largest time first.
+    pub wall_labels: Vec<WallLabel>,
     /// Parameters used for term attribution.
     pub params: CostParams,
 }
 
-/// Analyzes the superstep events of a trace. Non-superstep events are
-/// ignored (they carry no simulated per-rank time).
+/// Analyzes the events of a trace: superstep records build the simulated
+/// critical path; wall-span records aggregate into the host wall-clock
+/// section (so setup costs like partitioning are attributed too, not just
+/// SpMV time).
 pub fn analyze(events: &[TraceEvent], params: CostParams, top_k: usize) -> CriticalPathReport {
     let mut steps = Vec::new();
     let mut phases: BTreeMap<PhaseKind, PhaseTotal> = BTreeMap::new();
     let mut by_rank: BTreeMap<u32, RankOffender> = BTreeMap::new();
+    let mut wall: BTreeMap<PhaseKind, WallPhase> = BTreeMap::new();
+    let mut wall_labels: BTreeMap<(PhaseKind, String), WallLabel> = BTreeMap::new();
     let mut total = 0.0;
 
     for ev in events {
@@ -164,6 +201,28 @@ pub fn analyze(events: &[TraceEvent], params: CostParams, top_k: usize) -> Criti
             samples,
         } = ev
         else {
+            if let TraceEvent::WallSpan {
+                kind, label, dur, ..
+            } = ev
+            {
+                let w = wall.entry(*kind).or_insert(WallPhase {
+                    phase: *kind,
+                    time: 0.0,
+                    spans: 0,
+                });
+                w.time += dur;
+                w.spans += 1;
+                let l = wall_labels
+                    .entry((*kind, label.clone()))
+                    .or_insert(WallLabel {
+                        label: label.clone(),
+                        phase: *kind,
+                        time: 0.0,
+                        spans: 0,
+                    });
+                l.time += dur;
+                l.spans += 1;
+            }
             continue;
         };
         if samples.is_empty() {
@@ -234,12 +293,24 @@ pub fn analyze(events: &[TraceEvent], params: CostParams, top_k: usize) -> Criti
     });
     offenders.truncate(top_k);
 
+    let mut wall: Vec<WallPhase> = wall.into_values().collect();
+    wall.sort_by(|a, b| b.time.total_cmp(&a.time).then(a.phase.cmp(&b.phase)));
+    let mut wall_labels: Vec<WallLabel> = wall_labels.into_values().collect();
+    wall_labels.sort_by(|a, b| {
+        b.time
+            .total_cmp(&a.time)
+            .then(a.phase.cmp(&b.phase))
+            .then(a.label.cmp(&b.label))
+    });
+
     CriticalPathReport {
         nranks,
         total,
         steps,
         phases,
         offenders,
+        wall,
+        wall_labels,
         params,
     }
 }
@@ -327,6 +398,48 @@ pub fn markdown(r: &CriticalPathReport) -> String {
             o.rank, o.steps_bound, o.time_bound, o.busy, o.idle
         );
     }
+    if !r.wall.is_empty() {
+        let wall_total: f64 = r.wall.iter().map(|w| w.time).sum();
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Host wall-clock spans (real time, not simulated)");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Setup work measured on the host ({:.3e} s total); disjoint from \
+             the simulated totals above.",
+            wall_total
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| phase | wall time (s) | share | spans |");
+        let _ = writeln!(out, "|---|---:|---:|---:|");
+        for w in &r.wall {
+            let _ = writeln!(
+                out,
+                "| {} | {:.3e} | {:.1}% | {} |",
+                w.phase.label(),
+                w.time,
+                if wall_total > 0.0 {
+                    100.0 * w.time / wall_total
+                } else {
+                    0.0
+                },
+                w.spans,
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| label | phase | wall time (s) | spans |");
+        let _ = writeln!(out, "|---|---|---:|---:|");
+        for l in &r.wall_labels {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.3e} | {} |",
+                l.label,
+                l.phase.label(),
+                l.time,
+                l.spans,
+            );
+        }
+    }
     out
 }
 
@@ -362,7 +475,7 @@ mod tests {
             },
             TraceEvent::WallSpan {
                 kind: PhaseKind::Pack,
-                label: "ignored".into(),
+                label: "host-setup".into(),
                 t_start: 0.0,
                 dur: 1.0,
             },
@@ -464,5 +577,51 @@ mod tests {
         let r = analyze(&[], unit_params(), 4);
         assert_eq!(r.total, 0.0);
         assert!(r.steps.is_empty() && r.phases.is_empty() && r.offenders.is_empty());
+        assert!(r.wall.is_empty() && r.wall_labels.is_empty());
+        // No wall spans → no wall section in the markdown.
+        assert!(!markdown(&r).contains("Host wall-clock"));
+    }
+
+    #[test]
+    fn wall_spans_aggregate_separately_from_simulated_total() {
+        let mut ev = demo_events();
+        ev.push(TraceEvent::WallSpan {
+            kind: PhaseKind::Partition,
+            label: "gp:recursive-bisection".into(),
+            t_start: 0.0,
+            dur: 0.25,
+        });
+        ev.push(TraceEvent::WallSpan {
+            kind: PhaseKind::Partition,
+            label: "gp:recursive-bisection".into(),
+            t_start: 0.5,
+            dur: 0.75,
+        });
+        ev.push(TraceEvent::WallSpan {
+            kind: PhaseKind::Partition,
+            label: "gp:kway-refine".into(),
+            t_start: 1.5,
+            dur: 0.5,
+        });
+        let r = analyze(&ev, unit_params(), 8);
+        // Simulated total stays the superstep sum — wall time is disjoint.
+        assert_eq!(r.total, 8.0);
+        // Sorted by time: Partition 1.5 s (3 spans) above Pack 1.0 s.
+        assert_eq!(r.wall.len(), 2);
+        assert_eq!(r.wall[0].phase, PhaseKind::Partition);
+        assert!((r.wall[0].time - 1.5).abs() < 1e-12);
+        assert_eq!(r.wall[0].spans, 3);
+        assert_eq!(r.wall[1].phase, PhaseKind::Pack);
+        // Same-labelled spans merge.
+        let rb = r
+            .wall_labels
+            .iter()
+            .find(|l| l.label == "gp:recursive-bisection")
+            .unwrap();
+        assert!((rb.time - 1.0).abs() < 1e-12);
+        assert_eq!(rb.spans, 2);
+        let md = markdown(&r);
+        assert!(md.contains("Host wall-clock spans"));
+        assert!(md.contains("gp:kway-refine"));
     }
 }

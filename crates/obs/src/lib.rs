@@ -43,7 +43,7 @@ pub mod event;
 pub mod registry;
 pub mod sink;
 
-pub use analysis::{analyze, BoundTerm, CostParams, CriticalPathReport};
+pub use analysis::{analyze, BoundTerm, CostParams, CriticalPathReport, WallLabel, WallPhase};
 pub use event::{PhaseKind, RankSample, TraceEvent};
 pub use registry::{Histogram, MetricsRegistry};
 

@@ -1,0 +1,424 @@
+//! Deterministic scoped-thread work primitives.
+//!
+//! This crate is the shared "work module" between the simulator's parallel
+//! superstep engine (`sf2d-sim`) and the parallel multilevel partitioner
+//! (`sf2d-partition`). Everything here is built on `std::thread::scope` —
+//! no external thread-pool dependency — and every primitive carries the
+//! same contract: **the result is bit-identical to the sequential
+//! execution for any thread count**, because work is assigned to threads
+//! by index ranges fixed before any thread starts, each unit writes only
+//! its own disjoint output, and results are combined in index order.
+//!
+//! Thread counts come from one shared knob: the `SF2D_THREADS`
+//! environment variable (unset, empty, or unparsable values mean 1, i.e.
+//! fully sequential). Components that want a per-call override take a
+//! `threads: usize` parameter where `0` means "resolve from the
+//! environment" — see [`resolve_threads`].
+
+use std::ops::Range;
+
+/// Reads the shared `SF2D_THREADS` environment variable; unset, empty,
+/// or unparsable values fall back to 1 (sequential).
+pub fn threads_from_env() -> usize {
+    std::env::var("SF2D_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
+/// Resolves a per-call thread request: `0` defers to [`threads_from_env`],
+/// any other value is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        threads_from_env()
+    } else {
+        requested
+    }
+}
+
+/// Splits a thread budget between two child tasks proportionally to their
+/// work estimates, giving each child at least one thread. With a budget
+/// of 0 or 1 both children get 1 (they will run sequentially anyway).
+pub fn split_threads(threads: usize, w0: usize, w1: usize) -> (usize, usize) {
+    if threads <= 1 {
+        return (1, 1);
+    }
+    let total = (w0 + w1).max(1);
+    let t0 = (threads * w0 + total / 2) / total;
+    let t0 = t0.clamp(1, threads - 1);
+    (t0, threads - t0)
+}
+
+/// Runs `f(rank, &mut items[rank])` for every rank, fanning the ranks out
+/// across up to `threads` scoped OS threads in disjoint contiguous
+/// chunks.
+///
+/// Because each rank touches only its own slot (plus whatever shared
+/// read-only state `f` captures), the outcome is **bit-identical** to the
+/// sequential loop for any thread count — asserted by tests here and
+/// property-tested end-to-end in `sf2d-spmv`. `threads <= 1` runs the
+/// plain loop with zero overhead.
+pub fn par_ranks<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        for (r, item) in items.iter_mut().enumerate() {
+            f(r, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    std::thread::scope(|scope| {
+        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, item) in slice.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
+/// Two-way fork-join: runs `fa` on the current thread and `fb` on a
+/// scoped sibling thread when `parallel` is true, or both sequentially
+/// (fa then fb) otherwise. Returns `(fa(), fb())` either way.
+///
+/// The sequential order is `fa` first; since the closures must not share
+/// mutable state (enforced by the borrow checker plus any `unsafe`
+/// disjointness contracts like [`SharedSlice`]), the parallel execution
+/// produces the same results.
+pub fn join<A, B, FA, FB>(parallel: bool, fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if !parallel {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let a = fa();
+        let b = hb.join().expect("sf2d-par: joined task panicked");
+        (a, b)
+    })
+}
+
+/// Chunk boundaries for splitting `len` items across up to `threads`
+/// contiguous chunks: at most `threads` ranges covering `0..len` in
+/// order. With `threads <= 1` (or few items) this is one range.
+pub fn chunk_ranges(threads: usize, len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(threads.max(1).min(len));
+    (0..len.div_ceil(chunk))
+        .map(|ci| ci * chunk..((ci + 1) * chunk).min(len))
+        .collect()
+}
+
+/// Maps each chunk of `0..len` through `f` on its own scoped thread and
+/// returns the per-chunk results **in chunk order**. `f` receives
+/// `(chunk_index, range)`.
+///
+/// Deterministic-merge building block: as long as `f`'s result for a
+/// range depends only on the items in that range (not on chunk
+/// boundaries), concatenating the returned values in order reproduces
+/// the sequential result exactly, independent of thread count.
+pub fn par_map_chunks<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(threads, len);
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(ci, r)| f(ci, r))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(ci, r)| {
+                let f = &f;
+                scope.spawn(move || f(ci, r))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sf2d-par: chunk task panicked"))
+            .collect()
+    })
+}
+
+/// Fills `out[i] = f(i)` in parallel chunks. Each slot is written exactly
+/// once from a pure-by-index function, so the result is identical for
+/// any thread count.
+pub fn par_fill<T, F>(threads: usize, out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || out.len() <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(threads.min(out.len()));
+    std::thread::scope(|scope| {
+        for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = f(ci * chunk + j);
+                }
+            });
+        }
+    });
+}
+
+/// Fills two equal-length slices `a[i], b[i] = f(i)` in parallel chunks
+/// with shared chunk boundaries (same contract as [`par_fill`]).
+pub fn par_fill2<A, B, F>(threads: usize, a: &mut [A], b: &mut [B], f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize) -> (A, B) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_fill2 requires equal-length slices");
+    if threads <= 1 || a.len() <= 1 {
+        for (i, (sa, sb)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            let (va, vb) = f(i);
+            *sa = va;
+            *sb = vb;
+        }
+        return;
+    }
+    let chunk = a.len().div_ceil(threads.min(a.len()));
+    std::thread::scope(|scope| {
+        for (ci, (ca, cb)) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, (sa, sb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    let (va, vb) = f(ci * chunk + j);
+                    *sa = va;
+                    *sb = vb;
+                }
+            });
+        }
+    });
+}
+
+/// A raw view over a mutable slice that concurrent tasks may write
+/// through, **provided they write disjoint indices**.
+///
+/// The recursive-bisection partitioner scatters each subtree's labels to
+/// the global part vector at indices owned exclusively by that subtree;
+/// the borrow checker cannot see that disjointness, so this wrapper
+/// carries it as an explicit unsafe contract instead of forcing a
+/// gather-then-merge copy.
+///
+/// # Safety contract
+/// Callers of [`SharedSlice::write`] must guarantee that no two tasks
+/// ever write the same index and that nobody reads the slice until all
+/// writers have been joined (the scoped-thread structure of [`join`] /
+/// [`par_map_chunks`] enforces the join).
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for disjoint concurrent writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// The caller must ensure no other task writes `index` concurrently
+    /// or at any other time before the writers are joined (see the type
+    /// docs). Bounds are checked; disjointness is not.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        assert!(index < self.len, "SharedSlice write out of bounds");
+        unsafe { self.ptr.add(index).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_threads_defaults_to_one() {
+        // SF2D_THREADS is not set in the test environment.
+        assert!(threads_from_env() >= 1);
+        assert_eq!(resolve_threads(4), 4);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn split_threads_is_proportional_and_total_preserving() {
+        assert_eq!(split_threads(1, 10, 10), (1, 1));
+        assert_eq!(split_threads(0, 10, 10), (1, 1));
+        let (a, b) = split_threads(8, 1, 1);
+        assert_eq!(a + b, 8);
+        assert_eq!((a, b), (4, 4));
+        let (a, b) = split_threads(8, 999, 1);
+        assert_eq!(a + b, 8);
+        assert!(a >= b);
+        assert!(b >= 1);
+        // Degenerate weights never starve a child.
+        let (a, b) = split_threads(2, 0, 0);
+        assert_eq!((a, b), (1, 1));
+    }
+
+    #[test]
+    fn par_ranks_is_bit_identical_to_sequential() {
+        let work = |r: usize, acc: &mut f64| {
+            *acc = 0.0;
+            for k in 1..200 {
+                *acc += ((r * k) as f64).sin() / k as f64;
+            }
+        };
+        let mut seq = vec![0.0f64; 23];
+        par_ranks(1, &mut seq, work);
+        for threads in [2, 3, 8, 64] {
+            let mut par = vec![0.0f64; 23];
+            par_ranks(threads, &mut par, work);
+            let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        for parallel in [false, true] {
+            let (a, b) = join(parallel, || 2 + 2, || "ok".to_string());
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for threads in [1, 2, 3, 7, 100] {
+            for len in [0usize, 1, 2, 16, 17, 101] {
+                let ranges = chunk_ranges(threads, len);
+                assert!(ranges.len() <= threads.max(1));
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_concatenates_in_chunk_order() {
+        let data: Vec<u32> = (0..137).map(|i| i * 3 + 1).collect();
+        let seq: Vec<u32> = data.iter().map(|v| v * v).collect();
+        for threads in [1, 2, 5, 16] {
+            let merged: Vec<u32> = par_map_chunks(threads, data.len(), |_, r| {
+                data[r].iter().map(|v| v * v).collect::<Vec<u32>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            assert_eq!(merged, seq, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_fill_matches_sequential() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut seq = vec![0u64; 41];
+        par_fill(1, &mut seq, f);
+        for threads in [2, 4, 13] {
+            let mut par = vec![0u64; 41];
+            par_fill(threads, &mut par, f);
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn par_fill2_matches_sequential() {
+        let f = |i: usize| (i as i64 * 7 - 3, (i % 5) as u8);
+        let mut sa = vec![0i64; 29];
+        let mut sb = vec![0u8; 29];
+        par_fill2(1, &mut sa, &mut sb, f);
+        for threads in [2, 3, 8] {
+            let mut pa = vec![0i64; 29];
+            let mut pb = vec![0u8; 29];
+            par_fill2(threads, &mut pa, &mut pb, f);
+            assert_eq!(pa, sa);
+            assert_eq!(pb, sb);
+        }
+    }
+
+    #[test]
+    fn shared_slice_disjoint_writes_land() {
+        let mut out = vec![0u32; 64];
+        let shared = SharedSlice::new(&mut out);
+        // Two tasks writing disjoint halves, odd/even interleaved to make
+        // a chunking bug visible.
+        join(
+            true,
+            || {
+                for i in (0..64).step_by(2) {
+                    unsafe { shared.write(i, i as u32 + 1) };
+                }
+            },
+            || {
+                for i in (1..64).step_by(2) {
+                    unsafe { shared.write(i, i as u32 + 1) };
+                }
+            },
+        );
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_slice_bounds_checked() {
+        let mut out = vec![0u32; 4];
+        let shared = SharedSlice::new(&mut out);
+        unsafe { shared.write(4, 1) };
+    }
+}

@@ -93,8 +93,13 @@ impl MatrixDist {
     /// 1D random layout: each row assigned to a uniformly random process
     /// (§2.4's randomization), deterministic in `seed`.
     pub fn random_1d(n: usize, p: usize, seed: u64) -> MatrixDist {
+        let rpart = sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            "dist:random-rpart",
+            random_rpart(n, p, seed)
+        );
         MatrixDist {
-            rpart: Arc::new(random_rpart(n, p, seed)),
+            rpart: Arc::new(rpart),
             p,
             mode: DistMode::OneD,
         }
@@ -127,8 +132,13 @@ impl MatrixDist {
     /// 2D random layout: Algorithm 2 applied to a random `rpart`.
     pub fn random_2d(n: usize, pr: u32, pc: u32, seed: u64) -> MatrixDist {
         let p = (pr * pc) as usize;
+        let rpart = sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            "dist:random-rpart",
+            random_rpart(n, p, seed)
+        );
         MatrixDist {
-            rpart: Arc::new(random_rpart(n, p, seed)),
+            rpart: Arc::new(rpart),
             p,
             mode: DistMode::TwoD {
                 pr,
@@ -149,11 +159,15 @@ impl MatrixDist {
             (pr * pc) as usize,
             "partition must have pr*pc parts"
         );
-        MatrixDist {
-            rpart: Arc::new(part.part.clone()),
-            p: part.k,
-            mode: DistMode::TwoD { pr, pc, swapped },
-        }
+        sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            "dist:cartesian-2d",
+            MatrixDist {
+                rpart: Arc::new(part.part.clone()),
+                p: part.k,
+                mode: DistMode::TwoD { pr, pc, swapped },
+            }
+        )
     }
 
     /// Number of processes.

@@ -16,6 +16,10 @@ use super::work::{WorkGraph, MAX_CON};
 /// Refines a k-way partition in place. Returns the number of moves made.
 ///
 /// `ub` is the per-part balance allowance (`max part weight <= ub * ideal`).
+/// `threads` fans the part-weight initialization out across scoped threads
+/// (`<= 1` = sequential); the move loop itself is inherently sequential and
+/// identical either way — exact integer partial sums merged in chunk order
+/// make the initialization thread-count independent too.
 pub fn kway_refine(
     wg: &WorkGraph,
     part: &mut [u32],
@@ -23,6 +27,7 @@ pub fn kway_refine(
     ub: f64,
     passes: usize,
     seed: u64,
+    threads: usize,
 ) -> usize {
     let nv = wg.nv();
     assert_eq!(part.len(), nv);
@@ -33,10 +38,22 @@ pub fn kway_refine(
 
     // Part weights per constraint.
     let tot = wg.total_wgt();
+    let part_ro: &[u32] = part;
+    let partials = sf2d_par::par_map_chunks(threads, nv, |_, range| {
+        let mut pw = vec![[0i64; MAX_CON]; k];
+        for v in range {
+            for c in 0..ncon {
+                pw[part_ro[v] as usize][c] += wg.vw(v, c);
+            }
+        }
+        pw
+    });
     let mut pw = vec![[0i64; MAX_CON]; k];
-    for v in 0..nv {
-        for c in 0..ncon {
-            pw[part[v] as usize][c] += wg.vw(v, c);
+    for partial in partials {
+        for (acc, p) in pw.iter_mut().zip(partial) {
+            for c in 0..ncon {
+                acc[c] += p[c];
+            }
         }
     }
     let cap: Vec<f64> = (0..ncon).map(|c| ub * tot[c] as f64 / k as f64).collect();
@@ -132,7 +149,7 @@ mod tests {
         // Scrambled 4-way assignment: terrible cut.
         let mut part: Vec<u32> = (0..144).map(|v| ((v * 7 + 3) % 4) as u32).collect();
         let before = Partition::new(part.clone(), 4).edge_cut(&g);
-        let moves = kway_refine(&wg, &mut part, 4, 1.15, 8, 1);
+        let moves = kway_refine(&wg, &mut part, 4, 1.15, 8, 1, 1);
         let after_p = Partition::new(part.clone(), 4);
         let after = after_p.edge_cut(&g);
         assert!(moves > 0);
@@ -146,7 +163,7 @@ mod tests {
         // All vertices want to merge into one part (the cut is minimal with
         // everything together) — balance must prevent that.
         let mut part: Vec<u32> = (0..100).map(|v| u32::from(v >= 50)).collect();
-        kway_refine(&wg, &mut part, 2, 1.10, 10, 2);
+        kway_refine(&wg, &mut part, 2, 1.10, 10, 2, 1);
         let p = Partition::new(part, 2);
         assert!(
             p.imbalance(&g.vwgt) <= 1.11,
@@ -163,7 +180,7 @@ mod tests {
         // Clean vertical halves of an 8x8 grid: locally optimal.
         let mut part: Vec<u32> = (0..64).map(|v| u32::from(v % 8 >= 4)).collect();
         let before = part.clone();
-        kway_refine(&wg, &mut part, 2, 1.05, 4, 3);
+        kway_refine(&wg, &mut part, 2, 1.05, 4, 3, 1);
         // FM-lite may shuffle boundary vertices of equal gain for balance,
         // but the cut must not get worse.
         let g = Graph::from_symmetric_matrix(&grid_2d(8, 8));
@@ -178,8 +195,8 @@ mod tests {
         let init: Vec<u32> = (0..100).map(|v| ((v * 13) % 4) as u32).collect();
         let mut a = init.clone();
         let mut b = init;
-        kway_refine(&wg, &mut a, 4, 1.1, 4, 7);
-        kway_refine(&wg, &mut b, 4, 1.1, 4, 7);
+        kway_refine(&wg, &mut a, 4, 1.1, 4, 7, 2);
+        kway_refine(&wg, &mut b, 4, 1.1, 4, 7, 1);
         assert_eq!(a, b);
     }
 }

@@ -35,7 +35,8 @@ pub struct GpConfig {
     /// RNG seed (matching order, initial-partition seeds).
     pub seed: u64,
     /// Allowed imbalance per bisection, e.g. 1.05 = 5% — compounds across
-    /// recursive-bisection levels, so the k-way imbalance is larger.
+    /// recursive-bisection levels, so the k-way imbalance is larger (the
+    /// achieved figure is reported via [`crate::metrics::PartitionQuality`]).
     pub ub: f64,
     /// Stop coarsening when at most this many vertices remain.
     pub coarsen_to: usize,
@@ -43,6 +44,10 @@ pub struct GpConfig {
     pub init_tries: usize,
     /// Maximum FM passes per uncoarsening level.
     pub fm_passes: usize,
+    /// Scoped-thread budget for the parallel partitioner; `0` (the
+    /// default) resolves the shared `SF2D_THREADS` environment variable at
+    /// partition time. Any value produces a byte-identical part vector.
+    pub threads: usize,
 }
 
 impl Default for GpConfig {
@@ -53,8 +58,82 @@ impl Default for GpConfig {
             coarsen_to: 160,
             init_tries: 8,
             fm_passes: 6,
+            threads: 0,
         }
     }
+}
+
+/// Shared entry-point body: recursive bisection + k-way polish, with
+/// `sf2d-obs` spans, work counters, and achieved-quality reporting.
+/// `tag` distinguishes the single-constraint (`gp`) and multiconstraint
+/// (`gp-mc`) streams in traces.
+fn partition_workgraph(wg: &WorkGraph, tag: &str, k: usize, cfg: &GpConfig) -> Partition {
+    let threads = sf2d_par::resolve_threads(cfg.threads);
+    let (mut part, stats) = sf2d_obs::trace_span!(
+        sf2d_obs::PhaseKind::Partition,
+        &format!("{tag}:recursive-bisection"),
+        rb::recursive_bisection_with_stats(wg, k, cfg)
+    );
+    // Direct k-way polish on the assembled partition: repairs the cut and
+    // the imbalance that compound across recursive-bisection levels.
+    let kway_moves = sf2d_obs::trace_span!(
+        sf2d_obs::PhaseKind::Partition,
+        &format!("{tag}:kway-refine"),
+        kway::kway_refine(
+            wg,
+            &mut part.part,
+            k,
+            cfg.ub.max(1.03),
+            4,
+            cfg.seed,
+            threads
+        )
+    );
+    if sf2d_obs::enabled() {
+        sf2d_obs::counter!(&format!("partition.{tag}.bisections"), 0, stats.bisections);
+        sf2d_obs::counter!(
+            &format!("partition.{tag}.coarsen_levels"),
+            0,
+            stats.coarsen_levels
+        );
+        sf2d_obs::counter!(&format!("partition.{tag}.fm_moves"), 0, stats.fm_moves);
+        sf2d_obs::counter!(&format!("partition.{tag}.kway_moves"), 0, kway_moves);
+        sf2d_obs::histogram!(
+            &format!("partition.{tag}.match_rate_pct"),
+            (stats.match_rate() * 100.0).round()
+        );
+        // Achieved k-way quality — the per-bisection `ub` is not the k-way
+        // figure, so report what actually came out (satellite: imbalance
+        // compounding must be observable, not hidden behind the knob).
+        let q = quality_of(wg, &part, cfg.ub);
+        for (c, imb) in q.imbalance.iter().enumerate() {
+            sf2d_obs::histogram!(
+                &format!("partition.{tag}.achieved_imbalance_c{c}_pct"),
+                (imb * 100.0).round()
+            );
+        }
+        sf2d_obs::histogram!(&format!("partition.{tag}.edge_cut"), q.edge_cut);
+    }
+    part
+}
+
+/// Measures the achieved k-way quality of `part` on `wg`: per-constraint
+/// max/avg imbalance and the weighted edge cut, against tolerance `ub`.
+pub fn quality_of(wg: &WorkGraph, part: &Partition, ub: f64) -> crate::metrics::PartitionQuality {
+    let nv = wg.nv();
+    let weights: Vec<Vec<i64>> = (0..wg.ncon)
+        .map(|c| (0..nv).map(|v| wg.vw(v, c)).collect())
+        .collect();
+    let mut cut2 = 0i64;
+    for v in 0..nv {
+        let (nbrs, wgts) = wg.neighbors(v);
+        for (&u, &w) in nbrs.iter().zip(wgts) {
+            if part.part[v] != part.part[u as usize] {
+                cut2 += w;
+            }
+        }
+    }
+    crate::metrics::PartitionQuality::measure(part, &weights, cut2 / 2, ub)
 }
 
 /// Partitions a graph into `k` parts, balancing the graph's vertex weights
@@ -62,19 +141,7 @@ impl Default for GpConfig {
 /// balance the nonzeros").
 pub fn partition_graph(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
     let wg = WorkGraph::from_graph(g);
-    let mut part = sf2d_obs::trace_span!(
-        sf2d_obs::PhaseKind::Partition,
-        "gp:recursive-bisection",
-        rb::recursive_bisection(&wg, k, cfg)
-    );
-    // Direct k-way polish on the assembled partition: repairs the cut and
-    // the imbalance that compound across recursive-bisection levels.
-    sf2d_obs::trace_span!(
-        sf2d_obs::PhaseKind::Partition,
-        "gp:kway-refine",
-        kway::kway_refine(&wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed)
-    );
-    part
+    partition_workgraph(&wg, "gp", k, cfg)
 }
 
 /// Multiconstraint variant (the paper's GP-MC): balances both a unit
@@ -82,17 +149,7 @@ pub fn partition_graph(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
 /// with ParMETIS' multiconstraint partitioner in §5.3.
 pub fn partition_graph_multiconstraint(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
     let wg = WorkGraph::from_graph_mc(g);
-    let mut part = sf2d_obs::trace_span!(
-        sf2d_obs::PhaseKind::Partition,
-        "gp-mc:recursive-bisection",
-        rb::recursive_bisection(&wg, k, cfg)
-    );
-    sf2d_obs::trace_span!(
-        sf2d_obs::PhaseKind::Partition,
-        "gp-mc:kway-refine",
-        kway::kway_refine(&wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed)
-    );
-    part
+    partition_workgraph(&wg, "gp-mc", k, cfg)
 }
 
 #[cfg(test)]

@@ -1,47 +1,127 @@
 //! Recursive bisection driver: multilevel bisect, split, recurse.
+//!
+//! The two children of every bisection are independent: they partition
+//! disjoint vertex-induced subgraphs and write disjoint entries of the
+//! output part vector. They therefore run as fork-join tasks on scoped
+//! threads (`sf2d_par::join`), with the thread budget split between them
+//! proportionally to subgraph size.
+//!
+//! **Determinism:** every subtree's RNG stream is derived from its tree
+//! path, not from any shared mutable state — the root bisection uses salt
+//! 1 and the children of salt `s` use `2s` and `2s + 1`, hashed into the
+//! seed as `cfg.seed ^ salt * 0x9E3779B97F4A7C15` (see
+//! [`multilevel_bisect`]). Combined with the order-independent parallel
+//! loops inside one level (coarsening scatter, FM initialization,
+//! projection), the part vector is byte-identical to the sequential
+//! execution for any thread count and any schedule; this is
+//! property-tested in `tests/parallel_identity.rs`.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use sf2d_par::SharedSlice;
+
 use super::coarsen::contract;
 use super::initpart::gggp;
-use super::matching::{heavy_edge_matching, matched_fraction};
+use super::matching::{heavy_edge_matching, matched_fraction, UNMATCHED};
 use super::refine::fm_refine;
 use super::work::{WorkGraph, MAX_CON};
 use super::GpConfig;
 use crate::types::Partition;
 
-/// Partitions `wg` into `k` parts by recursive multilevel bisection.
-pub fn recursive_bisection(wg: &WorkGraph, k: usize, cfg: &GpConfig) -> Partition {
-    assert!(k >= 1);
-    let nv = wg.nv();
-    let mut part = vec![0u32; nv];
-    if k > 1 {
-        let ids: Vec<u32> = (0..nv as u32).collect();
-        rec(wg, &ids, k, 0, cfg, &mut part, 1);
-    }
-    Partition::new(part, k)
+/// Don't fork a bisection's children unless both subgraphs have at least
+/// this many vertices — below it, thread spawn overhead beats the win.
+const PAR_FORK_CUTOFF: usize = 512;
+
+/// Aggregated work counters from a (sub)tree of recursive bisections,
+/// merged deterministically (left child before right) on the
+/// orchestrating thread — worker threads never touch the thread-local
+/// tracer, so stats travel back through return values instead.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GpStats {
+    /// Multilevel bisections performed (internal tree nodes).
+    pub bisections: u64,
+    /// Total coarsening levels built across all bisections.
+    pub coarsen_levels: u64,
+    /// Vertices matched (i.e. in a pair), summed over all matchings.
+    pub matched_vertices: u64,
+    /// Vertices offered to the matcher, summed over all matchings.
+    pub matchable_vertices: u64,
+    /// FM moves kept across all refinement passes.
+    pub fm_moves: u64,
 }
 
+impl GpStats {
+    /// Accumulates another subtree's counters.
+    pub fn absorb(&mut self, o: GpStats) {
+        self.bisections += o.bisections;
+        self.coarsen_levels += o.coarsen_levels;
+        self.matched_vertices += o.matched_vertices;
+        self.matchable_vertices += o.matchable_vertices;
+        self.fm_moves += o.fm_moves;
+    }
+
+    /// Fraction of offered vertices the matcher paired, in [0, 1].
+    pub fn match_rate(&self) -> f64 {
+        if self.matchable_vertices == 0 {
+            0.0
+        } else {
+            self.matched_vertices as f64 / self.matchable_vertices as f64
+        }
+    }
+}
+
+/// Partitions `wg` into `k` parts by recursive multilevel bisection.
+pub fn recursive_bisection(wg: &WorkGraph, k: usize, cfg: &GpConfig) -> Partition {
+    recursive_bisection_with_stats(wg, k, cfg).0
+}
+
+/// As [`recursive_bisection`], also returning the aggregated work
+/// counters (for `sf2d-obs` reporting by the caller).
+pub fn recursive_bisection_with_stats(
+    wg: &WorkGraph,
+    k: usize,
+    cfg: &GpConfig,
+) -> (Partition, GpStats) {
+    assert!(k >= 1);
+    let threads = sf2d_par::resolve_threads(cfg.threads);
+    let nv = wg.nv();
+    let mut part = vec![0u32; nv];
+    let mut stats = GpStats::default();
+    if k > 1 {
+        let ids: Vec<u32> = (0..nv as u32).collect();
+        let out = SharedSlice::new(&mut part);
+        stats = rec(wg, &ids, k, 0, cfg, &out, 1, threads);
+    }
+    (Partition::new(part, k), stats)
+}
+
+/// Recursive worker. Writes `out[map[local]] = part id` for every local
+/// vertex; sibling calls receive disjoint `map`s, which is the
+/// [`SharedSlice`] disjointness contract.
+#[allow(clippy::too_many_arguments)]
 fn rec(
     wg: &WorkGraph,
     map: &[u32],
     k: usize,
     offset: u32,
     cfg: &GpConfig,
-    out: &mut [u32],
+    out: &SharedSlice<u32>,
     depth_seed: u64,
-) {
+    threads: usize,
+) -> GpStats {
     if k == 1 {
         for &orig in map {
-            out[orig as usize] = offset;
+            // SAFETY: `map` entries are disjoint across sibling subtrees.
+            unsafe { out.write(orig as usize, offset) };
         }
-        return;
+        return GpStats::default();
     }
     let k1 = k / 2;
     let k2 = k - k1;
     let frac = k1 as f64 / k as f64;
-    let side = multilevel_bisect(wg, frac, cfg, depth_seed);
+    let (side, mut stats) = multilevel_bisect(wg, frac, cfg, depth_seed, threads);
+    stats.bisections += 1;
 
     let mut keep0: Vec<u32> = Vec::new();
     let mut keep1: Vec<u32> = Vec::new();
@@ -54,29 +134,60 @@ fn rec(
     }
 
     // Recurse on the two vertex-induced subgraphs, translating local ids
-    // back through `map`.
-    for (keep, kk, off, salt) in [
-        (keep0, k1, offset, 2 * depth_seed),
-        (keep1, k2, offset + k1 as u32, 2 * depth_seed + 1),
-    ] {
+    // back through `map`. Child tasks are independent (disjoint keeps ->
+    // disjoint out writes) and carry path-derived salts, so running them
+    // on sibling threads cannot change the result.
+    let child = |keep: Vec<u32>, kk: usize, off: u32, salt: u64, t: usize| -> GpStats {
         if kk == 1 {
             for &local in &keep {
-                out[map[local as usize] as usize] = off;
+                // SAFETY: sibling keeps are disjoint subsets of `map`.
+                unsafe { out.write(map[local as usize] as usize, off) };
             }
+            GpStats::default()
         } else if keep.is_empty() {
             // Degenerate: a side lost every vertex (tiny graphs). Nothing to
             // assign; the empty parts simply stay empty.
+            GpStats::default()
         } else {
             let (sub, submap) = wg.subgraph(&keep);
             let orig_map: Vec<u32> = submap.iter().map(|&l| map[l as usize]).collect();
-            rec(&sub, &orig_map, kk, off, cfg, out, salt);
+            rec(&sub, &orig_map, kk, off, cfg, out, salt, t)
         }
-    }
+    };
+
+    let fork = threads >= 2 && k1 > 1 && k2 > 1 && keep0.len().min(keep1.len()) >= PAR_FORK_CUTOFF;
+    let (t0, t1) = if fork {
+        sf2d_par::split_threads(threads, keep0.len(), keep1.len())
+    } else {
+        // Sequential children may each use the full budget for their own
+        // inner loops and deeper forks.
+        (threads, threads)
+    };
+    let off1 = offset + k1 as u32;
+    let (s0, s1) = sf2d_par::join(
+        fork,
+        || child(keep0, k1, offset, 2 * depth_seed, t0),
+        || child(keep1, k2, off1, 2 * depth_seed + 1, t1),
+    );
+    stats.absorb(s0);
+    stats.absorb(s1);
+    stats
 }
 
-/// One multilevel bisection: coarsen, GGGP, uncoarsen + FM.
-pub fn multilevel_bisect(wg: &WorkGraph, frac: f64, cfg: &GpConfig, salt: u64) -> Vec<u8> {
+/// One multilevel bisection: coarsen, GGGP, uncoarsen + FM. `salt` selects
+/// the subtree's RNG stream (`cfg.seed ^ salt * φ64`); `threads` bounds the
+/// scoped-thread fan-out of the order-independent inner loops (coarse-graph
+/// construction, FM initialization, projection) — the matcher, GGGP, and
+/// the FM move loops stay sequential per subgraph.
+pub fn multilevel_bisect(
+    wg: &WorkGraph,
+    frac: f64,
+    cfg: &GpConfig,
+    salt: u64,
+    threads: usize,
+) -> (Vec<u8>, GpStats) {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut stats = GpStats::default();
 
     // Targets per side and constraint.
     let tot = wg.total_wgt();
@@ -98,17 +209,29 @@ pub fn multilevel_bisect(wg: &WorkGraph, frac: f64, cfg: &GpConfig, salt: u64) -
     let mut levels: Vec<(WorkGraph, Vec<u32>)> = Vec::new(); // (finer graph, cmap to coarser)
     let mut cur = wg.clone();
     while cur.nv() > cfg.coarsen_to {
-        let mate = heavy_edge_matching(&cur, &max_vwgt, &mut rng);
+        let level = levels.len();
+        let mate = sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            &format!("gp:match:l{level}"),
+            heavy_edge_matching(&cur, &max_vwgt, &mut rng)
+        );
+        stats.matchable_vertices += mate.len() as u64;
+        stats.matched_vertices += mate.iter().filter(|&&m| m != UNMATCHED).count() as u64;
         if matched_fraction(&mate) < 0.1 {
             break; // coarsening stalled (e.g. star graphs with capped hubs)
         }
-        let (coarse, cmap) = contract(&cur, &mate);
+        let (coarse, cmap) = sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            &format!("gp:contract:l{level}"),
+            contract(&cur, &mate, threads)
+        );
         if coarse.nv() as f64 > 0.97 * cur.nv() as f64 {
             break;
         }
         levels.push((cur, cmap));
         cur = coarse;
     }
+    stats.coarsen_levels += levels.len() as u64;
 
     // Initial partition at the coarsest level.
     let mut side = if cur.nv() == 0 {
@@ -116,18 +239,33 @@ pub fn multilevel_bisect(wg: &WorkGraph, frac: f64, cfg: &GpConfig, salt: u64) -
     } else {
         gggp(&cur, &targets, cfg.ub, cfg.init_tries, &mut rng)
     };
-    fm_refine(&cur, &mut side, &targets, cfg.ub, cfg.fm_passes);
+    let (_, moves) = fm_refine(&cur, &mut side, &targets, cfg.ub, cfg.fm_passes, threads);
+    stats.fm_moves += moves as u64;
 
     // Uncoarsening with refinement at each level.
     while let Some((finer, cmap)) = levels.pop() {
+        let level = levels.len();
+        // Projection is a pure per-vertex gather through cmap — parallel
+        // fill is byte-identical to the sequential loop.
         let mut fine_side = vec![0u8; finer.nv()];
-        for v in 0..finer.nv() {
-            fine_side[v] = side[cmap[v] as usize];
-        }
-        fm_refine(&finer, &mut fine_side, &targets, cfg.ub, cfg.fm_passes);
+        let side_ro: &[u8] = &side;
+        sf2d_par::par_fill(threads, &mut fine_side, |v| side_ro[cmap[v] as usize]);
+        let (_, moves) = sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            &format!("gp:refine:l{level}"),
+            fm_refine(
+                &finer,
+                &mut fine_side,
+                &targets,
+                cfg.ub,
+                cfg.fm_passes,
+                threads
+            )
+        );
+        stats.fm_moves += moves as u64;
         side = fine_side;
     }
-    side
+    (side, stats)
 }
 
 #[cfg(test)]
@@ -158,7 +296,7 @@ mod tests {
         }
         let g = Graph::from_edges(51, &edges);
         let wg = WorkGraph::from_graph(&g);
-        let side = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 1);
+        let (side, _) = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 1, 1);
         let w = crate::gp::initpart::side_weights(&wg, &side);
         let tot = wg.total_wgt()[0] as f64;
         // Hub weight is half the total; a feasible bisection puts the hub
@@ -173,10 +311,13 @@ mod tests {
     fn multilevel_beats_no_refinement_grid_cut() {
         let g = Graph::from_symmetric_matrix(&grid_2d(32, 32));
         let wg = WorkGraph::from_graph(&g);
-        let side = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 0);
+        let (side, stats) = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 0, 1);
         let cut = crate::gp::initpart::cut_of(&wg, &side);
         // Optimal is 32; allow 3x.
         assert!(cut <= 96, "cut {cut}");
+        // A 1024-vertex grid must coarsen several levels and match well.
+        assert!(stats.coarsen_levels >= 2, "{stats:?}");
+        assert!(stats.match_rate() > 0.5, "{stats:?}");
     }
 
     #[test]
@@ -189,6 +330,26 @@ mod tests {
             let wg = WorkGraph::from_graph(&g);
             let p = recursive_bisection(&wg, 4, &GpConfig::default());
             assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_sequential() {
+        // Direct rb-level identity check (the broad property test lives in
+        // tests/parallel_identity.rs): a graph big enough to cross the fork
+        // cutoff with k=8.
+        let g = Graph::from_symmetric_matrix(&grid_2d(48, 48));
+        let wg = WorkGraph::from_graph(&g);
+        let mut cfg = GpConfig {
+            threads: 1,
+            ..GpConfig::default()
+        };
+        let (seq, seq_stats) = recursive_bisection_with_stats(&wg, 8, &cfg);
+        for threads in [2, 4, 8] {
+            cfg.threads = threads;
+            let (par, par_stats) = recursive_bisection_with_stats(&wg, 8, &cfg);
+            assert_eq!(par.part, seq.part, "threads {threads}");
+            assert_eq!(par_stats, seq_stats, "threads {threads}");
         }
     }
 }

@@ -13,36 +13,49 @@ use super::initpart::{side_weights, violation};
 use super::work::{WorkGraph, MAX_CON};
 
 /// Refines `side` in place. `targets[s][c]` are ideal side weights, `ub` the
-/// imbalance allowance, `max_passes` the pass budget.
+/// imbalance allowance, `max_passes` the pass budget. `threads` fans the
+/// gain/boundary initialization out across scoped threads (`<= 1` =
+/// sequential; the refinement passes themselves are inherently sequential
+/// and identical either way).
 ///
-/// Returns the final cut weight.
+/// Returns the final cut weight and the number of moves kept.
 pub fn fm_refine(
     wg: &WorkGraph,
     side: &mut [u8],
     targets: &[[f64; MAX_CON]; 2],
     ub: f64,
     max_passes: usize,
-) -> i64 {
+    threads: usize,
+) -> (i64, usize) {
     let nv = wg.nv();
     if nv == 0 {
-        return 0;
+        return (0, 0);
     }
     let ncon = wg.ncon;
 
     // Per-vertex internal/external edge weights maintained incrementally.
+    // The initialization is a pure per-vertex scan of the (fixed) starting
+    // sides, so the parallel fill is bit-identical to the sequential loop.
     let mut ext = vec![0i64; nv];
     let mut int = vec![0i64; nv];
-    for v in 0..nv {
-        let (nbrs, wgts) = wg.neighbors(v);
-        for (&u, &w) in nbrs.iter().zip(wgts) {
-            if side[v] == side[u as usize] {
-                int[v] += w;
-            } else {
-                ext[v] += w;
+    {
+        let side_ro: &[u8] = side;
+        sf2d_par::par_fill2(threads, &mut ext, &mut int, |v| {
+            let (nbrs, wgts) = wg.neighbors(v);
+            let mut e = 0i64;
+            let mut i = 0i64;
+            for (&u, &w) in nbrs.iter().zip(wgts) {
+                if side_ro[v] == side_ro[u as usize] {
+                    i += w;
+                } else {
+                    e += w;
+                }
             }
-        }
+            (e, i)
+        });
     }
     let mut cut: i64 = (0..nv).map(|v| ext[v]).sum::<i64>() / 2;
+    let mut moves_kept = 0usize;
     let mut w = side_weights(wg, side);
 
     // Hill-climbing slack: a move may overshoot the balance cap by up to one
@@ -190,12 +203,13 @@ pub fn fm_refine(
             }
         }
         debug_assert_eq!(cut, best_cut);
+        moves_kept += best_prefix;
 
         if cut >= cut_at_pass_start {
             break; // no progress this pass
         }
     }
-    cut
+    (cut, moves_kept)
 }
 
 #[cfg(test)]
@@ -224,9 +238,10 @@ mod tests {
         let wg = WorkGraph::from_graph(&g);
         let mut side = vec![0u8, 1, 0, 1, 0, 1];
         let t = even_targets(&wg);
-        let cut = fm_refine(&wg, &mut side, &t, 1.30, 8);
+        let (cut, moves) = fm_refine(&wg, &mut side, &t, 1.30, 8, 1);
         assert_eq!(cut, cut_of(&wg, &side));
         assert!(cut <= 2, "cut {cut} side {side:?}");
+        assert!(moves > 0);
     }
 
     #[test]
@@ -236,7 +251,7 @@ mod tests {
         // Start with a vertical split (already balanced).
         let mut side: Vec<u8> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
         let t = even_targets(&wg);
-        fm_refine(&wg, &mut side, &t, 1.05, 8);
+        fm_refine(&wg, &mut side, &t, 1.05, 8, 1);
         let w = side_weights(&wg, &side);
         let tot = wg.total_wgt()[0] as f64;
         for s in 0..2 {
@@ -250,7 +265,7 @@ mod tests {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let wg = WorkGraph::from_graph(&g);
         let mut side = vec![0u8, 0, 0, 1, 1, 1];
-        let cut = fm_refine(&wg, &mut side, &even_targets(&wg), 1.05, 4);
+        let (cut, _) = fm_refine(&wg, &mut side, &even_targets(&wg), 1.05, 4, 1);
         assert_eq!(cut, 1);
         assert_eq!(side, vec![0, 0, 0, 1, 1, 1]);
     }
@@ -260,7 +275,10 @@ mod tests {
         let g = Graph::from_edges(0, &[]);
         let wg = WorkGraph::from_graph(&g);
         let mut side: Vec<u8> = vec![];
-        assert_eq!(fm_refine(&wg, &mut side, &[[0.0; 2]; 2], 1.05, 2), 0);
+        assert_eq!(
+            fm_refine(&wg, &mut side, &[[0.0; 2]; 2], 1.05, 2, 1),
+            (0, 0)
+        );
     }
 
     #[test]
@@ -272,8 +290,25 @@ mod tests {
             .map(|v| ((v * 2654435761usize) >> 16) as u8 & 1)
             .collect();
         let before = cut_of(&wg, &side);
-        let after = fm_refine(&wg, &mut side, &even_targets(&wg), 1.10, 10);
+        let (after, _) = fm_refine(&wg, &mut side, &even_targets(&wg), 1.10, 10, 1);
         assert!(after < before, "no improvement: {before} -> {after}");
         assert_eq!(after, cut_of(&wg, &side));
+    }
+
+    #[test]
+    fn parallel_init_is_byte_identical() {
+        let g = Graph::from_symmetric_matrix(&grid_2d(14, 14));
+        let wg = WorkGraph::from_graph(&g);
+        let init: Vec<u8> = (0..196)
+            .map(|v| ((v * 2654435761usize) >> 13) as u8 & 1)
+            .collect();
+        let mut seq = init.clone();
+        let seq_out = fm_refine(&wg, &mut seq, &even_targets(&wg), 1.10, 6, 1);
+        for threads in [2, 4, 8] {
+            let mut par = init.clone();
+            let par_out = fm_refine(&wg, &mut par, &even_targets(&wg), 1.10, 6, threads);
+            assert_eq!(par_out, seq_out, "threads {threads}");
+            assert_eq!(par, seq, "threads {threads}");
+        }
     }
 }

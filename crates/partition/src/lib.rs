@@ -15,9 +15,11 @@
 //!   Cartesian nonzero map (2D layouts). `2D-Block` is Algorithm 2 applied
 //!   to a block `rpart`, `2D-Random` to a random one, and `2D-GP/HP` — the
 //!   paper's contribution — to a partitioner's output.
-//! * [`gp`] — a serial multilevel graph partitioner (heavy-edge matching,
-//!   greedy graph growing, Fiduccia–Mattheyses refinement, recursive
-//!   bisection), standing in for ParMETIS, with a multiconstraint mode for
+//! * [`gp`] — a deterministic parallel multilevel graph partitioner
+//!   (heavy-edge matching, greedy graph growing, Fiduccia–Mattheyses
+//!   refinement, task-parallel recursive bisection on the shared
+//!   `SF2D_THREADS` scoped-thread budget, byte-identical for any thread
+//!   count), standing in for ParMETIS, with a multiconstraint mode for
 //!   the paper's `GP-MC` experiments.
 //! * [`hg`] — a serial multilevel hypergraph partitioner on the column-net
 //!   model with the connectivity−1 objective, standing in for Zoltan PHG.
@@ -35,10 +37,11 @@ pub mod spectral;
 pub mod types;
 
 pub use dist::{grid_shape, DistMode, MatrixDist};
-pub use gp::{partition_graph, GpConfig};
+pub use gp::rb::GpStats;
+pub use gp::{partition_graph, partition_graph_multiconstraint, GpConfig};
 pub use hg::{partition_hypergraph_matrix, HgConfig};
 pub use layout::{FineLayout, NonzeroLayout};
-pub use metrics::LayoutMetrics;
+pub use metrics::{LayoutMetrics, PartitionQuality};
 pub use mondriaan::{mondriaan, MondriaanConfig};
 pub use spectral::{partition_spectral, SpectralConfig};
 pub use types::Partition;

@@ -163,6 +163,52 @@ impl LayoutMetrics {
     }
 }
 
+/// Achieved quality of a k-way partition, per balance constraint.
+///
+/// The multilevel partitioner enforces its `ub` allowance **per
+/// bisection**; imbalance compounds across recursive-bisection levels, so
+/// the final k-way imbalance can silently exceed the paper's 5% tolerance
+/// even though every bisection was within its own allowance. The GP entry
+/// points therefore measure and report the *achieved* k-way figure here
+/// (and to the `sf2d-obs` registry) so callers like `table3` can flag
+/// offending layouts instead of trusting the per-bisection knob.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PartitionQuality {
+    /// Number of parts.
+    pub k: usize,
+    /// Achieved max/avg part-weight imbalance per balance constraint
+    /// (one entry for `ncon = 1`, two for GP-MC).
+    pub imbalance: Vec<f64>,
+    /// Weighted edge cut of the partition.
+    pub edge_cut: i64,
+    /// The tolerance the caller asked for (the k-way allowance, e.g. 1.05).
+    pub tolerance: f64,
+}
+
+impl PartitionQuality {
+    /// Measures the achieved quality of `part` under per-constraint vertex
+    /// `weights` (each a full `nv`-length slice).
+    pub fn measure(
+        part: &crate::types::Partition,
+        weights: &[Vec<i64>],
+        edge_cut: i64,
+        tolerance: f64,
+    ) -> PartitionQuality {
+        PartitionQuality {
+            k: part.k,
+            imbalance: weights.iter().map(|w| part.imbalance(w)).collect(),
+            edge_cut,
+            tolerance,
+        }
+    }
+
+    /// True when every constraint's achieved imbalance is within the
+    /// requested tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.imbalance.iter().all(|&x| x <= self.tolerance + 1e-9)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +304,39 @@ mod tests {
             m.expand_send_vol.iter().sum::<usize>() as i64,
             h.connectivity_minus_one(&part.part, 2)
         );
+    }
+
+    #[test]
+    fn partition_quality_reports_achieved_kway_imbalance() {
+        // Three parts with unit weights 2/1/1: imbalance = 2 / (4/3) = 1.5,
+        // well past a 1.05 tolerance even though each "bisection" could have
+        // looked fine in isolation.
+        let part = Partition::new(vec![0, 0, 1, 2], 3);
+        let q = PartitionQuality::measure(&part, &[vec![1, 1, 1, 1]], 7, 1.05);
+        assert_eq!(q.k, 3);
+        assert_eq!(q.edge_cut, 7);
+        assert!((q.imbalance[0] - 1.5).abs() < 1e-12);
+        assert!(!q.within_tolerance());
+        // And the figure matches Partition::imbalance exactly — quality is
+        // the achieved k-way number, not the per-bisection allowance.
+        assert_eq!(q.imbalance[0], part.imbalance(&[1, 1, 1, 1]));
+
+        let balanced = Partition::new(vec![0, 1, 0, 1], 2);
+        let q = PartitionQuality::measure(&balanced, &[vec![1, 1, 1, 1]], 4, 1.05);
+        assert!(q.within_tolerance());
+    }
+
+    #[test]
+    fn partition_quality_multiconstraint() {
+        // Constraint 0 balanced, constraint 1 skewed: within_tolerance must
+        // consider every constraint.
+        let part = Partition::new(vec![0, 0, 1, 1], 2);
+        let rows = vec![1i64, 1, 1, 1];
+        let nnz = vec![10i64, 10, 1, 1];
+        let q = PartitionQuality::measure(&part, &[rows, nnz], 0, 1.05);
+        assert!((q.imbalance[0] - 1.0).abs() < 1e-12);
+        assert!(q.imbalance[1] > 1.5);
+        assert!(!q.within_tolerance());
     }
 
     #[test]

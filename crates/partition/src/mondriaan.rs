@@ -14,11 +14,16 @@
 //! partly local), ties broken toward the least-loaded rank.
 
 use sf2d_graph::{CsrMatrix, Vtx};
+use sf2d_par::SharedSlice;
 
 use crate::hg::hypergraph::Hypergraph;
 use crate::hg::refine::cut_of;
 use crate::hg::{multilevel_bisect, HgConfig};
 use crate::layout::FineLayout;
+
+/// Don't fork a node's children unless both nonzero subsets have at least
+/// this many entries.
+const PAR_FORK_CUTOFF: usize = 4096;
 
 /// Tuning knobs for the Mondriaan partitioner.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +36,11 @@ pub struct MondriaanConfig {
     /// false, directions simply alternate (the original paper's cheap
     /// variant).
     pub try_both: bool,
+    /// Scoped-thread budget for the fork-join recursion; `0` (the default)
+    /// resolves the shared `SF2D_THREADS` environment variable. Subtree
+    /// seeds are path-derived (`cfg.seed ^ salt`, children `2s`/`2s+1`),
+    /// so any value produces a byte-identical owner vector.
+    pub threads: usize,
 }
 
 impl Default for MondriaanConfig {
@@ -39,6 +49,7 @@ impl Default for MondriaanConfig {
             seed: 0,
             hg: HgConfig::default(),
             try_both: true,
+            threads: 0,
         }
     }
 }
@@ -47,6 +58,7 @@ impl Default for MondriaanConfig {
 pub fn mondriaan(a: &CsrMatrix, p: usize, cfg: &MondriaanConfig) -> FineLayout {
     assert!(p >= 1);
     assert_eq!(a.nrows(), a.ncols(), "square matrices only");
+    let threads = sf2d_par::resolve_threads(cfg.threads);
     let nnz = a.nnz();
     // Row index per stored nonzero (columns already live in the CSR).
     let mut rows = Vec::with_capacity(nnz);
@@ -58,14 +70,27 @@ pub fn mondriaan(a: &CsrMatrix, p: usize, cfg: &MondriaanConfig) -> FineLayout {
     let mut owner = vec![0u32; nnz];
     if p > 1 {
         let all: Vec<u32> = (0..nnz as u32).collect();
-        rec(&rows, cols, all, p, 0, cfg, &mut owner, 1, true);
+        let out = SharedSlice::new(&mut owner);
+        let bisections = sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            "mondriaan:recursive-bisection",
+            rec(&rows, cols, all, p, 0, cfg, &out, 1, true, threads)
+        );
+        sf2d_obs::counter!("partition.mondriaan.bisections", 0, bisections);
     }
 
-    let vec_owner = assign_vector(a, &owner, p);
+    let vec_owner = sf2d_obs::trace_span!(
+        sf2d_obs::PhaseKind::Partition,
+        "mondriaan:vector-assign",
+        assign_vector(a, &owner, p)
+    );
     FineLayout::new(a, owner, vec_owner, p)
 }
 
 /// Recursive bisection of a nonzero subset (`idxs` are flat CSR positions).
+/// Sibling calls receive disjoint `idxs` and hence write disjoint `owner`
+/// entries — the [`SharedSlice`] contract that lets them run as fork-join
+/// tasks. Returns the number of bisections performed in this subtree.
 #[allow(clippy::too_many_arguments)]
 fn rec(
     rows: &[Vtx],
@@ -74,15 +99,17 @@ fn rec(
     k: usize,
     offset: u32,
     cfg: &MondriaanConfig,
-    owner: &mut [u32],
+    owner: &SharedSlice<u32>,
     salt: u64,
     row_dir_hint: bool,
-) {
+    threads: usize,
+) -> u64 {
     if k == 1 || idxs.len() <= 1 {
         for &i in &idxs {
-            owner[i as usize] = offset;
+            // SAFETY: sibling subtrees hold disjoint `idxs` sets.
+            unsafe { owner.write(i as usize, offset) };
         }
-        return;
+        return 0;
     }
     let k1 = k / 2;
     let k2 = k - k1;
@@ -145,28 +172,44 @@ fn rec(
         left = idxs[..mid].to_vec();
         right = idxs[mid..].to_vec();
     }
-    rec(
-        rows,
-        cols,
-        left,
-        k1,
-        offset,
-        cfg,
-        owner,
-        2 * salt,
-        !_dir_used_rows,
+    let fork = threads >= 2 && k1 > 1 && k2 > 1 && left.len().min(right.len()) >= PAR_FORK_CUTOFF;
+    let (t0, t1) = if fork {
+        sf2d_par::split_threads(threads, left.len(), right.len())
+    } else {
+        (threads, threads)
+    };
+    let (b0, b1) = sf2d_par::join(
+        fork,
+        || {
+            rec(
+                rows,
+                cols,
+                left,
+                k1,
+                offset,
+                cfg,
+                owner,
+                2 * salt,
+                !_dir_used_rows,
+                t0,
+            )
+        },
+        || {
+            rec(
+                rows,
+                cols,
+                right,
+                k2,
+                offset + k1 as u32,
+                cfg,
+                owner,
+                2 * salt + 1,
+                !_dir_used_rows,
+                t1,
+            )
+        },
     );
-    rec(
-        rows,
-        cols,
-        right,
-        k2,
-        offset + k1 as u32,
-        cfg,
-        owner,
-        2 * salt + 1,
-        !_dir_used_rows,
-    );
+    1 + b0 + b1
 }
 
 /// Builds the hypergraph for one split direction: vertices = distinct `key`
@@ -295,6 +338,22 @@ mod tests {
         let f1 = mondriaan(&a, 4, &MondriaanConfig::default());
         let f2 = mondriaan(&a, 4, &MondriaanConfig::default());
         assert_eq!(f1.owners(), f2.owners());
+    }
+
+    #[test]
+    fn thread_count_independent() {
+        // Big enough (scale 10 ≈ 16k+ nonzeros) to cross the fork cutoff.
+        let a = rmat(&RmatConfig::graph500(10), 4);
+        let mut cfg = MondriaanConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let seq = mondriaan(&a, 8, &cfg);
+        for threads in [2, 4, 8] {
+            cfg.threads = threads;
+            let par = mondriaan(&a, 8, &cfg);
+            assert_eq!(par.owners(), seq.owners(), "threads {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The determinism contract of the parallel partitioner, property-tested:
+//! for any thread count, the result is **byte-identical** to the
+//! sequential run — same seed, same part vector, regardless of how the
+//! recursion tree was forked or how the heavy loops were chunked.
+//!
+//! Thread counts are driven through `GpConfig::threads` /
+//! `MondriaanConfig::threads` rather than `SF2D_THREADS` so test cases
+//! can't race on the process environment.
+
+use proptest::prelude::*;
+use sf2d_gen::{chung_lu, powerlaw_degrees, rmat, RmatConfig};
+use sf2d_graph::{CsrMatrix, Graph};
+use sf2d_partition::{
+    mondriaan, partition_graph, partition_graph_multiconstraint, GpConfig, MondriaanConfig,
+};
+
+/// Scale-free test inputs from both generator families: R-MAT (Graph500
+/// parameters) and Chung–Lu over power-law degrees.
+fn scale_free_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (proptest::bool::ANY, 0u32..2, 0u64..20).prop_map(|(use_rmat, size, seed)| {
+        if use_rmat {
+            rmat(&RmatConfig::graph500(7 + size), seed)
+        } else {
+            let n = 150 + 200 * size as usize;
+            let degs = powerlaw_degrees(n, 2.2, 1, n / 4, seed);
+            chung_lu(&degs, 4 * n, 0, 0.0, seed ^ 0x5EED)
+        }
+    })
+}
+
+proptest! {
+    // Each case runs up to eight full multilevel partitioner calls, so
+    // keep the case count modest; the k × threads × ncon grid inside each
+    // case does the real sweeping.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// parallel == sequential for every k in {2,4,16,64}, every thread
+    /// count in {1,2,4,8}, single-constraint and multiconstraint.
+    #[test]
+    fn gp_parallel_matches_sequential(
+        a in scale_free_matrix(),
+        k_idx in 0usize..4,
+        seed in 0u64..1000,
+        multiconstraint in proptest::bool::ANY,
+    ) {
+        let k = [2usize, 4, 16, 64][k_idx];
+        let g = Graph::from_symmetric_matrix(&a);
+        let run = |threads: usize| {
+            let cfg = GpConfig { seed, threads, ..GpConfig::default() };
+            if multiconstraint {
+                partition_graph_multiconstraint(&g, k, &cfg)
+            } else {
+                partition_graph(&g, k, &cfg)
+            }
+        };
+        let seq = run(1);
+        prop_assert!(seq.part.iter().all(|&x| (x as usize) < k));
+        for threads in [2usize, 4, 8] {
+            let par = run(threads);
+            prop_assert_eq!(
+                &par.part, &seq.part,
+                "threads {} diverged (k {}, ncon {})",
+                threads, k, if multiconstraint { 2 } else { 1 }
+            );
+        }
+    }
+
+    /// The nonzero-level Mondriaan partitioner honours the same contract.
+    #[test]
+    fn mondriaan_parallel_matches_sequential(
+        a in scale_free_matrix(),
+        p_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let p = [2usize, 8, 16][p_idx];
+        let run = |threads: usize| {
+            let cfg = MondriaanConfig { seed, threads, ..MondriaanConfig::default() };
+            mondriaan(&a, p, &cfg)
+        };
+        let seq = run(1);
+        for threads in [2usize, 4, 8] {
+            let par = run(threads);
+            prop_assert_eq!(par.owners(), seq.owners(), "threads {} diverged (p {})", threads, p);
+        }
+    }
+}

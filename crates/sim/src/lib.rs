@@ -34,6 +34,8 @@ pub mod hierarchy;
 pub mod machine;
 pub mod runtime;
 
+pub use sf2d_par;
+
 pub use cost::{CostLedger, Phase, PhaseCost};
 pub use hierarchy::NodeModel;
 pub use machine::Machine;

@@ -64,50 +64,20 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
-    /// Reads the `SF2D_THREADS` environment variable; unset, empty, or
+    /// Reads the shared `SF2D_THREADS` environment variable (the same
+    /// knob the parallel partitioner honors); unset, empty, or
     /// unparsable values fall back to 1 (sequential).
     pub fn from_env() -> RuntimeConfig {
-        let threads = std::env::var("SF2D_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or(1);
-        RuntimeConfig { threads }
+        RuntimeConfig {
+            threads: sf2d_par::threads_from_env(),
+        }
     }
 }
 
-/// The parallel superstep engine: runs `f(rank, &mut items[rank])` for
-/// every rank, fanning the ranks out across up to `threads` scoped OS
-/// threads in disjoint contiguous chunks.
-///
-/// Because each rank touches only its own slot (plus whatever shared
-/// read-only state `f` captures), the outcome is **bit-identical** to the
-/// sequential loop for any thread count — asserted by tests here and
-/// property-tested end-to-end in `sf2d-spmv`. `threads <= 1` runs the
-/// plain loop with zero overhead.
-pub fn par_ranks<T, F>(threads: usize, items: &mut [T], f: F)
-where
-    T: Send,
-    F: Fn(usize, &mut T) + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        for (r, item) in items.iter_mut().enumerate() {
-            f(r, item);
-        }
-        return;
-    }
-    let chunk = items.len().div_ceil(threads.min(items.len()));
-    std::thread::scope(|scope| {
-        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (j, item) in slice.iter_mut().enumerate() {
-                    f(ci * chunk + j, item);
-                }
-            });
-        }
-    });
-}
+/// The parallel superstep engine, now hosted in the shared `sf2d-par`
+/// work module so the partitioner can reuse the same chunked
+/// scoped-thread fan-out. Re-exported here for backwards compatibility.
+pub use sf2d_par::par_ranks;
 
 /// Routes `sends[rank] = [(dst, payload), ...]` and returns
 /// `recvs[rank] = [RankMessage, ...]` sorted by source rank.

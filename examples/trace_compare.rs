@@ -2,6 +2,10 @@
 //! let the critical-path analyzer explain *why* 2D wins — the per-superstep
 //! bounding rank and bounding α/β/γ term, not just the total.
 //!
+//! Partitioning runs inside the trace window, so the report also shows the
+//! host wall-clock cost of building each layout (the `gp:*` and `dist:*`
+//! spans) next to the simulated SpMV time it buys.
+//!
 //! Run with: `cargo run --release -p sf2d-examples --bin trace_compare`
 //!
 //! Pass a directory argument to also dump the two Chrome traces there
@@ -12,13 +16,16 @@ use std::sync::Arc;
 use sf2d_core::prelude::*;
 use sf2d_core::sf2d_obs as obs;
 
-fn traced_spmv(a: &CsrMatrix, builder: &mut LayoutBuilder, m: Method, p: usize) -> Vec<TraceEvent> {
+fn traced_spmv(a: &CsrMatrix, m: Method, p: usize) -> Vec<TraceEvent> {
+    obs::enable();
+    // A fresh builder per method: partitioning happens inside the trace
+    // window, so its wall spans land in the report.
+    let mut builder = LayoutBuilder::new(a, 0);
     let dist = builder.dist(m, p);
     let dm = DistCsrMatrix::from_global(a, &dist);
     let x = DistVector::random(Arc::clone(&dm.vmap), 1);
     let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
     let mut ledger = CostLedger::new(Machine::cab());
-    obs::enable();
     spmv_with(&dm, &x, &mut y, &mut ledger, &mut SpmvWorkspace::new());
     obs::disable();
     obs::take_events()
@@ -29,10 +36,9 @@ fn main() {
     let a = sf2d_core::sf2d_gen::rmat(&sf2d_core::sf2d_gen::RmatConfig::graph500(13), 42);
     let p = 64;
     let machine = Machine::cab();
-    let mut builder = LayoutBuilder::new(&a, 0);
 
     for m in [Method::OneDGp, Method::TwoDGp] {
-        let events = traced_spmv(&a, &mut builder, m, p);
+        let events = traced_spmv(&a, m, p);
         println!("==== {} ====\n", m.name());
         println!(
             "{}",
