@@ -7,9 +7,10 @@
 //! 2D layouts' approach `2√p`.
 
 use sf2d_bench::{capture_trace, load_proxy, machine_for, write_jsonl, HarnessOpts};
-use sf2d_core::experiment::labeled_spmv;
+use sf2d_core::experiment::{labeled_chaos, labeled_spmv};
 use sf2d_core::prelude::*;
 use sf2d_core::report::fmt_secs;
+use sf2d_core::sf2d_graph::CsrMatrix;
 
 fn main() {
     let mut opts = HarnessOpts::from_args();
@@ -92,4 +93,53 @@ fn main() {
             (NNZ_TOL - 1.0) * 100.0
         );
     }
+    chaos_cells(&opts, &a, cfg);
+}
+
+/// Degraded-mode re-run of the 2D-GP cells, gated on `SF2D_CHAOS_RATE`
+/// (and seeded by `SF2D_CHAOS_SEED`): each cell executes the 100-step
+/// SpMV loop fault-free and under injection, verifies bit-exact
+/// recovery, and itemizes the retransmit/recovery surcharge. Off (rate
+/// unset or 0) this writes nothing and the table above stays
+/// byte-identical.
+fn chaos_cells(opts: &HarnessOpts, a: &CsrMatrix, cfg: &ProxyConfig) {
+    let Some(proto) = ChaosRuntime::from_env() else {
+        return;
+    };
+    let out = opts.out_file("table3_chaos.jsonl");
+    let _ = std::fs::remove_file(&out);
+    println!();
+    println!("# Degraded mode — 2D-GP under fault injection (100-step SpMV loop)");
+    println!("| p | seed | rate | gold | degraded | retransmit | recovery | faults | recovered |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|---|");
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for &p in opts.procs.iter().filter(|&&p| p <= 64) {
+        let machine = machine_for(cfg, a, Machine::cab());
+        let dist = LayoutBuilder::new(a, 0).dist(Method::TwoDGp, p);
+        let mut rt = proto.clone();
+        let row = labeled_chaos(
+            spmv_experiment_chaos(a, &dist, machine, 100, &mut rt),
+            cfg.name,
+            Method::TwoDGp,
+        );
+        println!(
+            "| {} | {:#x} | {} | {} | {} | {} | {} | {} | {} |",
+            row.p,
+            row.seed,
+            row.rate,
+            fmt_secs(row.gold_time),
+            fmt_secs(row.sim_time),
+            fmt_secs(row.retransmit_time),
+            fmt_secs(row.recovery_time),
+            row.drops + row.duplicates + row.bit_flips + row.delays + row.stalls + row.crashes,
+            if row.recovered { "yes" } else { "NO" },
+        );
+        failures += usize::from(!row.recovered);
+        rows.push(row);
+    }
+    write_jsonl(&out, &rows);
+    println!();
+    println!("chaos rows -> {}", out.display());
+    assert_eq!(failures, 0, "{failures} degraded cell(s) failed to recover");
 }

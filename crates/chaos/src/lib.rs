@@ -1,0 +1,733 @@
+#![warn(missing_docs)]
+
+//! # sf2d-chaos
+//!
+//! A **seeded, deterministic fault-injection engine** for the simulated
+//! distributed runtime. Real runs of the paper's experiments on Hopper
+//! and cab tolerated retransmits, stragglers, and node failures that a
+//! clean simulator pretends never happen; this crate supplies the
+//! misbehaving network so the runtime's verify-retry-timeout and
+//! checkpoint/restart paths can be exercised — and their cost billed
+//! honestly through the α-β-γ machine model.
+//!
+//! ## Determinism contract
+//!
+//! Every fault decision is a **pure function of logical coordinates**:
+//!
+//! ```text
+//! fault(seed, superstep, src, dst, seq, attempt) -> Option<FaultKind>
+//! stall(seed, superstep, rank)                   -> bool
+//! crash(seed, epoch)                             -> bool
+//! ```
+//!
+//! There is **no global RNG state** — decisions are independent hashes
+//! (splitmix64-style finalizers over the coordinate words), so the fault
+//! schedule does not depend on the order in which messages are examined,
+//! on thread interleaving, or on `SF2D_THREADS`. The same `(seed, rate)`
+//! produces the same schedule under any execution strategy, which is what
+//! makes chaos runs reproducible and recovered results comparable
+//! bit-for-bit against fault-free gold.
+//!
+//! ## Fault model
+//!
+//! | fault | effect on the wire | recovery path |
+//! |---|---|---|
+//! | [`FaultKind::Drop`] | message never arrives | receiver NACKs at the superstep barrier; sender retransmits |
+//! | [`FaultKind::Duplicate`] | message arrives twice | receiver dedups by `(src, seq)` |
+//! | [`FaultKind::BitFlip`] | one payload bit flips | checksum mismatch; receiver discards + NACKs; retransmit |
+//! | [`FaultKind::Delay`] | latency spike on delivery | billed as extra α terms; no retransmit |
+//! | stall | a rank loses a compute quantum at the superstep boundary | billed as extra γ flops |
+//! | crash | a rank dies at an iteration/cycle boundary | checkpoint restore + deterministic re-execution |
+//!
+//! The policy decisions live here; the *mechanics* (checksum envelopes,
+//! retry loops, checkpointing, cost billing) live in `sf2d-sim`'s `fault`
+//! module and the solver crates.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry budget per message before the runtime declares a timeout and
+/// panics. At the capped fault rate (see [`ChaosConfig::new`]) the
+/// probability of exhausting 64 attempts is below 1e-19, so a timeout in
+/// practice means a scripted plan demanded the impossible.
+pub const MAX_ATTEMPTS: u32 = 64;
+
+/// Highest accepted fault rate. Above this, retry loops stop converging
+/// in any reasonable attempt budget.
+pub const MAX_RATE: f64 = 0.5;
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+/// splitmix64 finalizer — the standard 64-bit avalanche mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a word sequence by chaining the splitmix64 finalizer. Order
+/// matters; there is no internal state beyond the accumulator, so equal
+/// word sequences always hash equal, in any thread.
+#[inline]
+pub fn mix(words: &[u64]) -> u64 {
+    let mut acc = 0x0005_F2DC_4A05_u64; // "sf2d-chaos" domain root
+    for &w in words {
+        acc = splitmix64(acc ^ w);
+    }
+    acc
+}
+
+/// Maps a hash to a uniform float in `[0, 1)` using the top 53 bits.
+#[inline]
+pub fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+// Domain-separation tags so the same coordinates feed independent
+// decisions (fault? / which kind? / stall? / crash? / which bit?).
+const TAG_MSG: u64 = 0x004D_5347;
+const TAG_KIND: u64 = 0x4B49_4E44;
+const TAG_STALL: u64 = 0x5354_414C;
+const TAG_CRASH: u64 = 0x4352_4153;
+const TAG_CORRUPT: u64 = 0x464C_4950;
+
+// ---------------------------------------------------------------------------
+// Fault kinds and coordinates
+// ---------------------------------------------------------------------------
+
+/// A message-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The message is lost on the wire; the receiver NACKs at the
+    /// superstep barrier and the sender retransmits.
+    Drop,
+    /// The message arrives twice; the receiver dedups by `(src, seq)`.
+    Duplicate,
+    /// One payload bit flips in flight; the checksum catches it and the
+    /// corrupted copy is discarded + retransmitted.
+    BitFlip,
+    /// The message arrives late — a latency spike billed as extra α
+    /// terms; no retransmission needed.
+    Delay,
+}
+
+/// Logical coordinates of one transmission attempt. `seq` is the
+/// sender-side enqueue index (unique per `(src, dst)` pair within a
+/// superstep); `attempt` counts retransmissions, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MsgCoord {
+    /// Superstep (routing round) number.
+    pub step: u64,
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Sender-side enqueue index toward `dst` within this superstep.
+    pub seq: u32,
+    /// Retransmission attempt, 0 for the first try.
+    pub attempt: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Seed + rate pair defining a seeded chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Root seed; every decision hashes this with its coordinates.
+    pub seed: u64,
+    /// Per-message fault probability in `[0, MAX_RATE]`.
+    pub rate: f64,
+}
+
+impl ChaosConfig {
+    /// Validated constructor. Rates outside `[0, MAX_RATE]` (or NaN) are
+    /// rejected — above the cap, retry loops no longer converge within
+    /// [`MAX_ATTEMPTS`].
+    pub fn new(seed: u64, rate: f64) -> Result<ChaosConfig, String> {
+        if !(0.0..=MAX_RATE).contains(&rate) {
+            return Err(format!(
+                "chaos rate must be in [0, {MAX_RATE}], got {rate:?}"
+            ));
+        }
+        Ok(ChaosConfig { seed, rate })
+    }
+
+    /// Reads `SF2D_CHAOS_SEED` / `SF2D_CHAOS_RATE`. Returns:
+    ///
+    /// * `Ok(None)` — chaos off (`SF2D_CHAOS_RATE` unset, empty, or `0`);
+    /// * `Ok(Some(cfg))` — chaos on (rate > 0; seed defaults to
+    ///   `0xC0FFEE` when `SF2D_CHAOS_SEED` is unset);
+    /// * `Err(msg)` — either variable is set to garbage. Callers should
+    ///   fail loudly: a typo silently disabling fault injection would
+    ///   invalidate a chaos run.
+    pub fn from_env() -> Result<Option<ChaosConfig>, String> {
+        let rate = std::env::var("SF2D_CHAOS_RATE").ok();
+        let seed = std::env::var("SF2D_CHAOS_SEED").ok();
+        ChaosConfig::parse_env(rate.as_deref(), seed.as_deref())
+    }
+
+    /// Pure core of [`ChaosConfig::from_env`]: interpret the raw
+    /// `SF2D_CHAOS_RATE` / `SF2D_CHAOS_SEED` values (`None` = unset).
+    /// Split out so the parsing rules are unit-testable without touching
+    /// process-global environment state.
+    pub fn parse_env(
+        rate: Option<&str>,
+        seed: Option<&str>,
+    ) -> Result<Option<ChaosConfig>, String> {
+        let rate = match rate {
+            None => return Ok(None),
+            Some(v) if v.trim().is_empty() => return Ok(None),
+            Some(v) => v
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("SF2D_CHAOS_RATE={v:?} is not a number: {e}"))?,
+        };
+        if rate == 0.0 {
+            return Ok(None);
+        }
+        let seed = match seed {
+            None => 0xC0FFEE,
+            Some(v) if v.trim().is_empty() => 0xC0FFEE,
+            // Published seeds are written in hex; accept both bases.
+            Some(v) => match v.trim().strip_prefix("0x").or(v.trim().strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16)
+                    .map_err(|e| format!("SF2D_CHAOS_SEED={v:?} is not a u64: {e}"))?,
+                None => v
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("SF2D_CHAOS_SEED={v:?} is not a u64: {e}"))?,
+            },
+        };
+        ChaosConfig::new(seed, rate).map(Some)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted faults
+// ---------------------------------------------------------------------------
+
+/// An explicit fault schedule, for tests that need a exact, readable
+/// sequence of events (e.g. "drop the Expand message from rank 3 to rank
+/// 0 in superstep 2, then crash at iteration 5").
+///
+/// Scripted faults fire on `attempt == 0` only, so the scheduled
+/// retransmission always succeeds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultScript {
+    /// Message faults keyed by `(step, src, dst, seq)`.
+    pub messages: Vec<ScriptedFault>,
+    /// Stalls keyed by `(step, rank)`.
+    pub stalls: Vec<ScriptedStall>,
+    /// Persistently-jammed messages (the scripted kind fires on
+    /// **every** attempt) — exists to test the retry-timeout path; a
+    /// drop-jammed message can never be delivered.
+    pub jams: Vec<ScriptedFault>,
+    /// Epochs (iteration / restart-cycle numbers) at which a rank crash
+    /// is injected. Each fires at most once.
+    pub crashes: Vec<u64>,
+}
+
+/// One scripted message fault (see [`FaultScript`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptedFault {
+    /// Superstep number.
+    pub step: u64,
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Sender-side enqueue index.
+    pub seq: u32,
+    /// What happens to the message.
+    pub kind: FaultKind,
+}
+
+/// One scripted rank stall (see [`FaultScript`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptedStall {
+    /// Superstep number.
+    pub step: u64,
+    /// Stalling rank.
+    pub rank: u32,
+}
+
+impl FaultScript {
+    /// Schedules a message fault.
+    pub fn fault(mut self, step: u64, src: u32, dst: u32, seq: u32, kind: FaultKind) -> Self {
+        self.messages.push(ScriptedFault {
+            step,
+            src,
+            dst,
+            seq,
+            kind,
+        });
+        self
+    }
+
+    /// Schedules a rank stall.
+    pub fn stall(mut self, step: u64, rank: u32) -> Self {
+        self.stalls.push(ScriptedStall { step, rank });
+        self
+    }
+
+    /// Jams a message: the fault fires on every attempt, so a `Drop`
+    /// jam exhausts the retry budget and times out.
+    pub fn jam(mut self, step: u64, src: u32, dst: u32, seq: u32, kind: FaultKind) -> Self {
+        self.jams.push(ScriptedFault {
+            step,
+            src,
+            dst,
+            seq,
+            kind,
+        });
+        self
+    }
+
+    /// Schedules a crash at an epoch boundary.
+    pub fn crash(mut self, epoch: u64) -> Self {
+        self.crashes.push(epoch);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The plan
+// ---------------------------------------------------------------------------
+
+/// A resolved fault plan: either hash-derived from a seed or an explicit
+/// script. All methods are pure — the plan holds no mutable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultPlan {
+    /// Hash-derived faults at the configured rate.
+    Seeded {
+        /// The seed + rate pair.
+        cfg: ChaosConfig,
+    },
+    /// Explicitly scheduled faults.
+    Scripted {
+        /// The explicit schedule.
+        script: FaultScript,
+    },
+}
+
+impl FaultPlan {
+    /// Convenience constructor for a seeded plan.
+    pub fn seeded(cfg: ChaosConfig) -> FaultPlan {
+        FaultPlan::Seeded { cfg }
+    }
+
+    /// Convenience constructor for a scripted plan.
+    pub fn scripted(script: FaultScript) -> FaultPlan {
+        FaultPlan::Scripted { script }
+    }
+}
+
+impl FaultPlan {
+    /// The fault (if any) afflicting one transmission attempt.
+    pub fn message_fault(&self, c: &MsgCoord) -> Option<FaultKind> {
+        match self {
+            FaultPlan::Seeded { cfg } => {
+                let h = mix(&[
+                    cfg.seed,
+                    TAG_MSG,
+                    c.step,
+                    c.src as u64,
+                    c.dst as u64,
+                    c.seq as u64,
+                    c.attempt as u64,
+                ]);
+                if unit(h) >= cfg.rate {
+                    return None;
+                }
+                let k = mix(&[
+                    cfg.seed,
+                    TAG_KIND,
+                    c.step,
+                    c.src as u64,
+                    c.dst as u64,
+                    c.seq as u64,
+                    c.attempt as u64,
+                ]) % 100;
+                Some(match k {
+                    0..=34 => FaultKind::Drop,
+                    35..=54 => FaultKind::Duplicate,
+                    55..=79 => FaultKind::BitFlip,
+                    _ => FaultKind::Delay,
+                })
+            }
+            FaultPlan::Scripted { script: s } => {
+                let hit = |f: &&ScriptedFault| {
+                    f.step == c.step && f.src == c.src && f.dst == c.dst && f.seq == c.seq
+                };
+                if let Some(j) = s.jams.iter().find(hit) {
+                    return Some(j.kind);
+                }
+                if c.attempt != 0 {
+                    return None;
+                }
+                s.messages.iter().find(hit).map(|f| f.kind)
+            }
+        }
+    }
+
+    /// Does `rank` stall at the boundary of superstep `step`? Seeded
+    /// plans stall at a quarter of the message-fault rate.
+    pub fn stall(&self, step: u64, rank: u32) -> bool {
+        match self {
+            FaultPlan::Seeded { cfg } => {
+                let h = mix(&[cfg.seed, TAG_STALL, step, rank as u64]);
+                unit(h) < cfg.rate * 0.25
+            }
+            FaultPlan::Scripted { script: s } => {
+                s.stalls.iter().any(|s| s.step == step && s.rank == rank)
+            }
+        }
+    }
+
+    /// Is a rank crash injected at epoch boundary `epoch`? (Epochs are
+    /// solver-level: SpMV iterations or Krylov-Schur restart cycles.)
+    /// Seeded plans crash at half the message-fault rate. The *runtime*
+    /// consumes each epoch's decision at most once — see
+    /// `sf2d_sim::fault::ChaosRuntime::take_crash` — so deterministic
+    /// re-execution after a restore cannot re-trip the same crash.
+    pub fn crash(&self, epoch: u64) -> bool {
+        match self {
+            FaultPlan::Seeded { cfg } => {
+                let h = mix(&[cfg.seed, TAG_CRASH, epoch]);
+                unit(h) < cfg.rate * 0.5
+            }
+            FaultPlan::Scripted { script: s } => s.crashes.contains(&epoch),
+        }
+    }
+
+    /// The effective message-fault rate (0 for an empty script — used by
+    /// rate-0 fast paths).
+    pub fn rate(&self) -> f64 {
+        match self {
+            FaultPlan::Seeded { cfg } => cfg.rate,
+            FaultPlan::Scripted { script: s } => {
+                if s.messages.is_empty()
+                    && s.stalls.is_empty()
+                    && s.crashes.is_empty()
+                    && s.jams.is_empty()
+                {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksums and corruption
+// ---------------------------------------------------------------------------
+
+/// FNV-1a checksum over a message envelope: the `(src, seq)` identity
+/// words followed by the payload's IEEE-754 bit patterns. Collision odds
+/// against a *single* flipped bit are zero (FNV-1a is injective on
+/// single-bit differences of the final word and astronomically unlikely
+/// otherwise), which is the threat model here.
+pub fn checksum(src: u32, seq: u32, data: &[f64]) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut absorb = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    absorb(src as u64);
+    absorb(seq as u64);
+    for &x in data {
+        absorb(x.to_bits());
+    }
+    h
+}
+
+/// Flips one deterministically-chosen payload bit in place (no-op on an
+/// empty payload — there is nothing to corrupt). Which bit is derived
+/// from the message coordinates so corruption, like every other fault,
+/// is schedule-independent.
+pub fn corrupt(data: &mut [f64], seed: u64, c: &MsgCoord) {
+    if data.is_empty() {
+        return;
+    }
+    let h = mix(&[
+        seed,
+        TAG_CORRUPT,
+        c.step,
+        c.src as u64,
+        c.dst as u64,
+        c.seq as u64,
+        c.attempt as u64,
+    ]);
+    let idx = (h as usize) % data.len();
+    let bit = (h >> 32) % 64;
+    data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << bit));
+}
+
+// ---------------------------------------------------------------------------
+// Fault accounting
+// ---------------------------------------------------------------------------
+
+/// Counters of injected faults and the retransmission traffic they
+/// caused. Owned by the runtime (`sf2d_sim::fault::ChaosRuntime`),
+/// serialized into recovery-trace artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages dropped on the wire.
+    pub drops: u64,
+    /// Messages duplicated in flight.
+    pub duplicates: u64,
+    /// Payload bit-flips caught by checksum.
+    pub bit_flips: u64,
+    /// Latency spikes.
+    pub delays: u64,
+    /// Rank stalls at superstep boundaries.
+    pub stalls: u64,
+    /// Rank crashes recovered via checkpoint restore.
+    pub crashes: u64,
+    /// Extra messages sent because of faults (retransmits, NACKs,
+    /// duplicate copies).
+    pub retransmit_msgs: u64,
+    /// Extra bytes moved because of faults.
+    pub retransmit_bytes: u64,
+}
+
+impl FaultStats {
+    /// True if any fault was injected.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+
+    /// Total message-level faults (excludes stalls and crashes).
+    pub fn message_faults(&self) -> u64 {
+        self.drops + self.duplicates + self.bit_flips + self.delays
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, o: &FaultStats) {
+        self.drops += o.drops;
+        self.duplicates += o.duplicates;
+        self.bit_flips += o.bit_flips;
+        self.delays += o.delays;
+        self.stalls += o.stalls;
+        self.crashes += o.crashes;
+        self.retransmit_msgs += o.retransmit_msgs;
+        self.retransmit_bytes += o.retransmit_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(step: u64, src: u32, dst: u32, seq: u32, attempt: u32) -> MsgCoord {
+        MsgCoord {
+            step,
+            src,
+            dst,
+            seq,
+            attempt,
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_coordinates() {
+        let plan = FaultPlan::seeded(ChaosConfig::new(42, 0.3).unwrap());
+        // Query in two different orders; answers must match exactly.
+        let coords: Vec<MsgCoord> = (0..200)
+            .map(|i| coord(i / 50, (i % 7) as u32, (i % 5) as u32, (i % 11) as u32, 0))
+            .collect();
+        let forward: Vec<_> = coords.iter().map(|c| plan.message_fault(c)).collect();
+        let backward: Vec<_> = coords.iter().rev().map(|c| plan.message_fault(c)).collect();
+        let mut backward = backward;
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn rate_zero_injects_nothing() {
+        let plan = FaultPlan::seeded(ChaosConfig::new(7, 0.0).unwrap());
+        for step in 0..20 {
+            for src in 0..8 {
+                for dst in 0..8 {
+                    assert_eq!(plan.message_fault(&coord(step, src, dst, 0, 0)), None);
+                    assert!(!plan.stall(step, src));
+                }
+            }
+            assert!(!plan.crash(step));
+        }
+    }
+
+    #[test]
+    fn seeded_rate_is_roughly_honored_and_all_kinds_appear() {
+        let plan = FaultPlan::seeded(ChaosConfig::new(0xDEAD, 0.3).unwrap());
+        let mut hits = 0usize;
+        let mut kinds = std::collections::BTreeSet::new();
+        let n = 20_000;
+        for i in 0..n {
+            let c = coord(
+                i as u64 / 100,
+                (i % 13) as u32,
+                (i % 17) as u32,
+                (i % 7) as u32,
+                0,
+            );
+            if let Some(k) = plan.message_fault(&c) {
+                hits += 1;
+                kinds.insert(k);
+            }
+        }
+        let observed = hits as f64 / n as f64;
+        assert!(
+            (observed - 0.3).abs() < 0.02,
+            "observed fault rate {observed} far from 0.3"
+        );
+        assert_eq!(
+            kinds.len(),
+            4,
+            "all four fault kinds should appear: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn different_attempts_fault_independently() {
+        // A message faulted on attempt 0 must eventually get a clean
+        // attempt: P(64 consecutive faults) at the max rate is ~1e-20.
+        let plan = FaultPlan::seeded(ChaosConfig::new(99, MAX_RATE).unwrap());
+        for i in 0..500u32 {
+            let clean = (0..MAX_ATTEMPTS).any(|a| {
+                plan.message_fault(&coord(3, i % 16, (i / 16) % 16, i, a))
+                    .is_none()
+            });
+            assert!(clean, "message {i} never got a clean attempt");
+        }
+    }
+
+    #[test]
+    fn scripted_faults_fire_exactly_once() {
+        let plan = FaultPlan::scripted(
+            FaultScript::default()
+                .fault(2, 3, 0, 1, FaultKind::Drop)
+                .stall(4, 7)
+                .crash(5),
+        );
+        assert_eq!(
+            plan.message_fault(&coord(2, 3, 0, 1, 0)),
+            Some(FaultKind::Drop)
+        );
+        // Retransmission (attempt 1) is clean.
+        assert_eq!(plan.message_fault(&coord(2, 3, 0, 1, 1)), None);
+        // Other coordinates are clean.
+        assert_eq!(plan.message_fault(&coord(2, 3, 0, 2, 0)), None);
+        assert_eq!(plan.message_fault(&coord(1, 3, 0, 1, 0)), None);
+        assert!(plan.stall(4, 7));
+        assert!(!plan.stall(4, 6));
+        assert!(plan.crash(5));
+        assert!(!plan.crash(4));
+    }
+
+    #[test]
+    fn checksum_catches_single_bit_flips() {
+        let data: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let clean = checksum(3, 9, &data);
+        let plan_seed = 0xF1F1;
+        for attempt in 0..32 {
+            let mut corrupted = data.clone();
+            corrupt(&mut corrupted, plan_seed, &coord(1, 3, 2, 9, attempt));
+            assert_ne!(corrupted, data, "corrupt() must change the payload");
+            assert_ne!(
+                checksum(3, 9, &corrupted),
+                clean,
+                "checksum must catch the flip"
+            );
+        }
+        // Identity words are part of the envelope.
+        assert_ne!(checksum(4, 9, &data), clean);
+        assert_ne!(checksum(3, 8, &data), clean);
+    }
+
+    #[test]
+    fn corrupt_empty_payload_is_noop() {
+        let mut empty: Vec<f64> = vec![];
+        corrupt(&mut empty, 1, &coord(0, 0, 1, 0, 0));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn config_rejects_bad_rates() {
+        assert!(ChaosConfig::new(1, -0.1).is_err());
+        assert!(ChaosConfig::new(1, 0.6).is_err());
+        assert!(ChaosConfig::new(1, f64::NAN).is_err());
+        assert!(ChaosConfig::new(1, 0.0).is_ok());
+        assert!(ChaosConfig::new(1, MAX_RATE).is_ok());
+    }
+
+    #[test]
+    fn env_parsing_accepts_decimal_and_hex_seeds() {
+        // Unset or empty rate, or rate 0: chaos off, seed irrelevant.
+        assert_eq!(ChaosConfig::parse_env(None, Some("junk")), Ok(None));
+        assert_eq!(ChaosConfig::parse_env(Some("  "), None), Ok(None));
+        assert_eq!(ChaosConfig::parse_env(Some("0"), Some("7")), Ok(None));
+
+        // Seed defaults when unset/empty, and parses in both bases —
+        // the published seeds are written as hex (`0xC0FFEE`).
+        let on = |rate, seed| ChaosConfig::parse_env(Some(rate), seed).unwrap().unwrap();
+        assert_eq!(on("0.25", None).seed, 0xC0FFEE);
+        assert_eq!(on("0.25", Some("")).seed, 0xC0FFEE);
+        assert_eq!(on("0.25", Some("42")).seed, 42);
+        assert_eq!(on("0.25", Some("0xC0FFEE")).seed, 0xC0FFEE);
+        assert_eq!(on("0.25", Some(" 0XdeadBEEF ")).seed, 0xDEAD_BEEF);
+        assert_eq!(on("0.25", Some("0xC0FFEE")).rate, 0.25);
+    }
+
+    #[test]
+    fn env_parsing_fails_loudly_on_garbage() {
+        let err = |rate, seed| ChaosConfig::parse_env(rate, seed).unwrap_err();
+        assert!(err(Some("lots"), None).contains("SF2D_CHAOS_RATE"));
+        assert!(err(Some("0.25"), Some("coffee")).contains("SF2D_CHAOS_SEED"));
+        assert!(err(Some("0.25"), Some("0xZZ")).contains("SF2D_CHAOS_SEED"));
+        assert!(err(Some("0.25"), Some("-1")).contains("SF2D_CHAOS_SEED"));
+        // In-range parse but out-of-range rate still fails validation.
+        assert!(err(Some("0.75"), Some("1")).contains("rate"));
+    }
+
+    #[test]
+    fn stats_merge_and_any() {
+        let mut a = FaultStats::default();
+        assert!(!a.any());
+        let b = FaultStats {
+            drops: 2,
+            retransmit_msgs: 4,
+            retransmit_bytes: 512,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert!(a.any());
+        assert_eq!(a.drops, 4);
+        assert_eq!(a.retransmit_bytes, 1024);
+        assert_eq!(a.message_faults(), 4);
+    }
+
+    #[test]
+    fn script_roundtrips_through_serde() {
+        let plan = FaultPlan::scripted(
+            FaultScript::default()
+                .fault(0, 1, 2, 3, FaultKind::BitFlip)
+                .crash(7),
+        );
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

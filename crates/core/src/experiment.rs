@@ -5,8 +5,11 @@ use std::sync::Arc;
 use sf2d_eigen::{krylov_schur_largest, KrylovSchurConfig};
 use sf2d_graph::CsrMatrix;
 use sf2d_partition::{LayoutMetrics, NonzeroLayout};
-use sf2d_sim::{CostLedger, Machine, RuntimeConfig};
-use sf2d_spmv::{spmv_with, DistCsrMatrix, DistVector, NormalizedLaplacianOp, SpmvWorkspace};
+use sf2d_sim::{ChaosRuntime, CostLedger, Machine, Phase, RuntimeConfig};
+use sf2d_spmv::{
+    power_iterate, power_iterate_chaos, spmv_with, DistCsrMatrix, DistVector,
+    NormalizedLaplacianOp, SpmvWorkspace,
+};
 
 use crate::layout::Method;
 
@@ -60,6 +63,113 @@ pub fn spmv_experiment<L: NonzeroLayout + ?Sized>(
         vec_imbalance: m.vec_imbalance(),
         max_msgs: m.max_msgs(),
         total_cv: m.total_comm_volume(),
+    }
+}
+
+/// One row of the degraded-mode (chaos) SpMV experiment: a Table 3 cell
+/// re-run under fault injection, with the recovery outcome and the
+/// retransmission surcharge itemized. Written to a **separate** artifact
+/// (`table3_chaos.jsonl`) so fault-free outputs stay byte-identical.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChaosSpmvRow {
+    /// Matrix name.
+    pub matrix: String,
+    /// Layout name.
+    pub method: String,
+    /// Rank count.
+    pub p: usize,
+    /// Chaos seed.
+    pub seed: u64,
+    /// Injected fault rate.
+    pub rate: f64,
+    /// Simulated seconds for the fault-free `iters`-step power loop.
+    pub gold_time: f64,
+    /// Simulated seconds for the same loop under fault injection.
+    pub sim_time: f64,
+    /// Seconds billed to [`Phase::Retransmit`].
+    pub retransmit_time: f64,
+    /// Seconds billed to [`Phase::Recovery`] (checkpoint restores).
+    pub recovery_time: f64,
+    /// Whether the recovered iterate matched the fault-free bits.
+    pub recovered: bool,
+    /// Messages dropped on the wire.
+    pub drops: u64,
+    /// Messages duplicated.
+    pub duplicates: u64,
+    /// Payload bit-flips (caught by the checksum envelope).
+    pub bit_flips: u64,
+    /// Latency spikes.
+    pub delays: u64,
+    /// Rank stalls at superstep boundaries.
+    pub stalls: u64,
+    /// Rank crashes recovered via checkpoint restore.
+    pub crashes: u64,
+    /// Extra messages retransmission cost.
+    pub retransmit_msgs: u64,
+    /// Extra bytes retransmission cost.
+    pub retransmit_bytes: u64,
+}
+
+/// Runs one Table 3 cell as an *actual* `iters`-step iteration loop
+/// (power iteration: `x ← A x / ‖A x‖`) twice — fault-free and under the
+/// given chaos runtime — and reports the degraded-mode surcharge plus a
+/// bit-exact recovery verdict. Unlike [`spmv_experiment`], which charges
+/// one SpMV times `iters` (valid because the fault-free cost is
+/// constant per iteration), the chaos run must execute every iteration:
+/// injected faults and checkpoint restores make the per-iteration cost
+/// non-uniform.
+pub fn spmv_experiment_chaos<L: NonzeroLayout + ?Sized>(
+    a: &CsrMatrix,
+    dist: &L,
+    machine: Machine,
+    iters: usize,
+    rt: &mut ChaosRuntime,
+) -> ChaosSpmvRow {
+    let dm = DistCsrMatrix::from_global(a, dist);
+    let x0 = DistVector::random(Arc::clone(&dm.vmap), 7);
+
+    let mut gold_ledger = CostLedger::new(machine);
+    let gold = power_iterate(&dm, &x0, iters, &mut gold_ledger);
+
+    let (seed, rate) = match &rt.plan {
+        sf2d_sim::sf2d_chaos::FaultPlan::Seeded { cfg } => (cfg.seed, cfg.rate),
+        sf2d_sim::sf2d_chaos::FaultPlan::Scripted { .. } => (0, rt.plan.rate()),
+    };
+    let mut ledger = CostLedger::new(machine);
+    let got = power_iterate_chaos(&dm, &x0, iters, &mut ledger, rt);
+    let recovered = got
+        .locals
+        .iter()
+        .zip(&gold.locals)
+        .all(|(g, w)| g.iter().zip(w).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+    ChaosSpmvRow {
+        matrix: String::new(),
+        method: String::new(),
+        p: dist.nprocs(),
+        seed,
+        rate,
+        gold_time: gold_ledger.total,
+        sim_time: ledger.total,
+        retransmit_time: ledger
+            .by_phase
+            .get(&Phase::Retransmit)
+            .copied()
+            .unwrap_or(0.0),
+        recovery_time: ledger
+            .by_phase
+            .get(&Phase::Recovery)
+            .copied()
+            .unwrap_or(0.0),
+        recovered,
+        drops: rt.stats.drops,
+        duplicates: rt.stats.duplicates,
+        bit_flips: rt.stats.bit_flips,
+        delays: rt.stats.delays,
+        stalls: rt.stats.stalls,
+        crashes: rt.stats.crashes,
+        retransmit_msgs: rt.stats.retransmit_msgs,
+        retransmit_bytes: rt.stats.retransmit_bytes,
     }
 }
 
@@ -152,6 +262,13 @@ pub fn labeled_eigen(mut row: EigenRow, matrix: &str, method: Method) -> EigenRo
     row
 }
 
+/// Convenience: label a chaos row.
+pub fn labeled_chaos(mut row: ChaosSpmvRow, matrix: &str, method: Method) -> ChaosSpmvRow {
+    row.matrix = matrix.to_string();
+    row.method = method.name().to_string();
+    row
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +302,29 @@ mod tests {
             gp2.sim_time,
             blk.sim_time
         );
+    }
+
+    #[test]
+    fn chaos_experiment_recovers_and_itemizes_surcharge() {
+        let a = rmat(&RmatConfig::graph500(7), 5);
+        let mut b = LayoutBuilder::new(&a, 0);
+        let d = b.dist(Method::TwoDBlock, 16);
+
+        // Rate 0: no faults, no surcharge, gold == sim to the bit.
+        let mut rt = ChaosRuntime::seeded(1, 0.0);
+        let row = spmv_experiment_chaos(&a, &d, Machine::cab(), 20, &mut rt);
+        assert!(row.recovered);
+        assert_eq!(row.sim_time.to_bits(), row.gold_time.to_bits());
+        assert_eq!(row.retransmit_time, 0.0);
+        assert_eq!(row.recovery_time, 0.0);
+
+        // A real rate: still recovers, and the surcharge is itemized.
+        let mut rt = ChaosRuntime::seeded(0xC0FFEE, 0.25);
+        let row = spmv_experiment_chaos(&a, &d, Machine::cab(), 20, &mut rt);
+        assert!(row.recovered, "degraded run must recover the gold bits");
+        assert!(row.retransmit_time > 0.0);
+        assert!(row.sim_time > row.gold_time);
+        assert!(row.drops + row.duplicates + row.bit_flips + row.delays > 0);
     }
 
     #[test]

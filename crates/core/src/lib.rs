@@ -38,16 +38,20 @@ pub use sf2d_partition;
 pub use sf2d_sim;
 pub use sf2d_spmv;
 
-pub use experiment::{eigen_experiment, spmv_experiment, EigenRow, SpmvRow};
+pub use experiment::{
+    eigen_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow, EigenRow, SpmvRow,
+};
 pub use layout::{LayoutBuilder, Method};
 
 /// Everything most programs need.
 pub mod prelude {
-    pub use crate::experiment::{eigen_experiment, spmv_experiment, EigenRow, SpmvRow};
+    pub use crate::experiment::{
+        eigen_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow, EigenRow, SpmvRow,
+    };
     pub use crate::layout::{LayoutBuilder, Method};
     pub use sf2d_eigen::{
-        conjugate_gradient, krylov_schur_largest, lobpcg_largest, pagerank, CgConfig,
-        KrylovSchurConfig, LobpcgConfig,
+        conjugate_gradient, krylov_schur_largest, krylov_schur_largest_resilient, lobpcg_largest,
+        pagerank, CgConfig, KrylovSchurConfig, LobpcgConfig,
     };
     pub use sf2d_gen::{proxy_matrix, ProxyConfig, PAPER_MATRICES};
     pub use sf2d_graph::{CooMatrix, CsrMatrix, Graph};
@@ -56,9 +60,10 @@ pub mod prelude {
         TraceFormat,
     };
     pub use sf2d_partition::{grid_shape, LayoutMetrics, MatrixDist, NonzeroLayout};
-    pub use sf2d_sim::{CostLedger, Machine, RuntimeConfig};
+    pub use sf2d_sim::{ChaosRuntime, CostLedger, Machine, RuntimeConfig};
     pub use sf2d_spmv::{
-        spmm, spmm_with, spmv, spmv_with, DistCsrMatrix, DistMultiVector, DistVector,
-        LinearOperator, MigrationPlan, NormalizedLaplacianOp, PlainSpmvOp, SpmvWorkspace,
+        power_iterate, power_iterate_chaos, spmm, spmm_with, spmv, spmv_chaos, spmv_with,
+        ChaosSpmvOp, DistCsrMatrix, DistMultiVector, DistVector, LinearOperator, MigrationPlan,
+        NormalizedLaplacianOp, PlainSpmvOp, SpmvWorkspace,
     };
 }

@@ -10,9 +10,11 @@
 //! The projected matrix is then "arrowhead + tridiagonal", which we solve
 //! with the dense Jacobi routine.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
+use sf2d_sim::fault::ChaosRuntime;
 use sf2d_spmv::{DistVector, LinearOperator};
 
 use crate::dense::{symmetric_eig, DenseMat};
@@ -73,6 +75,43 @@ pub fn krylov_schur_largest(
     cfg: &KrylovSchurConfig,
     ledger: &mut CostLedger,
 ) -> EigResult {
+    krylov_schur_core(op, cfg, ledger, None)
+}
+
+/// [`krylov_schur_largest`] with checkpoint/restart at restart-cycle
+/// boundaries, for runs whose operator applications go through a fault
+/// plan (e.g. [`sf2d_spmv::ChaosSpmvOp`] sharing the same runtime):
+///
+/// * the outer-loop state (locked basis, projected matrix, coupling row,
+///   breakdown salt) is snapshotted on entry to every restart cycle — a
+///   node-local memory copy, free of charge;
+/// * after each cycle's Lanczos expansion the loop polls
+///   [`ChaosRuntime::take_crash`] with a monotone executed-cycle epoch;
+///   on a crash the snapshot is restored, every rank's re-read of its
+///   slice of the checkpointed basis is billed as one
+///   [`Phase::Recovery`] superstep, and the cycle re-executes (the lost
+///   operator applications stay counted in `op_applies` — honest work);
+/// * message-level faults inside the operator are healed and billed by
+///   the operator itself.
+///
+/// Because the chaos protocol always delivers fault-free values, the
+/// returned eigenpairs are **bit-identical** to the fault-free solve;
+/// with no crash drawn (e.g. rate 0) the ledger is byte-identical too.
+pub fn krylov_schur_largest_resilient(
+    op: &dyn LinearOperator,
+    cfg: &KrylovSchurConfig,
+    ledger: &mut CostLedger,
+    rt: &RefCell<ChaosRuntime>,
+) -> EigResult {
+    krylov_schur_core(op, cfg, ledger, Some(rt))
+}
+
+fn krylov_schur_core(
+    op: &dyn LinearOperator,
+    cfg: &KrylovSchurConfig,
+    ledger: &mut CostLedger,
+    chaos: Option<&RefCell<ChaosRuntime>>,
+) -> EigResult {
     assert!(cfg.nev >= 1, "need nev >= 1");
     assert!(cfg.max_basis >= cfg.nev + 2, "max_basis too small");
     let map = Arc::clone(op.vmap());
@@ -97,11 +136,19 @@ pub fn krylov_schur_largest(
     basis.push(v0);
 
     let mut rng_salt = 1u64;
+    // Monotone count of *executed* expansion cycles: the crash epoch.
+    // Unlike `restarts` it advances on crashed cycles too, so a replayed
+    // cycle polls a fresh epoch and the recovery loop terminates.
+    let mut epoch = 0u64;
     loop {
         // Trace one outer (restart) cycle as a span on the simulated
         // clock, bounded by the ledger totals at entry and exit.
         let cycle = restarts;
         let cycle_t0 = ledger.total;
+
+        // Checkpoint the outer-loop state at the cycle boundary (a
+        // node-local copy — free of charge, like DistVector::copy_from).
+        let snapshot = chaos.map(|_| (basis.clone(), t.clone(), k, coupling.clone(), rng_salt));
 
         // --- Lanczos expansion from k to m ---
         let mut beta_last = 0.0f64;
@@ -150,6 +197,38 @@ pub fn krylov_schur_largest(
                     t[(i, k)] = b;
                     t[(k, i)] = b;
                 }
+            }
+        }
+
+        // A rank crash during the cycle loses the expansion: restore the
+        // checkpoint, bill every rank's re-read of its slice of the
+        // snapshotted basis, and re-execute. The replayed applications
+        // recompute the same bits (the chaos protocol always delivers
+        // fault-free values), so recovery cannot change the answer.
+        if let Some(rt) = chaos {
+            let crashed = rt.borrow_mut().take_crash(epoch);
+            epoch += 1;
+            if crashed {
+                let (b, tt, kk, c, s) = snapshot.expect("snapshot taken under chaos");
+                let restored = b.len();
+                basis = b;
+                t = tt;
+                k = kk;
+                coupling = c;
+                rng_salt = s;
+                let restore: Vec<PhaseCost> = (0..p)
+                    .map(|r| PhaseCost::comm(1, 8 * (restored * map.nlocal(r)) as u64))
+                    .collect();
+                ledger.superstep(Phase::Recovery, &restore);
+                if sf2d_obs::enabled() {
+                    sf2d_obs::record_sim_span(
+                        sf2d_obs::PhaseKind::Recovery,
+                        format!("krylov-schur cycle {cycle} (crashed, restored)"),
+                        cycle_t0,
+                        ledger.total,
+                    );
+                }
+                continue;
             }
         }
 
@@ -444,6 +523,84 @@ mod tests {
         for (a, b) in r1.values.iter().zip(&r2.values) {
             assert!((a - b).abs() < 1e-7, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn resilient_solver_recovers_crashes_to_identical_bits() {
+        use sf2d_sim::sf2d_chaos::FaultScript;
+        use sf2d_spmv::ChaosSpmvOp;
+
+        let a = grid_2d(5, 7);
+        let l = normalized_laplacian(&a).unwrap();
+        let d = MatrixDist::block_1d(l.nrows(), 3);
+        let dm = DistCsrMatrix::from_global(&l, &d);
+        let cfg = KrylovSchurConfig {
+            nev: 4,
+            max_basis: 20,
+            tol: 1e-8,
+            max_restarts: 100,
+            seed: 1,
+        };
+        let mut led_gold = CostLedger::new(Machine::cab());
+        let gold = krylov_schur_largest(&PlainSpmvOp::new(dm.clone()), &cfg, &mut led_gold);
+        assert!(gold.converged);
+
+        // Scripted crash in the second expansion cycle: the solver must
+        // rewind to the cycle checkpoint, bill a Recovery superstep, and
+        // still land on the gold bits.
+        let rt = RefCell::new(ChaosRuntime::scripted(FaultScript::default().crash(1)));
+        let op = ChaosSpmvOp { a: &dm, rt: &rt };
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = krylov_schur_largest_resilient(&op, &cfg, &mut ledger, &rt);
+        assert_eq!(res.values, gold.values);
+        assert_eq!(res.residuals, gold.residuals);
+        assert_eq!(res.restarts, gold.restarts);
+        for (v, w) in res.vectors.iter().zip(&gold.vectors) {
+            assert_eq!(v.locals, w.locals, "recovered Ritz vectors differ");
+        }
+        assert_eq!(rt.borrow().stats.crashes, 1);
+        assert!(ledger.by_phase[&Phase::Recovery] > 0.0);
+        // The crashed cycle's operator applications are honest lost work.
+        assert!(res.op_applies > gold.op_applies);
+
+        // Seeded chaos (message faults + whatever crashes the plan
+        // draws): still the gold bits, with retransmissions itemized.
+        let rt = RefCell::new(ChaosRuntime::seeded(0xC0FFEE, 0.25));
+        let op = ChaosSpmvOp { a: &dm, rt: &rt };
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = krylov_schur_largest_resilient(&op, &cfg, &mut ledger, &rt);
+        assert_eq!(res.values, gold.values);
+        assert!(rt.borrow().stats.message_faults() > 0);
+        assert!(ledger.by_phase[&Phase::Retransmit] > 0.0);
+    }
+
+    #[test]
+    fn rate_zero_resilient_solve_is_byte_identical_to_plain() {
+        use sf2d_spmv::ChaosSpmvOp;
+
+        let a = grid_2d(5, 7);
+        let l = normalized_laplacian(&a).unwrap();
+        let d = MatrixDist::block_1d(l.nrows(), 3);
+        let dm = DistCsrMatrix::from_global(&l, &d);
+        let cfg = KrylovSchurConfig {
+            nev: 3,
+            max_basis: 16,
+            tol: 1e-8,
+            max_restarts: 100,
+            seed: 2,
+        };
+        let mut led_gold = CostLedger::new(Machine::cab());
+        let gold = krylov_schur_largest(&PlainSpmvOp::new(dm.clone()), &cfg, &mut led_gold);
+
+        let rt = RefCell::new(ChaosRuntime::seeded(7, 0.0));
+        let op = ChaosSpmvOp { a: &dm, rt: &rt };
+        let mut ledger = CostLedger::new(Machine::cab());
+        let res = krylov_schur_largest_resilient(&op, &cfg, &mut ledger, &rt);
+        assert_eq!(res.values, gold.values);
+        assert_eq!(ledger.total.to_bits(), led_gold.total.to_bits());
+        assert_eq!(ledger.steps, led_gold.steps);
+        assert_eq!(ledger.by_phase, led_gold.by_phase);
+        assert!(!rt.borrow().stats.any());
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod power;
 
 pub use block_lanczos::{block_lanczos, BlockLanczosResult};
 pub use cg::{conjugate_gradient, CgConfig, CgResult};
-pub use krylov_schur::{krylov_schur_largest, EigResult, KrylovSchurConfig};
+pub use krylov_schur::{
+    krylov_schur_largest, krylov_schur_largest_resilient, EigResult, KrylovSchurConfig,
+};
 pub use lanczos::{lanczos, LanczosResult};
 pub use lobpcg::{lobpcg_largest, LobpcgConfig, LobpcgResult};
 pub use power::{pagerank, power_method, PageRankResult};

@@ -43,13 +43,18 @@ pub enum PhaseKind {
     Partition,
     /// One outer iteration (restart cycle) of an iterative solver.
     SolverIteration,
+    /// Degraded-mode communication injected by the chaos engine:
+    /// retransmissions, NACKs, duplicate copies, latency spikes, stalls.
+    Retransmit,
+    /// Checkpoint/restart traffic (snapshot writes, post-crash restores).
+    Recovery,
     /// Anything else.
     Other,
 }
 
 impl PhaseKind {
     /// Every kind, in `tid` order — the Chrome-trace thread layout.
-    pub const ALL: [PhaseKind; 12] = [
+    pub const ALL: [PhaseKind; 14] = [
         PhaseKind::Expand,
         PhaseKind::LocalCompute,
         PhaseKind::Fold,
@@ -61,6 +66,8 @@ impl PhaseKind {
         PhaseKind::Unpack,
         PhaseKind::Partition,
         PhaseKind::SolverIteration,
+        PhaseKind::Retransmit,
+        PhaseKind::Recovery,
         PhaseKind::Other,
     ];
 
@@ -78,6 +85,8 @@ impl PhaseKind {
             PhaseKind::Unpack => "Unpack",
             PhaseKind::Partition => "Partition",
             PhaseKind::SolverIteration => "SolverIteration",
+            PhaseKind::Retransmit => "Retransmit",
+            PhaseKind::Recovery => "Recovery",
             PhaseKind::Other => "Other",
         }
     }
@@ -166,9 +175,11 @@ mod tests {
     #[test]
     fn tids_are_stable_and_unique() {
         let tids: Vec<u32> = PhaseKind::ALL.iter().map(|k| k.tid()).collect();
-        assert_eq!(tids, (0..12).collect::<Vec<u32>>());
+        assert_eq!(tids, (0..14).collect::<Vec<u32>>());
         assert_eq!(PhaseKind::Expand.tid(), 0);
-        assert_eq!(PhaseKind::Other.tid(), 11);
+        assert_eq!(PhaseKind::Retransmit.tid(), 11);
+        assert_eq!(PhaseKind::Recovery.tid(), 12);
+        assert_eq!(PhaseKind::Other.tid(), 13);
     }
 
     #[test]

@@ -10,21 +10,52 @@
 //! its own disjoint output, and results are combined in index order.
 //!
 //! Thread counts come from one shared knob: the `SF2D_THREADS`
-//! environment variable (unset, empty, or unparsable values mean 1, i.e.
-//! fully sequential). Components that want a per-call override take a
+//! environment variable (unset means 1, i.e. fully sequential; set to
+//! anything that is not a positive integer is a loud error — see
+//! [`parse_threads`]). Components that want a per-call override take a
 //! `threads: usize` parameter where `0` means "resolve from the
 //! environment" — see [`resolve_threads`].
 
 use std::ops::Range;
 
-/// Reads the shared `SF2D_THREADS` environment variable; unset, empty,
-/// or unparsable values fall back to 1 (sequential).
+/// Parses a raw `SF2D_THREADS` value. `None` (unset) means 1
+/// (sequential); anything else must be a positive integer. Rejected
+/// forms get a message naming the offending value, so a typo like
+/// `SF2D_THREADS=O8` fails the run instead of silently degrading it to
+/// sequential execution.
+pub fn parse_threads(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else { return Ok(1) };
+    let v = raw.trim();
+    if v.is_empty() {
+        return Err(
+            "SF2D_THREADS is set but empty; unset it or set a positive integer (e.g. 4)".into(),
+        );
+    }
+    match v.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "SF2D_THREADS={raw:?}: thread count must be at least 1"
+        )),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!(
+            "SF2D_THREADS={raw:?} is not a positive integer ({e}); expected e.g. 1, 4, 8"
+        )),
+    }
+}
+
+/// Reads the shared `SF2D_THREADS` environment variable; unset falls
+/// back to 1 (sequential).
+///
+/// # Panics
+/// Panics with a clear message when the variable is set to anything
+/// that is not a positive integer (empty, `0`, negative, non-numeric,
+/// fractional) — silently running sequentially on a typo would make
+/// "parallel" benchmark numbers lies.
 pub fn threads_from_env() -> usize {
-    std::env::var("SF2D_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or(1)
+    let raw = std::env::var("SF2D_THREADS").ok();
+    match parse_threads(raw.as_deref()) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Resolves a per-call thread request: `0` defers to [`threads_from_env`],
@@ -285,6 +316,41 @@ mod tests {
         assert!(threads_from_env() >= 1);
         assert_eq!(resolve_threads(4), 4);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        // Tested through the pure parser, not by mutating the process
+        // environment (env mutation races with parallel tests).
+        assert_eq!(parse_threads(None), Ok(1));
+        assert_eq!(parse_threads(Some("1")), Ok(1));
+        assert_eq!(parse_threads(Some("8")), Ok(8));
+        assert_eq!(parse_threads(Some("  16  ")), Ok(16), "whitespace trimmed");
+    }
+
+    #[test]
+    fn parse_threads_rejects_each_garbage_form() {
+        // One assertion per rejected form, each with a message naming
+        // the offense.
+        let empty = parse_threads(Some("")).unwrap_err();
+        assert!(empty.contains("empty"), "{empty}");
+        let blank = parse_threads(Some("   ")).unwrap_err();
+        assert!(blank.contains("empty"), "{blank}");
+        let zero = parse_threads(Some("0")).unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+        let negative = parse_threads(Some("-4")).unwrap_err();
+        assert!(negative.contains("not a positive integer"), "{negative}");
+        let word = parse_threads(Some("many")).unwrap_err();
+        assert!(word.contains("\"many\""), "{word}");
+        let fractional = parse_threads(Some("1.5")).unwrap_err();
+        assert!(
+            fractional.contains("not a positive integer"),
+            "{fractional}"
+        );
+        let overflow = parse_threads(Some("99999999999999999999999")).unwrap_err();
+        assert!(overflow.contains("not a positive integer"), "{overflow}");
+        let typo = parse_threads(Some("O8")).unwrap_err();
+        assert!(typo.contains("\"O8\""), "{typo}");
     }
 
     #[test]

@@ -102,4 +102,67 @@ mod tests {
         assert_eq!(allreduce_cost(65, 1).msgs, 7);
         assert_eq!(broadcast_cost(3, 2).bytes, 2 * 16);
     }
+
+    #[test]
+    fn round_counts_are_exact_for_every_small_p() {
+        // ⌈log₂ p⌉ for every rank count up to 32, power of two or not —
+        // the eigensolver runs at p ∈ {4, 16, 64} but the formulas must
+        // hold for the odd shrink factors the harness flags accept.
+        for p in 2..=32usize {
+            let want = (p as f64).log2().ceil() as u64;
+            assert_eq!(allreduce_cost(p, 3).msgs, want, "p={p}");
+            assert_eq!(broadcast_cost(p, 3).msgs, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_still_pays_latency_but_moves_nothing() {
+        // A zero-double allreduce is a pure barrier: log₂p α terms, no
+        // bytes, no flops.
+        for p in [2usize, 3, 7, 64] {
+            let c = allreduce_cost(p, 0);
+            assert!(c.msgs > 0, "p={p}");
+            assert_eq!(c.bytes, 0, "p={p}");
+            assert_eq!(c.flops, 0, "p={p}");
+            let b = broadcast_cost(p, 0);
+            assert_eq!((b.bytes, b.flops), (0, 0), "p={p}");
+        }
+    }
+
+    #[test]
+    fn broadcast_never_charges_flops() {
+        for p in [2usize, 5, 1024] {
+            assert_eq!(broadcast_cost(p, 100).flops, 0, "p={p}");
+        }
+        // Allreduce does: one add per double per round.
+        assert_eq!(allreduce_cost(8, 100).flops, 3 * 100);
+    }
+
+    #[test]
+    fn cost_shapes_scale_linearly_in_payload() {
+        let one = allreduce_cost(16, 1);
+        let many = allreduce_cost(16, 50);
+        assert_eq!(many.bytes, 50 * one.bytes);
+        assert_eq!(many.flops, 50 * one.flops);
+        assert_eq!(many.msgs, one.msgs, "rounds are payload-independent");
+    }
+
+    #[test]
+    fn scalar_allreduce_sums_in_rank_order() {
+        // Floating-point addition is not associative; the executor fixes
+        // rank order, so the bits are reproducible run to run.
+        let partials = [1e16, 1.0, -1e16, 1.0];
+        let want = ((1e16_f64 + 1.0) - 1e16) + 1.0;
+        assert_eq!(allreduce_sum(&partials).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn vector_allreduce_edge_shapes() {
+        // No ranks at all, and ranks holding empty slices, both reduce
+        // to the empty vector instead of panicking.
+        assert_eq!(allreduce_sum_vec(&[]), Vec::<f64>::new());
+        assert_eq!(allreduce_sum_vec(&[vec![], vec![]]), Vec::<f64>::new());
+        // Single rank: identity.
+        assert_eq!(allreduce_sum_vec(&[vec![3.0, -1.0]]), vec![3.0, -1.0]);
+    }
 }

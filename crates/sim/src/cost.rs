@@ -67,6 +67,13 @@ pub enum Phase {
     VectorOp,
     /// Collectives (allreduce in dots/norms).
     Collective,
+    /// Degraded-mode communication: retransmissions, NACKs, duplicate
+    /// copies, latency spikes, and stall quanta injected by the chaos
+    /// engine's verify-retry path. Always zero in fault-free runs.
+    Retransmit,
+    /// Checkpoint/restart traffic: snapshot writes and post-crash state
+    /// restores. Always zero in fault-free runs.
+    Recovery,
 }
 
 impl From<Phase> for sf2d_obs::PhaseKind {
@@ -79,6 +86,8 @@ impl From<Phase> for sf2d_obs::PhaseKind {
             Phase::Sum => K::Sum,
             Phase::VectorOp => K::VectorOp,
             Phase::Collective => K::Collective,
+            Phase::Retransmit => K::Retransmit,
+            Phase::Recovery => K::Recovery,
         }
     }
 }

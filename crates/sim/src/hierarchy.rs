@@ -119,4 +119,56 @@ mod tests {
         let both = m.comm_time(0, &[(17, 10)], &[(33, 10)]);
         assert!((both - 2.0 * send_only).abs() < 1e-18);
     }
+
+    #[test]
+    fn no_traffic_costs_nothing() {
+        let m = NodeModel::cab16();
+        assert_eq!(m.comm_time(5, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_payload_still_pays_latency() {
+        // A zero-double message is a bare synchronization: α only, with
+        // the local/remote split still applied.
+        let m = NodeModel::cab16();
+        assert_eq!(m.comm_time(0, &[(1, 0)], &[]), m.alpha_local);
+        assert_eq!(m.comm_time(0, &[(17, 0)], &[]), m.alpha_remote);
+    }
+
+    #[test]
+    fn node_boundaries_at_non_power_of_two_sizes() {
+        // 24 ranks/node (Hopper): boundaries fall off the binary grid.
+        let m = NodeModel {
+            node_size: 24,
+            ..NodeModel::cab16()
+        };
+        assert!(m.same_node(0, 23));
+        assert!(!m.same_node(23, 24));
+        assert_eq!(m.node_of(47), 1);
+        assert_eq!(m.node_of(48), 2);
+    }
+
+    #[test]
+    fn zero_node_size_degrades_to_single_rank_nodes() {
+        // node_size 0 is nonsense config; the guard treats it as 1
+        // (every rank its own node) instead of dividing by zero.
+        let m = NodeModel {
+            node_size: 0,
+            ..NodeModel::cab16()
+        };
+        assert_eq!(m.node_of(7), 7);
+        assert!(!m.same_node(0, 1));
+        assert!(m.same_node(3, 3));
+    }
+
+    #[test]
+    fn mixed_traffic_sums_both_tiers_exactly() {
+        let m = NodeModel::cab16();
+        // Send 10 doubles on-node and 20 off-node, receive 5 off-node.
+        let t = m.comm_time(0, &[(3, 10), (20, 20)], &[(40, 5)]);
+        let want = (m.alpha_local + m.beta_local * 80.0)
+            + (m.alpha_remote + m.beta_remote * 160.0)
+            + (m.alpha_remote + m.beta_remote * 40.0);
+        assert!((t - want).abs() < 1e-18, "{t} vs {want}");
+    }
 }

@@ -26,17 +26,23 @@
 //! * [`runtime`] — message routing between logical ranks (sequential
 //!   deterministic, plus a crossbeam-threaded variant used to check that
 //!   results do not depend on the execution schedule);
-//! * [`collective`] — cost formulas and executors for allreduce/broadcast.
+//! * [`collective`] — cost formulas and executors for allreduce/broadcast;
+//! * [`fault`] — the chaos-aware verify-retry-timeout router, which
+//!   delivers the same values as the plain routers while billing injected
+//!   faults (drops, duplicates, bit-flips, delays, stalls) honestly.
 
 pub mod collective;
 pub mod cost;
+pub mod fault;
 pub mod hierarchy;
 pub mod machine;
 pub mod runtime;
 
+pub use sf2d_chaos;
 pub use sf2d_par;
 
 pub use cost::{CostLedger, Phase, PhaseCost};
+pub use fault::{bill_retransmit, route_chaos, route_chaos_threaded, ChaosRuntime};
 pub use hierarchy::NodeModel;
 pub use machine::Machine;
 pub use runtime::{par_ranks, route_sequential, route_threaded, RankMessage, RuntimeConfig};

@@ -9,13 +9,36 @@
 
 use crossbeam::channel;
 
-/// One message: payload of doubles from a source rank.
+/// One message: payload of doubles from a source rank, carried in a
+/// checksum envelope so in-flight corruption is detectable (the chaos
+/// router's verify-retry path depends on this; the plain routers simply
+/// carry it along).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankMessage {
     /// Sender.
     pub src: u32,
     /// Payload.
     pub data: Vec<f64>,
+    /// FNV-1a over the sender id and the payload bits, computed at
+    /// construction (see [`RankMessage::new`]).
+    pub checksum: u64,
+}
+
+impl RankMessage {
+    /// Seals `data` from `src` in a checksum envelope.
+    pub fn new(src: u32, data: Vec<f64>) -> RankMessage {
+        let checksum = sf2d_chaos::checksum(src, 0, &data);
+        RankMessage {
+            src,
+            data,
+            checksum,
+        }
+    }
+
+    /// True when the payload still matches the envelope checksum.
+    pub fn verify(&self) -> bool {
+        sf2d_chaos::checksum(self.src, 0, &self.data) == self.checksum
+    }
 }
 
 /// A message in flight, tagged (in debug builds) with its enqueue index
@@ -65,12 +88,25 @@ impl Default for RuntimeConfig {
 
 impl RuntimeConfig {
     /// Reads the shared `SF2D_THREADS` environment variable (the same
-    /// knob the parallel partitioner honors); unset, empty, or
-    /// unparsable values fall back to 1 (sequential).
+    /// knob the parallel partitioner honors); unset falls back to 1
+    /// (sequential).
+    ///
+    /// # Panics
+    /// Panics with a clear message when the variable is set to garbage
+    /// (empty, `0`, negative, non-numeric, fractional) — see
+    /// [`RuntimeConfig::parse_threads`]. Silently degrading to
+    /// sequential on a typo would falsify benchmark numbers.
     pub fn from_env() -> RuntimeConfig {
         RuntimeConfig {
             threads: sf2d_par::threads_from_env(),
         }
+    }
+
+    /// The pure validator behind [`RuntimeConfig::from_env`] (`None` =
+    /// variable unset). Exposed so tests can cover every rejected form
+    /// without racing on the process environment.
+    pub fn parse_threads(raw: Option<&str>) -> Result<usize, String> {
+        sf2d_par::parse_threads(raw)
     }
 }
 
@@ -92,10 +128,7 @@ pub fn route_sequential(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<R
         for (_seq, (dst, data)) in out.into_iter().enumerate() {
             assert!((dst as usize) < p, "rank {src} sent to invalid rank {dst}");
             recvs[dst as usize].push(Tagged {
-                msg: RankMessage {
-                    src: src as u32,
-                    data,
-                },
+                msg: RankMessage::new(src as u32, data),
                 #[cfg(debug_assertions)]
                 seq: _seq as u32,
             });
@@ -137,10 +170,7 @@ pub fn route_threaded(p: usize, sends: Vec<Vec<(u32, Vec<f64>)>>) -> Vec<Vec<Ran
             scope.spawn(move |_| {
                 for (_seq, ((_, data), tx)) in out.into_iter().zip(links).enumerate() {
                     tx.send(Tagged {
-                        msg: RankMessage {
-                            src: src as u32,
-                            data,
-                        },
+                        msg: RankMessage::new(src as u32, data),
                         #[cfg(debug_assertions)]
                         seq: _seq as u32,
                     })
@@ -189,28 +219,10 @@ mod tests {
     fn sequential_routing_delivers_sorted() {
         let recvs = route_sequential(3, demo_sends());
         assert_eq!(recvs[0].len(), 2);
-        assert_eq!(
-            recvs[0][0],
-            RankMessage {
-                src: 1,
-                data: vec![4.0]
-            }
-        );
-        assert_eq!(
-            recvs[0][1],
-            RankMessage {
-                src: 2,
-                data: vec![5.0]
-            }
-        );
+        assert_eq!(recvs[0][0], RankMessage::new(1, vec![4.0]));
+        assert_eq!(recvs[0][1], RankMessage::new(2, vec![5.0]));
         assert_eq!(recvs[1].len(), 2);
-        assert_eq!(
-            recvs[2],
-            vec![RankMessage {
-                src: 0,
-                data: vec![3.0]
-            }]
-        );
+        assert_eq!(recvs[2], vec![RankMessage::new(0, vec![3.0])]);
     }
 
     #[test]
@@ -306,9 +318,37 @@ mod tests {
     #[test]
     fn runtime_config_defaults_to_sequential() {
         assert_eq!(RuntimeConfig::default().threads, 1);
-        // from_env falls back to 1 on unset/garbage (the variable is not
+        // from_env falls back to 1 when the variable is unset (it is not
         // set in the test environment).
         assert!(RuntimeConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn runtime_config_rejects_each_garbage_threads_form() {
+        // The pure validator behind from_env, one case per rejected
+        // form. (from_env itself panics with the same messages; tested
+        // here without mutating the shared process environment.)
+        assert_eq!(RuntimeConfig::parse_threads(None), Ok(1));
+        assert_eq!(RuntimeConfig::parse_threads(Some("4")), Ok(4));
+        for garbage in ["", "   ", "0", "-1", "abc", "1.5", "1e3", "O8"] {
+            let err = RuntimeConfig::parse_threads(Some(garbage))
+                .expect_err(&format!("{garbage:?} must be rejected"));
+            assert!(err.contains("SF2D_THREADS"), "{garbage:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn checksum_envelope_seals_and_detects_tampering() {
+        let mut m = RankMessage::new(3, vec![1.0, -2.5, 0.0]);
+        assert!(m.verify());
+        // Any single-bit payload change breaks the envelope.
+        m.data[1] = f64::from_bits(m.data[1].to_bits() ^ 1);
+        assert!(!m.verify());
+        m.data[1] = -2.5;
+        assert!(m.verify());
+        // The sender id is part of the envelope too.
+        m.src = 4;
+        assert!(!m.verify());
     }
 
     #[test]
@@ -342,12 +382,6 @@ mod tests {
     #[test]
     fn self_sends_allowed() {
         let recvs = route_sequential(1, vec![vec![(0, vec![9.0])]]);
-        assert_eq!(
-            recvs[0],
-            vec![RankMessage {
-                src: 0,
-                data: vec![9.0]
-            }]
-        );
+        assert_eq!(recvs[0], vec![RankMessage::new(0, vec![9.0])]);
     }
 }

@@ -64,6 +64,8 @@ pub fn phase_slug(phase: Phase) -> &'static str {
         Phase::Sum => "sum",
         Phase::VectorOp => "vecop",
         Phase::Collective => "collective",
+        Phase::Retransmit => "retransmit",
+        Phase::Recovery => "recovery",
     }
 }
 

@@ -30,6 +30,7 @@ pub mod multivec;
 pub mod operator;
 pub mod plan;
 pub mod reference;
+pub mod resilient;
 pub mod spmv;
 
 pub use compiled::{CompiledSpmv, RankExpandPlan, RankFoldPlan, RankScratch, SpmvWorkspace};
@@ -40,4 +41,8 @@ pub use migrate::MigrationPlan;
 pub use multivec::{DistMultiVector, DistVector};
 pub use operator::{LinearOperator, NormalizedLaplacianOp, PlainSpmvOp, ShiftedOp};
 pub use plan::CommPlan;
+pub use resilient::{
+    gather_chaos, power_iterate, power_iterate_chaos, scatter_add_chaos, spmv_chaos, ChaosSpmvOp,
+    CHECKPOINT_EVERY,
+};
 pub use spmv::{gather_executions, spmm, spmm_with, spmv, spmv_with};
