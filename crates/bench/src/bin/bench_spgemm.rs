@@ -1,0 +1,134 @@
+//! SpGEMM workload tracker: runs the distributed `C = A·Aᵀ` kernel on an
+//! R-MAT graph under all six layouts of the SpMV study, prints a
+//! table3-style metrics row per layout, and writes `BENCH_spgemm.json`
+//! with the per-layout message / volume / flop / predicted-time columns
+//! plus a wall-clock median of the 2D-GP kernel for perf tracking.
+//!
+//! Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p sf2d-bench --bin bench_spgemm
+//! ```
+//!
+//! The file lands in the current directory (pass a path argument to put
+//! it elsewhere). `--scale N` shrinks/grows the R-MAT problem (default
+//! 10); `--p N` sets the rank count (default 64).
+
+use sf2d_core::experiment::{labeled_spgemm, spgemm_experiment, SpgemmRow};
+use sf2d_core::prelude::*;
+use sf2d_core::report::fmt_secs;
+use sf2d_core::sf2d_gen::{rmat, RmatConfig};
+
+const SAMPLES: usize = 5;
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    description: String,
+    matrix: String,
+    p: u64,
+    /// One row per layout: max messages per exchange, total volume
+    /// (doubles), per-rank max and total flops, predicted seconds.
+    rows: Vec<SpgemmRow>,
+    /// Median wall-clock ns for one compiled SpGEMM on the 2D-GP layout.
+    wall_ns_2d_gp: u64,
+    /// Predicted-time ratio 1D-GP / 2D-GP (the worked comparison in
+    /// EXPERIMENTS.md).
+    ratio_1d_gp_over_2d_gp: f64,
+}
+
+fn main() {
+    let mut out_path = "BENCH_spgemm.json".to_string();
+    let mut scale = 10u32;
+    let mut p = 64usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> &str {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value after {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                scale = need_value(i).parse().expect("numeric --scale");
+                i += 2;
+            }
+            "--p" => {
+                p = need_value(i).parse().expect("numeric --p");
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\nusage: bench_spgemm [OUT.json] --scale N --p N");
+                std::process::exit(2);
+            }
+            positional => {
+                out_path = positional.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    let a = rmat(&RmatConfig::graph500(scale), 7);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    eprintln!(
+        "bench_spgemm: C = A*A^T, {} rows, {} nnz, p={p}, six layouts",
+        a.nrows(),
+        a.nnz()
+    );
+
+    println!("| p | method | max msgs (exp/fold) | volume | max flops | time |");
+    println!("|---:|---|---:|---:|---:|---:|");
+    let mut rows = Vec::new();
+    for m in Method::spmv_set(false) {
+        let dist = builder.dist(m, p);
+        let row = labeled_spgemm(spgemm_experiment(&a, &dist, Machine::cab()), "rmat", m);
+        println!(
+            "| {p} | {} | {}/{} | {} | {} | {} |",
+            row.method,
+            row.expand_max_msgs,
+            row.fold_max_msgs,
+            row.total_volume,
+            row.max_flops,
+            fmt_secs(row.sim_time),
+        );
+        rows.push(row);
+    }
+
+    // Wall-clock the compiled kernel on the paper's layout of interest,
+    // workspace reused across samples as an iterative caller would.
+    let dist = builder.dist(Method::TwoDGp, p);
+    let dm = DistCsrMatrix::from_global(&a, &dist);
+    let b = a.transpose();
+    let mut ws = SpgemmWorkspace::with_threads(RuntimeConfig::from_env().threads);
+    let wall_ns_2d_gp = sf2d_bench::median_ns(SAMPLES, || {
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_with(&dm, &b, &mut ledger, &mut ws);
+        std::hint::black_box(c.nnz);
+    });
+
+    let time_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.method == name)
+            .map(|r| r.sim_time)
+            .unwrap_or(f64::NAN)
+    };
+    let ratio = time_of("1D-GP") / time_of("2D-GP");
+    let report = BenchReport {
+        description: format!(
+            "C = A*A^T on rmat graph500 scale {scale}, p = {p}: simulated per-layout \
+             traffic/work/time plus median wall-clock ns over {SAMPLES} samples for 2D-GP"
+        ),
+        matrix: format!("rmat graph500 scale {scale} ({} nnz)", a.nnz()),
+        p: p as u64,
+        rows,
+        wall_ns_2d_gp,
+        ratio_1d_gp_over_2d_gp: ratio,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_spgemm.json");
+    eprintln!(
+        "bench_spgemm: 1D-GP/2D-GP predicted-time ratio {ratio:.2}, \
+         2D-GP wall {wall_ns_2d_gp} ns -> {out_path}"
+    );
+}

@@ -6,6 +6,7 @@ use sf2d_eigen::{krylov_schur_largest, KrylovSchurConfig};
 use sf2d_graph::CsrMatrix;
 use sf2d_partition::{LayoutMetrics, NonzeroLayout};
 use sf2d_sim::{ChaosRuntime, CostLedger, Machine, Phase, RuntimeConfig};
+use sf2d_spgemm::{spgemm_with, SpgemmWorkspace};
 use sf2d_spmv::{
     power_iterate, power_iterate_chaos, spmv_with, DistCsrMatrix, DistVector,
     NormalizedLaplacianOp, SpmvWorkspace,
@@ -173,6 +174,75 @@ pub fn spmv_experiment_chaos<L: NonzeroLayout + ?Sized>(
     }
 }
 
+/// One row of the SpGEMM workload study: `C = A·Aᵀ` traffic, work, and
+/// predicted time for a (matrix, method, p) cell — the SpGEMM analogue of
+/// the Table 3 metrics detail.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpgemmRow {
+    /// Matrix name.
+    pub matrix: String,
+    /// Layout name (as in the paper's tables).
+    pub method: String,
+    /// Rank count.
+    pub p: usize,
+    /// Nonzeros in the product `C = A·Aᵀ`.
+    pub nnz_c: u64,
+    /// Max messages any rank sends in the expand (B-row fetch) exchange.
+    pub expand_max_msgs: u64,
+    /// Max messages any rank sends in the fold (partial-row) exchange.
+    pub fold_max_msgs: u64,
+    /// Total doubles moved by both exchanges (serialized-row payloads).
+    pub total_volume: u64,
+    /// Max per-rank flops (multiply + merge) — the load-balance number.
+    pub max_flops: u64,
+    /// Total flops across ranks (= 2 × product terms + merged entries).
+    pub total_flops: u64,
+    /// Simulated seconds for one SpGEMM under the α-β-γ model.
+    pub sim_time: f64,
+    /// Nonzero imbalance of A's layout (max/avg).
+    pub nnz_imbalance: f64,
+}
+
+/// Runs the SpGEMM workload for one layout: distributes `A`, forms
+/// `C = A·Aᵀ` through the distributed kernel (expand / multiply / fold /
+/// merge supersteps billed to the α-β-γ model), and reports per-rank max
+/// traffic and work plus the predicted time. The same compiled schedules
+/// that bound SpMV messages bound these exchanges, so 2D layouts keep
+/// per-rank sends ≤ pr + pc − 2 here too.
+pub fn spgemm_experiment<L: NonzeroLayout + ?Sized>(
+    a: &CsrMatrix,
+    dist: &L,
+    machine: Machine,
+) -> SpgemmRow {
+    let dm = DistCsrMatrix::from_global(a, dist);
+    let b = a.transpose();
+    let mut ledger = CostLedger::new(machine);
+    // Threads only change the simulator's wall clock, never the modeled
+    // costs or the result bits (the kernel is thread-count independent).
+    let mut ws = SpgemmWorkspace::with_threads(RuntimeConfig::from_env().threads);
+    let c = spgemm_with(&dm, &b, &mut ledger, &mut ws);
+    let per_rank_flops: Vec<u64> = c
+        .multiply_flops
+        .iter()
+        .zip(&c.merge_flops)
+        .map(|(m, g)| m + g)
+        .collect();
+    let m = LayoutMetrics::compute(a, dist);
+    SpgemmRow {
+        matrix: String::new(),
+        method: String::new(),
+        p: dist.nprocs(),
+        nnz_c: c.nnz,
+        expand_max_msgs: c.expand.max_send_msgs(),
+        fold_max_msgs: c.fold.max_send_msgs(),
+        total_volume: c.expand.total_volume() + c.fold.total_volume(),
+        max_flops: per_rank_flops.iter().copied().max().unwrap_or(0),
+        total_flops: per_rank_flops.iter().sum(),
+        sim_time: ledger.total,
+        nnz_imbalance: m.nnz_imbalance(),
+    }
+}
+
 /// One row of the paper's Table 4 / 5 family: eigensolver timing.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct EigenRow {
@@ -269,6 +339,13 @@ pub fn labeled_chaos(mut row: ChaosSpmvRow, matrix: &str, method: Method) -> Cha
     row
 }
 
+/// Convenience: label a SpGEMM row.
+pub fn labeled_spgemm(mut row: SpgemmRow, matrix: &str, method: Method) -> SpgemmRow {
+    row.matrix = matrix.to_string();
+    row.method = method.name().to_string();
+    row
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +402,26 @@ mod tests {
         assert!(row.retransmit_time > 0.0);
         assert!(row.sim_time > row.gold_time);
         assert!(row.drops + row.duplicates + row.bit_flips + row.delays > 0);
+    }
+
+    #[test]
+    fn spgemm_experiment_matches_oracle_and_respects_2d_bound() {
+        let a = rmat(&RmatConfig::graph500(8), 4);
+        let mut b = LayoutBuilder::new(&a, 0);
+        let d1 = b.dist(Method::OneDBlock, 16);
+        let d2 = b.dist(Method::TwoDBlock, 16);
+        let r1 = spgemm_experiment(&a, &d1, Machine::cab());
+        let r2 = spgemm_experiment(&a, &d2, Machine::cab());
+        let want = sf2d_graph::spgemm(&a, &a.transpose()).nnz() as u64;
+        assert_eq!(r1.nnz_c, want);
+        assert_eq!(r2.nnz_c, want);
+        // Each exchange is one routed superstep over the SpMV plans, so the
+        // per-exchange 2D send bound is pr + pc - 2 = 6 at p = 16.
+        assert!(r2.expand_max_msgs + r2.fold_max_msgs <= 12);
+        assert!(r2.expand_max_msgs <= 6 && r2.fold_max_msgs <= 6);
+        assert_eq!(r1.fold_max_msgs, 0, "1D layouts fold nothing");
+        assert!(r1.sim_time > 0.0 && r2.sim_time > 0.0);
+        assert!(r1.total_flops > 0 && r2.total_flops > 0);
     }
 
     #[test]

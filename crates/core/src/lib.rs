@@ -36,17 +36,20 @@ pub use sf2d_graph;
 pub use sf2d_obs;
 pub use sf2d_partition;
 pub use sf2d_sim;
+pub use sf2d_spgemm;
 pub use sf2d_spmv;
 
 pub use experiment::{
-    eigen_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow, EigenRow, SpmvRow,
+    eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow,
+    EigenRow, SpgemmRow, SpmvRow,
 };
 pub use layout::{LayoutBuilder, Method};
 
 /// Everything most programs need.
 pub mod prelude {
     pub use crate::experiment::{
-        eigen_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow, EigenRow, SpmvRow,
+        eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow,
+        EigenRow, SpgemmRow, SpmvRow,
     };
     pub use crate::layout::{LayoutBuilder, Method};
     pub use sf2d_eigen::{
@@ -61,6 +64,7 @@ pub mod prelude {
     };
     pub use sf2d_partition::{grid_shape, LayoutMetrics, MatrixDist, NonzeroLayout};
     pub use sf2d_sim::{ChaosRuntime, CostLedger, Machine, RuntimeConfig};
+    pub use sf2d_spgemm::{spgemm_chaos, spgemm_dist, spgemm_with, DistSpgemm, SpgemmWorkspace};
     pub use sf2d_spmv::{
         power_iterate, power_iterate_chaos, spmm, spmm_with, spmv, spmv_chaos, spmv_with,
         ChaosSpmvOp, DistCsrMatrix, DistMultiVector, DistVector, LinearOperator, MigrationPlan,

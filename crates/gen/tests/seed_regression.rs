@@ -1,0 +1,136 @@
+//! Generator determinism and distribution-shape regression tests.
+//!
+//! The experiment suite — and now the SpGEMM differential battery — leans
+//! on two properties of the generators:
+//!
+//! 1. **Seed determinism**: the same (config, seed) must produce a
+//!    byte-identical matrix on every run and platform, because golden
+//!    results, differential oracles, and the partition caches all key off
+//!    it. The vendored ChaCha8 RNG is bit-compatible with the upstream
+//!    crate, so these assertions also pin that shim.
+//! 2. **Distribution shape**: the scale-free generators must actually
+//!    produce skewed degree sequences (that skew is *why* 1D layouts
+//!    blow up and the paper's 2D layouts win), while ER must not.
+
+use sf2d_gen::{chung_lu, erdos_renyi, powerlaw_degrees, rmat, RmatConfig};
+use sf2d_graph::CsrMatrix;
+
+/// Byte-level fingerprint of a CSR matrix: every structural array plus
+/// the value bits.
+fn fingerprint(a: &CsrMatrix) -> (Vec<usize>, Vec<u32>, Vec<u64>) {
+    (
+        a.rowptr().to_vec(),
+        a.colidx().to_vec(),
+        a.values().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn degrees(a: &CsrMatrix) -> Vec<usize> {
+    (0..a.nrows()).map(|i| a.row_nnz(i)).collect()
+}
+
+/// Max/mean degree ratio — the crude skew signal that separates
+/// scale-free graphs from ER at these sizes.
+fn skew(a: &CsrMatrix) -> f64 {
+    let d = degrees(a);
+    let max = *d.iter().max().unwrap() as f64;
+    let mean = d.iter().sum::<usize>() as f64 / d.len() as f64;
+    max / mean
+}
+
+#[test]
+fn same_seed_is_byte_identical_for_every_generator() {
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let r1 = rmat(&RmatConfig::graph500(8), seed);
+        let r2 = rmat(&RmatConfig::graph500(8), seed);
+        assert_eq!(fingerprint(&r1), fingerprint(&r2), "rmat seed {seed}");
+
+        let degs = powerlaw_degrees(200, 2.3, 2, 50, seed);
+        assert_eq!(
+            degs,
+            powerlaw_degrees(200, 2.3, 2, 50, seed),
+            "powerlaw_degrees seed {seed}"
+        );
+        let c1 = chung_lu(&degs, 600, 0, 0.0, seed);
+        let c2 = chung_lu(&degs, 600, 0, 0.0, seed);
+        assert_eq!(fingerprint(&c1), fingerprint(&c2), "chung_lu seed {seed}");
+
+        let e1 = erdos_renyi(200, 700, seed);
+        let e2 = erdos_renyi(200, 700, seed);
+        assert_eq!(fingerprint(&e1), fingerprint(&e2), "er seed {seed}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(
+        fingerprint(&rmat(&RmatConfig::graph500(8), 1)),
+        fingerprint(&rmat(&RmatConfig::graph500(8), 2)),
+        "rmat must depend on its seed"
+    );
+    let degs = powerlaw_degrees(200, 2.3, 2, 50, 7);
+    assert_ne!(
+        fingerprint(&chung_lu(&degs, 600, 0, 0.0, 1)),
+        fingerprint(&chung_lu(&degs, 600, 0, 0.0, 2)),
+        "chung_lu must depend on its seed"
+    );
+    assert_ne!(
+        fingerprint(&erdos_renyi(200, 700, 1)),
+        fingerprint(&erdos_renyi(200, 700, 2)),
+        "er must depend on its seed"
+    );
+}
+
+#[test]
+fn powerlaw_degrees_have_the_requested_shape() {
+    let n = 2000;
+    let (dmin, dmax) = (2usize, 100usize);
+    let d = powerlaw_degrees(n, 2.1, dmin, dmax, 9);
+    assert_eq!(d.len(), n);
+    assert!(d.iter().all(|&x| (dmin..=dmax).contains(&x)));
+    // Heavy tail: a power law with gamma ~2 concentrates mass at dmin but
+    // still produces high-degree vertices, and steeper gamma means a
+    // lighter tail (smaller mean).
+    assert!(d.iter().any(|&x| x >= dmax / 2), "tail never sampled");
+    let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+    let at_floor = d.iter().filter(|&&x| x == dmin).count();
+    assert!(
+        at_floor * 3 > n,
+        "gamma 2.1 should concentrate vertices at dmin; got {at_floor}/{n}"
+    );
+    let steep = powerlaw_degrees(n, 3.0, dmin, dmax, 9);
+    assert!(
+        mean(&steep) < mean(&d),
+        "steeper gamma must lighten the tail: {} !< {}",
+        mean(&steep),
+        mean(&d)
+    );
+}
+
+#[test]
+fn scale_free_generators_are_skewed_and_er_is_not() {
+    let r = rmat(&RmatConfig::graph500(10), 3);
+    let degs = powerlaw_degrees(1024, 2.2, 2, 120, 3);
+    let c = chung_lu(&degs, 4096, 0, 0.0, 3);
+    let e = erdos_renyi(1024, 4096, 3);
+
+    assert!(skew(&r) > 4.0, "rmat skew {} too flat", skew(&r));
+    assert!(skew(&c) > 4.0, "chung_lu skew {} too flat", skew(&c));
+    assert!(skew(&e) < 4.0, "er skew {} too peaked", skew(&e));
+
+    // Chung–Lu realized degrees should track the prescribed weights:
+    // the max-weight vertex must land well above the mean.
+    let realized = degrees(&c);
+    let hub = degs
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &w)| w)
+        .map(|(i, _)| i)
+        .unwrap();
+    let mean = realized.iter().sum::<usize>() as f64 / realized.len() as f64;
+    assert!(
+        realized[hub] as f64 > 2.0 * mean,
+        "hub degree {} not above 2x mean {mean}",
+        realized[hub]
+    );
+}

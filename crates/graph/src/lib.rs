@@ -44,6 +44,7 @@ pub mod laplacian;
 pub mod ops;
 pub mod permute;
 pub mod reorder;
+pub mod spgemm;
 pub mod stats;
 
 pub use coo::CooMatrix;
@@ -52,6 +53,7 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use laplacian::{adjacency_to_pagerank, combinatorial_laplacian, normalized_laplacian};
 pub use permute::Permutation;
+pub use spgemm::{spgemm, spgemm_flops, spgemm_numeric, spgemm_symbolic};
 pub use stats::DegreeStats;
 
 /// Vertex / row / column index type.

@@ -1,0 +1,241 @@
+//! Serial sparse matrix-matrix multiplication (SpGEMM) — the correctness
+//! oracle for the distributed kernel in `sf2d-spgemm`.
+//!
+//! The algorithm is row-wise Gustavson with the classic symbolic/numeric
+//! split: [`spgemm_symbolic`] computes the pattern of `C = A·B` (row
+//! pointers plus sorted column indices), [`spgemm_numeric`] fills the
+//! values for a known pattern, and [`spgemm`] runs both. Both passes use a
+//! sparse accumulator (SPA) over the column space of `B`, stamped by a
+//! generation counter so it never needs clearing between rows.
+//!
+//! Determinism contract: for each output row `i` the accumulation visits
+//! `A`'s row-`i` entries in ascending column order `j`, and within each
+//! `j` walks `B`'s row `j` in ascending column order — the exact per-entry
+//! order the distributed kernel reproduces per rank, which is what makes
+//! the differential suite's bitwise comparison meaningful.
+
+use crate::{CsrMatrix, Val, Vtx};
+
+/// The sparsity pattern of `C = A·B`: CSR row pointers and sorted column
+/// indices, no values.
+///
+/// # Panics
+/// Panics if `a.ncols() != b.nrows()`.
+pub fn spgemm_symbolic(a: &CsrMatrix, b: &CsrMatrix) -> (Vec<usize>, Vec<Vtx>) {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "spgemm: inner dimensions disagree ({} vs {})",
+        a.ncols(),
+        b.nrows()
+    );
+    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
+    rowptr.push(0usize);
+    let mut colidx: Vec<Vtx> = Vec::new();
+
+    // SPA over B's column space: `stamp[k] == gen` marks column k as seen
+    // in the current row, so resetting between rows is one integer bump.
+    let mut stamp = vec![0u32; b.ncols()];
+    let mut gen = 0u32;
+    let mut touched: Vec<Vtx> = Vec::new();
+
+    for i in 0..a.nrows() {
+        gen += 1;
+        touched.clear();
+        let (acols, _) = a.row(i);
+        for &j in acols {
+            let (bcols, _) = b.row(j as usize);
+            for &k in bcols {
+                if stamp[k as usize] != gen {
+                    stamp[k as usize] = gen;
+                    touched.push(k);
+                }
+            }
+        }
+        touched.sort_unstable();
+        colidx.extend_from_slice(&touched);
+        rowptr.push(colidx.len());
+    }
+    (rowptr, colidx)
+}
+
+/// The values of `C = A·B` for a pattern previously computed by
+/// [`spgemm_symbolic`] on the same pair. Values come out aligned with
+/// `colidx` (row-major, sorted within each row).
+///
+/// # Panics
+/// Panics if the pattern does not cover some product term — i.e. it was
+/// not produced by [`spgemm_symbolic`] on this `(a, b)`.
+pub fn spgemm_numeric(a: &CsrMatrix, b: &CsrMatrix, rowptr: &[usize], colidx: &[Vtx]) -> Vec<Val> {
+    assert_eq!(a.ncols(), b.nrows(), "spgemm: inner dimensions disagree");
+    assert_eq!(rowptr.len(), a.nrows() + 1, "pattern rowptr length");
+    let mut values = vec![0.0; colidx.len()];
+
+    // Dense scatter positions for the current row: `pos[k]` is the slot of
+    // column k within the row's pattern, valid when `stamp[k] == gen`.
+    let mut pos = vec![0usize; b.ncols()];
+    let mut stamp = vec![0u32; b.ncols()];
+    let mut gen = 0u32;
+
+    for i in 0..a.nrows() {
+        gen += 1;
+        let (lo, hi) = (rowptr[i], rowptr[i + 1]);
+        for (slot, &k) in colidx[lo..hi].iter().enumerate() {
+            pos[k as usize] = lo + slot;
+            stamp[k as usize] = gen;
+        }
+        let (acols, avals) = a.row(i);
+        for (&j, &aij) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(j as usize);
+            for (&k, &bjk) in bcols.iter().zip(bvals) {
+                assert_eq!(stamp[k as usize], gen, "pattern misses ({i}, {k})");
+                values[pos[k as usize]] += aij * bjk;
+            }
+        }
+    }
+    values
+}
+
+/// Serial Gustavson SpGEMM `C = A·B` — symbolic then numeric pass.
+///
+/// # Panics
+/// Panics if `a.ncols() != b.nrows()`.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    let (rowptr, colidx) = spgemm_symbolic(a, b);
+    let values = spgemm_numeric(a, b, &rowptr, &colidx);
+    CsrMatrix::from_parts(a.nrows(), b.ncols(), rowptr, colidx, values)
+        .expect("spgemm output satisfies CSR invariants by construction")
+}
+
+/// Multiply-add flops of `C = A·B` under the simulator's 2-flops-per-term
+/// accounting: `2 · Σ_{(i,j) ∈ A} nnz(B_j)` — the same number the
+/// distributed kernel bills to [`Phase::Multiply`], summed over ranks.
+///
+/// [`Phase::Multiply`]: ../../sf2d_sim/cost/enum.Phase.html
+pub fn spgemm_flops(a: &CsrMatrix, b: &CsrMatrix) -> u64 {
+    assert_eq!(a.ncols(), b.nrows(), "spgemm: inner dimensions disagree");
+    (0..a.nrows())
+        .map(|i| {
+            let (acols, _) = a.row(i);
+            acols
+                .iter()
+                .map(|&j| 2 * b.row_nnz(j as usize) as u64)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn dense_product(a: &CsrMatrix, b: &CsrMatrix) -> Vec<Vec<Val>> {
+        let mut c = vec![vec![0.0; b.ncols()]; a.nrows()];
+        for (i, j, v) in a.iter() {
+            for (jj, k, w) in b.iter() {
+                if j == jj {
+                    c[i as usize][k as usize] += v * w;
+                }
+            }
+        }
+        c
+    }
+
+    fn small(nrows: usize, ncols: usize, entries: &[(u32, u32, f64)]) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, entries.len());
+        for &(i, j, v) in entries {
+            coo.push(i, j, v);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn matches_dense_product_on_rectangular_matrices() {
+        let a = small(3, 4, &[(0, 0, 2.0), (0, 3, -1.0), (1, 1, 4.0), (2, 2, 0.5)]);
+        let b = small(
+            4,
+            2,
+            &[
+                (0, 0, 1.0),
+                (0, 1, 3.0),
+                (1, 0, -2.0),
+                (3, 1, 5.0),
+                (2, 0, 7.0),
+            ],
+        );
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 2);
+        let want = dense_product(&a, &b);
+        for i in 0..3 {
+            for k in 0..2u32 {
+                assert_eq!(c.get(i, k).unwrap_or(0.0), want[i][k as usize], "({i},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = small(4, 4, &[(0, 1, 1.5), (1, 3, -2.0), (3, 0, 4.0), (2, 2, 9.0)]);
+        let i4 = CsrMatrix::identity(4);
+        assert_eq!(spgemm(&a, &i4), a);
+        assert_eq!(spgemm(&i4, &a), a);
+    }
+
+    #[test]
+    fn symbolic_pattern_is_sorted_and_matches_numeric_length() {
+        let a = small(3, 3, &[(0, 0, 1.0), (0, 2, 1.0), (1, 1, 1.0), (2, 0, 1.0)]);
+        let b = small(3, 3, &[(0, 1, 1.0), (2, 1, 1.0), (2, 2, 1.0), (1, 0, 1.0)]);
+        let (rowptr, colidx) = spgemm_symbolic(&a, &b);
+        assert_eq!(rowptr.len(), 4);
+        assert_eq!(*rowptr.last().unwrap(), colidx.len());
+        for i in 0..3 {
+            let row = &colidx[rowptr[i]..rowptr[i + 1]];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+        }
+        // Row 0 hits columns of B-rows 0 and 2: {1} ∪ {1, 2} = {1, 2}
+        // (the overlap on column 1 must collapse in the pattern).
+        assert_eq!(&colidx[rowptr[0]..rowptr[1]], &[1, 2]);
+        let values = spgemm_numeric(&a, &b, &rowptr, &colidx);
+        assert_eq!(values.len(), colidx.len());
+        assert_eq!(values[0], 2.0, "overlapping terms must sum");
+    }
+
+    #[test]
+    fn transpose_identity_holds() {
+        let a = small(3, 4, &[(0, 1, 2.0), (1, 0, -1.0), (2, 3, 3.0), (1, 2, 4.0)]);
+        let b = small(4, 3, &[(0, 0, 1.0), (1, 2, -2.0), (3, 1, 5.0), (2, 2, 6.0)]);
+        let lhs = spgemm(&a, &b).transpose();
+        let rhs = spgemm(&b.transpose(), &a.transpose());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn empty_rows_and_columns_survive() {
+        // Row 1 of A empty, column 0 of B untouched.
+        let a = small(3, 3, &[(0, 2, 1.0), (2, 2, 2.0)]);
+        let b = small(3, 2, &[(2, 1, 3.0)]);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.row_nnz(1), 0);
+        assert_eq!(c.get(0, 1), Some(3.0));
+        assert_eq!(c.get(2, 1), Some(6.0));
+    }
+
+    #[test]
+    fn flops_count_every_product_term() {
+        let a = small(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)]);
+        let b = small(2, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        // Row 0: terms via j=0 (1 nnz) + j=1 (2 nnz); row 1: j=1 (2 nnz).
+        assert_eq!(spgemm_flops(&a, &b), 2 * (1 + 2 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn dimension_mismatch_is_rejected() {
+        let a = small(2, 3, &[(0, 0, 1.0)]);
+        let b = small(2, 2, &[(0, 0, 1.0)]);
+        spgemm(&a, &b);
+    }
+}

@@ -48,13 +48,17 @@ pub enum PhaseKind {
     Retransmit,
     /// Checkpoint/restart traffic (snapshot writes, post-crash restores).
     Recovery,
+    /// Local Gustavson multiply in SpGEMM (`C_partial = A_loc · B_rows`).
+    Multiply,
+    /// Merging partial SpGEMM output rows received during the fold.
+    Merge,
     /// Anything else.
     Other,
 }
 
 impl PhaseKind {
     /// Every kind, in `tid` order — the Chrome-trace thread layout.
-    pub const ALL: [PhaseKind; 14] = [
+    pub const ALL: [PhaseKind; 16] = [
         PhaseKind::Expand,
         PhaseKind::LocalCompute,
         PhaseKind::Fold,
@@ -68,6 +72,8 @@ impl PhaseKind {
         PhaseKind::SolverIteration,
         PhaseKind::Retransmit,
         PhaseKind::Recovery,
+        PhaseKind::Multiply,
+        PhaseKind::Merge,
         PhaseKind::Other,
     ];
 
@@ -87,6 +93,8 @@ impl PhaseKind {
             PhaseKind::SolverIteration => "SolverIteration",
             PhaseKind::Retransmit => "Retransmit",
             PhaseKind::Recovery => "Recovery",
+            PhaseKind::Multiply => "Multiply",
+            PhaseKind::Merge => "Merge",
             PhaseKind::Other => "Other",
         }
     }
@@ -175,11 +183,13 @@ mod tests {
     #[test]
     fn tids_are_stable_and_unique() {
         let tids: Vec<u32> = PhaseKind::ALL.iter().map(|k| k.tid()).collect();
-        assert_eq!(tids, (0..14).collect::<Vec<u32>>());
+        assert_eq!(tids, (0..16).collect::<Vec<u32>>());
         assert_eq!(PhaseKind::Expand.tid(), 0);
         assert_eq!(PhaseKind::Retransmit.tid(), 11);
         assert_eq!(PhaseKind::Recovery.tid(), 12);
-        assert_eq!(PhaseKind::Other.tid(), 13);
+        assert_eq!(PhaseKind::Multiply.tid(), 13);
+        assert_eq!(PhaseKind::Merge.tid(), 14);
+        assert_eq!(PhaseKind::Other.tid(), 15);
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub fn allreduce_sum_vec(partials: &[Vec<f64>]) -> Vec<f64> {
     out
 }
 
+/// Executes an allreduce-sum over per-rank integer counters (e.g. the
+/// global `nnz(C)` reduction closing a distributed SpGEMM). Integer
+/// addition is associative, so this is deterministic by construction; the
+/// cost to bill is still [`allreduce_cost`]`(p, 1)`.
+pub fn allreduce_sum_u64(partials: &[u64]) -> u64 {
+    partials.iter().sum()
+}
+
 /// Per-rank cost of an allreduce of `n_doubles` values over `p` ranks
 /// (recursive doubling: log₂p rounds of one message + local add).
 pub fn allreduce_cost(p: usize, n_doubles: usize) -> PhaseCost {

@@ -59,8 +59,15 @@ pub enum Phase {
     Expand,
     /// Local `y += A_loc x` compute.
     LocalCompute,
+    /// Local Gustavson multiply in SpGEMM (`C_partial = A_loc · B_rows`).
+    /// Separate from [`Phase::LocalCompute`] so [`CostLedger::spmv_time`]
+    /// stays an SpMV-only figure.
+    Multiply,
     /// Fold: ship partial `y_i` to the row owner.
     Fold,
+    /// Merging partial SpGEMM output rows received during the fold (the
+    /// SpGEMM analogue of [`Phase::Sum`]).
+    Merge,
     /// Summing received partials.
     Sum,
     /// Dense vector work (axpy, dot local parts, orthogonalization).
@@ -82,7 +89,9 @@ impl From<Phase> for sf2d_obs::PhaseKind {
         match p {
             Phase::Expand => K::Expand,
             Phase::LocalCompute => K::LocalCompute,
+            Phase::Multiply => K::Multiply,
             Phase::Fold => K::Fold,
+            Phase::Merge => K::Merge,
             Phase::Sum => K::Sum,
             Phase::VectorOp => K::VectorOp,
             Phase::Collective => K::Collective,

@@ -1,0 +1,281 @@
+//! Chaos-routed SpGEMM: [`spgemm_chaos`] is [`spgemm_with`] with both
+//! exchanges also pushed through a [`ChaosRuntime`] wire. The runtime's
+//! verify-retry protocol heals every injected fault, so the delivered
+//! payloads are bit-identical to the resident fault-free buffers — the
+//! kernel asserts exactly that, message by message — and the output C is
+//! bit-identical to a plain run. Only the ledger can differ, by the
+//! [`Phase::Retransmit`](sf2d_sim::cost::Phase::Retransmit) supersteps
+//! that itemize the extra traffic; at rate 0 those are skipped and the
+//! run is byte-identical (values *and* ledger) to [`spgemm_with`].
+//!
+//! Chaos superstep indices (for [`FaultScript`](sf2d_sim::fault)
+//! targeting): the expand exchange is routing step 0, the fold exchange
+//! is step 1.
+
+use sf2d_graph::CsrMatrix;
+use sf2d_obs::{trace_span, PhaseKind};
+use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
+use sf2d_sim::fault::{bill_retransmit, ChaosRuntime};
+use sf2d_sim::runtime::par_ranks;
+use sf2d_spmv::compiled::CompiledSpmv;
+use sf2d_spmv::distmat::DistCsrMatrix;
+
+use crate::kernel::{
+    decode_expand, exchange_stats, finish, gustavson, merge_rank, pack_expand, pack_fold,
+    DistSpgemm,
+};
+use crate::workspace::SpgemmWorkspace;
+
+/// Clones one exchange's resident payload buffers into wire messages,
+/// `(dst, payload)` in the compiled pack order.
+fn wire_sends(
+    bufs: &[Vec<Vec<f64>>],
+    dsts: impl Fn(usize) -> Vec<u32>,
+) -> Vec<Vec<(u32, Vec<f64>)>> {
+    bufs.iter()
+        .enumerate()
+        .map(|(r, out)| {
+            dsts(r)
+                .into_iter()
+                .zip(out.iter().cloned())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Routes one exchange through the chaos wire and checks the healed
+/// deliveries against the resident buffers the plain kernel reads:
+/// same sources, same order, same bits.
+fn route_and_verify(
+    rt: &mut ChaosRuntime,
+    ledger: &mut CostLedger,
+    p: usize,
+    bufs: &[Vec<Vec<f64>>],
+    sends: Vec<Vec<(u32, Vec<f64>)>>,
+    unpacks: &[&[(u32, u32, Vec<u32>)]],
+    what: &str,
+) {
+    let (delivered, extra) = rt.route(p, sends);
+    bill_retransmit(ledger, &extra);
+    for (r, inbox) in delivered.iter().enumerate() {
+        assert_eq!(
+            inbox.len(),
+            unpacks[r].len(),
+            "{what}: wrong message count at rank {r}"
+        );
+        for (msg, (src, slot, _)) in inbox.iter().zip(unpacks[r].iter()) {
+            assert_eq!(msg.src, *src, "{what}: source mismatch at rank {r}");
+            let resident = &bufs[*src as usize][*slot as usize];
+            assert_eq!(
+                msg.data.len(),
+                resident.len(),
+                "{what}: short message at rank {r}"
+            );
+            let same_bits = msg
+                .data
+                .iter()
+                .zip(resident.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "{what}: corrupted delivery at rank {r}");
+        }
+    }
+}
+
+fn unpack_refs(plans: &CompiledSpmv, fold: bool) -> Vec<&[(u32, u32, Vec<u32>)]> {
+    if fold {
+        plans.fold.iter().map(|pl| pl.unpack.as_slice()).collect()
+    } else {
+        plans.expand.iter().map(|pl| pl.unpack.as_slice()).collect()
+    }
+}
+
+/// Distributed `C = A·B` under fault injection.
+///
+/// Runs the plain kernel's phases on an internal workspace sized to
+/// `rt.threads`, with each exchange *also* routed through the chaos
+/// wire: the billed Expand/Multiply/Fold/Merge/Collective supersteps are
+/// identical to [`spgemm_with`]'s, and each routed exchange appends a
+/// `Retransmit` superstep when (and only when) faults cost something.
+pub fn spgemm_chaos(
+    a: &DistCsrMatrix,
+    b: &CsrMatrix,
+    ledger: &mut CostLedger,
+    rt: &mut ChaosRuntime,
+) -> DistSpgemm {
+    assert_eq!(a.n, b.nrows(), "spgemm_chaos: dimension mismatch");
+    let p = a.nprocs();
+    let mut ws = SpgemmWorkspace::with_threads(rt.threads);
+    ws.ensure(&a.blocks, &a.compiled, b.ncols());
+    let threads = ws.threads;
+    let compiled = &a.compiled;
+    let vmap = &a.vmap;
+
+    // Phase 1 — expand, packed into the resident buffers exactly like the
+    // plain kernel, then mirrored onto the misbehaving wire.
+    trace_span!(PhaseKind::Pack, "spgemm-chaos:expand-pack", {
+        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
+            pack_expand(bufs, &compiled.expand[r], vmap.gids(r), b);
+        })
+    });
+    let expand_unpacks = unpack_refs(compiled, false);
+    let expand = exchange_stats(&ws.expand_bufs, &expand_unpacks);
+    ledger.superstep(Phase::Expand, &expand.costs);
+    let sends = wire_sends(&ws.expand_bufs, |r| {
+        compiled.expand[r].pack.iter().map(|(d, _)| *d).collect()
+    });
+    route_and_verify(
+        rt,
+        ledger,
+        p,
+        &ws.expand_bufs,
+        sends,
+        &expand_unpacks,
+        "spgemm expand",
+    );
+
+    // Phase 2 — multiply (faults never reach this: the protocol hands
+    // over verified bits only, as asserted above).
+    let ebufs = &ws.expand_bufs;
+    trace_span!(PhaseKind::Multiply, "spgemm-chaos:unpack-multiply", {
+        par_ranks(threads, &mut ws.ranks, |r, scratch| {
+            decode_expand(scratch, &a.blocks[r], &compiled.expand[r], ebufs);
+            scratch.terms = gustavson(scratch, &a.blocks[r], b);
+        })
+    });
+    let multiply_costs: Vec<PhaseCost> = ws
+        .ranks
+        .iter()
+        .map(|s| PhaseCost::compute(2 * s.terms))
+        .collect();
+    ledger.superstep(Phase::Multiply, &multiply_costs);
+
+    // Phase 3 — fold, same resident-buffer + wire mirroring.
+    let ranks = &ws.ranks;
+    trace_span!(PhaseKind::Pack, "spgemm-chaos:fold-pack", {
+        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
+            pack_fold(bufs, &compiled.fold[r], &ranks[r]);
+        })
+    });
+    let fold_unpacks = unpack_refs(compiled, true);
+    let fold = exchange_stats(&ws.fold_bufs, &fold_unpacks);
+    ledger.superstep(Phase::Fold, &fold.costs);
+    let sends = wire_sends(&ws.fold_bufs, |r| {
+        compiled.fold[r].pack.iter().map(|(d, _)| *d).collect()
+    });
+    route_and_verify(
+        rt,
+        ledger,
+        p,
+        &ws.fold_bufs,
+        sends,
+        &fold_unpacks,
+        "spgemm fold",
+    );
+
+    // Phase 4 — merge at the owners.
+    let fbufs = &ws.fold_bufs;
+    trace_span!(PhaseKind::Merge, "spgemm-chaos:merge", {
+        par_ranks(threads, &mut ws.ranks, |r, scratch| {
+            scratch.merged = merge_rank(scratch, vmap.nlocal(r), &compiled.fold[r], fbufs);
+        })
+    });
+    let merge_costs: Vec<PhaseCost> = ws
+        .ranks
+        .iter()
+        .map(|s| PhaseCost::compute(s.merged))
+        .collect();
+    ledger.superstep(Phase::Merge, &merge_costs);
+
+    finish(a, b.ncols(), &ws, ledger, expand, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::spgemm_dist;
+    use sf2d_gen::{rmat, RmatConfig};
+    use sf2d_partition::MatrixDist;
+    use sf2d_sim::sf2d_chaos::{FaultKind, FaultScript};
+    use sf2d_sim::Machine;
+
+    fn fixture() -> (CsrMatrix, CsrMatrix, DistCsrMatrix) {
+        let a = rmat(&RmatConfig::graph500(6), 17);
+        let b = a.transpose();
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_2d(a.nrows(), 2, 2));
+        (a, b, dm)
+    }
+
+    #[test]
+    fn rate_zero_is_byte_identical_to_plain() {
+        let (_a, b, dm) = fixture();
+        let mut l0 = CostLedger::new(Machine::cab());
+        let plain = spgemm_dist(&dm, &b, &mut l0);
+        let mut l1 = CostLedger::new(Machine::cab());
+        let mut rt = ChaosRuntime::seeded(42, 0.0);
+        let chaotic = spgemm_chaos(&dm, &b, &mut l1, &mut rt);
+        assert_eq!(plain.locals, chaotic.locals);
+        assert_eq!(l0.history, l1.history);
+        assert_eq!(l0.total.to_bits(), l1.total.to_bits());
+    }
+
+    #[test]
+    fn seeded_faults_recover_the_fault_free_bits_at_extra_cost() {
+        let (_a, b, dm) = fixture();
+        let mut l0 = CostLedger::new(Machine::cab());
+        let plain = spgemm_dist(&dm, &b, &mut l0);
+        let mut l1 = CostLedger::new(Machine::cab());
+        let mut rt = ChaosRuntime::seeded(7, 0.4);
+        let chaotic = spgemm_chaos(&dm, &b, &mut l1, &mut rt);
+        assert_eq!(plain.locals, chaotic.locals);
+        assert!(rt.stats.any(), "rate 0.4 injected nothing");
+        assert!(l1.total > l0.total, "faults should cost extra");
+    }
+
+    #[test]
+    fn scripted_expand_drop_is_healed() {
+        let (_a, b, dm) = fixture();
+        // Drop the first real expand message (routing step 0), whichever
+        // pair the layout produces.
+        let (src, dst) = dm
+            .import
+            .sends
+            .iter()
+            .enumerate()
+            .find_map(|(r, out)| out.first().map(|(d, _)| (r as u32, *d)))
+            .expect("2x2 block layout always has expand traffic");
+        let script = FaultScript::default().fault(0, src, dst, 0, FaultKind::Drop);
+        let mut rt = ChaosRuntime::scripted(script);
+        let mut l = CostLedger::new(Machine::cab());
+        let chaotic = spgemm_chaos(&dm, &b, &mut l, &mut rt);
+        let mut l0 = CostLedger::new(Machine::cab());
+        let plain = spgemm_dist(&dm, &b, &mut l0);
+        assert_eq!(plain.locals, chaotic.locals);
+        assert_eq!(rt.stats.drops, 1);
+        assert!(
+            l.history.iter().any(|(ph, _)| *ph == Phase::Retransmit),
+            "drop should bill a retransmit superstep"
+        );
+    }
+
+    #[test]
+    fn chaos_matches_across_thread_counts() {
+        let (_a, b, dm) = fixture();
+        let mut gold: Option<DistSpgemm> = None;
+        for threads in [1usize, 2, 8] {
+            let mut rt = ChaosRuntime::seeded(99, 0.2).with_threads(threads);
+            let mut l = CostLedger::new(Machine::cab());
+            let c = spgemm_chaos(&dm, &b, &mut l, &mut rt);
+            match &gold {
+                None => gold = Some(c),
+                Some(g) => {
+                    assert_eq!(g.locals, c.locals);
+                    for (gl, cl) in g.locals.iter().zip(&c.locals) {
+                        let gb: Vec<u64> = gl.values().iter().map(|v| v.to_bits()).collect();
+                        let cb: Vec<u64> = cl.values().iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(gb, cb);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! The distributed SpGEMM kernel: row-wise Gustavson locally, with the
+//! remote B rows fetched through the matrix's **existing** expand plan and
+//! the partial C rows returned through its fold plan.
+//!
+//! ```text
+//! 1. Expand:   ship B row j to every rank holding a nonzero a_ij   (import plan)
+//! 2. Multiply: C_partial = A_loc · B_rows (Gustavson + SPA, per rank)
+//! 3. Fold:     ship partial C rows to their row owners              (export plan)
+//! 4. Merge:    owner merges own + received partials per row (SPA)
+//! 5. nnz(C):   allreduce of the per-rank output sizes              (collective)
+//! ```
+//!
+//! The communication *pattern* is exactly the SpMV's — the set of B rows a
+//! rank needs equals the set of x entries it imports (its column map), and
+//! the set of C rows it contributes equals the set of y partials it
+//! exports (its row map) — so the compiled local-index pack/unpack
+//! schedules of [`CompiledSpmv`](sf2d_spmv::compiled::CompiledSpmv) drive
+//! both exchanges unchanged, and the paper's 2D message bound
+//! (≤ pr + pc − 2 sends per rank across the two exchanges) carries over
+//! verbatim. Only the payloads differ: messages carry variable-length
+//! serialized rows (`[nnz, cols..., vals...]` per planned gid) instead of
+//! one double per gid, so the per-phase costs are measured off the actual
+//! payload lengths at both endpoints rather than read from the frozen
+//! SpMV cost vectors.
+//!
+//! Determinism: every rank multiplies its A-block rows in ascending
+//! column order and every owner merges per-row contributions in a fixed
+//! rank order (own partial first, then sources ascending — the order the
+//! fold plan already delivers), so results are bitwise reproducible for
+//! any `threads` setting, and bitwise equal to the serial Gustavson
+//! oracle ([`sf2d_graph::spgemm`]) whenever the products sum exactly
+//! (e.g. the unit-pattern generator matrices, whose A·Aᵀ entries are
+//! small integers).
+
+use std::sync::Arc;
+
+use sf2d_graph::CsrMatrix;
+use sf2d_obs::{trace_span, PhaseKind};
+use sf2d_sim::collective::{allreduce_cost, allreduce_sum_u64};
+use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
+use sf2d_sim::runtime::par_ranks;
+use sf2d_spmv::compiled::{RankExpandPlan, RankFoldPlan};
+use sf2d_spmv::distmat::{DistCsrMatrix, RankBlock};
+use sf2d_spmv::map::VectorMap;
+
+use crate::workspace::{BRowRef, RankSpgemmScratch, SpgemmWorkspace};
+
+/// Per-rank traffic of one exchange phase (expand or fold).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Messages sent by each rank (one per compiled pack entry).
+    pub send_msgs: Vec<u64>,
+    /// Doubles sent by each rank (serialized payload lengths).
+    pub send_doubles: Vec<u64>,
+    /// Billed per-rank cost — latency and bytes charged at **both**
+    /// endpoints, the same convention as
+    /// [`CommPlan::phase_costs`](sf2d_spmv::plan::CommPlan::phase_costs).
+    pub costs: Vec<PhaseCost>,
+}
+
+impl ExchangeStats {
+    /// Max messages sent by any rank in this exchange.
+    pub fn max_send_msgs(&self) -> u64 {
+        self.send_msgs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total doubles moved by this exchange.
+    pub fn total_volume(&self) -> u64 {
+        self.send_doubles.iter().sum()
+    }
+}
+
+/// The distributed product `C = A·B`: per-rank owned row blocks plus the
+/// measured per-phase traffic and work.
+#[derive(Debug, Clone)]
+pub struct DistSpgemm {
+    /// Row distribution of C (shared with A's vector map).
+    pub vmap: Arc<VectorMap>,
+    /// Global column count of C (= B's).
+    pub ncols: usize,
+    /// Owned rows per rank: `locals[r]` is `nlocal(r) × ncols`, row `lid`
+    /// holding global row `vmap.gids(r)[lid]`.
+    pub locals: Vec<CsrMatrix>,
+    /// Global `nnz(C)`, closed by the allreduce.
+    pub nnz: u64,
+    /// Expand-phase traffic (B-row fetch).
+    pub expand: ExchangeStats,
+    /// Fold-phase traffic (partial C rows to owners).
+    pub fold: ExchangeStats,
+    /// Per-rank multiply flops (2 per product term).
+    pub multiply_flops: Vec<u64>,
+    /// Per-rank merge flops (1 per merged-in entry).
+    pub merge_flops: Vec<u64>,
+}
+
+impl DistSpgemm {
+    /// Reassembles the global C (test oracle). Rows come out in global
+    /// order with sorted columns, so the result compares bitwise against
+    /// the serial [`sf2d_graph::spgemm`] when the sums are exact.
+    pub fn to_global(&self) -> CsrMatrix {
+        let n = self.vmap.n();
+        let mut rowptr = Vec::with_capacity(n + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        for gid in 0..n as u32 {
+            let r = self.vmap.owner(gid) as usize;
+            let (cols, vals) = self.locals[r].row(self.vmap.lid(gid));
+            colidx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix::from_parts(n, self.ncols, rowptr, colidx, values)
+            .expect("per-rank blocks satisfy CSR invariants")
+    }
+}
+
+/// Serializes one sparse row onto a message payload:
+/// `[nnz, cols..., vals...]`, columns as (exactly representable) doubles.
+#[inline]
+pub(crate) fn push_row(buf: &mut Vec<f64>, row: (&[u32], &[f64])) {
+    let (cols, vals) = row;
+    buf.push(cols.len() as f64);
+    buf.extend(cols.iter().map(|&c| c as f64));
+    buf.extend_from_slice(vals);
+}
+
+/// Measures one exchange off the resident payload buffers: send side from
+/// each rank's own pack buffers, receive side mirrored through the
+/// compiled `(src, slot)` unpack entries.
+pub(crate) fn exchange_stats(
+    bufs: &[Vec<Vec<f64>>],
+    unpacks: &[&[(u32, u32, Vec<u32>)]],
+) -> ExchangeStats {
+    let send_msgs: Vec<u64> = bufs.iter().map(|out| out.len() as u64).collect();
+    let send_doubles: Vec<u64> = bufs
+        .iter()
+        .map(|out| out.iter().map(|m| m.len() as u64).sum())
+        .collect();
+    let mut costs: Vec<PhaseCost> = send_msgs
+        .iter()
+        .zip(&send_doubles)
+        .map(|(&m, &d)| PhaseCost::comm(m, 8 * d))
+        .collect();
+    for (r, unpack) in unpacks.iter().enumerate() {
+        for (src, slot, _) in unpack.iter() {
+            let doubles = bufs[*src as usize][*slot as usize].len() as u64;
+            costs[r] = costs[r].add(&PhaseCost::comm(1, 8 * doubles));
+        }
+    }
+    ExchangeStats {
+        send_msgs,
+        send_doubles,
+        costs,
+    }
+}
+
+/// Packs one rank's expand payloads: the B rows named by the compiled
+/// pack lids (which index the sender's owned gid list).
+pub(crate) fn pack_expand(
+    bufs: &mut [Vec<f64>],
+    plan: &RankExpandPlan,
+    gids: &[u32],
+    b: &CsrMatrix,
+) {
+    for (buf, (_dst, lids)) in bufs.iter_mut().zip(&plan.pack) {
+        buf.clear();
+        for &lid in lids {
+            push_row(buf, b.row(gids[lid as usize] as usize));
+        }
+    }
+}
+
+/// Builds the rank's B-row directory: owned slots point at `b` directly,
+/// remote slots are decoded out of the senders' payloads into the
+/// scratch's `rcols` / `rvals` arrays.
+pub(crate) fn decode_expand(
+    scratch: &mut RankSpgemmScratch,
+    block: &RankBlock,
+    plan: &RankExpandPlan,
+    ebufs: &[Vec<Vec<f64>>],
+) {
+    for &(_src_lid, xcols_lid) in &plan.owned {
+        scratch.brows[xcols_lid as usize] = BRowRef::Local {
+            gid: block.colmap[xcols_lid as usize],
+        };
+    }
+    scratch.rcols.clear();
+    scratch.rvals.clear();
+    for (src, slot, lids) in &plan.unpack {
+        let data = &ebufs[*src as usize][*slot as usize];
+        let mut off = 0usize;
+        for &lid in lids {
+            let nnz = data[off] as usize;
+            off += 1;
+            let start = scratch.rcols.len() as u32;
+            scratch
+                .rcols
+                .extend(data[off..off + nnz].iter().map(|&c| c as u32));
+            scratch
+                .rvals
+                .extend_from_slice(&data[off + nnz..off + 2 * nnz]);
+            off += 2 * nnz;
+            scratch.brows[lid as usize] = BRowRef::Remote {
+                off: start,
+                len: nnz as u32,
+            };
+        }
+        debug_assert_eq!(off, data.len(), "expand payload framing mismatch");
+    }
+}
+
+/// Row-wise Gustavson over the rank's local A block: one SPA pass per
+/// local row, visiting A entries in ascending column order (the local CSR
+/// is colmap-lid sorted and the column map is gid-ascending). Fills the
+/// partial-row buffers and returns the number of product terms.
+pub(crate) fn gustavson(scratch: &mut RankSpgemmScratch, block: &RankBlock, b: &CsrMatrix) -> u64 {
+    let nloc = block.rowmap.len();
+    scratch.guard_gen(nloc);
+    let RankSpgemmScratch {
+        spa_vals,
+        spa_stamp,
+        spa_gen,
+        touched,
+        brows,
+        rcols,
+        rvals,
+        part_ptr,
+        part_cols,
+        part_vals,
+        ..
+    } = scratch;
+    part_ptr.clear();
+    part_ptr.push(0);
+    part_cols.clear();
+    part_vals.clear();
+    let mut terms = 0u64;
+    for li in 0..nloc {
+        *spa_gen += 1;
+        let gen = *spa_gen;
+        touched.clear();
+        let (acols, avals) = block.local.row(li);
+        for (&lj, &aij) in acols.iter().zip(avals) {
+            let (bcols, bvals): (&[u32], &[f64]) = match brows[lj as usize] {
+                BRowRef::Local { gid } => b.row(gid as usize),
+                BRowRef::Remote { off, len } => {
+                    let (off, len) = (off as usize, len as usize);
+                    (&rcols[off..off + len], &rvals[off..off + len])
+                }
+            };
+            for (&k, &bjk) in bcols.iter().zip(bvals) {
+                let ku = k as usize;
+                if spa_stamp[ku] != gen {
+                    spa_stamp[ku] = gen;
+                    spa_vals[ku] = aij * bjk;
+                    touched.push(k);
+                } else {
+                    spa_vals[ku] += aij * bjk;
+                }
+            }
+            terms += bcols.len() as u64;
+        }
+        touched.sort_unstable();
+        for &k in touched.iter() {
+            part_cols.push(k);
+            part_vals.push(spa_vals[k as usize]);
+        }
+        part_ptr.push(part_cols.len());
+    }
+    terms
+}
+
+/// Packs one rank's fold payloads: the partial C rows named by the
+/// compiled pack indices (row-map positions).
+pub(crate) fn pack_fold(bufs: &mut [Vec<f64>], plan: &RankFoldPlan, scratch: &RankSpgemmScratch) {
+    for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&plan.pack) {
+        buf.clear();
+        for &pi in idxs {
+            let (lo, hi) = (
+                scratch.part_ptr[pi as usize],
+                scratch.part_ptr[pi as usize + 1],
+            );
+            push_row(
+                buf,
+                (&scratch.part_cols[lo..hi], &scratch.part_vals[lo..hi]),
+            );
+        }
+    }
+}
+
+/// Merges each owned C row out of the rank's own partial plus the
+/// arriving partial rows, in fixed order (own first, then sources
+/// ascending), emitting sorted final rows. Returns the number of entries
+/// merged (1 flop each, the SpGEMM analogue of the SpMV sum phase).
+pub(crate) fn merge_rank(
+    scratch: &mut RankSpgemmScratch,
+    nlocal: usize,
+    plan: &RankFoldPlan,
+    fbufs: &[Vec<Vec<f64>>],
+) -> u64 {
+    scratch.guard_gen(nlocal);
+    scratch.own_part.clear();
+    scratch.own_part.resize(nlocal, u32::MAX);
+    for &(pi, y_lid) in &plan.owned {
+        scratch.own_part[y_lid as usize] = pi;
+    }
+    scratch.incoming.clear();
+    for (src, slot, y_lids) in &plan.unpack {
+        let data = &fbufs[*src as usize][*slot as usize];
+        let mut off = 0usize;
+        for &y_lid in y_lids {
+            let nnz = data[off] as usize;
+            scratch
+                .incoming
+                .push((y_lid, *src, *slot, (off + 1) as u32, nnz as u32));
+            off += 1 + 2 * nnz;
+        }
+        debug_assert_eq!(off, data.len(), "fold payload framing mismatch");
+    }
+    // Stable by y lid: within a row, contributions stay in message order
+    // (sources ascending) — the fixed rank-order reduction.
+    scratch.incoming.sort_by_key(|e| e.0);
+
+    let RankSpgemmScratch {
+        spa_vals,
+        spa_stamp,
+        spa_gen,
+        touched,
+        part_ptr,
+        part_cols,
+        part_vals,
+        own_part,
+        incoming,
+        out_ptr,
+        out_cols,
+        out_vals,
+        ..
+    } = scratch;
+    out_ptr.clear();
+    out_ptr.push(0);
+    out_cols.clear();
+    out_vals.clear();
+    let mut merged = 0u64;
+    let mut cursor = 0usize;
+    for (y, &pi) in own_part.iter().enumerate().take(nlocal) {
+        *spa_gen += 1;
+        let gen = *spa_gen;
+        touched.clear();
+        let mut add = |k: u32, v: f64| {
+            let ku = k as usize;
+            if spa_stamp[ku] != gen {
+                spa_stamp[ku] = gen;
+                spa_vals[ku] = v;
+                touched.push(k);
+            } else {
+                spa_vals[ku] += v;
+            }
+        };
+        if pi != u32::MAX {
+            let (lo, hi) = (part_ptr[pi as usize], part_ptr[pi as usize + 1]);
+            for (&k, &v) in part_cols[lo..hi].iter().zip(&part_vals[lo..hi]) {
+                add(k, v);
+            }
+            merged += (hi - lo) as u64;
+        }
+        while cursor < incoming.len() && incoming[cursor].0 as usize == y {
+            let (_, src, slot, off, len) = incoming[cursor];
+            let data = &fbufs[src as usize][slot as usize];
+            let (off, len) = (off as usize, len as usize);
+            for k in 0..len {
+                add(data[off + k] as u32, data[off + len + k]);
+            }
+            merged += len as u64;
+            cursor += 1;
+        }
+        touched.sort_unstable();
+        for &k in touched.iter() {
+            out_cols.push(k);
+            out_vals.push(spa_vals[k as usize]);
+        }
+        out_ptr.push(out_cols.len());
+    }
+    merged
+}
+
+/// Assembles the per-rank output blocks and closes the global `nnz(C)`
+/// allreduce (one [`Phase::Collective`] superstep).
+pub(crate) fn finish(
+    a: &DistCsrMatrix,
+    bcols: usize,
+    ws: &SpgemmWorkspace,
+    ledger: &mut CostLedger,
+    expand: ExchangeStats,
+    fold: ExchangeStats,
+) -> DistSpgemm {
+    let p = a.nprocs();
+    let locals: Vec<CsrMatrix> = ws
+        .ranks
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            CsrMatrix::from_parts(
+                a.vmap.nlocal(r),
+                bcols,
+                s.out_ptr.clone(),
+                s.out_cols.clone(),
+                s.out_vals.clone(),
+            )
+            .expect("merged rows satisfy CSR invariants")
+        })
+        .collect();
+    let partials: Vec<u64> = locals.iter().map(|c| c.nnz() as u64).collect();
+    let nnz = allreduce_sum_u64(&partials);
+    ledger.superstep_uniform(Phase::Collective, allreduce_cost(p, 1), p);
+    DistSpgemm {
+        vmap: Arc::clone(&a.vmap),
+        ncols: bcols,
+        locals,
+        nnz,
+        expand,
+        fold,
+        multiply_flops: ws.ranks.iter().map(|s| 2 * s.terms).collect(),
+        merge_flops: ws.ranks.iter().map(|s| s.merged).collect(),
+    }
+}
+
+fn assert_conformal(a: &DistCsrMatrix, b: &CsrMatrix) {
+    assert_eq!(
+        a.n,
+        b.nrows(),
+        "spgemm: A is {}x{} but B has {} rows",
+        a.n,
+        a.n,
+        b.nrows()
+    );
+}
+
+/// Distributed `C = A·B`, charging Expand / Multiply / Fold / Merge /
+/// Collective supersteps to the ledger.
+///
+/// `b` is held globally by the simulator but accessed with distributed
+/// discipline: rank `r` reads only the B rows it owns under `a.vmap`
+/// (B shares A's row distribution) — every other row it touches travels
+/// through the expand exchange and is billed.
+///
+/// Convenience wrapper over [`spgemm_with`] with a throwaway sequential
+/// workspace; iterative callers should hold a [`SpgemmWorkspace`].
+pub fn spgemm_dist(a: &DistCsrMatrix, b: &CsrMatrix, ledger: &mut CostLedger) -> DistSpgemm {
+    spgemm_with(a, b, ledger, &mut SpgemmWorkspace::new())
+}
+
+/// [`spgemm_dist`] through a reusable workspace: scratch buffers and
+/// message payloads are borrowed from `ws` and the per-rank phase work
+/// fans out across `ws.threads` OS threads (bit-identical for any count).
+pub fn spgemm_with(
+    a: &DistCsrMatrix,
+    b: &CsrMatrix,
+    ledger: &mut CostLedger,
+    ws: &mut SpgemmWorkspace,
+) -> DistSpgemm {
+    assert_conformal(a, b);
+    ws.ensure(&a.blocks, &a.compiled, b.ncols());
+    let threads = ws.threads;
+    let compiled = &a.compiled;
+    let vmap = &a.vmap;
+
+    // Phase 1 — expand: serialize the planned B rows into the resident
+    // send buffers; destinations read them in place via (src, slot).
+    trace_span!(PhaseKind::Pack, "spgemm:expand-pack", {
+        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
+            pack_expand(bufs, &compiled.expand[r], vmap.gids(r), b);
+        })
+    });
+    let expand_unpacks: Vec<&[(u32, u32, Vec<u32>)]> = compiled
+        .expand
+        .iter()
+        .map(|pl| pl.unpack.as_slice())
+        .collect();
+    let expand = exchange_stats(&ws.expand_bufs, &expand_unpacks);
+    ledger.superstep(Phase::Expand, &expand.costs);
+
+    // Phase 2 — decode the arrived rows and run the local Gustavson pass.
+    let ebufs = &ws.expand_bufs;
+    trace_span!(PhaseKind::Multiply, "spgemm:unpack-multiply", {
+        par_ranks(threads, &mut ws.ranks, |r, scratch| {
+            decode_expand(scratch, &a.blocks[r], &compiled.expand[r], ebufs);
+            scratch.terms = gustavson(scratch, &a.blocks[r], b);
+        })
+    });
+    let multiply_costs: Vec<PhaseCost> = ws
+        .ranks
+        .iter()
+        .map(|s| PhaseCost::compute(2 * s.terms))
+        .collect();
+    ledger.superstep(Phase::Multiply, &multiply_costs);
+
+    // Phase 3 — fold: serialize the partial rows bound for other owners.
+    let ranks = &ws.ranks;
+    trace_span!(PhaseKind::Pack, "spgemm:fold-pack", {
+        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
+            pack_fold(bufs, &compiled.fold[r], &ranks[r]);
+        })
+    });
+    let fold_unpacks: Vec<&[(u32, u32, Vec<u32>)]> = compiled
+        .fold
+        .iter()
+        .map(|pl| pl.unpack.as_slice())
+        .collect();
+    let fold = exchange_stats(&ws.fold_bufs, &fold_unpacks);
+    ledger.superstep(Phase::Fold, &fold.costs);
+
+    // Phase 4 — merge at the owners, fixed rank order per row.
+    let fbufs = &ws.fold_bufs;
+    trace_span!(PhaseKind::Merge, "spgemm:merge", {
+        par_ranks(threads, &mut ws.ranks, |r, scratch| {
+            scratch.merged = merge_rank(scratch, vmap.nlocal(r), &compiled.fold[r], fbufs);
+        })
+    });
+    let merge_costs: Vec<PhaseCost> = ws
+        .ranks
+        .iter()
+        .map(|s| PhaseCost::compute(s.merged))
+        .collect();
+    ledger.superstep(Phase::Merge, &merge_costs);
+
+    // Phase 5 — close nnz(C) and assemble the output blocks.
+    finish(a, b.ncols(), ws, ledger, expand, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_gen::{grid_2d, rmat, RmatConfig};
+    use sf2d_graph::spgemm;
+    use sf2d_partition::{grid_shape, MatrixDist};
+    use sf2d_sim::Machine;
+
+    fn check_layout(a: &CsrMatrix, b: &CsrMatrix, dist: &MatrixDist) {
+        let dm = DistCsrMatrix::from_global(a, dist);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_dist(&dm, b, &mut ledger);
+        let want = spgemm(a, b);
+        let got = c.to_global();
+        assert_eq!(got, want);
+        assert_eq!(c.nnz, want.nnz() as u64);
+        assert!(ledger.total > 0.0);
+    }
+
+    #[test]
+    fn all_basic_layouts_match_the_serial_oracle() {
+        let a = rmat(&RmatConfig::graph500(6), 11);
+        let b = a.transpose();
+        let n = a.nrows();
+        for p in [1usize, 4, 6] {
+            let (pr, pc) = grid_shape(p);
+            check_layout(&a, &b, &MatrixDist::block_1d(n, p));
+            check_layout(&a, &b, &MatrixDist::random_1d(n, p, 5));
+            check_layout(&a, &b, &MatrixDist::block_2d(n, pr, pc));
+            check_layout(&a, &b, &MatrixDist::random_2d(n, pr, pc, 6));
+        }
+    }
+
+    #[test]
+    fn rectangular_b_is_supported() {
+        // B with a different (smaller) column space than A's dimension.
+        let a = grid_2d(4, 4);
+        let mut coo = sf2d_graph::CooMatrix::new(16, 3);
+        for i in 0..16u32 {
+            coo.push(i, i % 3, 1.0 + i as f64);
+        }
+        let b = CsrMatrix::from_coo(&coo);
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_2d(16, 2, 2));
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_dist(&dm, &b, &mut ledger);
+        assert_eq!(c.to_global(), spgemm(&a, &b));
+        assert_eq!(c.ncols, 3);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_calls_and_threads() {
+        let a = rmat(&RmatConfig::graph500(6), 3);
+        let b = a.transpose();
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_2d(a.nrows(), 2, 2));
+        let mut l0 = CostLedger::new(Machine::cab());
+        let gold = spgemm_dist(&dm, &b, &mut l0);
+        let mut ws = SpgemmWorkspace::with_threads(4);
+        for _ in 0..2 {
+            let mut l = CostLedger::new(Machine::cab());
+            let c = spgemm_with(&dm, &b, &mut l, &mut ws);
+            for (cl, gl) in c.locals.iter().zip(&gold.locals) {
+                assert_eq!(cl, gl);
+                let cb: Vec<u64> = cl.values().iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u64> = gl.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(cb, gb);
+            }
+            assert_eq!(l.total.to_bits(), l0.total.to_bits());
+            assert_eq!(l.history, l0.history);
+        }
+    }
+
+    #[test]
+    fn message_counts_equal_the_spmv_plans() {
+        // One routed exchange per phase: the SpGEMM sends exactly the
+        // plan's messages, so the paper's 2D bound carries over.
+        let a = rmat(&RmatConfig::graph500(7), 9);
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_2d(a.nrows(), 4, 4));
+        let b = a.transpose();
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_dist(&dm, &b, &mut ledger);
+        for r in 0..dm.nprocs() {
+            assert_eq!(c.expand.send_msgs[r], dm.import.sends[r].len() as u64);
+            assert_eq!(c.fold.send_msgs[r], dm.export.recvs[r].len() as u64);
+        }
+        assert!(c.expand.max_send_msgs() <= 3);
+        assert!(c.fold.max_send_msgs() <= 3);
+    }
+
+    #[test]
+    fn one_d_layouts_have_an_empty_fold() {
+        let a = rmat(&RmatConfig::graph500(6), 2);
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::random_1d(a.nrows(), 4, 7));
+        let b = a.transpose();
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_dist(&dm, &b, &mut ledger);
+        assert_eq!(c.fold.total_volume(), 0);
+        assert_eq!(
+            ledger.by_phase.get(&Phase::Fold).copied().unwrap_or(0.0),
+            0.0
+        );
+        assert!(c.expand.total_volume() > 0);
+        // Merge still runs (owned partials become the final rows).
+        assert_eq!(c.to_global(), spgemm(&a, &b));
+    }
+
+    #[test]
+    fn flops_sum_to_the_serial_count() {
+        // Distributed multiply work partitions the serial product terms.
+        let a = rmat(&RmatConfig::graph500(6), 13);
+        let b = a.transpose();
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_2d(a.nrows(), 2, 3));
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_dist(&dm, &b, &mut ledger);
+        let total: u64 = c.multiply_flops.iter().sum();
+        assert_eq!(total, sf2d_graph::spgemm_flops(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "B has")]
+    fn dimension_mismatch_is_rejected() {
+        let a = grid_2d(3, 3);
+        let dm = DistCsrMatrix::from_global(&a, &MatrixDist::block_1d(9, 2));
+        let b = grid_2d(2, 2);
+        spgemm_dist(&dm, &b, &mut CostLedger::new(Machine::cab()));
+    }
+}

@@ -1,0 +1,37 @@
+//! Distributed SpGEMM (`C = A·B`) on the 2D-layout SpMV infrastructure.
+//!
+//! The paper's thesis is that one 2D data distribution serves *all* the
+//! matrix computations of a graph-analysis pipeline, not just SpMV. This
+//! crate demonstrates that on sparse matrix-matrix multiplication: the
+//! kernel runs row-wise Gustavson locally and moves every remote B row
+//! and partial C row through the **same compiled expand/fold schedules**
+//! the SpMV uses ([`CompiledSpmv`](sf2d_spmv::compiled::CompiledSpmv)),
+//! so the per-rank message count of one SpGEMM is bounded by the SpMV's
+//! (≤ pr + pc − 2 sends under a 2D layout) and every layout the
+//! experiment suite knows (1D/2D × Block/Random/GP) works unchanged.
+//!
+//! - [`spgemm_dist`] / [`spgemm_with`]: the kernel, one-shot or through a
+//!   reusable [`SpgemmWorkspace`] (SPA accumulators + resident message
+//!   payloads, multi-threaded over ranks with bit-identical results).
+//! - [`DistSpgemm`]: the distributed product — per-rank owned row blocks
+//!   plus measured per-phase traffic ([`ExchangeStats`]) and work.
+//! - [`spgemm_chaos`]: the same kernel under fault injection; heals every
+//!   fault and proves bit-equality with the fault-free run.
+//!
+//! Costs are charged per call (Expand / Multiply / Fold / Merge /
+//! Collective supersteps) because SpGEMM payload sizes depend on B and C,
+//! unlike the SpMV's frozen one-double-per-gid costs. The distributed
+//! result is **bitwise equal** to the serial Gustavson oracle
+//! ([`sf2d_graph::spgemm`]) whenever row sums are exact — the
+//! differential test suite in `tests/` pins this across layouts, process
+//! counts, and thread counts.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod kernel;
+pub mod workspace;
+
+pub use chaos::spgemm_chaos;
+pub use kernel::{spgemm_dist, spgemm_with, DistSpgemm, ExchangeStats};
+pub use workspace::{BRowRef, SpgemmWorkspace};

@@ -1,0 +1,156 @@
+//! Reusable per-rank scratch for the distributed SpGEMM: SPA accumulators,
+//! decoded remote-row storage, partial-row buffers, and the resident
+//! message payloads — the SpGEMM analogue of
+//! [`SpmvWorkspace`](sf2d_spmv::SpmvWorkspace).
+
+use sf2d_spmv::compiled::CompiledSpmv;
+use sf2d_spmv::distmat::RankBlock;
+
+/// Where a rank finds the B row for one of its column-map slots after the
+/// expand phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BRowRef {
+    /// The row is locally owned: read `b.row(gid)` directly.
+    Local {
+        /// Global row id.
+        gid: u32,
+    },
+    /// The row arrived in the expand exchange and was decoded into the
+    /// scratch's `rcols` / `rvals` arrays.
+    Remote {
+        /// Start offset into `rcols` / `rvals`.
+        off: u32,
+        /// Number of nonzeros.
+        len: u32,
+    },
+}
+
+impl Default for BRowRef {
+    fn default() -> BRowRef {
+        BRowRef::Local { gid: 0 }
+    }
+}
+
+/// One rank's scratch state for one SpGEMM execution. All buffers are
+/// reused across calls; nothing here survives as output (the kernel copies
+/// the final rows out into per-rank [`CsrMatrix`](sf2d_graph::CsrMatrix)
+/// blocks).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RankSpgemmScratch {
+    /// SPA dense values over B's column space.
+    pub spa_vals: Vec<f64>,
+    /// SPA generation stamps (`stamp[k] == spa_gen` ⇔ column `k` touched
+    /// in the current row) — bumping the generation clears the SPA in O(1).
+    pub spa_stamp: Vec<u32>,
+    /// Current SPA generation.
+    pub spa_gen: u32,
+    /// Columns touched in the current row (sorted before emission).
+    pub touched: Vec<u32>,
+    /// B-row location per column-map slot.
+    pub brows: Vec<BRowRef>,
+    /// Decoded remote B-row column indices, concatenated.
+    pub rcols: Vec<u32>,
+    /// Decoded remote B-row values, concatenated.
+    pub rvals: Vec<f64>,
+    /// Partial C rows (one per row-map position), CSR-style.
+    pub part_ptr: Vec<usize>,
+    /// Partial-row column indices.
+    pub part_cols: Vec<u32>,
+    /// Partial-row values.
+    pub part_vals: Vec<f64>,
+    /// Per owned `y` lid: the row-map position of this rank's own partial
+    /// for that row, or `u32::MAX` when the rank holds no local partial.
+    pub own_part: Vec<u32>,
+    /// Incoming partial rows for the merge: `(y_lid, src, slot, off, len)`
+    /// in message order, stably sorted by `y_lid` (so per-row merge order
+    /// stays sources-ascending).
+    pub incoming: Vec<(u32, u32, u32, u32, u32)>,
+    /// Final owned C rows, CSR-style (copied into the output blocks).
+    pub out_ptr: Vec<usize>,
+    /// Final-row column indices.
+    pub out_cols: Vec<u32>,
+    /// Final-row values.
+    pub out_vals: Vec<f64>,
+    /// Multiply product terms processed this call (2 flops each).
+    pub terms: u64,
+    /// Entries merged in the merge phase this call (1 flop each).
+    pub merged: u64,
+}
+
+impl RankSpgemmScratch {
+    /// Resets the SPA generation when the next `rows` bumps would overflow
+    /// the `u32` stamp space.
+    pub fn guard_gen(&mut self, rows: usize) {
+        if self.spa_gen > u32::MAX - (rows as u32 + 1) {
+            self.spa_stamp.fill(0);
+            self.spa_gen = 0;
+        }
+    }
+}
+
+/// Reusable scratch space for [`spgemm_with`](crate::kernel::spgemm_with):
+/// per-rank SPA accumulators and row buffers plus the resident expand/fold
+/// message payloads, which destination ranks read in place via the
+/// compiled `(src, slot)` unpack entries (no per-message allocation at
+/// steady state).
+///
+/// Like [`SpmvWorkspace`](sf2d_spmv::SpmvWorkspace), a workspace is not
+/// tied to a matrix — buffers are (re)sized on first use — and the
+/// `threads` knob fans the per-rank phase work across OS threads with
+/// bit-identical results (ranks only touch disjoint state).
+#[derive(Debug, Clone)]
+pub struct SpgemmWorkspace {
+    /// Number of OS threads for phase-local work (1 = fully sequential).
+    pub threads: usize,
+    pub(crate) ranks: Vec<RankSpgemmScratch>,
+    /// Per-rank expand payloads, aligned with each rank's compiled expand
+    /// `pack` list: serialized B rows, `[nnz, cols..., vals...]` per row.
+    pub(crate) expand_bufs: Vec<Vec<Vec<f64>>>,
+    /// Per-rank fold payloads, aligned with the compiled fold `pack` list:
+    /// serialized partial C rows, same framing.
+    pub(crate) fold_bufs: Vec<Vec<Vec<f64>>>,
+}
+
+impl SpgemmWorkspace {
+    /// A sequential (single-threaded) workspace.
+    pub fn new() -> SpgemmWorkspace {
+        SpgemmWorkspace::with_threads(1)
+    }
+
+    /// A workspace whose phase-local work fans out across `threads` OS
+    /// threads (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> SpgemmWorkspace {
+        SpgemmWorkspace {
+            threads: threads.max(1),
+            ranks: Vec::new(),
+            expand_bufs: Vec::new(),
+            fold_bufs: Vec::new(),
+        }
+    }
+
+    /// Sizes the per-rank buffers for `blocks` and a B with `bcols`
+    /// columns, reusing allocations where they already fit.
+    pub(crate) fn ensure(&mut self, blocks: &[RankBlock], compiled: &CompiledSpmv, bcols: usize) {
+        self.ranks
+            .resize_with(blocks.len(), RankSpgemmScratch::default);
+        for (scratch, block) in self.ranks.iter_mut().zip(blocks) {
+            scratch.spa_vals.resize(bcols, 0.0);
+            scratch.spa_stamp.resize(bcols, 0);
+            scratch.brows.resize(block.colmap.len(), BRowRef::default());
+        }
+        self.expand_bufs.resize_with(blocks.len(), Vec::new);
+        for (bufs, plan) in self.expand_bufs.iter_mut().zip(&compiled.expand) {
+            bufs.resize_with(plan.pack.len(), Vec::new);
+        }
+        self.fold_bufs.resize_with(blocks.len(), Vec::new);
+        for (bufs, plan) in self.fold_bufs.iter_mut().zip(&compiled.fold) {
+            bufs.resize_with(plan.pack.len(), Vec::new);
+        }
+    }
+}
+
+impl Default for SpgemmWorkspace {
+    fn default() -> SpgemmWorkspace {
+        SpgemmWorkspace::new()
+    }
+}

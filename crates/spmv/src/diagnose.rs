@@ -60,7 +60,9 @@ pub fn phase_slug(phase: Phase) -> &'static str {
     match phase {
         Phase::Expand => "expand",
         Phase::LocalCompute => "local",
+        Phase::Multiply => "multiply",
         Phase::Fold => "fold",
+        Phase::Merge => "merge",
         Phase::Sum => "sum",
         Phase::VectorOp => "vecop",
         Phase::Collective => "collective",

@@ -167,6 +167,67 @@ fn experiment_row_reports_the_surcharge() {
     assert!(row.sim_time > row.gold_time);
 }
 
+#[test]
+fn golden_recovery_scripted_drop_into_spgemm_exchange() {
+    // The SpGEMM analogue of the Table 3 recovery cell: script a drop
+    // into the product's expand exchange (routing step 0) and a
+    // corruption into its fold exchange (step 1), and require the
+    // recovered C to match the fault-free bits with the surcharge billed.
+    let a = rmat(&RmatConfig::graph500(8), 3);
+    let dist = LayoutBuilder::new(&a, 0).dist(Method::TwoDGp, 16);
+    let dm = DistCsrMatrix::from_global(&a, &dist);
+    let b = a.transpose();
+
+    let mut gold_led = CostLedger::new(Machine::cab());
+    let gold = spgemm_dist(&dm, &b, &mut gold_led);
+
+    let (src, dst) = dm
+        .import
+        .sends
+        .iter()
+        .enumerate()
+        .find_map(|(r, out)| out.first().map(|(d, _)| (r as u32, *d)))
+        .expect("2D-GP expand moves something at p=16");
+    let (fsrc, fdst) = dm
+        .export
+        .recvs
+        .iter()
+        .enumerate()
+        .find_map(|(r, inbound)| inbound.first().map(|(o, _)| (r as u32, *o)))
+        .expect("2D-GP fold moves something at p=16");
+    let script = FaultScript::default()
+        .fault(0, src, dst, 0, FaultKind::Drop)
+        .fault(1, fsrc, fdst, 0, FaultKind::BitFlip);
+    let mut rt = ChaosRuntime::scripted(script);
+    let mut ledger = CostLedger::new(Machine::cab());
+    let got = spgemm_chaos(&dm, &b, &mut ledger, &mut rt);
+
+    assert_eq!(got.locals, gold.locals, "recovered C != fault-free gold");
+    for (g, c) in gold.locals.iter().zip(&got.locals) {
+        let gb: Vec<u64> = g.values().iter().map(|v| v.to_bits()).collect();
+        let cb: Vec<u64> = c.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(gb, cb, "value bits must survive recovery");
+    }
+    assert_eq!(rt.stats.drops, 1);
+    assert_eq!(rt.stats.bit_flips, 1);
+    assert!(
+        ledger
+            .phase_breakdown()
+            .iter()
+            .any(|(ph, t)| *ph == Phase::Retransmit && *t > 0.0),
+        "retransmit surcharge must be itemized"
+    );
+    assert!(ledger.total > gold_led.total);
+
+    // And at rate 0 the chaos path stays byte-identical, ledger included.
+    let mut rt = ChaosRuntime::seeded(5, 0.0);
+    let mut l0 = CostLedger::new(Machine::cab());
+    let clean = spgemm_chaos(&dm, &b, &mut l0, &mut rt);
+    assert_eq!(clean.locals, gold.locals);
+    assert_eq!(l0.total.to_bits(), gold_led.total.to_bits());
+    assert_eq!(l0.history, gold_led.history);
+}
+
 /// Long soak across a seed × rate grid — not part of tier-1
 /// (`cargo test -- --ignored` runs it; CI's chaos job keeps it out of
 /// the default suite).

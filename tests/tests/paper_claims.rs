@@ -138,3 +138,43 @@ fn two_d_block_is_algorithm2_on_block_rpart() {
     assert_eq!(m1.nnz_per_rank, m2.nnz_per_rank);
     assert_eq!(m1.expand_send_vol, m2.expand_send_vol);
 }
+
+/// §3.2's message bound carries over to SpGEMM verbatim: the kernel's two
+/// exchanges run on the SpMV's compiled plans, so under a 2D layout no
+/// rank sends more than pr − 1 expand messages plus pc − 1 fold messages
+/// per product. 1D-Random pays the documented blowup — its single
+/// (expand) exchange approaches p − 1 sends per rank, because random row
+/// scatter makes nearly every rank need B rows from nearly every other.
+#[test]
+fn spgemm_message_bound_matches_analysis() {
+    let a = rmat(&RmatConfig::graph500(9), 1);
+    let b = a.transpose();
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let p = 64; // 8 x 8 grid: per-exchange bound pr - 1 = pc - 1 = 7
+    for m in [Method::TwoDBlock, Method::TwoDRandom, Method::TwoDGp] {
+        let dm = DistCsrMatrix::from_global(&a, &builder.dist(m, p));
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_dist(&dm, &b, &mut ledger);
+        assert!(
+            c.expand.max_send_msgs() <= 7,
+            "{}: expand sends {}",
+            m.name(),
+            c.expand.max_send_msgs()
+        );
+        assert!(
+            c.fold.max_send_msgs() <= 7,
+            "{}: fold sends {}",
+            m.name(),
+            c.fold.max_send_msgs()
+        );
+    }
+    let dm = DistCsrMatrix::from_global(&a, &builder.dist(Method::OneDRandom, p));
+    let mut ledger = CostLedger::new(Machine::cab());
+    let c = spgemm_dist(&dm, &b, &mut ledger);
+    assert!(
+        c.expand.max_send_msgs() > 50,
+        "1D-Random expand sends {} should approach p - 1 = 63",
+        c.expand.max_send_msgs()
+    );
+    assert_eq!(c.fold.max_send_msgs(), 0, "1D layouts own whole rows");
+}

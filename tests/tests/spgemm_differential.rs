@@ -1,0 +1,163 @@
+//! The SpGEMM differential battery: the distributed `C = A·B` kernel
+//! against the serial CSR Gustavson oracle ([`sf2d_graph::spgemm`]).
+//!
+//! For every (generator, p, layout) cell the distributed product must
+//! reassemble to a CSR with **identical row pointers, sorted identical
+//! column indices, and bitwise-equal values** — achievable because the
+//! generator matrices carry unit values, so every C entry is an exact
+//! small-integer sum and no floating-point reassociation can show
+//! through; the kernel's fixed rank-order reduction makes the bits
+//! deterministic regardless. On top of the oracle match, the result and
+//! the billed ledger must be byte-identical for workspace thread counts
+//! {1, 2, 8} — the `SF2D_THREADS` independence guarantee the SpMV engine
+//! already makes, extended to SpGEMM.
+//!
+//! The golden-row test at the bottom pins the `spgemm_experiment` driver
+//! output to `results/spgemm.jsonl` (regenerate with `SF2D_BLESS=1`).
+
+use sf2d_core::experiment::{labeled_spgemm, spgemm_experiment, SpgemmRow};
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_gen::{chung_lu, erdos_renyi, powerlaw_degrees, rmat, RmatConfig};
+use sf2d_graph::{spgemm, CsrMatrix};
+
+const PROCS: [usize; 4] = [1, 4, 16, 64];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// One differential cell: distribute `a` under `method`/`p`, run the
+/// kernel at several thread counts, and demand the oracle's exact CSR
+/// plus cross-thread byte-identity (values *and* ledger).
+fn check_cell(a: &CsrMatrix, builder: &mut LayoutBuilder, method: Method, p: usize) {
+    let label = format!("{} p={p}", method.name());
+    let dist = builder.dist(method, p);
+    let dm = DistCsrMatrix::from_global(a, &dist);
+    let b = a.transpose();
+    let want = spgemm(a, &b);
+
+    type Gold = (CsrMatrix, u64, Vec<(sf2d_sim::Phase, f64)>);
+    let mut gold: Option<Gold> = None;
+    for threads in THREADS {
+        let mut ws = SpgemmWorkspace::with_threads(threads);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_with(&dm, &b, &mut ledger, &mut ws);
+        let got = c.to_global();
+
+        assert_eq!(got.rowptr(), want.rowptr(), "{label}: row pointers");
+        assert_eq!(got.colidx(), want.colidx(), "{label}: column indices");
+        for i in 0..got.nrows() {
+            let (cols, _) = got.row(i);
+            assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "{label}: row {i} columns not sorted"
+            );
+        }
+        let got_bits: Vec<u64> = got.values().iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u64> = want.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "{label}: values bitwise");
+        assert_eq!(c.nnz, want.nnz() as u64, "{label}: allreduced nnz");
+
+        match &gold {
+            None => gold = Some((got, ledger.total.to_bits(), ledger.history.clone())),
+            Some((g, bits, history)) => {
+                let gb: Vec<u64> = g.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got_bits, gb, "{label}: threads={threads} value bits");
+                assert_eq!(
+                    ledger.total.to_bits(),
+                    *bits,
+                    "{label}: threads={threads} ledger total"
+                );
+                assert_eq!(
+                    &ledger.history, history,
+                    "{label}: threads={threads} ledger history"
+                );
+            }
+        }
+    }
+}
+
+fn sweep(a: &CsrMatrix) {
+    let mut builder = LayoutBuilder::new(a, 0);
+    for p in PROCS {
+        for method in Method::spmv_set(false) {
+            check_cell(a, &mut builder, method, p);
+        }
+    }
+}
+
+#[test]
+fn rmat_matches_oracle_on_all_layouts_and_procs() {
+    sweep(&rmat(&RmatConfig::graph500(7), 11));
+}
+
+#[test]
+fn chung_lu_matches_oracle_on_all_layouts_and_procs() {
+    let degs = powerlaw_degrees(160, 2.2, 2, 40, 5);
+    sweep(&chung_lu(&degs, 500, 0, 0.0, 5));
+}
+
+#[test]
+fn erdos_renyi_matches_oracle_on_all_layouts_and_procs() {
+    sweep(&erdos_renyi(150, 450, 13));
+}
+
+#[test]
+fn rectangular_product_matches_oracle() {
+    // A·B with B rectangular (ncols != n): the expand discipline and
+    // merge must not assume a square product.
+    let a = rmat(&RmatConfig::graph500(7), 3);
+    let n = a.nrows();
+    let mut coo = sf2d_graph::CooMatrix::new(n, 17);
+    for i in 0..n as u32 {
+        coo.push(i, i % 17, 1.0);
+        coo.push(i, (i * 7 + 3) % 17, 2.0);
+    }
+    let b = CsrMatrix::from_coo(&coo);
+    let want = spgemm(&a, &b);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    for method in [Method::OneDRandom, Method::TwoDRandom, Method::TwoDGp] {
+        let dm = DistCsrMatrix::from_global(&a, &builder.dist(method, 16));
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = spgemm_dist(&dm, &b, &mut ledger);
+        assert_eq!(c.to_global(), want, "{}", method.name());
+        assert_eq!(c.ncols, 17);
+    }
+}
+
+/// Golden pin of the `spgemm_experiment` driver: the six-layout row set
+/// at p = 16 on a fixed R-MAT, compared field-for-field against the
+/// checked-in `results/spgemm.jsonl`. Costs, traffic, and nnz are all
+/// deterministic, so any drift is a real behaviour change — regenerate
+/// deliberately with `SF2D_BLESS=1 cargo test -p sf2d-integration-tests
+/// golden_spgemm`.
+#[test]
+fn golden_spgemm_experiment_rows_are_stable() {
+    let a = rmat(&RmatConfig::graph500(7), 4);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let rows: Vec<SpgemmRow> = Method::spmv_set(false)
+        .into_iter()
+        .map(|m| {
+            labeled_spgemm(
+                spgemm_experiment(&a, &builder.dist(m, 16), Machine::cab()),
+                "rmat-s7",
+                m,
+            )
+        })
+        .collect();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../results/spgemm.jsonl");
+    if std::env::var_os("SF2D_BLESS").is_some() {
+        let mut out = String::new();
+        for row in &rows {
+            out.push_str(&serde_json::to_string(row).expect("row serializes"));
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write golden spgemm.jsonl");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden results/spgemm.jsonl present (bless with SF2D_BLESS=1)");
+    let want: Vec<SpgemmRow> = golden
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("golden line parses"))
+        .collect();
+    assert_eq!(rows, want, "spgemm_experiment drifted from the golden rows");
+}
