@@ -1,0 +1,34 @@
+//! Regenerates the golden SpGEMM experiment rows in `results/spgemm.jsonl`.
+//!
+//! Run after any change that legitimately moves the GP partitions (the
+//! 1D/2D-GP rows depend on the partitioner's output bits):
+//!
+//! ```text
+//! cargo run --release -p sf2d-bench --example bless_spgemm
+//! ```
+//!
+//! The partitioner-independent rows (Block/Random layouts) must come out
+//! byte-identical to the previous file — if they move, the *kernel* or
+//! cost model changed and the diff needs explaining, not blessing.
+
+use sf2d_core::experiment::labeled_spgemm;
+use sf2d_core::prelude::*;
+use sf2d_core::sf2d_gen::{rmat, RmatConfig};
+
+fn main() {
+    let scale = 7u32;
+    let p = 16usize;
+    let a = rmat(&RmatConfig::graph500(scale), 4);
+    let mut builder = LayoutBuilder::new(&a, 0);
+    let label = format!("rmat-s{scale}");
+    let mut out = String::new();
+    for m in Method::spmv_set(false) {
+        let dist = builder.dist(m, p);
+        let row = labeled_spgemm(spgemm_experiment(&a, &dist, Machine::cab()), &label, m);
+        out.push_str(&serde_json::to_string(&row).expect("row serializes"));
+        out.push('\n');
+    }
+    let path = "results/spgemm.jsonl";
+    std::fs::write(path, out).expect("write results/spgemm.jsonl");
+    eprintln!("bless_spgemm: wrote {path} ({label}, p = {p}, six layouts)");
+}

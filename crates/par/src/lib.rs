@@ -18,6 +18,9 @@
 
 use std::ops::Range;
 
+pub mod pool;
+pub use pool::Pool;
+
 /// Parses a raw `SF2D_THREADS` value. `None` (unset) means 1
 /// (sequential); anything else must be a positive integer. Rejected
 /// forms get a message naming the offending value, so a typo like
@@ -69,14 +72,18 @@ pub fn resolve_threads(requested: usize) -> usize {
 }
 
 /// Splits a thread budget between two child tasks proportionally to their
-/// work estimates, giving each child at least one thread. With a budget
-/// of 0 or 1 both children get 1 (they will run sequentially anyway).
+/// work estimates, giving each child at least one thread — a side is never
+/// starved to 0 no matter how lopsided (or huge) the work estimates are.
+/// With a budget of 0 or 1 both children get 1 (they will run sequentially
+/// anyway).
 pub fn split_threads(threads: usize, w0: usize, w1: usize) -> (usize, usize) {
     if threads <= 1 {
         return (1, 1);
     }
-    let total = (w0 + w1).max(1);
-    let t0 = (threads * w0 + total / 2) / total;
+    // u128 intermediates: `threads * w0` must not overflow even for work
+    // estimates near usize::MAX (nonzero counts are unbounded inputs here).
+    let total = (w0 as u128 + w1 as u128).max(1);
+    let t0 = ((threads as u128 * w0 as u128 + total / 2) / total) as usize;
     let t0 = t0.clamp(1, threads - 1);
     (t0, threads - t0)
 }
@@ -153,6 +160,241 @@ pub fn chunk_ranges(threads: usize, len: usize) -> Vec<Range<usize>> {
     (0..len.div_ceil(chunk))
         .map(|ci| ci * chunk..((ci + 1) * chunk).min(len))
         .collect()
+}
+
+/// Chunk boundaries for splitting `len` items across up to `parts`
+/// contiguous chunks, with every boundary (except the final `len`) rounded
+/// up to a multiple of `align`. Aligning boundaries to a cache line's
+/// worth of elements keeps two chunks from ping-ponging the line that
+/// straddles their boundary (false sharing) when each chunk writes its own
+/// output range.
+///
+/// The chunk shape depends only on `(parts, len, align)` — never on which
+/// thread runs which chunk — so chunk-order merges stay deterministic.
+pub fn chunk_ranges_aligned(parts: usize, len: usize, align: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let align = align.max(1);
+    let chunk = len.div_ceil(parts.max(1).min(len));
+    let chunk = chunk.div_ceil(align) * align;
+    (0..len.div_ceil(chunk))
+        .map(|ci| ci * chunk..((ci + 1) * chunk).min(len))
+        .collect()
+}
+
+/// Reduces `items` by a **fixed-shape** pairwise tree: adjacent pairs are
+/// combined level by level (`(0,1) (2,3) …`, then the results pairwise,
+/// and so on) until one value remains. The combining shape is a pure
+/// function of `items.len()`, so for an associative `f` the result is
+/// identical however the leaves were produced — unlike a left fold, whose
+/// association order is pinned to the chunk count.
+pub fn tree_fold<T>(items: Vec<T>, f: impl Fn(T, T) -> T) -> Option<T> {
+    let mut level = items;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(f(a, b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.into_iter().next()
+}
+
+/// Elements per chunk-boundary alignment unit: 64 elements keeps chunk
+/// edges off a shared cache line for element sizes down to one byte.
+pub const CHUNK_ALIGN: usize = 64;
+
+/// A thread budget plus an optional persistent [`Pool`] to run chunked
+/// loops on — the handle the partitioner threads through its phases.
+///
+/// Every loop is **granularity-gated**: a loop over `work` items with a
+/// per-item cost class `grain` runs on `min(threads, work / grain + 1)`
+/// threads, so tiny coarse-level loops run inline instead of paying a
+/// dispatch for nothing. With a pool, dispatch is a condvar wake of
+/// persistent workers; without one, scoped threads are spawned per call
+/// (the pre-pool behaviour). The result is byte-identical in all cases.
+#[derive(Clone, Copy)]
+pub struct Par<'p> {
+    threads: usize,
+    pool: Option<&'p Pool>,
+}
+
+impl<'p> Par<'p> {
+    /// A sequential handle: every loop runs inline.
+    pub const fn seq() -> Par<'static> {
+        Par {
+            threads: 1,
+            pool: None,
+        }
+    }
+
+    /// A handle over `threads` threads, optionally backed by a pool.
+    pub fn new(threads: usize, pool: Option<&'p Pool>) -> Par<'p> {
+        Par {
+            threads: threads.max(1),
+            pool,
+        }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Same pool, different budget (for fork-join splits).
+    pub fn with_threads(&self, threads: usize) -> Par<'p> {
+        Par {
+            threads: threads.max(1),
+            pool: self.pool,
+        }
+    }
+
+    /// Splits the budget proportionally to two work estimates (see
+    /// [`split_threads`]); both halves keep the pool — concurrent
+    /// submitters serialize batch-by-batch inside [`Pool::run`].
+    pub fn split(&self, w0: usize, w1: usize) -> (Par<'p>, Par<'p>) {
+        let (t0, t1) = split_threads(self.threads, w0, w1);
+        (self.with_threads(t0), self.with_threads(t1))
+    }
+
+    /// Threads worth using for `work` items of cost class `grain`
+    /// (items per thread-worth of work).
+    pub fn threads_for(&self, work: usize, grain: usize) -> usize {
+        self.threads.min(work / grain.max(1) + 1)
+    }
+
+    /// `out[i] = f(i)` with aligned chunks; inline below the grain.
+    pub fn fill<T, F>(&self, out: &mut [T], grain: usize, f: F)
+    where
+        T: Send + Copy,
+        F: Fn(usize) -> T + Sync,
+    {
+        let t = self.threads_for(out.len(), grain);
+        if t <= 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            return;
+        }
+        let ranges = chunk_ranges_aligned(t, out.len(), CHUNK_ALIGN);
+        match self.pool {
+            Some(pool) => {
+                let shared = SharedSlice::new(out);
+                pool.run(ranges.len(), |ci| {
+                    for i in ranges[ci].clone() {
+                        // SAFETY: chunk ranges are disjoint; `T: Copy` so
+                        // the overwritten slot needs no drop.
+                        unsafe { shared.write(i, f(i)) };
+                    }
+                });
+            }
+            None => par_fill(t, out, f),
+        }
+    }
+
+    /// `a[i], b[i] = f(i)` with shared aligned chunk boundaries.
+    pub fn fill2<A, B, F>(&self, a: &mut [A], b: &mut [B], grain: usize, f: F)
+    where
+        A: Send + Copy,
+        B: Send + Copy,
+        F: Fn(usize) -> (A, B) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "fill2 requires equal-length slices");
+        let t = self.threads_for(a.len(), grain);
+        if t <= 1 {
+            for (i, (sa, sb)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                let (va, vb) = f(i);
+                *sa = va;
+                *sb = vb;
+            }
+            return;
+        }
+        let ranges = chunk_ranges_aligned(t, a.len(), CHUNK_ALIGN);
+        match self.pool {
+            Some(pool) => {
+                let sa = SharedSlice::new(a);
+                let sb = SharedSlice::new(b);
+                pool.run(ranges.len(), |ci| {
+                    for i in ranges[ci].clone() {
+                        let (va, vb) = f(i);
+                        // SAFETY: disjoint chunks, Copy slots.
+                        unsafe {
+                            sa.write(i, va);
+                            sb.write(i, vb);
+                        }
+                    }
+                });
+            }
+            None => par_fill2(t, a, b, f),
+        }
+    }
+
+    /// Maps aligned chunks of `0..len` through `f` and returns the results
+    /// **in chunk order** (same merge contract as [`par_map_chunks`]).
+    pub fn map_chunks<R, F>(&self, len: usize, grain: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        let t = self.threads_for(len, grain);
+        let ranges = chunk_ranges_aligned(t, len, CHUNK_ALIGN);
+        if t <= 1 || ranges.len() <= 1 {
+            return ranges
+                .into_iter()
+                .enumerate()
+                .map(|(ci, r)| f(ci, r))
+                .collect();
+        }
+        match self.pool {
+            Some(pool) => {
+                let mut out: Vec<Option<R>> = Vec::new();
+                out.resize_with(ranges.len(), || None);
+                let shared = SharedSlice::new(&mut out);
+                pool.run(ranges.len(), |ci| {
+                    let r = f(ci, ranges[ci].clone());
+                    // SAFETY: each job writes only its own slot, and the
+                    // overwritten value is `None` (nothing to drop).
+                    unsafe { shared.write(ci, Some(r)) };
+                });
+                out.into_iter()
+                    .map(|r| r.expect("sf2d-par: chunk result missing"))
+                    .collect()
+            }
+            None => std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .enumerate()
+                    .map(|(ci, r)| {
+                        let f = &f;
+                        scope.spawn(move || f(ci, r))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sf2d-par: chunk task panicked"))
+                    .collect()
+            }),
+        }
+    }
+
+    /// Chunked reduction: maps aligned chunks through `f`, then combines
+    /// the per-chunk values with a fixed-shape [`tree_fold`]. `combine`
+    /// must be associative (exact integer sums, max, …); the tree shape
+    /// depends only on the chunk count, which depends only on
+    /// `(threads, len, grain)`.
+    pub fn reduce<R, F, C>(&self, len: usize, grain: usize, f: F, combine: C) -> Option<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+        C: Fn(R, R) -> R,
+    {
+        tree_fold(self.map_chunks(len, grain, f), combine)
+    }
 }
 
 /// Maps each chunk of `0..len` through `f` on its own scoped thread and
@@ -367,6 +609,113 @@ mod tests {
         // Degenerate weights never starve a child.
         let (a, b) = split_threads(2, 0, 0);
         assert_eq!((a, b), (1, 1));
+    }
+
+    #[test]
+    fn split_threads_never_starves_a_side_on_degenerate_ratios() {
+        // The satellite regression guard: whenever the budget allows two
+        // workers, both sides get at least one thread — for tiny, huge,
+        // zero, and overflow-bait work estimates alike.
+        for threads in [2usize, 3, 8, 64] {
+            for (w0, w1) in [
+                (0usize, 0usize),
+                (0, 1),
+                (1, 0),
+                (1, usize::MAX / 2),
+                (usize::MAX / 2, 1),
+                (usize::MAX, usize::MAX),
+                (usize::MAX, 0),
+                (1, 1_000_000_000),
+                (7, 3),
+            ] {
+                let (a, b) = split_threads(threads, w0, w1);
+                assert!(a >= 1 && b >= 1, "starved: t={threads} w=({w0},{w1})");
+                assert_eq!(a + b, threads, "lost budget: t={threads} w=({w0},{w1})");
+            }
+        }
+        // Proportionality still holds away from the degenerate edges.
+        assert_eq!(split_threads(8, 3, 1), (6, 2));
+    }
+
+    #[test]
+    fn chunk_ranges_aligned_cover_and_align() {
+        for parts in [1usize, 2, 3, 8, 100] {
+            for len in [0usize, 1, 63, 64, 65, 1000, 4096] {
+                let ranges = chunk_ranges_aligned(parts, len, CHUNK_ALIGN);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start);
+                    if r.end != len {
+                        assert_eq!(r.end % CHUNK_ALIGN, 0, "unaligned boundary {}", r.end);
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, len, "parts {parts} len {len}");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_fold_matches_linear_fold_for_associative_ops() {
+        for n in [0usize, 1, 2, 3, 7, 8, 33] {
+            let items: Vec<i64> = (0..n as i64).map(|i| i * 17 - 5).collect();
+            let linear: i64 = items.iter().sum();
+            let tree = tree_fold(items, |a, b| a + b);
+            assert_eq!(tree.unwrap_or(0), linear, "n {n}");
+        }
+        // Shape check: a non-associative op exposes the pairing order.
+        let shape = tree_fold(
+            vec![
+                "0".to_string(),
+                "1".into(),
+                "2".into(),
+                "3".into(),
+                "4".into(),
+            ],
+            |a, b| format!("({a}{b})"),
+        );
+        assert_eq!(shape.unwrap(), "(((01)(23))4)");
+    }
+
+    #[test]
+    fn par_handle_gates_and_matches_sequential() {
+        let pool = Pool::new(4);
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 7;
+        let mut expect = vec![0u64; 777];
+        Par::seq().fill(&mut expect, 1, f);
+        for (threads, use_pool) in [(2usize, true), (4, true), (4, false), (8, true)] {
+            let par = Par::new(threads, use_pool.then_some(&pool));
+            // Below the grain: runs inline.
+            assert_eq!(par.threads_for(10, 1000), 1);
+            let mut out = vec![0u64; 777];
+            par.fill(&mut out, 64, f);
+            assert_eq!(out, expect, "fill threads {threads} pool {use_pool}");
+
+            let mut a = vec![0u64; 777];
+            let mut b = vec![0i64; 777];
+            par.fill2(&mut a, &mut b, 64, |i| (f(i), i as i64 - 3));
+            assert_eq!(a, expect);
+            assert!(b.iter().enumerate().all(|(i, &v)| v == i as i64 - 3));
+
+            let sum = par
+                .reduce(
+                    777,
+                    64,
+                    |_, r| r.map(f).fold(0u64, u64::wrapping_add),
+                    u64::wrapping_add,
+                )
+                .unwrap();
+            assert_eq!(sum, expect.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+
+            let merged: Vec<u64> = par
+                .map_chunks(777, 64, |_, r| r.map(f).collect::<Vec<u64>>())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(merged, expect);
+        }
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! A persistent worker pool for the deterministic chunked loops.
+//!
+//! The scoped-thread helpers in the crate root spawn OS threads on every
+//! call, which is fine for a handful of long loops but ruinous for a
+//! multilevel partitioner that runs *hundreds* of small chunked loops (one
+//! per phase per level per bisection). [`Pool`] spawns its workers once and
+//! reuses them for every subsequent batch, turning the per-loop cost from
+//! a thread spawn (~tens of microseconds) into a condvar wake.
+//!
+//! **Determinism is unchanged:** a batch is `njobs` indexed jobs; workers
+//! claim indices from a shared counter, but each job writes only state
+//! derived from its own index (the same contract as [`crate::par_fill`]),
+//! so the claim order cannot affect the result — only the wall clock.
+//!
+//! The submitting thread participates in its own batch (a pool built for
+//! `threads` has `threads - 1` workers), and [`Pool::run`] blocks until
+//! the batch completes, so borrowed closures work like scoped threads: the
+//! borrow outlives every job. Concurrent submitters are allowed and simply
+//! serialize batch-by-batch — the recursive-bisection fork runs its two
+//! subtrees on sibling threads that share one pool.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Type-erased view of a borrowed `Fn(usize) + Sync` batch closure.
+///
+/// The raw pointer is only dereferenced while [`Pool::run`] is blocked on
+/// the batch, so the borrow is live for every call.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    njobs: usize,
+}
+
+// SAFETY: the pointer refers to a `Sync` closure that `Pool::run` keeps
+// borrowed until the batch is done (it blocks); sending the pointer to
+// workers is exactly the scoped-thread pattern, persistent edition.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct PoolState {
+    /// Current batch, if one is in flight.
+    job: Option<Job>,
+    /// Bumped per batch so workers can tell "new batch" from spurious wakes.
+    epoch: u64,
+    /// Jobs of the current batch finished so far.
+    done: usize,
+    /// A job in the current batch panicked (the submitter re-panics).
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new batch (or shutdown).
+    work_cv: Condvar,
+    /// Submitters wait here for batch completion (or a free slot).
+    done_cv: Condvar,
+    /// Next job index of the current batch to claim. Reset per batch while
+    /// the state lock is held; claimed lock-free while running.
+    next: AtomicUsize,
+}
+
+/// A persistent worker pool; see the module docs.
+pub struct Pool {
+    shared: std::sync::Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool that can run batches on up to `threads` threads: the
+    /// submitter plus `threads - 1` persistent workers. `threads <= 1`
+    /// spawns no workers (every batch runs inline on the submitter).
+    pub fn new(threads: usize) -> Pool {
+        let shared = std::sync::Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let workers = (1..threads.max(1))
+            .map(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sf2d-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("sf2d-par: spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Number of threads a batch can run on (workers + submitter).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `f(0), f(1), …, f(njobs - 1)` across the pool and returns when
+    /// every call has finished. The submitter participates. Panics in any
+    /// job are caught on the worker and re-raised here after the batch
+    /// drains, so no job runs against half-poisoned state unobserved.
+    pub fn run<F>(&self, njobs: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if njobs == 0 {
+            return;
+        }
+        if njobs == 1 || self.workers.is_empty() {
+            for i in 0..njobs {
+                f(i);
+            }
+            return;
+        }
+        unsafe fn call_erased<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+            let f = unsafe { &*(data as *const F) };
+            f(i);
+        }
+        let job = Job {
+            data: &f as *const F as *const (),
+            call: call_erased::<F>,
+            njobs,
+        };
+        {
+            let mut st = self.shared.state.lock().expect("sf2d-par: pool poisoned");
+            // Concurrent submitters serialize: wait for the slot.
+            while st.job.is_some() {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .expect("sf2d-par: pool poisoned");
+            }
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.job = Some(job);
+            st.epoch += 1;
+            st.done = 0;
+            st.panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+        // Participate, then wait for stragglers.
+        let panicked = run_batch(&self.shared, job);
+        let mut st = self.shared.state.lock().expect("sf2d-par: pool poisoned");
+        while st.done < njobs {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .expect("sf2d-par: pool poisoned");
+        }
+        let batch_panicked = st.panicked || panicked;
+        st.job = None;
+        // Wake any submitter queued on the slot.
+        self.shared.done_cv.notify_all();
+        drop(st);
+        if batch_panicked {
+            panic!("sf2d-par: pool job panicked");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("sf2d-par: pool poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Claims and runs jobs of `job` until the index counter is exhausted.
+/// Returns whether any job panicked; completion counts are published under
+/// the state lock either way so nobody deadlocks on a lost count.
+fn run_batch(shared: &PoolShared, job: Job) -> bool {
+    let mut ran = 0usize;
+    let mut panicked = false;
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.njobs {
+            break;
+        }
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, i) }));
+        panicked |= r.is_err();
+        ran += 1;
+    }
+    if ran > 0 {
+        let mut st = shared.state.lock().expect("sf2d-par: pool poisoned");
+        st.done += ran;
+        st.panicked |= panicked;
+        if st.done >= job.njobs {
+            shared.done_cv.notify_all();
+        }
+    }
+    panicked
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("sf2d-par: pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).expect("sf2d-par: pool poisoned");
+            }
+        };
+        run_batch(shared, job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = Pool::new(4);
+        for njobs in [0usize, 1, 2, 3, 17, 256] {
+            let hits: Vec<AtomicU64> = (0..njobs).map(|_| AtomicU64::new(0)).collect();
+            pool.run(njobs, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "njobs {njobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn reuses_workers_across_many_batches() {
+        let pool = Pool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..500 {
+            pool.run(8, |i| {
+                total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 500 * 36);
+    }
+
+    #[test]
+    fn borrowed_output_written_disjointly() {
+        let pool = Pool::new(4);
+        let mut out = vec![0u64; 1000];
+        let shared = crate::SharedSlice::new(&mut out);
+        pool.run(10, |chunk| {
+            for i in (chunk * 100)..((chunk + 1) * 100) {
+                // SAFETY: chunks are disjoint index ranges.
+                unsafe { shared.write(i, (i * i) as u64) };
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut out = vec![0u32; 5];
+        let shared = crate::SharedSlice::new(&mut out);
+        pool.run(5, |i| unsafe { shared.write(i, i as u32 + 1) });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize() {
+        let pool = Pool::new(2);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..100 {
+                    pool.run(4, |_| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            for _ in 0..100 {
+                pool.run(4, |_| {
+                    b.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 400);
+        assert_eq!(b.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_submitter() {
+        let pool = Pool::new(3);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool survives and keeps working after a panicked batch.
+        let n = AtomicU64::new(0);
+        pool.run(4, |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    }
+}

@@ -12,7 +12,10 @@
 //! and concatenates the chunks in index order — a deterministic merge that
 //! is byte-identical to the sequential walk for any thread count.
 
+use sf2d_par::Par;
+
 use super::matching::UNMATCHED;
+use super::tune::EDGE_GRAIN;
 use super::work::WorkGraph;
 
 /// Per-chunk partial CSR produced by the parallel scatter.
@@ -25,10 +28,9 @@ struct ChunkRows {
 }
 
 /// Contracts a graph along a matching, fanning the coarse-row construction
-/// across up to `threads` scoped threads (`<= 1` = sequential; the result
-/// is identical either way). Returns the coarse graph and the fine→coarse
-/// vertex map.
-pub fn contract(wg: &WorkGraph, mate: &[u32], threads: usize) -> (WorkGraph, Vec<u32>) {
+/// across `par`'s thread budget (sequential handles produce the identical
+/// result). Returns the coarse graph and the fine→coarse vertex map.
+pub fn contract(wg: &WorkGraph, mate: &[u32], par: &Par) -> (WorkGraph, Vec<u32>) {
     let nv = wg.nv();
     assert_eq!(mate.len(), nv);
 
@@ -56,7 +58,7 @@ pub fn contract(wg: &WorkGraph, mate: &[u32], threads: usize) -> (WorkGraph, Vec
     // Merge adjacency per coarse vertex. A dense "last seen" stamp array
     // gives O(deg) merge per coarse vertex without hashing; each chunk
     // owns private scratch so chunks are independent.
-    let chunks = sf2d_par::par_map_chunks(threads, cnv, |_, range| {
+    let chunks = par.map_chunks(cnv, EDGE_GRAIN, |_, range| {
         let mut stamp = vec![u32::MAX; cnv];
         let mut slot = vec![0usize; cnv];
         let mut rows = ChunkRows {
@@ -141,7 +143,7 @@ mod tests {
         // Match (0,1) and (2,3): coarse graph is a single edge.
         let wg = path4();
         let mate = vec![1, 0, 3, 2];
-        let (cg, cmap) = contract(&wg, &mate, 1);
+        let (cg, cmap) = contract(&wg, &mate, &Par::seq());
         assert_eq!(cg.nv(), 2);
         assert_eq!(cmap, vec![0, 0, 1, 1]);
         assert_eq!(cg.neighbors(0).0, &[1]);
@@ -155,7 +157,7 @@ mod tests {
         // Square 0-1-2-3-0; match (0,1) and (2,3): coarse vertices joined by
         // the two edges (1,2) and (0,3) -> weight 2.
         let wg = WorkGraph::from_graph(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]));
-        let (cg, _) = contract(&wg, &[1, 0, 3, 2], 1);
+        let (cg, _) = contract(&wg, &[1, 0, 3, 2], &Par::seq());
         assert_eq!(cg.nv(), 2);
         assert_eq!(cg.neighbors(0).1, &[2]);
     }
@@ -164,7 +166,7 @@ mod tests {
     fn unmatched_vertices_survive() {
         let wg = path4();
         let mate = vec![1, 0, UNMATCHED, UNMATCHED];
-        let (cg, cmap) = contract(&wg, &mate, 1);
+        let (cg, cmap) = contract(&wg, &mate, &Par::seq());
         assert_eq!(cg.nv(), 3);
         assert_eq!(cmap, vec![0, 0, 1, 2]);
         assert_eq!(cg.neighbors(1).0, &[0, 2]);
@@ -173,7 +175,7 @@ mod tests {
     #[test]
     fn total_weight_preserved() {
         let wg = path4();
-        let (cg, _) = contract(&wg, &[1, 0, 3, 2], 1);
+        let (cg, _) = contract(&wg, &[1, 0, 3, 2], &Par::seq());
         assert_eq!(cg.total_wgt()[0], wg.total_wgt()[0]);
     }
 
@@ -181,7 +183,7 @@ mod tests {
     fn mc_weights_summed() {
         let g = Graph::from_edges(2, &[(0, 1)]);
         let wg = WorkGraph::from_graph_mc(&g);
-        let (cg, _) = contract(&wg, &[1, 0], 1);
+        let (cg, _) = contract(&wg, &[1, 0], &Par::seq());
         assert_eq!(cg.nv(), 1);
         assert_eq!(cg.vwgt, vec![2, 2]); // rows: 1+1, nnz: 1+1
         assert!(cg.adjncy.is_empty());
@@ -190,35 +192,39 @@ mod tests {
     #[test]
     fn parallel_contract_is_byte_identical() {
         // A denser pseudo-random graph so chunks actually merge parallel
-        // edges: deterministic LCG edge list over 200 vertices.
+        // edges: deterministic LCG edge list over 10k vertices (above
+        // EDGE_GRAIN so the construction really chunks).
         let mut edges = Vec::new();
         let mut x = 12345u64;
-        for _ in 0..1200 {
+        for _ in 0..60_000 {
             x = x
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            let a = (x >> 33) % 200;
-            let b = (x >> 13) % 200;
+            let a = (x >> 33) % 10_000;
+            let b = (x >> 13) % 10_000;
             if a != b {
                 edges.push((a as u32, b as u32));
             }
         }
-        let g = Graph::from_edges(200, &edges);
+        let g = Graph::from_edges(10_000, &edges);
         for wg in [WorkGraph::from_graph(&g), WorkGraph::from_graph_mc(&g)] {
             // Greedy deterministic matching: pair consecutive unmatched ids.
-            let mut mate = vec![UNMATCHED; 200];
-            for v in (0..199).step_by(3) {
+            let mut mate = vec![UNMATCHED; 10_000];
+            for v in (0..9_999).step_by(3) {
                 mate[v] = v as u32 + 1;
                 mate[v + 1] = v as u32;
             }
-            let (seq_g, seq_map) = contract(&wg, &mate, 1);
+            let (seq_g, seq_map) = contract(&wg, &mate, &Par::seq());
             for threads in [2, 4, 7] {
-                let (par_g, par_map) = contract(&wg, &mate, threads);
-                assert_eq!(par_map, seq_map, "threads {threads}");
-                assert_eq!(par_g.xadj, seq_g.xadj, "threads {threads}");
-                assert_eq!(par_g.adjncy, seq_g.adjncy, "threads {threads}");
-                assert_eq!(par_g.adjwgt, seq_g.adjwgt, "threads {threads}");
-                assert_eq!(par_g.vwgt, seq_g.vwgt, "threads {threads}");
+                let pool = sf2d_par::Pool::new(threads);
+                for par in [Par::new(threads, None), Par::new(threads, Some(&pool))] {
+                    let (par_g, par_map) = contract(&wg, &mate, &par);
+                    assert_eq!(par_map, seq_map, "threads {threads}");
+                    assert_eq!(par_g.xadj, seq_g.xadj, "threads {threads}");
+                    assert_eq!(par_g.adjncy, seq_g.adjncy, "threads {threads}");
+                    assert_eq!(par_g.adjwgt, seq_g.adjwgt, "threads {threads}");
+                    assert_eq!(par_g.vwgt, seq_g.vwgt, "threads {threads}");
+                }
             }
         }
     }

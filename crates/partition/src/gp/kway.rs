@@ -11,15 +11,18 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use sf2d_par::{tree_fold, Par};
+
+use super::tune::VERTEX_GRAIN;
 use super::work::{WorkGraph, MAX_CON};
 
 /// Refines a k-way partition in place. Returns the number of moves made.
 ///
 /// `ub` is the per-part balance allowance (`max part weight <= ub * ideal`).
-/// `threads` fans the part-weight initialization out across scoped threads
-/// (`<= 1` = sequential); the move loop itself is inherently sequential and
-/// identical either way — exact integer partial sums merged in chunk order
-/// make the initialization thread-count independent too.
+/// `par` fans the part-weight initialization out across threads; the move
+/// loop itself is inherently sequential and identical either way — exact
+/// integer per-chunk sums merged through a fixed-shape tree fold make the
+/// initialization thread-count independent too.
 pub fn kway_refine(
     wg: &WorkGraph,
     part: &mut [u32],
@@ -27,7 +30,7 @@ pub fn kway_refine(
     ub: f64,
     passes: usize,
     seed: u64,
-    threads: usize,
+    par: &Par,
 ) -> usize {
     let nv = wg.nv();
     assert_eq!(part.len(), nv);
@@ -39,7 +42,7 @@ pub fn kway_refine(
     // Part weights per constraint.
     let tot = wg.total_wgt();
     let part_ro: &[u32] = part;
-    let partials = sf2d_par::par_map_chunks(threads, nv, |_, range| {
+    let partials = par.map_chunks(nv, VERTEX_GRAIN, |_, range| {
         let mut pw = vec![[0i64; MAX_CON]; k];
         for v in range {
             for c in 0..ncon {
@@ -48,14 +51,15 @@ pub fn kway_refine(
         }
         pw
     });
-    let mut pw = vec![[0i64; MAX_CON]; k];
-    for partial in partials {
-        for (acc, p) in pw.iter_mut().zip(partial) {
-            for c in 0..ncon {
+    let mut pw = tree_fold(partials, |mut a, b| {
+        for (acc, p) in a.iter_mut().zip(b) {
+            for c in 0..MAX_CON {
                 acc[c] += p[c];
             }
         }
-    }
+        a
+    })
+    .unwrap_or_else(|| vec![[0i64; MAX_CON]; k]);
     let cap: Vec<f64> = (0..ncon).map(|c| ub * tot[c] as f64 / k as f64).collect();
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -149,7 +153,7 @@ mod tests {
         // Scrambled 4-way assignment: terrible cut.
         let mut part: Vec<u32> = (0..144).map(|v| ((v * 7 + 3) % 4) as u32).collect();
         let before = Partition::new(part.clone(), 4).edge_cut(&g);
-        let moves = kway_refine(&wg, &mut part, 4, 1.15, 8, 1, 1);
+        let moves = kway_refine(&wg, &mut part, 4, 1.15, 8, 1, &Par::seq());
         let after_p = Partition::new(part.clone(), 4);
         let after = after_p.edge_cut(&g);
         assert!(moves > 0);
@@ -163,7 +167,7 @@ mod tests {
         // All vertices want to merge into one part (the cut is minimal with
         // everything together) — balance must prevent that.
         let mut part: Vec<u32> = (0..100).map(|v| u32::from(v >= 50)).collect();
-        kway_refine(&wg, &mut part, 2, 1.10, 10, 2, 1);
+        kway_refine(&wg, &mut part, 2, 1.10, 10, 2, &Par::seq());
         let p = Partition::new(part, 2);
         assert!(
             p.imbalance(&g.vwgt) <= 1.11,
@@ -180,7 +184,7 @@ mod tests {
         // Clean vertical halves of an 8x8 grid: locally optimal.
         let mut part: Vec<u32> = (0..64).map(|v| u32::from(v % 8 >= 4)).collect();
         let before = part.clone();
-        kway_refine(&wg, &mut part, 2, 1.05, 4, 3, 1);
+        kway_refine(&wg, &mut part, 2, 1.05, 4, 3, &Par::seq());
         // FM-lite may shuffle boundary vertices of equal gain for balance,
         // but the cut must not get worse.
         let g = Graph::from_symmetric_matrix(&grid_2d(8, 8));
@@ -191,12 +195,18 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let (_, wg) = grid_wg(10);
-        let init: Vec<u32> = (0..100).map(|v| ((v * 13) % 4) as u32).collect();
-        let mut a = init.clone();
-        let mut b = init;
-        kway_refine(&wg, &mut a, 4, 1.1, 4, 7, 2);
-        kway_refine(&wg, &mut b, 4, 1.1, 4, 7, 1);
-        assert_eq!(a, b);
+        // 150x150 grid: above VERTEX_GRAIN so the init really chunks.
+        let (_, wg) = grid_wg(150);
+        let init: Vec<u32> = (0..150 * 150).map(|v| ((v * 13) % 4) as u32).collect();
+        let mut b = init.clone();
+        kway_refine(&wg, &mut b, 4, 1.1, 4, 7, &Par::seq());
+        for threads in [2usize, 4] {
+            let pool = sf2d_par::Pool::new(threads);
+            for h in [Par::new(threads, None), Par::new(threads, Some(&pool))] {
+                let mut a = init.clone();
+                kway_refine(&wg, &mut a, 4, 1.1, 4, 7, &h);
+                assert_eq!(a, b, "threads {threads}");
+            }
+        }
     }
 }

@@ -22,12 +22,28 @@ pub mod kway;
 pub mod matching;
 pub mod rb;
 pub mod refine;
+pub mod tune;
 pub mod work;
 
 use sf2d_graph::Graph;
+use sf2d_par::{Par, Pool};
 
 use crate::types::Partition;
+use rb::PhaseNanos;
 use work::WorkGraph;
+
+/// A partition together with its work counters and per-phase wall-time
+/// attribution — everything the benchmark harness needs to explain where
+/// a thread budget went without re-instrumenting the pipeline.
+#[derive(Debug, Clone)]
+pub struct GpReport {
+    /// The k-way partition.
+    pub partition: Partition,
+    /// Aggregated work counters (deterministic; equal across thread counts).
+    pub stats: rb::GpStats,
+    /// Per-phase wall time (not deterministic; sums overlap under forks).
+    pub phases: PhaseNanos,
+}
 
 /// Tuning knobs for the multilevel partitioner.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
@@ -67,28 +83,26 @@ impl Default for GpConfig {
 /// `sf2d-obs` spans, work counters, and achieved-quality reporting.
 /// `tag` distinguishes the single-constraint (`gp`) and multiconstraint
 /// (`gp-mc`) streams in traces.
-fn partition_workgraph(wg: &WorkGraph, tag: &str, k: usize, cfg: &GpConfig) -> Partition {
+fn partition_workgraph(wg: &WorkGraph, tag: &str, k: usize, cfg: &GpConfig) -> GpReport {
     let threads = sf2d_par::resolve_threads(cfg.threads);
-    let (mut part, stats) = sf2d_obs::trace_span!(
+    let (mut part, stats, phases) = sf2d_obs::trace_span!(
         sf2d_obs::PhaseKind::Partition,
         &format!("{tag}:recursive-bisection"),
-        rb::recursive_bisection_with_stats(wg, k, cfg)
+        rb::recursive_bisection_report(wg, k, cfg)
     );
     // Direct k-way polish on the assembled partition: repairs the cut and
-    // the imbalance that compound across recursive-bisection levels.
-    let kway_moves = sf2d_obs::trace_span!(
-        sf2d_obs::PhaseKind::Partition,
-        &format!("{tag}:kway-refine"),
-        kway::kway_refine(
-            wg,
-            &mut part.part,
-            k,
-            cfg.ub.max(1.03),
-            4,
-            cfg.seed,
-            threads
+    // the imbalance that compound across recursive-bisection levels. Its
+    // part-weight init reuses one short-lived pool (the rb pool is scoped
+    // to the recursion).
+    let kway_moves = {
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let par = Par::new(threads, pool.as_ref());
+        sf2d_obs::trace_span!(
+            sf2d_obs::PhaseKind::Partition,
+            &format!("{tag}:kway-refine"),
+            kway::kway_refine(wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed, &par)
         )
-    );
+    };
     if sf2d_obs::enabled() {
         sf2d_obs::counter!(&format!("partition.{tag}.bisections"), 0, stats.bisections);
         sf2d_obs::counter!(
@@ -114,7 +128,11 @@ fn partition_workgraph(wg: &WorkGraph, tag: &str, k: usize, cfg: &GpConfig) -> P
         }
         sf2d_obs::histogram!(&format!("partition.{tag}.edge_cut"), q.edge_cut);
     }
-    part
+    GpReport {
+        partition: part,
+        stats,
+        phases,
+    }
 }
 
 /// Measures the achieved k-way quality of `part` on `wg`: per-constraint
@@ -140,6 +158,12 @@ pub fn quality_of(wg: &WorkGraph, part: &Partition, ub: f64) -> crate::metrics::
 /// (by default the per-row nonzero counts — the paper's "we will always
 /// balance the nonzeros").
 pub fn partition_graph(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
+    partition_graph_report(g, k, cfg).partition
+}
+
+/// As [`partition_graph`], also returning work counters and per-phase wall
+/// times (for the benchmark harness's speedup attribution).
+pub fn partition_graph_report(g: &Graph, k: usize, cfg: &GpConfig) -> GpReport {
     let wg = WorkGraph::from_graph(g);
     partition_workgraph(&wg, "gp", k, cfg)
 }
@@ -148,6 +172,11 @@ pub fn partition_graph(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
 /// weight per row (vector work) and the nonzero count (SpMV work), as done
 /// with ParMETIS' multiconstraint partitioner in §5.3.
 pub fn partition_graph_multiconstraint(g: &Graph, k: usize, cfg: &GpConfig) -> Partition {
+    partition_graph_multiconstraint_report(g, k, cfg).partition
+}
+
+/// As [`partition_graph_multiconstraint`], with counters and phase times.
+pub fn partition_graph_multiconstraint_report(g: &Graph, k: usize, cfg: &GpConfig) -> GpReport {
     let wg = WorkGraph::from_graph_mc(g);
     partition_workgraph(&wg, "gp-mc", k, cfg)
 }

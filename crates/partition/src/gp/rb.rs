@@ -16,22 +16,59 @@
 //! execution for any thread count and any schedule; this is
 //! property-tested in `tests/parallel_identity.rs`.
 
+use std::time::Instant;
+
+use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use sf2d_par::SharedSlice;
+use sf2d_par::{Par, Pool, SharedSlice};
 
 use super::coarsen::contract;
 use super::initpart::gggp;
 use super::matching::{heavy_edge_matching, matched_fraction, UNMATCHED};
 use super::refine::fm_refine;
+use super::tune::{GP_FORK_CUTOFF, VERTEX_GRAIN};
 use super::work::{WorkGraph, MAX_CON};
 use super::GpConfig;
 use crate::types::Partition;
 
-/// Don't fork a bisection's children unless both subgraphs have at least
-/// this many vertices — below it, thread spawn overhead beats the win.
-const PAR_FORK_CUTOFF: usize = 512;
+/// Per-phase wall time, in nanoseconds, accumulated across every level of
+/// every bisection in a (sub)tree. Kept **separate** from [`GpStats`]:
+/// stats are part of the determinism contract (equality-checked in tests),
+/// timings are not. When sibling subtrees run concurrently their phase
+/// times overlap on the clock, so sums are closer to CPU time than elapsed
+/// time — which is exactly the right denominator for attributing where a
+/// thread budget goes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseNanos {
+    /// Heavy-edge matching rounds.
+    pub matching: u64,
+    /// Coarse-graph contraction.
+    pub contract: u64,
+    /// Coarsest-level GGGP (+ its first FM polish).
+    pub initpart: u64,
+    /// FM refinement during uncoarsening.
+    pub refine: u64,
+    /// Projection of the side vector through `cmap`.
+    pub project: u64,
+}
+
+impl PhaseNanos {
+    /// Accumulates another subtree's timings.
+    pub fn absorb(&mut self, o: PhaseNanos) {
+        self.matching += o.matching;
+        self.contract += o.contract;
+        self.initpart += o.initpart;
+        self.refine += o.refine;
+        self.project += o.project;
+    }
+
+    /// Sum over all attributed phases.
+    pub fn total(&self) -> u64 {
+        self.matching + self.contract + self.initpart + self.refine + self.project
+    }
+}
 
 /// Aggregated work counters from a (sub)tree of recursive bisections,
 /// merged deterministically (left child before right) on the
@@ -73,7 +110,7 @@ impl GpStats {
 
 /// Partitions `wg` into `k` parts by recursive multilevel bisection.
 pub fn recursive_bisection(wg: &WorkGraph, k: usize, cfg: &GpConfig) -> Partition {
-    recursive_bisection_with_stats(wg, k, cfg).0
+    recursive_bisection_report(wg, k, cfg).0
 }
 
 /// As [`recursive_bisection`], also returning the aggregated work
@@ -83,17 +120,34 @@ pub fn recursive_bisection_with_stats(
     k: usize,
     cfg: &GpConfig,
 ) -> (Partition, GpStats) {
+    let (p, s, _) = recursive_bisection_report(wg, k, cfg);
+    (p, s)
+}
+
+/// As [`recursive_bisection_with_stats`], also returning per-phase wall
+/// time attribution. One worker [`Pool`] is created here and reused by
+/// every chunked loop of every level of every bisection — pool workers
+/// park between batches instead of being respawned per loop, which is
+/// where the pre-pool implementation lost its speedup.
+pub fn recursive_bisection_report(
+    wg: &WorkGraph,
+    k: usize,
+    cfg: &GpConfig,
+) -> (Partition, GpStats, PhaseNanos) {
     assert!(k >= 1);
     let threads = sf2d_par::resolve_threads(cfg.threads);
     let nv = wg.nv();
     let mut part = vec![0u32; nv];
     let mut stats = GpStats::default();
+    let mut phases = PhaseNanos::default();
     if k > 1 {
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let par = Par::new(threads, pool.as_ref());
         let ids: Vec<u32> = (0..nv as u32).collect();
         let out = SharedSlice::new(&mut part);
-        stats = rec(wg, &ids, k, 0, cfg, &out, 1, threads);
+        (stats, phases) = rec(wg, &ids, k, 0, cfg, &out, 1, &par);
     }
-    (Partition::new(part, k), stats)
+    (Partition::new(part, k), stats, phases)
 }
 
 /// Recursive worker. Writes `out[map[local]] = part id` for every local
@@ -108,19 +162,19 @@ fn rec(
     cfg: &GpConfig,
     out: &SharedSlice<u32>,
     depth_seed: u64,
-    threads: usize,
-) -> GpStats {
+    par: &Par,
+) -> (GpStats, PhaseNanos) {
     if k == 1 {
         for &orig in map {
             // SAFETY: `map` entries are disjoint across sibling subtrees.
             unsafe { out.write(orig as usize, offset) };
         }
-        return GpStats::default();
+        return (GpStats::default(), PhaseNanos::default());
     }
     let k1 = k / 2;
     let k2 = k - k1;
     let frac = k1 as f64 / k as f64;
-    let (side, mut stats) = multilevel_bisect(wg, frac, cfg, depth_seed, threads);
+    let (side, mut stats, mut phases) = multilevel_bisect(wg, frac, cfg, depth_seed, par);
     stats.bisections += 1;
 
     let mut keep0: Vec<u32> = Vec::new();
@@ -137,57 +191,66 @@ fn rec(
     // back through `map`. Child tasks are independent (disjoint keeps ->
     // disjoint out writes) and carry path-derived salts, so running them
     // on sibling threads cannot change the result.
-    let child = |keep: Vec<u32>, kk: usize, off: u32, salt: u64, t: usize| -> GpStats {
+    let child = |keep: Vec<u32>, kk: usize, off: u32, salt: u64, p: Par| -> (GpStats, PhaseNanos) {
         if kk == 1 {
             for &local in &keep {
                 // SAFETY: sibling keeps are disjoint subsets of `map`.
                 unsafe { out.write(map[local as usize] as usize, off) };
             }
-            GpStats::default()
+            (GpStats::default(), PhaseNanos::default())
         } else if keep.is_empty() {
             // Degenerate: a side lost every vertex (tiny graphs). Nothing to
             // assign; the empty parts simply stay empty.
-            GpStats::default()
+            (GpStats::default(), PhaseNanos::default())
         } else {
             let (sub, submap) = wg.subgraph(&keep);
             let orig_map: Vec<u32> = submap.iter().map(|&l| map[l as usize]).collect();
-            rec(&sub, &orig_map, kk, off, cfg, out, salt, t)
+            rec(&sub, &orig_map, kk, off, cfg, out, salt, &p)
         }
     };
 
-    let fork = threads >= 2 && k1 > 1 && k2 > 1 && keep0.len().min(keep1.len()) >= PAR_FORK_CUTOFF;
-    let (t0, t1) = if fork {
-        sf2d_par::split_threads(threads, keep0.len(), keep1.len())
+    // With intra-bisection parallelism the loops inside one child already
+    // use the whole budget, so forking is only worth its scoped-thread
+    // spawn for genuinely large sibling pairs (see `tune::GP_FORK_CUTOFF`).
+    // Both forked children keep the shared pool; their concurrent batch
+    // submissions serialize inside `Pool::run`.
+    let fork =
+        par.threads() >= 2 && k1 > 1 && k2 > 1 && keep0.len().min(keep1.len()) >= GP_FORK_CUTOFF;
+    let (p0, p1) = if fork {
+        par.split(keep0.len(), keep1.len())
     } else {
         // Sequential children may each use the full budget for their own
         // inner loops and deeper forks.
-        (threads, threads)
+        (*par, *par)
     };
     let off1 = offset + k1 as u32;
-    let (s0, s1) = sf2d_par::join(
+    let ((s0, ph0), (s1, ph1)) = sf2d_par::join(
         fork,
-        || child(keep0, k1, offset, 2 * depth_seed, t0),
-        || child(keep1, k2, off1, 2 * depth_seed + 1, t1),
+        || child(keep0, k1, offset, 2 * depth_seed, p0),
+        || child(keep1, k2, off1, 2 * depth_seed + 1, p1),
     );
     stats.absorb(s0);
     stats.absorb(s1);
-    stats
+    phases.absorb(ph0);
+    phases.absorb(ph1);
+    (stats, phases)
 }
 
 /// One multilevel bisection: coarsen, GGGP, uncoarsen + FM. `salt` selects
-/// the subtree's RNG stream (`cfg.seed ^ salt * φ64`); `threads` bounds the
-/// scoped-thread fan-out of the order-independent inner loops (coarse-graph
-/// construction, FM initialization, projection) — the matcher, GGGP, and
-/// the FM move loops stay sequential per subgraph.
+/// the subtree's RNG stream (`cfg.seed ^ salt * φ64`); `par` bounds the
+/// fan-out of the order-independent inner loops (matching rounds,
+/// coarse-graph construction, FM initialization, the starting cut sum,
+/// projection) — GGGP and the FM move loops stay sequential per subgraph.
 pub fn multilevel_bisect(
     wg: &WorkGraph,
     frac: f64,
     cfg: &GpConfig,
     salt: u64,
-    threads: usize,
-) -> (Vec<u8>, GpStats) {
+    par: &Par,
+) -> (Vec<u8>, GpStats, PhaseNanos) {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15));
     let mut stats = GpStats::default();
+    let mut phases = PhaseNanos::default();
 
     // Targets per side and constraint.
     let tot = wg.total_wgt();
@@ -210,21 +273,29 @@ pub fn multilevel_bisect(
     let mut cur = wg.clone();
     while cur.nv() > cfg.coarsen_to {
         let level = levels.len();
+        // The matching salt is drawn from the subtree RNG, so every level
+        // gets fresh tie-breaks (the determinism-preserving stand-in for
+        // the old random visit order).
+        let match_salt: u64 = rng.gen();
+        let t = Instant::now();
         let mate = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             &format!("gp:match:l{level}"),
-            heavy_edge_matching(&cur, &max_vwgt, &mut rng)
+            heavy_edge_matching(&cur, &max_vwgt, match_salt, par)
         );
+        phases.matching += t.elapsed().as_nanos() as u64;
         stats.matchable_vertices += mate.len() as u64;
         stats.matched_vertices += mate.iter().filter(|&&m| m != UNMATCHED).count() as u64;
         if matched_fraction(&mate) < 0.1 {
             break; // coarsening stalled (e.g. star graphs with capped hubs)
         }
+        let t = Instant::now();
         let (coarse, cmap) = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             &format!("gp:contract:l{level}"),
-            contract(&cur, &mate, threads)
+            contract(&cur, &mate, par)
         );
+        phases.contract += t.elapsed().as_nanos() as u64;
         if coarse.nv() as f64 > 0.97 * cur.nv() as f64 {
             break;
         }
@@ -234,12 +305,14 @@ pub fn multilevel_bisect(
     stats.coarsen_levels += levels.len() as u64;
 
     // Initial partition at the coarsest level.
+    let t = Instant::now();
     let mut side = if cur.nv() == 0 {
         Vec::new()
     } else {
         gggp(&cur, &targets, cfg.ub, cfg.init_tries, &mut rng)
     };
-    let (_, moves) = fm_refine(&cur, &mut side, &targets, cfg.ub, cfg.fm_passes, threads);
+    let (_, moves) = fm_refine(&cur, &mut side, &targets, cfg.ub, cfg.fm_passes, par);
+    phases.initpart += t.elapsed().as_nanos() as u64;
     stats.fm_moves += moves as u64;
 
     // Uncoarsening with refinement at each level.
@@ -247,25 +320,22 @@ pub fn multilevel_bisect(
         let level = levels.len();
         // Projection is a pure per-vertex gather through cmap — parallel
         // fill is byte-identical to the sequential loop.
+        let t = Instant::now();
         let mut fine_side = vec![0u8; finer.nv()];
         let side_ro: &[u8] = &side;
-        sf2d_par::par_fill(threads, &mut fine_side, |v| side_ro[cmap[v] as usize]);
+        par.fill(&mut fine_side, VERTEX_GRAIN, |v| side_ro[cmap[v] as usize]);
+        phases.project += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
         let (_, moves) = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             &format!("gp:refine:l{level}"),
-            fm_refine(
-                &finer,
-                &mut fine_side,
-                &targets,
-                cfg.ub,
-                cfg.fm_passes,
-                threads
-            )
+            fm_refine(&finer, &mut fine_side, &targets, cfg.ub, cfg.fm_passes, par)
         );
+        phases.refine += t.elapsed().as_nanos() as u64;
         stats.fm_moves += moves as u64;
         side = fine_side;
     }
-    (side, stats)
+    (side, stats, phases)
 }
 
 #[cfg(test)]
@@ -296,7 +366,7 @@ mod tests {
         }
         let g = Graph::from_edges(51, &edges);
         let wg = WorkGraph::from_graph(&g);
-        let (side, _) = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 1, 1);
+        let (side, _, _) = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 1, &Par::seq());
         let w = crate::gp::initpart::side_weights(&wg, &side);
         let tot = wg.total_wgt()[0] as f64;
         // Hub weight is half the total; a feasible bisection puts the hub
@@ -311,7 +381,7 @@ mod tests {
     fn multilevel_beats_no_refinement_grid_cut() {
         let g = Graph::from_symmetric_matrix(&grid_2d(32, 32));
         let wg = WorkGraph::from_graph(&g);
-        let (side, stats) = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 0, 1);
+        let (side, stats, _) = multilevel_bisect(&wg, 0.5, &GpConfig::default(), 0, &Par::seq());
         let cut = crate::gp::initpart::cut_of(&wg, &side);
         // Optimal is 32; allow 3x.
         assert!(cut <= 96, "cut {cut}");
@@ -336,9 +406,10 @@ mod tests {
     #[test]
     fn explicit_thread_counts_agree_with_sequential() {
         // Direct rb-level identity check (the broad property test lives in
-        // tests/parallel_identity.rs): a graph big enough to cross the fork
-        // cutoff with k=8.
-        let g = Graph::from_symmetric_matrix(&grid_2d(48, 48));
+        // tests/parallel_identity.rs): an 80x80 grid is big enough that the
+        // first split's sides (~3200 vertices) cross GP_FORK_CUTOFF with
+        // k=8, so the forked path really runs.
+        let g = Graph::from_symmetric_matrix(&grid_2d(80, 80));
         let wg = WorkGraph::from_graph(&g);
         let mut cfg = GpConfig {
             threads: 1,

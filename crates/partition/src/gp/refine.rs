@@ -9,14 +9,17 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use sf2d_par::Par;
+
 use super::initpart::{side_weights, violation};
+use super::tune::{EDGE_GRAIN, VERTEX_GRAIN};
 use super::work::{WorkGraph, MAX_CON};
 
 /// Refines `side` in place. `targets[s][c]` are ideal side weights, `ub` the
-/// imbalance allowance, `max_passes` the pass budget. `threads` fans the
-/// gain/boundary initialization out across scoped threads (`<= 1` =
-/// sequential; the refinement passes themselves are inherently sequential
-/// and identical either way).
+/// imbalance allowance, `max_passes` the pass budget. `par` fans the
+/// gain/boundary initialization and the starting cut sum out across
+/// threads (sequential handles are identical); the move loop itself is
+/// inherently sequential and byte-identical either way.
 ///
 /// Returns the final cut weight and the number of moves kept.
 pub fn fm_refine(
@@ -25,7 +28,7 @@ pub fn fm_refine(
     targets: &[[f64; MAX_CON]; 2],
     ub: f64,
     max_passes: usize,
-    threads: usize,
+    par: &Par,
 ) -> (i64, usize) {
     let nv = wg.nv();
     if nv == 0 {
@@ -40,7 +43,7 @@ pub fn fm_refine(
     let mut int = vec![0i64; nv];
     {
         let side_ro: &[u8] = side;
-        sf2d_par::par_fill2(threads, &mut ext, &mut int, |v| {
+        par.fill2(&mut ext, &mut int, EDGE_GRAIN, |v| {
             let (nbrs, wgts) = wg.neighbors(v);
             let mut e = 0i64;
             let mut i = 0i64;
@@ -54,7 +57,17 @@ pub fn fm_refine(
             (e, i)
         });
     }
-    let mut cut: i64 = (0..nv).map(|v| ext[v]).sum::<i64>() / 2;
+    // Exact integer partial sums merged through a fixed-shape tree fold:
+    // associative, so any chunking yields the same total.
+    let mut cut: i64 = par
+        .reduce(
+            nv,
+            VERTEX_GRAIN,
+            |_, range| range.map(|v| ext[v]).sum::<i64>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0)
+        / 2;
     let mut moves_kept = 0usize;
     let mut w = side_weights(wg, side);
 
@@ -73,12 +86,20 @@ pub fn fm_refine(
         let cut_at_pass_start = cut;
 
         // Lazy max-heaps of candidate moves, one per source side.
-        let mut heaps: [BinaryHeap<(i64, Reverse<u32>)>; 2] =
-            [BinaryHeap::new(), BinaryHeap::new()];
+        // Collect-then-heapify is O(n) where per-vertex pushes are
+        // O(n log n); entries are distinct, so the pop order (hence the
+        // result) is unchanged.
+        let mut entries: [Vec<(i64, Reverse<u32>)>; 2] = [
+            Vec::with_capacity(nv / 2 + 1),
+            Vec::with_capacity(nv / 2 + 1),
+        ];
         let mut locked = vec![false; nv];
         for v in 0..nv {
-            heaps[side[v] as usize].push((ext[v] - int[v], Reverse(v as u32)));
+            entries[side[v] as usize].push((ext[v] - int[v], Reverse(v as u32)));
         }
+        let [e0, e1] = entries;
+        let mut heaps: [BinaryHeap<(i64, Reverse<u32>)>; 2] =
+            [BinaryHeap::from(e0), BinaryHeap::from(e1)];
 
         // Move log for rollback to the best prefix.
         let mut log: Vec<u32> = Vec::new();
@@ -238,7 +259,7 @@ mod tests {
         let wg = WorkGraph::from_graph(&g);
         let mut side = vec![0u8, 1, 0, 1, 0, 1];
         let t = even_targets(&wg);
-        let (cut, moves) = fm_refine(&wg, &mut side, &t, 1.30, 8, 1);
+        let (cut, moves) = fm_refine(&wg, &mut side, &t, 1.30, 8, &Par::seq());
         assert_eq!(cut, cut_of(&wg, &side));
         assert!(cut <= 2, "cut {cut} side {side:?}");
         assert!(moves > 0);
@@ -251,7 +272,7 @@ mod tests {
         // Start with a vertical split (already balanced).
         let mut side: Vec<u8> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
         let t = even_targets(&wg);
-        fm_refine(&wg, &mut side, &t, 1.05, 8, 1);
+        fm_refine(&wg, &mut side, &t, 1.05, 8, &Par::seq());
         let w = side_weights(&wg, &side);
         let tot = wg.total_wgt()[0] as f64;
         for s in 0..2 {
@@ -265,7 +286,7 @@ mod tests {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let wg = WorkGraph::from_graph(&g);
         let mut side = vec![0u8, 0, 0, 1, 1, 1];
-        let (cut, _) = fm_refine(&wg, &mut side, &even_targets(&wg), 1.05, 4, 1);
+        let (cut, _) = fm_refine(&wg, &mut side, &even_targets(&wg), 1.05, 4, &Par::seq());
         assert_eq!(cut, 1);
         assert_eq!(side, vec![0, 0, 0, 1, 1, 1]);
     }
@@ -276,7 +297,7 @@ mod tests {
         let wg = WorkGraph::from_graph(&g);
         let mut side: Vec<u8> = vec![];
         assert_eq!(
-            fm_refine(&wg, &mut side, &[[0.0; 2]; 2], 1.05, 2, 1),
+            fm_refine(&wg, &mut side, &[[0.0; 2]; 2], 1.05, 2, &Par::seq()),
             (0, 0)
         );
     }
@@ -290,25 +311,29 @@ mod tests {
             .map(|v| ((v * 2654435761usize) >> 16) as u8 & 1)
             .collect();
         let before = cut_of(&wg, &side);
-        let (after, _) = fm_refine(&wg, &mut side, &even_targets(&wg), 1.10, 10, 1);
+        let (after, _) = fm_refine(&wg, &mut side, &even_targets(&wg), 1.10, 10, &Par::seq());
         assert!(after < before, "no improvement: {before} -> {after}");
         assert_eq!(after, cut_of(&wg, &side));
     }
 
     #[test]
     fn parallel_init_is_byte_identical() {
-        let g = Graph::from_symmetric_matrix(&grid_2d(14, 14));
+        // 100x100 grid: above EDGE_GRAIN so the init fills really chunk.
+        let g = Graph::from_symmetric_matrix(&grid_2d(100, 100));
         let wg = WorkGraph::from_graph(&g);
-        let init: Vec<u8> = (0..196)
+        let init: Vec<u8> = (0..10_000)
             .map(|v| ((v * 2654435761usize) >> 13) as u8 & 1)
             .collect();
         let mut seq = init.clone();
-        let seq_out = fm_refine(&wg, &mut seq, &even_targets(&wg), 1.10, 6, 1);
+        let seq_out = fm_refine(&wg, &mut seq, &even_targets(&wg), 1.10, 6, &Par::seq());
         for threads in [2, 4, 8] {
-            let mut par = init.clone();
-            let par_out = fm_refine(&wg, &mut par, &even_targets(&wg), 1.10, 6, threads);
-            assert_eq!(par_out, seq_out, "threads {threads}");
-            assert_eq!(par, seq, "threads {threads}");
+            let pool = sf2d_par::Pool::new(threads);
+            for h in [Par::new(threads, None), Par::new(threads, Some(&pool))] {
+                let mut par = init.clone();
+                let par_out = fm_refine(&wg, &mut par, &even_targets(&wg), 1.10, 6, &h);
+                assert_eq!(par_out, seq_out, "threads {threads}");
+                assert_eq!(par, seq, "threads {threads}");
+            }
         }
     }
 }

@@ -37,11 +37,14 @@ pub mod spectral;
 pub mod types;
 
 pub use dist::{grid_shape, DistMode, MatrixDist};
-pub use gp::rb::GpStats;
-pub use gp::{partition_graph, partition_graph_multiconstraint, GpConfig};
+pub use gp::rb::{GpStats, PhaseNanos};
+pub use gp::{
+    partition_graph, partition_graph_multiconstraint, partition_graph_multiconstraint_report,
+    partition_graph_report, GpConfig, GpReport,
+};
 pub use hg::{partition_hypergraph_matrix, HgConfig};
 pub use layout::{FineLayout, NonzeroLayout};
 pub use metrics::{LayoutMetrics, PartitionQuality};
-pub use mondriaan::{mondriaan, MondriaanConfig};
+pub use mondriaan::{mondriaan, mondriaan_report, MondriaanConfig, MondriaanPhases};
 pub use spectral::{partition_spectral, SpectralConfig};
 pub use types::Partition;

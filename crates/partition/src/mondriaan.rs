@@ -13,17 +13,28 @@
 //! to a rank that owns nonzeros in its row (so the fold for that entry is
 //! partly local), ties broken toward the least-loaded rank.
 
+use std::time::Instant;
+
 use sf2d_graph::{CsrMatrix, Vtx};
 use sf2d_par::SharedSlice;
 
+use crate::gp::tune::MONDRIAAN_FORK_CUTOFF;
 use crate::hg::hypergraph::Hypergraph;
 use crate::hg::refine::cut_of;
 use crate::hg::{multilevel_bisect, HgConfig};
 use crate::layout::FineLayout;
 
-/// Don't fork a node's children unless both nonzero subsets have at least
-/// this many entries.
-const PAR_FORK_CUTOFF: usize = 4096;
+/// Per-phase wall time of one [`mondriaan`] run, in nanoseconds, measured
+/// on the orchestrating thread (fork-join subtree time therefore lands in
+/// `split` as elapsed time, not CPU time). Timings are diagnostics only —
+/// never part of the determinism contract.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MondriaanPhases {
+    /// Recursive hypergraph bisection of the nonzero set.
+    pub split: u64,
+    /// Greedy vector-entry assignment.
+    pub assign: u64,
+}
 
 /// Tuning knobs for the Mondriaan partitioner.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +67,16 @@ impl Default for MondriaanConfig {
 
 /// Partitions the nonzeros of a square matrix into `p` parts.
 pub fn mondriaan(a: &CsrMatrix, p: usize, cfg: &MondriaanConfig) -> FineLayout {
+    mondriaan_report(a, p, cfg).0
+}
+
+/// As [`mondriaan`], also returning per-phase wall times (for the
+/// benchmark harness's speedup attribution).
+pub fn mondriaan_report(
+    a: &CsrMatrix,
+    p: usize,
+    cfg: &MondriaanConfig,
+) -> (FineLayout, MondriaanPhases) {
     assert!(p >= 1);
     assert_eq!(a.nrows(), a.ncols(), "square matrices only");
     let threads = sf2d_par::resolve_threads(cfg.threads);
@@ -67,24 +88,29 @@ pub fn mondriaan(a: &CsrMatrix, p: usize, cfg: &MondriaanConfig) -> FineLayout {
     }
     let cols = a.colidx();
 
+    let mut phases = MondriaanPhases::default();
     let mut owner = vec![0u32; nnz];
     if p > 1 {
         let all: Vec<u32> = (0..nnz as u32).collect();
         let out = SharedSlice::new(&mut owner);
+        let t = Instant::now();
         let bisections = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             "mondriaan:recursive-bisection",
             rec(&rows, cols, all, p, 0, cfg, &out, 1, true, threads)
         );
+        phases.split = t.elapsed().as_nanos() as u64;
         sf2d_obs::counter!("partition.mondriaan.bisections", 0, bisections);
     }
 
+    let t = Instant::now();
     let vec_owner = sf2d_obs::trace_span!(
         sf2d_obs::PhaseKind::Partition,
         "mondriaan:vector-assign",
         assign_vector(a, &owner, p)
     );
-    FineLayout::new(a, owner, vec_owner, p)
+    phases.assign = t.elapsed().as_nanos() as u64;
+    (FineLayout::new(a, owner, vec_owner, p), phases)
 }
 
 /// Recursive bisection of a nonzero subset (`idxs` are flat CSR positions).
@@ -172,7 +198,10 @@ fn rec(
         left = idxs[..mid].to_vec();
         right = idxs[mid..].to_vec();
     }
-    let fork = threads >= 2 && k1 > 1 && k2 > 1 && left.len().min(right.len()) >= PAR_FORK_CUTOFF;
+    // Raised cutoff (see `gp::tune`): each fork costs a scoped-thread
+    // spawn, only worth it for genuinely large sibling nonzero sets.
+    let fork =
+        threads >= 2 && k1 > 1 && k2 > 1 && left.len().min(right.len()) >= MONDRIAAN_FORK_CUTOFF;
     let (t0, t1) = if fork {
         sf2d_par::split_threads(threads, left.len(), right.len())
     } else {
@@ -342,8 +371,9 @@ mod tests {
 
     #[test]
     fn thread_count_independent() {
-        // Big enough (scale 10 ≈ 16k+ nonzeros) to cross the fork cutoff.
-        let a = rmat(&RmatConfig::graph500(10), 4);
+        // Scale 11 ≈ 60k nonzeros: the first split's sides (~30k) cross
+        // MONDRIAAN_FORK_CUTOFF, so the forked path really runs.
+        let a = rmat(&RmatConfig::graph500(11), 4);
         let mut cfg = MondriaanConfig {
             threads: 1,
             ..Default::default()

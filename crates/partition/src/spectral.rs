@@ -131,7 +131,14 @@ pub fn spectral_bisection(wg: &WorkGraph, frac: f64, cfg: &SpectralConfig, salt:
         targets[0][c] = frac * tot[c] as f64;
         targets[1][c] = (1.0 - frac) * tot[c] as f64;
     }
-    fm_refine(wg, &mut side, &targets, cfg.ub, cfg.fm_passes, 1);
+    fm_refine(
+        wg,
+        &mut side,
+        &targets,
+        cfg.ub,
+        cfg.fm_passes,
+        &sf2d_par::Par::seq(),
+    );
     // Guard: FM cannot leave a side empty unless the graph is degenerate.
     let w = side_weights(wg, &side);
     if w[0][0] == 0 || w[1][0] == 0 {
