@@ -12,6 +12,14 @@
 //! derived from its own index (the same contract as [`crate::par_fill`]),
 //! so the claim order cannot affect the result — only the wall clock.
 //!
+//! Claims are tagged with a per-batch epoch packed into the claim word
+//! itself, so a worker that copied a batch's job and then slept through the
+//! batch's retirement detects the mismatch on its first claim attempt and
+//! backs off — it can never execute, or count completions against, a batch
+//! it was not woken for (see [`run_batch`]). The epoch travels in 32 bits;
+//! a stale worker would need to sleep across exactly 2^32 batches to alias,
+//! which back-to-back batch rates make a multi-year stall.
+//!
 //! The submitting thread participates in its own batch (a pool built for
 //! `threads` has `threads - 1` workers), and [`Pool::run`] blocks until
 //! the batch completes, so borrowed closures work like scoped threads: the
@@ -20,7 +28,7 @@
 //! subtrees on sibling threads that share one pool.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Type-erased view of a borrowed `Fn(usize) + Sync` batch closure.
@@ -32,6 +40,9 @@ struct Job {
     data: *const (),
     call: unsafe fn(*const (), usize),
     njobs: usize,
+    /// Epoch of the batch this job belongs to; claims are tagged with it so
+    /// a stale worker can never touch a later batch (see [`run_batch`]).
+    epoch: u64,
 }
 
 // SAFETY: the pointer refers to a `Sync` closure that `Pool::run` keeps
@@ -58,9 +69,25 @@ struct PoolShared {
     work_cv: Condvar,
     /// Submitters wait here for batch completion (or a free slot).
     done_cv: Condvar,
-    /// Next job index of the current batch to claim. Reset per batch while
-    /// the state lock is held; claimed lock-free while running.
-    next: AtomicUsize,
+    /// Packed claim counter: high 32 bits are the batch epoch (mod 2^32),
+    /// low 32 bits the next job index to claim. Re-tagged per batch while
+    /// the state lock is held; claimed by CAS while running. Packing the
+    /// epoch into the same word a claim mutates is what lets a worker that
+    /// copied an old `Job` detect — atomically with the claim attempt —
+    /// that its batch is over, instead of consuming indices (and calling
+    /// the dropped closure) of whatever batch replaced it.
+    claim: AtomicU64,
+}
+
+/// Bits of [`PoolShared::claim`] holding the batch epoch.
+const EPOCH_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+/// Bits of [`PoolShared::claim`] holding the next unclaimed job index.
+const INDEX_MASK: u64 = 0x0000_0000_FFFF_FFFF;
+
+/// Packs a batch epoch and a starting index into a claim word.
+fn pack_claim(epoch: u64, index: usize) -> u64 {
+    debug_assert!(index as u64 <= INDEX_MASK);
+    ((epoch as u32 as u64) << 32) | index as u64
 }
 
 /// A persistent worker pool; see the module docs.
@@ -78,7 +105,7 @@ impl Pool {
             state: Mutex::new(PoolState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            next: AtomicUsize::new(0),
+            claim: AtomicU64::new(0),
         });
         let workers = (1..threads.max(1))
             .map(|i| {
@@ -114,15 +141,15 @@ impl Pool {
             }
             return;
         }
+        assert!(
+            njobs as u64 <= INDEX_MASK,
+            "sf2d-par: pool batch of {njobs} jobs exceeds the claim-counter index width"
+        );
         unsafe fn call_erased<F: Fn(usize) + Sync>(data: *const (), i: usize) {
             let f = unsafe { &*(data as *const F) };
             f(i);
         }
-        let job = Job {
-            data: &f as *const F as *const (),
-            call: call_erased::<F>,
-            njobs,
-        };
+        let job;
         {
             let mut st = self.shared.state.lock().expect("sf2d-par: pool poisoned");
             // Concurrent submitters serialize: wait for the slot.
@@ -133,9 +160,20 @@ impl Pool {
                     .wait(st)
                     .expect("sf2d-par: pool poisoned");
             }
-            self.shared.next.store(0, Ordering::Relaxed);
-            st.job = Some(job);
             st.epoch += 1;
+            job = Job {
+                data: &f as *const F as *const (),
+                call: call_erased::<F>,
+                njobs,
+                epoch: st.epoch,
+            };
+            // Re-tag the claim counter with the new epoch before the batch
+            // is visible; workers copy `job` under this lock, so they can
+            // never see a claim word older than their job's epoch.
+            self.shared
+                .claim
+                .store(pack_claim(st.epoch, 0), Ordering::Relaxed);
+            st.job = Some(job);
             st.done = 0;
             st.panicked = false;
             self.shared.work_cv.notify_all();
@@ -174,23 +212,55 @@ impl Drop for Pool {
     }
 }
 
-/// Claims and runs jobs of `job` until the index counter is exhausted.
-/// Returns whether any job panicked; completion counts are published under
-/// the state lock either way so nobody deadlocks on a lost count.
+/// Claims and runs jobs of `job` until the index counter is exhausted or
+/// the counter's epoch no longer matches the job's (the batch was retired
+/// while this worker slept between copying the job and claiming — without
+/// the epoch check a stale worker would claim the *next* batch's indices,
+/// call the old, now-dangling closure, and inflate the new batch's
+/// completion count so some of its jobs never run). Claims use CAS rather
+/// than `fetch_add` so a mismatched attempt leaves the counter untouched:
+/// a stale `fetch_add` would still burn an index the live batch then never
+/// executes. Returns whether any job panicked; completion counts are
+/// published under the state lock either way so nobody deadlocks on a lost
+/// count.
 fn run_batch(shared: &PoolShared, job: Job) -> bool {
+    let tag = pack_claim(job.epoch, 0) & EPOCH_MASK;
     let mut ran = 0usize;
     let mut panicked = false;
-    loop {
-        let i = shared.next.fetch_add(1, Ordering::Relaxed);
-        if i >= job.njobs {
-            break;
-        }
+    'batch: loop {
+        let mut cur = shared.claim.load(Ordering::Relaxed);
+        let i = loop {
+            if cur & EPOCH_MASK != tag {
+                break 'batch;
+            }
+            let idx = (cur & INDEX_MASK) as usize;
+            if idx >= job.njobs {
+                break 'batch;
+            }
+            match shared.claim.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break idx,
+                Err(now) => cur = now,
+            }
+        };
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, i) }));
         panicked |= r.is_err();
         ran += 1;
     }
     if ran > 0 {
         let mut st = shared.state.lock().expect("sf2d-par: pool poisoned");
+        // A worker with unpublished completions keeps `done < njobs`, so
+        // the submitter cannot retire the batch and the epoch cannot move:
+        // ran > 0 implies the batch is still ours. Assert it anyway — a
+        // mis-credited count would silently release a submitter early.
+        debug_assert_eq!(
+            st.epoch, job.epoch,
+            "sf2d-par: pool worker publishing completions for a retired batch"
+        );
         st.done += ran;
         st.panicked |= panicked;
         if st.done >= job.njobs {
@@ -301,6 +371,40 @@ mod tests {
         });
         assert_eq!(a.load(Ordering::Relaxed), 400);
         assert_eq!(b.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn rapid_batch_turnover_never_leaks_jobs_across_batches() {
+        // Regression stress for the stale-worker race: hundreds of tiny
+        // back-to-back batches with *different* sizes and closures maximize
+        // the window where a worker still holds a retired batch's job. Each
+        // batch writes batch-unique values into its own buffer; a stale
+        // worker running an old closure against a new batch's indices, or
+        // a mis-credited completion letting a batch return early, shows up
+        // as a wrong or missing value.
+        let pool = Pool::new(4);
+        let pool = &pool;
+        std::thread::scope(|s| {
+            for salt in 0..2u64 {
+                s.spawn(move || {
+                    for round in 0..300u64 {
+                        let njobs = 2 + (round % 7) as usize;
+                        let out: Vec<AtomicU64> =
+                            (0..njobs).map(|_| AtomicU64::new(0)).collect();
+                        pool.run(njobs, |i| {
+                            out[i].fetch_add(round * 1000 + salt * 100 + i as u64 + 1, Ordering::Relaxed);
+                        });
+                        for (i, v) in out.iter().enumerate() {
+                            assert_eq!(
+                                v.load(Ordering::Relaxed),
+                                round * 1000 + salt * 100 + i as u64 + 1,
+                                "submitter {salt} round {round} job {i}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]
