@@ -29,11 +29,12 @@
 //! **Exits nonzero if any parallel result differs from sequential** —
 //! CI runs this as the determinism gate.
 
+use sf2d_bench::BenchMeta;
 use sf2d_core::sf2d_gen::{rmat, RmatConfig};
 use sf2d_core::sf2d_graph::Graph;
 use sf2d_core::sf2d_partition::{
     mondriaan_report, partition_graph_multiconstraint_report, partition_graph_report, GpConfig,
-    GpReport, MondriaanConfig,
+    GpReport, MondriaanConfig, PoolStats,
 };
 
 /// Per-phase nanoseconds — `gp` rows populate
@@ -67,10 +68,15 @@ struct CaseResult {
     samples: u64,
     phases_seq: PhaseMap,
     phases_par: PhaseMap,
+    /// Worker-pool utilization of one representative parallel run
+    /// (per-worker busy/idle/park, jobs, epoch backoffs); `None` for
+    /// sequential rows and the pool-less mondriaan pipeline.
+    pool: Option<PoolStats>,
 }
 
 #[derive(serde::Serialize)]
 struct BenchReport {
+    meta: BenchMeta,
     description: String,
     /// Thread budgets swept (each gets a row per case).
     thread_sweep: Vec<u64>,
@@ -89,6 +95,7 @@ fn main() {
     let mut sweep: Vec<usize> = vec![1, 2, 4, 8];
     let mut samples = 5usize;
     let mut assert_min_speedup: Option<f64> = None;
+    let mut trace: Option<std::path::PathBuf> = std::env::var_os("SF2D_TRACE").map(Into::into);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -125,11 +132,15 @@ fn main() {
                 assert_min_speedup = Some(need_value(i).parse().expect("numeric min speedup"));
                 i += 2;
             }
+            "--trace" => {
+                trace = Some(std::path::PathBuf::from(need_value(i)));
+                i += 2;
+            }
             flag if flag.starts_with("--") => {
                 eprintln!(
                     "unknown flag {flag}\nusage: bench_partition [OUT.json] \
                      --scales a,b,c --k N --threads a,b,c --samples N \
-                     --assert-min-speedup X"
+                     --assert-min-speedup X --trace FILE"
                 );
                 std::process::exit(2);
             }
@@ -186,6 +197,7 @@ fn main() {
                     par_median,
                     gp_phases(&seq),
                     gp_phases(&par),
+                    par.pool.clone(),
                 ));
             }
         }
@@ -212,6 +224,7 @@ fn main() {
                     par_median,
                     gp_phases(&seq),
                     gp_phases(&par),
+                    par.pool.clone(),
                 ));
             }
         }
@@ -243,6 +256,7 @@ fn main() {
                     par_median,
                     mondriaan_phases(&seq_ph),
                     mondriaan_phases(&par_ph),
+                    None,
                 ));
             }
         }
@@ -250,6 +264,7 @@ fn main() {
 
     let identical_all = cases.iter().all(|c| c.identical);
     let report = BenchReport {
+        meta: BenchMeta::collect("bench_partition", sweep.iter().copied().max().unwrap_or(1)),
         description: format!(
             "median wall-clock ns per full k-way partitioning call over {samples} samples \
              (1 warmup); seq = threads 1, par = each swept thread budget; identical = \
@@ -276,6 +291,33 @@ fn main() {
         );
     }
     eprintln!("bench_partition: -> {out_path}");
+
+    // Traced run strictly after the timed loops: one gp partitioning at
+    // the largest swept scale and thread budget with the facade on. The
+    // rb pool mirrors its per-worker batch spans into the trace, so the
+    // Chrome file gets one track per pool worker with batches labeled by
+    // phase (match/contract/initpart/refine/project/kway) — the medians
+    // above never pay for the instrumentation.
+    if let Some(path) = trace {
+        let scale = *scales.iter().max().unwrap();
+        let threads = *sweep.iter().max().unwrap();
+        let a = rmat(&RmatConfig::graph500(scale), 7);
+        let g = Graph::from_symmetric_matrix(&a);
+        let machine = sf2d_core::sf2d_sim::Machine::cab();
+        let cfg = GpConfig {
+            seed: 7,
+            threads,
+            ..GpConfig::default()
+        };
+        let (_, n) = sf2d_bench::capture_trace(&path, &machine, || {
+            std::hint::black_box(partition_graph_report(&g, k, &cfg));
+        });
+        eprintln!(
+            "bench_partition: trace of gp scale {scale} x{threads} ({n} events) -> {} (+ .md summary)",
+            path.display()
+        );
+    }
+
     if !identical_all {
         eprintln!("bench_partition: FAIL — parallel result differs from sequential");
         std::process::exit(1);
@@ -344,6 +386,7 @@ fn case_row(
     median_ns_par: u64,
     phases_seq: PhaseMap,
     phases_par: PhaseMap,
+    pool: Option<PoolStats>,
 ) -> CaseResult {
     CaseResult {
         name: name.to_string(),
@@ -357,5 +400,6 @@ fn case_row(
         samples: samples as u64,
         phases_seq,
         phases_par,
+        pool,
     }
 }

@@ -23,6 +23,7 @@ const SAMPLES: usize = 5;
 
 #[derive(serde::Serialize)]
 struct BenchReport {
+    meta: sf2d_bench::BenchMeta,
     description: String,
     matrix: String,
     p: u64,
@@ -100,7 +101,8 @@ fn main() {
     let dist = builder.dist(Method::TwoDGp, p);
     let dm = DistCsrMatrix::from_global(&a, &dist);
     let b = a.transpose();
-    let mut ws = SpgemmWorkspace::with_threads(RuntimeConfig::from_env().threads);
+    let threads = RuntimeConfig::from_env().threads;
+    let mut ws = SpgemmWorkspace::with_threads(threads);
     let wall_ns_2d_gp = sf2d_bench::median_ns(SAMPLES, || {
         let mut ledger = CostLedger::new(Machine::cab());
         let c = spgemm_with(&dm, &b, &mut ledger, &mut ws);
@@ -115,6 +117,7 @@ fn main() {
     };
     let ratio = time_of("1D-GP") / time_of("2D-GP");
     let report = BenchReport {
+        meta: sf2d_bench::BenchMeta::collect("bench_spgemm", threads),
         description: format!(
             "C = A*A^T on rmat graph500 scale {scale}, p = {p}: simulated per-layout \
              traffic/work/time plus median wall-clock ns over {SAMPLES} samples for 2D-GP"

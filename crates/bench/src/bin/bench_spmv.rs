@@ -37,6 +37,7 @@ struct KernelResult {
 
 #[derive(serde::Serialize)]
 struct BenchReport {
+    meta: sf2d_bench::BenchMeta,
     description: String,
     matrix: String,
     layout: String,
@@ -134,6 +135,7 @@ fn main() {
     });
 
     let report = BenchReport {
+        meta: sf2d_bench::BenchMeta::collect("bench_spmv", 1),
         description: format!(
             "median wall-clock ns per kernel invocation over {SAMPLES} samples \
              (spmv kernels run {SPMV_ITERS} iterations per invocation)"

@@ -1,0 +1,120 @@
+//! Perf-regression gate over `BENCH_*.json` tracker files: compares a
+//! current tracker against a committed baseline and exits nonzero when
+//! any wall-clock metric rose (or any speedup/ratio fell) beyond the
+//! tolerance. See `sf2d_bench::perf` for the direction rules.
+//!
+//! ```text
+//! cargo run --release -p sf2d-bench --bin perf_diff -- \
+//!     --baseline BENCH_partition_ci.json --current trace/BENCH_partition_smoke.json \
+//!     --tolerance 15 --relative-only --report trace/perf_report.md
+//! ```
+//!
+//! `--tolerance P` is the allowed percent change (default 15).
+//! `--relative-only` restricts failures to dimensionless metrics
+//! (speedup, ratio) — the right setting when baseline and current come
+//! from different machines, as in CI. `--report PATH` additionally writes
+//! the full markdown comparison. Exits 0 on pass, 1 on regression, 2 on
+//! usage/IO errors. Speedup checks are skipped loudly when the current
+//! run reports `host_cpus < 2`.
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut tolerance = 15.0f64;
+    let mut relative_only = false;
+    let mut report: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> &str {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value after {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline = Some(need_value(i).to_string());
+                i += 2;
+            }
+            "--current" => {
+                current = Some(need_value(i).to_string());
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = need_value(i)
+                    .trim_end_matches('%')
+                    .parse()
+                    .expect("numeric --tolerance");
+                i += 2;
+            }
+            "--relative-only" => {
+                relative_only = true;
+                i += 1;
+            }
+            "--report" => {
+                report = Some(need_value(i).to_string());
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: perf_diff --baseline FILE --current FILE \
+                     [--tolerance P] [--relative-only] [--report FILE.md]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!("perf_diff: --baseline and --current are both required");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> serde::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_diff: {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("perf_diff: {path}: not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let diff =
+        sf2d_bench::perf::compare(&load(&baseline), &load(&current), tolerance, relative_only);
+    for n in &diff.notes {
+        eprintln!("perf_diff: note: {n}");
+    }
+    if let Some(path) = report {
+        let md = sf2d_bench::perf::markdown(&diff, &baseline, &current);
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        std::fs::write(&path, md).unwrap_or_else(|e| {
+            eprintln!("perf_diff: write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("perf_diff: report -> {path}");
+    }
+    let regs = diff.regressions();
+    if regs.is_empty() {
+        eprintln!(
+            "perf_diff: PASS — {} metric(s) within {tolerance}% of {baseline}",
+            diff.deltas.len()
+        );
+    } else {
+        eprintln!(
+            "perf_diff: FAIL — {} of {} metric(s) regressed beyond {tolerance}%:",
+            regs.len(),
+            diff.deltas.len()
+        );
+        for d in &regs {
+            eprintln!(
+                "  {}: {:.4} -> {:.4} ({:+.1}%)",
+                d.key, d.baseline, d.current, d.delta_pct
+            );
+        }
+        std::process::exit(1);
+    }
+}

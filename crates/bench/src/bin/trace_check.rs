@@ -6,8 +6,15 @@
 //! cargo run --release -p sf2d-bench --bin trace_check -- trace.json [...]
 //! ```
 //!
-//! Exits 0 when every file validates (prints the complete-event count per
-//! file), 1 on the first schema violation, 2 on usage/IO errors.
+//! Each file passes two validators: the general Chrome schema check and
+//! the per-worker pool-track check (`validate_worker_tracks`: matched
+//! begin/end, non-negative monotonic timestamps per track, worker id
+//! stable and equal to the track's tid, thread-name metadata present).
+//! Traces with no pool tracks pass the second check trivially.
+//!
+//! Exits 0 when every file validates (prints the complete-event and
+//! worker-span counts per file), 1 on the first schema violation, 2 on
+//! usage/IO errors.
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -20,10 +27,19 @@ fn main() {
             eprintln!("trace_check: {path}: {e}");
             std::process::exit(2);
         });
-        match sf2d_core::sf2d_obs::sink::validate_chrome_trace(&text) {
-            Ok(n) => println!("trace_check: {path}: OK ({n} complete events)"),
+        let n = match sf2d_core::sf2d_obs::sink::validate_chrome_trace(&text) {
+            Ok(n) => n,
             Err(e) => {
                 eprintln!("trace_check: {path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        };
+        match sf2d_core::sf2d_obs::sink::validate_worker_tracks(&text) {
+            Ok(w) => {
+                println!("trace_check: {path}: OK ({n} complete events, {w} pool worker spans)")
+            }
+            Err(e) => {
+                eprintln!("trace_check: {path}: INVALID worker tracks: {e}");
                 std::process::exit(1);
             }
         }

@@ -29,6 +29,62 @@ use std::path::{Path, PathBuf};
 use sf2d_core::prelude::*;
 use sf2d_core::sf2d_graph::io::binary;
 
+pub mod perf;
+
+/// The shared header every `BENCH_*.json` tracker file starts with, so
+/// the [`perf`] harness (and a human reading a diff) can tell *what*
+/// produced the numbers before comparing them: schema version, producing
+/// binary, host core count, thread budget, git revision, and a unix
+/// timestamp. Comparison excludes the header — it describes provenance,
+/// not performance.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BenchMeta {
+    /// Bumped when a tracker's row shape changes incompatibly.
+    pub schema_version: u32,
+    /// The producing binary (`bench_partition`, `bench_spmv`, ...).
+    pub bin: String,
+    /// `available_parallelism` on the producing host.
+    pub host_cpus: u64,
+    /// The largest thread budget the run used (1 for single-threaded
+    /// trackers).
+    pub threads: u64,
+    /// Short git revision of the producing tree, `"unknown"` outside a
+    /// checkout.
+    pub git_rev: String,
+    /// Seconds since the unix epoch at collection time.
+    pub timestamp_unix: u64,
+}
+
+/// Current `BenchMeta::schema_version` for all trackers.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+impl BenchMeta {
+    /// Collects the header for `bin` with thread budget `threads`.
+    pub fn collect(bin: &str, threads: usize) -> BenchMeta {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        BenchMeta {
+            schema_version: BENCH_SCHEMA_VERSION,
+            bin: bin.to_string(),
+            host_cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1) as u64,
+            threads: threads as u64,
+            git_rev,
+            timestamp_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// Parsed command-line options shared by the harness binaries.
 #[derive(Debug, Clone)]
 pub struct HarnessOpts {
@@ -140,21 +196,29 @@ pub fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
 /// Runs `f` with the tracing facade enabled and writes the captured events
 /// as a Chrome `trace_event` file at `path` (open it in Perfetto /
 /// `chrome://tracing`) plus a markdown critical-path summary next to it at
-/// `<path>.md`, analyzed under `machine`'s α-β-γ parameters. Returns `f`'s
-/// result and the number of captured events.
+/// `<path>.md`, analyzed under `machine`'s α-β-γ parameters. Any counters
+/// and histograms the traced run recorded are appended to the summary as
+/// a "Metrics" section (with p50/p99 columns). Returns `f`'s result and
+/// the number of captured events.
 pub fn capture_trace<R>(path: &Path, machine: &Machine, f: impl FnOnce() -> R) -> (R, usize) {
     use sf2d_core::sf2d_obs as obs;
     obs::enable();
     let r = f();
     obs::disable();
     let events = obs::take_events();
+    let registry = obs::take_registry();
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             fs::create_dir_all(dir).expect("create trace dir");
         }
     }
     obs::write_events(path, obs::TraceFormat::Chrome, &events).expect("write chrome trace");
-    let md = sf2d_core::report::trace_markdown(&events, machine, 5);
+    let mut md = sf2d_core::report::trace_markdown(&events, machine, 5);
+    let metrics = obs::sink::registry_markdown(&registry);
+    if !metrics.is_empty() {
+        md.push_str("\n## Metrics\n\n");
+        md.push_str(&metrics);
+    }
     fs::write(PathBuf::from(format!("{}.md", path.display())), md).expect("write trace summary");
     (r, events.len())
 }

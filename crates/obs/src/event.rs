@@ -164,6 +164,24 @@ pub enum TraceEvent {
         /// Simulated end time.
         t_end: f64,
     },
+    /// A wall-clock span emitted by one worker of a host-side thread pool
+    /// (see `sf2d_obs::worker`). Rendered on its own per-worker Chrome
+    /// track under [`crate::sink::POOL_PID`], so pool batches can be
+    /// attributed to the worker that ran them.
+    WorkerSpan {
+        /// Pool worker id (0 = the submitting thread).
+        worker: u32,
+        /// Sub-phase kind.
+        kind: PhaseKind,
+        /// Free-form label, e.g. `match` — the batch's phase tag.
+        label: String,
+        /// Wall seconds since the worker tracer's clock base.
+        t_start: f64,
+        /// Duration in wall seconds.
+        dur: f64,
+        /// Jobs (chunks) this worker ran within the batch.
+        jobs: u64,
+    },
 }
 
 impl TraceEvent {
@@ -171,7 +189,9 @@ impl TraceEvent {
     pub fn kind(&self) -> PhaseKind {
         match self {
             TraceEvent::Superstep { phase, .. } => *phase,
-            TraceEvent::WallSpan { kind, .. } | TraceEvent::SimSpan { kind, .. } => *kind,
+            TraceEvent::WallSpan { kind, .. }
+            | TraceEvent::SimSpan { kind, .. }
+            | TraceEvent::WorkerSpan { kind, .. } => *kind,
         }
     }
 }
@@ -223,5 +243,14 @@ mod tests {
             t_end: 1.0,
         };
         assert_eq!(g.kind(), PhaseKind::SolverIteration);
+        let p = TraceEvent::WorkerSpan {
+            worker: 3,
+            kind: PhaseKind::Partition,
+            label: "match".into(),
+            t_start: 0.0,
+            dur: 1.0,
+            jobs: 4,
+        };
+        assert_eq!(p.kind(), PhaseKind::Partition);
     }
 }

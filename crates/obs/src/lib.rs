@@ -13,8 +13,12 @@
 //! results and ledger charges either way).
 //!
 //! State is **thread-local** by design: the simulator orchestrates every
-//! run from one thread (the `par_ranks` workers never emit), so a
-//! thread-local tracer makes concurrent tests hermetic and needs no locks.
+//! run from one thread, so a thread-local tracer makes concurrent tests
+//! hermetic and needs no locks. Code running *off* the orchestrator
+//! thread — the persistent pool workers in `sf2d-par` — emits through the
+//! sharded [`worker`] path instead: per-worker buffers behind a
+//! [`WorkerTracer`] handle, drained at quiescence and merged back into
+//! the thread-local stream via [`record_all()`].
 //!
 //! ## Usage
 //!
@@ -42,10 +46,12 @@ pub mod analysis;
 pub mod event;
 pub mod registry;
 pub mod sink;
+pub mod worker;
 
 pub use analysis::{analyze, BoundTerm, CostParams, CriticalPathReport, WallLabel, WallPhase};
 pub use event::{PhaseKind, RankSample, TraceEvent};
 pub use registry::{Histogram, MetricsRegistry};
+pub use worker::{SharedTracer, WorkerTracer};
 
 use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
@@ -151,6 +157,15 @@ pub fn record(event: TraceEvent) {
         return;
     }
     TRACER.with(|t| t.borrow_mut().events.push(event));
+}
+
+/// Records a batch of pre-built events (no-op when disabled) — the merge
+/// point for events drained from a [`SharedTracer`]'s worker shards.
+pub fn record_all(events: Vec<TraceEvent>) {
+    if !enabled() || events.is_empty() {
+        return;
+    }
+    TRACER.with(|t| t.borrow_mut().events.extend(events));
 }
 
 /// Records one closed BSP superstep (no-op when disabled). Called by the

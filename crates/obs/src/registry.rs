@@ -49,7 +49,7 @@ impl Histogram {
         let b = (64 - v.leading_zeros()) as usize;
         self.buckets[b] += 1;
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -61,6 +61,82 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Rebuilds a histogram from raw parts — the bridge for lock-free
+    /// recorders (e.g. the pool's atomic service-time histogram) that
+    /// accumulate the same 65 log2 buckets in `AtomicU64`s and want the
+    /// quantile accessors afterwards. Panics unless `buckets.len() == 65`.
+    pub fn from_raw(buckets: Vec<u64>, sum: u64, min: u64, max: u64) -> Histogram {
+        assert_eq!(buckets.len(), 65, "log2 histogram has 65 buckets");
+        let count = buckets.iter().sum();
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded observations,
+    /// interpolated within the containing log2 bucket; `None` when empty.
+    ///
+    /// The estimate walks buckets to the observation of rank
+    /// `ceil(q * count)` and interpolates linearly inside the bucket's
+    /// value range `[2^(i-1), 2^i)`, then clamps to the exact recorded
+    /// `[min, max]` — so single-valued buckets and the extreme quantiles
+    /// (q=0, q=1) are exact, and boundary values (0, 1, powers of two)
+    /// never round out of their bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based. The extreme ranks are
+        // the tracked min/max themselves — return them exactly.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank <= 1 {
+            return Some(self.min as f64);
+        }
+        if rank >= self.count {
+            return Some(self.max as f64);
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let est = if i == 0 {
+                    0.0
+                } else {
+                    let lo = (1u64 << (i - 1)) as f64;
+                    let hi = if i >= 64 {
+                        u64::MAX as f64
+                    } else {
+                        (1u64 << i) as f64
+                    };
+                    // Midpoint position of the target rank within this
+                    // bucket (rank r of c occupies [(r-1)/c, r/c)).
+                    let frac = ((rank - seen) as f64 - 0.5) / c as f64;
+                    lo + (hi - lo) * frac
+                };
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+            seen += c;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Median estimate (`None` when empty).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate (`None` when empty).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
     }
 
     /// The non-empty buckets as `(upper_bound_exclusive, count)` pairs;
@@ -83,7 +159,7 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -158,6 +234,11 @@ impl MetricsRegistry {
         self.per_rank(name)
             .into_iter()
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Histogram names, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.histograms.keys().cloned().collect()
     }
 
     /// Distinct counter names, sorted.
@@ -239,6 +320,86 @@ mod tests {
             vec![(1, 1), (2, 2), (4, 2), (8, 1), (1024, 1)]
         );
         assert!((h.mean() - 1011.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn quantile_exact_on_bucket_boundary_values() {
+        // Boundary values each live alone in their bucket, so the clamp to
+        // [min, max] makes every quantile of a single-value histogram exact.
+        for v in [0u64, 1, 2, 4, 1 << 20, 1 << 63, u64::MAX] {
+            let mut h = Histogram::default();
+            h.observe(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                let got = h.quantile(q).unwrap();
+                assert_eq!(got, v as f64, "v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_orders_zero_one_and_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 4, 8, 16, 32, 64] {
+            h.observe(v);
+        }
+        // 8 observations: p50 targets rank 4 (value 4's bucket), p99 the
+        // last (64). Interpolation stays inside each bucket's range.
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 64.0);
+        let p50 = h.p50().unwrap();
+        assert!((4.0..8.0).contains(&p50), "p50={p50}");
+        assert_eq!(h.p99().unwrap(), 64.0);
+        // Monotone in q.
+        let mut prev = -1.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q).unwrap();
+            assert!(x >= prev, "quantile not monotone at q={q}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn quantile_top_bucket_clamps_to_max() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX - 1);
+        h.observe(0);
+        assert_eq!(h.quantile(1.0).unwrap(), u64::MAX as f64);
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_raw_round_trips_observe() {
+        let mut h = Histogram::default();
+        for v in [3u64, 5, 9, 1000] {
+            h.observe(v);
+        }
+        let raw = Histogram::from_raw(
+            h.nonzero_buckets()
+                .iter()
+                .fold(vec![0u64; 65], |mut b, &(bound, c)| {
+                    let i = if bound == u64::MAX {
+                        64
+                    } else {
+                        bound.trailing_zeros() as usize
+                    };
+                    b[i] = c;
+                    b
+                }),
+            h.sum,
+            h.min,
+            h.max,
+        );
+        assert_eq!(raw, h);
+        assert_eq!(raw.p50(), h.p50());
     }
 
     #[test]

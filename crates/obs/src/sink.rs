@@ -12,11 +12,16 @@
 use std::fmt::Write as _;
 
 use crate::event::{PhaseKind, TraceEvent};
+use crate::registry::MetricsRegistry;
 
 /// Chrome-trace process id for host-side (wall-clock) spans.
 pub const HOST_PID: u32 = 1_000_000;
 /// Chrome-trace process id for solver-level simulated-clock spans.
 pub const SIM_PID: u32 = 999_999;
+/// Chrome-trace process id for pool-worker (wall-clock) spans: one track
+/// (`tid = worker`) per pool worker, so batches are attributable to the
+/// worker that ran them.
+pub const POOL_PID: u32 = 1_000_001;
 
 /// Formats a f64 as compact JSON (shortest round-trip decimal).
 fn num(v: f64) -> String {
@@ -113,6 +118,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let has_sim = events
         .iter()
         .any(|e| matches!(e, TraceEvent::SimSpan { .. }));
+    let mut workers: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::WorkerSpan { worker, .. } => Some(*worker),
+            _ => None,
+        })
+        .collect();
+    workers.sort_unstable();
+    workers.dedup();
     let mut step_kinds: Vec<PhaseKind> = events
         .iter()
         .filter_map(|e| match e {
@@ -154,6 +168,24 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             0,
             "host (wall clock)",
         );
+    }
+    if !workers.is_empty() {
+        push_metadata(
+            &mut out,
+            &mut first,
+            "process_name",
+            POOL_PID,
+            0,
+            "pool workers (wall clock)",
+        );
+        for &w in &workers {
+            let name = if w == 0 {
+                "worker 0 (submitter)".to_string()
+            } else {
+                format!("worker {w}")
+            };
+            push_metadata(&mut out, &mut first, "thread_name", POOL_PID, w, &name);
+        }
     }
 
     for ev in events {
@@ -217,6 +249,26 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     SIM_PID,
                     kind.tid(),
                     &[],
+                );
+            }
+            TraceEvent::WorkerSpan {
+                worker,
+                kind: _,
+                label,
+                t_start,
+                dur,
+                jobs,
+            } => {
+                push_complete_event(
+                    &mut out,
+                    &mut first,
+                    label,
+                    "pool",
+                    t_start * 1e6,
+                    dur * 1e6,
+                    POOL_PID,
+                    *worker,
+                    &[("worker", *worker as u64), ("jobs", *jobs)],
                 );
             }
         }
@@ -317,6 +369,112 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Validates the per-worker pool tracks of a Chrome trace: every
+/// [`POOL_PID`] span must carry a `worker` arg equal to its `tid` (tid
+/// stability), each track's spans must be start-sorted and non-overlapping
+/// (begin/end matched — complete events close before the next opens, up to
+/// a 1 ns slack), and each track needs a `thread_name` metadata entry.
+/// Returns the number of worker spans (0 when the trace has no pool
+/// process at all — traces without a pool are still valid).
+pub fn validate_worker_tracks(text: &str) -> Result<usize, String> {
+    let doc: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let top = doc.as_map().ok_or("top level not an object")?;
+    let events = match field(top, "traceEvents") {
+        Some(serde::Value::Seq(items)) => items,
+        _ => return Err("missing traceEvents array".to_string()),
+    };
+    let mut named_tids: Vec<u64> = Vec::new();
+    // tid -> end of the last span seen on that track.
+    let mut track_end: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut n = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev.as_map().ok_or(format!("event {i} not an object"))?;
+        if field(obj, "pid").and_then(as_u64) != Some(POOL_PID as u64) {
+            continue;
+        }
+        let tid = field(obj, "tid")
+            .and_then(as_u64)
+            .ok_or(format!("pool event {i} missing numeric tid"))?;
+        let ph = field(obj, "ph").and_then(as_str).unwrap_or("");
+        if ph == "M" {
+            if field(obj, "name").and_then(as_str) == Some("thread_name") {
+                named_tids.push(tid);
+            }
+            continue;
+        }
+        if ph != "X" {
+            return Err(format!("pool event {i} has unexpected ph {ph:?}"));
+        }
+        let worker = field(obj, "args")
+            .and_then(|a| a.as_map())
+            .and_then(|a| field(a, "worker"))
+            .and_then(as_u64)
+            .ok_or(format!("pool event {i} missing args.worker"))?;
+        if worker != tid {
+            return Err(format!(
+                "pool event {i}: worker arg {worker} does not match tid {tid}"
+            ));
+        }
+        let ts = field(obj, "ts").and_then(as_f64).unwrap_or(-1.0);
+        let dur = field(obj, "dur").and_then(as_f64).unwrap_or(-1.0);
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("pool event {i} missing non-negative ts/dur"));
+        }
+        // 1 ns slack (ts is in µs) absorbs float rounding at span joints.
+        let end = track_end.entry(tid).or_insert(0.0);
+        if ts + 1e-3 < *end {
+            return Err(format!(
+                "pool event {i} on track {tid} starts at {ts} before the previous span ended at {end}"
+            ));
+        }
+        *end = end.max(ts + dur);
+        n += 1;
+    }
+    for tid in track_end.keys() {
+        if !named_tids.contains(tid) {
+            return Err(format!("pool track {tid} has no thread_name metadata"));
+        }
+    }
+    Ok(n)
+}
+
+/// Renders a metrics registry as a markdown summary: a counter table
+/// (total and bottleneck-rank reductions) and one line per histogram with
+/// count, mean, **p50/p99**, and min/max.
+pub fn registry_markdown(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let counters = reg.counter_names();
+    if !counters.is_empty() {
+        out.push_str("| counter | total | max (rank) |\n|---|---:|---:|\n");
+        for name in &counters {
+            let (rank, max) = reg.max(name).unwrap_or((0, 0));
+            let _ = writeln!(out, "| {name} | {} | {max} (r{rank}) |", reg.sum(name));
+        }
+    }
+    let hist_names = reg.histogram_names();
+    if !hist_names.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("| histogram | count | mean | p50 | p99 | min | max |\n|---|---:|---:|---:|---:|---:|---:|\n");
+        for name in &hist_names {
+            let h = reg.histogram(name).expect("listed name");
+            let _ = writeln!(
+                out,
+                "| {name} | {} | {:.1} | {:.1} | {:.1} | {} | {} |",
+                h.count,
+                h.mean(),
+                h.p50().unwrap_or(0.0),
+                h.p99().unwrap_or(0.0),
+                if h.count == 0 { 0 } else { h.min },
+                h.max
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +564,98 @@ mod tests {
         assert_eq!(num(0.0), "0");
         assert_eq!(num(2.0), "2");
         assert_eq!(num(1.5), "1.5");
+    }
+
+    fn worker_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::WorkerSpan {
+                worker: 0,
+                kind: PhaseKind::Partition,
+                label: "match".into(),
+                t_start: 0.0,
+                dur: 0.001,
+                jobs: 4,
+            },
+            TraceEvent::WorkerSpan {
+                worker: 0,
+                kind: PhaseKind::Partition,
+                label: "refine".into(),
+                t_start: 0.002,
+                dur: 0.001,
+                jobs: 2,
+            },
+            TraceEvent::WorkerSpan {
+                worker: 1,
+                kind: PhaseKind::Partition,
+                label: "match".into(),
+                t_start: 0.0001,
+                dur: 0.0015,
+                jobs: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn worker_spans_get_pool_tracks_and_validate() {
+        let json = chrome_trace_json(&worker_events());
+        assert!(json.contains(&format!("\"pid\":{POOL_PID}")));
+        assert!(json.contains("worker 0 (submitter)"));
+        assert!(json.contains("\"worker\":1"));
+        assert_eq!(validate_chrome_trace(&json), Ok(3));
+        assert_eq!(validate_worker_tracks(&json), Ok(3));
+    }
+
+    #[test]
+    fn worker_validator_rejects_overlap_and_tid_mismatch() {
+        // Overlapping spans on one track.
+        let mut evs = worker_events();
+        evs.push(TraceEvent::WorkerSpan {
+            worker: 0,
+            kind: PhaseKind::Partition,
+            label: "overlap".into(),
+            t_start: 0.0025,
+            dur: 0.001,
+            jobs: 1,
+        });
+        let json = chrome_trace_json(&evs);
+        assert!(validate_worker_tracks(&json).is_err());
+        // Hand-forged tid/worker mismatch.
+        let forged = format!(
+            "{{\"traceEvents\":[{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{POOL_PID},\"tid\":2,\"args\":{{\"name\":\"w\"}}}},\n{{\"name\":\"b\",\"cat\":\"pool\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":{POOL_PID},\"tid\":2,\"args\":{{\"worker\":3,\"jobs\":1}}}}]}}"
+        );
+        let err = validate_worker_tracks(&forged).unwrap_err();
+        assert!(err.contains("does not match tid"), "{err}");
+    }
+
+    #[test]
+    fn worker_validator_requires_thread_names() {
+        let forged = format!(
+            "{{\"traceEvents\":[{{\"name\":\"b\",\"cat\":\"pool\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":{POOL_PID},\"tid\":2,\"args\":{{\"worker\":2,\"jobs\":1}}}}]}}"
+        );
+        let err = validate_worker_tracks(&forged).unwrap_err();
+        assert!(err.contains("thread_name"), "{err}");
+    }
+
+    #[test]
+    fn poolless_traces_have_zero_worker_spans() {
+        let json = chrome_trace_json(&demo_events());
+        assert_eq!(validate_worker_tracks(&json), Ok(0));
+    }
+
+    #[test]
+    fn registry_markdown_prints_p50_p99_alongside_mean() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("pool.jobs", 0, 7);
+        for v in [1u64, 2, 4, 8, 1000] {
+            reg.observe("chunk_service_ns", v);
+        }
+        let md = registry_markdown(&reg);
+        assert!(md.contains("| histogram | count | mean | p50 | p99 | min | max |"));
+        assert!(md.contains("chunk_service_ns | 5 | 203.0 |"), "{md}");
+        assert!(md.contains("| pool.jobs | 7 |"));
+        let h = reg.histogram("chunk_service_ns").unwrap();
+        assert!(h.p50().unwrap() <= h.p99().unwrap());
+        assert!(registry_markdown(&MetricsRegistry::new()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! The sharded multi-thread emission path: per-worker event buffers
+//! behind a [`WorkerTracer`] handle.
+//!
+//! The facade in [`crate`] is thread-local on purpose — it keeps
+//! concurrent tests hermetic and the hot path lock-free — but that means
+//! code running *off* the orchestrator thread (the persistent pool
+//! workers in `sf2d-par`) could not emit events at all. This module adds
+//! the missing path without giving up either property:
+//!
+//! * **one shard per worker** — every worker appends only to its own
+//!   `Vec<TraceEvent>`, so the shard lock is always uncontended and an
+//!   append never waits on another thread (the mutex exists only to make
+//!   the hand-off at drain time safe);
+//! * **zero-cost when disabled** — [`WorkerTracer::enabled`] is a single
+//!   relaxed atomic load, the only cost instrumented pool code pays when
+//!   tracing is off;
+//! * **drained at quiescence** — the owner calls [`SharedTracer::drain`]
+//!   only after every batch has joined (the pool's submit path already
+//!   guarantees this), merges the events into the thread-local buffer via
+//!   [`crate::record_all`], and the usual `take_events` → sink flow takes
+//!   over. Nothing global is touched, so concurrent tests stay hermetic.
+//!
+//! The worker clock is aligned with the orchestrator's: `enable` captures
+//! the caller's current [`crate::wall_now`] as the base, so worker spans
+//! land on the same timeline as the `trace_span!` phase spans that
+//! enclose them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{PhaseKind, TraceEvent};
+
+struct ClockBase {
+    origin: Instant,
+    base_secs: f64,
+}
+
+/// The shared core of the multi-thread emission path: an enable flag, a
+/// clock base, and one event shard per worker slot.
+pub struct SharedTracer {
+    enabled: AtomicBool,
+    clock: Mutex<Option<ClockBase>>,
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
+}
+
+impl SharedTracer {
+    /// A tracer with `slots` worker shards (slot 0 conventionally belongs
+    /// to the submitting thread), initially disabled.
+    pub fn new(slots: usize) -> Arc<SharedTracer> {
+        Arc::new(SharedTracer {
+            enabled: AtomicBool::new(false),
+            clock: Mutex::new(None),
+            shards: (0..slots.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
+
+    /// Number of worker shards.
+    pub fn slots(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enables emission. `base_secs` is the caller's clock reading at this
+    /// instant (typically [`crate::wall_now`]), so worker timestamps align
+    /// with the orchestrator's span timeline.
+    pub fn enable(&self, base_secs: f64) {
+        *self.clock.lock().expect("clock lock") = Some(ClockBase {
+            origin: Instant::now(),
+            base_secs,
+        });
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disables emission; buffered events stay available for [`drain`].
+    ///
+    /// [`drain`]: SharedTracer::drain
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether emission is on — one relaxed load, the entire disabled-path
+    /// cost.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Seconds on the aligned clock (0 before the first `enable`).
+    pub fn wall_now(&self) -> f64 {
+        self.clock
+            .lock()
+            .expect("clock lock")
+            .as_ref()
+            .map(|c| c.base_secs + c.origin.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// A lightweight per-worker handle for shard `worker`
+    /// (clamped to the last shard).
+    pub fn handle(self: &Arc<SharedTracer>, worker: u32) -> WorkerTracer {
+        WorkerTracer {
+            tracer: Arc::clone(self),
+            worker: worker.min(self.shards.len() as u32 - 1),
+        }
+    }
+
+    /// Drains every shard, returning the merged events in worker order.
+    /// Call only at quiescence (no batch in flight) — the pool's submit
+    /// path guarantees this by construction.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.lock().expect("shard lock"));
+        }
+        out
+    }
+}
+
+/// A per-worker emission handle: appends to its own shard only, so
+/// recording never contends with another worker.
+#[derive(Clone)]
+pub struct WorkerTracer {
+    tracer: Arc<SharedTracer>,
+    worker: u32,
+}
+
+impl WorkerTracer {
+    /// Whether emission is on (one relaxed load).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// This handle's worker id.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Seconds on the aligned clock.
+    pub fn wall_now(&self) -> f64 {
+        self.tracer.wall_now()
+    }
+
+    /// Records a [`TraceEvent::WorkerSpan`] on this worker's shard
+    /// (no-op when disabled).
+    pub fn record_span(&self, kind: PhaseKind, label: &str, t_start: f64, dur: f64, jobs: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.tracer.shards[self.worker as usize]
+            .lock()
+            .expect("shard lock")
+            .push(TraceEvent::WorkerSpan {
+                worker: self.worker,
+                kind,
+                label: label.to_string(),
+                t_start,
+                dur,
+                jobs,
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = SharedTracer::new(4);
+        assert!(!t.is_enabled());
+        t.handle(1)
+            .record_span(PhaseKind::Partition, "x", 0.0, 1.0, 2);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_in_worker_order() {
+        let t = SharedTracer::new(3);
+        t.enable(0.0);
+        t.handle(2)
+            .record_span(PhaseKind::Partition, "late", 0.5, 0.1, 1);
+        t.handle(0)
+            .record_span(PhaseKind::Partition, "early", 0.0, 0.1, 1);
+        t.disable();
+        let events = t.drain();
+        assert_eq!(events.len(), 2);
+        // Shard order = worker order, whatever the append order was.
+        match &events[0] {
+            TraceEvent::WorkerSpan { worker, label, .. } => {
+                assert_eq!(*worker, 0);
+                assert_eq!(label, "early");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(t.drain().is_empty(), "drain empties the shards");
+    }
+
+    #[test]
+    fn clock_base_aligns_timestamps() {
+        let t = SharedTracer::new(1);
+        t.enable(100.0);
+        let now = t.wall_now();
+        assert!((100.0..101.0).contains(&now), "aligned to base: {now}");
+    }
+
+    #[test]
+    fn concurrent_appends_from_many_threads_land_in_their_shards() {
+        let t = SharedTracer::new(4);
+        t.enable(0.0);
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                let h = t.handle(w);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        h.record_span(PhaseKind::Partition, "batch", i as f64, 0.5, 1);
+                    }
+                });
+            }
+        });
+        let events = t.drain();
+        assert_eq!(events.len(), 200);
+        let mut per_worker = [0usize; 4];
+        for e in &events {
+            if let TraceEvent::WorkerSpan { worker, .. } = e {
+                per_worker[*worker as usize] += 1;
+            }
+        }
+        assert_eq!(per_worker, [50; 4]);
+    }
+
+    #[test]
+    fn handle_clamps_out_of_range_worker() {
+        let t = SharedTracer::new(2);
+        assert_eq!(t.handle(9).worker(), 1);
+    }
+}

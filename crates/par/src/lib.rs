@@ -19,7 +19,7 @@
 use std::ops::Range;
 
 pub mod pool;
-pub use pool::Pool;
+pub use pool::{BatchTag, Pool, PoolStats, WorkerStats};
 
 /// Parses a raw `SF2D_THREADS` value. `None` (unset) means 1
 /// (sequential); anything else must be a positive integer. Rejected
@@ -117,6 +117,39 @@ where
                     f(ci * chunk + j, item);
                 }
             });
+        }
+    });
+}
+
+/// [`par_ranks`] on a persistent [`Pool`] instead of per-call scoped
+/// threads: the same disjoint contiguous chunks (so the result is
+/// bit-identical to `par_ranks` and to the sequential loop), but
+/// dispatched as one pool batch — and therefore visible to the pool's
+/// stats and per-worker trace spans (tagged `ranks`).
+pub fn par_ranks_pool<T, F>(pool: &Pool, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if pool.threads() <= 1 || items.len() <= 1 {
+        for (r, item) in items.iter_mut().enumerate() {
+            f(r, item);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(pool.threads(), items.len());
+    let base = items.as_mut_ptr() as usize;
+    let tag = BatchTag {
+        label: "ranks",
+        kind: sf2d_obs::PhaseKind::Other,
+    };
+    pool.run_tagged(ranges.len(), tag, |ci| {
+        for i in ranges[ci].clone() {
+            // SAFETY: chunk ranges are disjoint, so each job holds the
+            // only reference to its items — the scoped-thread pattern of
+            // `par_ranks`, batch edition.
+            let item = unsafe { &mut *(base as *mut T).add(i) };
+            f(i, item);
         }
     });
 }
@@ -222,6 +255,8 @@ pub const CHUNK_ALIGN: usize = 64;
 pub struct Par<'p> {
     threads: usize,
     pool: Option<&'p Pool>,
+    /// Attribution for pool batches this handle submits (see [`BatchTag`]).
+    tag: BatchTag,
 }
 
 impl<'p> Par<'p> {
@@ -230,6 +265,10 @@ impl<'p> Par<'p> {
         Par {
             threads: 1,
             pool: None,
+            tag: BatchTag {
+                label: "batch",
+                kind: sf2d_obs::PhaseKind::Other,
+            },
         }
     }
 
@@ -238,6 +277,7 @@ impl<'p> Par<'p> {
         Par {
             threads: threads.max(1),
             pool,
+            tag: BatchTag::default(),
         }
     }
 
@@ -246,11 +286,18 @@ impl<'p> Par<'p> {
         self.threads
     }
 
+    /// Same budget and pool, different batch attribution: loops submitted
+    /// through the returned handle carry `tag` on their per-worker trace
+    /// spans. Costs nothing when tracing is off.
+    pub fn tagged(&self, tag: BatchTag) -> Par<'p> {
+        Par { tag, ..*self }
+    }
+
     /// Same pool, different budget (for fork-join splits).
     pub fn with_threads(&self, threads: usize) -> Par<'p> {
         Par {
             threads: threads.max(1),
-            pool: self.pool,
+            ..*self
         }
     }
 
@@ -285,7 +332,7 @@ impl<'p> Par<'p> {
         match self.pool {
             Some(pool) => {
                 let shared = SharedSlice::new(out);
-                pool.run(ranges.len(), |ci| {
+                pool.run_tagged(ranges.len(), self.tag, |ci| {
                     for i in ranges[ci].clone() {
                         // SAFETY: chunk ranges are disjoint; `T: Copy` so
                         // the overwritten slot needs no drop.
@@ -319,7 +366,7 @@ impl<'p> Par<'p> {
             Some(pool) => {
                 let sa = SharedSlice::new(a);
                 let sb = SharedSlice::new(b);
-                pool.run(ranges.len(), |ci| {
+                pool.run_tagged(ranges.len(), self.tag, |ci| {
                     for i in ranges[ci].clone() {
                         let (va, vb) = f(i);
                         // SAFETY: disjoint chunks, Copy slots.
@@ -355,7 +402,7 @@ impl<'p> Par<'p> {
                 let mut out: Vec<Option<R>> = Vec::new();
                 out.resize_with(ranges.len(), || None);
                 let shared = SharedSlice::new(&mut out);
-                pool.run(ranges.len(), |ci| {
+                pool.run_tagged(ranges.len(), self.tag, |ci| {
                     let r = f(ci, ranges[ci].clone());
                     // SAFETY: each job writes only its own slot, and the
                     // overwritten value is `None` (nothing to drop).
@@ -734,6 +781,26 @@ mod tests {
             let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
             let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
             assert_eq!(seq_bits, par_bits, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_ranks_pool_is_bit_identical_to_sequential() {
+        let work = |r: usize, acc: &mut f64| {
+            *acc = 0.0;
+            for k in 1..200 {
+                *acc += ((r * k) as f64).sin() / k as f64;
+            }
+        };
+        let mut seq = vec![0.0f64; 23];
+        par_ranks(1, &mut seq, work);
+        let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut out = vec![0.0f64; 23];
+            par_ranks_pool(&pool, &mut out, work);
+            let out_bits: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(out_bits, seq_bits, "threads {threads}");
         }
     }
 

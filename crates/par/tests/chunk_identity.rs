@@ -91,6 +91,37 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// Observability must be free of behavioral effect: running the same
+    /// fill with pool tracing enabled produces byte-identical output, and
+    /// the spans it emits account for every chunk that ran on the pool.
+    #[test]
+    fn fill_identical_with_pool_tracing_enabled(
+        len in 0usize..3000,
+        salt in 0u64..u64::MAX,
+        grain in 1usize..2048,
+        threads in 1usize..9,
+    ) {
+        let mut expect = vec![0u64; len];
+        Par::seq().fill(&mut expect, 1, |i| mix(i, salt));
+        let pool = Pool::new(threads);
+        pool.enable_tracing(0.0);
+        let mut got = vec![0u64; len];
+        Par::new(threads, Some(&pool)).fill(&mut got, grain, |i| mix(i, salt));
+        pool.disable_tracing();
+        let events = pool.drain_trace_events();
+        prop_assert_eq!(got, expect);
+        // Whatever ran through the pool is attributed to a worker span.
+        let total_jobs = pool.stats().total_jobs;
+        let span_jobs: u64 = events
+            .iter()
+            .map(|e| match e {
+                sf2d_obs::TraceEvent::WorkerSpan { jobs, .. } => *jobs,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(span_jobs, total_jobs);
+    }
+
     /// The aligned chunk shape is a pure function of (parts, len): ranges
     /// tile `0..len` exactly, boundaries are aligned, and the shape never
     /// depends on anything else.

@@ -26,15 +26,16 @@ pub mod tune;
 pub mod work;
 
 use sf2d_graph::Graph;
-use sf2d_par::{Par, Pool};
+use sf2d_par::{BatchTag, Par, Pool, PoolStats};
 
 use crate::types::Partition;
 use rb::PhaseNanos;
 use work::WorkGraph;
 
-/// A partition together with its work counters and per-phase wall-time
-/// attribution — everything the benchmark harness needs to explain where
-/// a thread budget went without re-instrumenting the pipeline.
+/// A partition together with its work counters, per-phase wall-time
+/// attribution, and the worker-pool utilization snapshot — everything the
+/// benchmark harness needs to explain where a thread budget went without
+/// re-instrumenting the pipeline.
 #[derive(Debug, Clone)]
 pub struct GpReport {
     /// The k-way partition.
@@ -43,6 +44,10 @@ pub struct GpReport {
     pub stats: rb::GpStats,
     /// Per-phase wall time (not deterministic; sums overlap under forks).
     pub phases: PhaseNanos,
+    /// Utilization snapshot of the recursive-bisection worker pool:
+    /// per-worker busy/idle/park time, jobs claimed, epoch-mismatch
+    /// backoffs. `None` when the run was sequential (threads <= 1).
+    pub pool: Option<PoolStats>,
 }
 
 /// Tuning knobs for the multilevel partitioner.
@@ -85,7 +90,7 @@ impl Default for GpConfig {
 /// (`gp-mc`) streams in traces.
 fn partition_workgraph(wg: &WorkGraph, tag: &str, k: usize, cfg: &GpConfig) -> GpReport {
     let threads = sf2d_par::resolve_threads(cfg.threads);
-    let (mut part, stats, phases) = sf2d_obs::trace_span!(
+    let (mut part, stats, phases, pool_stats) = sf2d_obs::trace_span!(
         sf2d_obs::PhaseKind::Partition,
         &format!("{tag}:recursive-bisection"),
         rb::recursive_bisection_report(wg, k, cfg)
@@ -93,15 +98,31 @@ fn partition_workgraph(wg: &WorkGraph, tag: &str, k: usize, cfg: &GpConfig) -> G
     // Direct k-way polish on the assembled partition: repairs the cut and
     // the imbalance that compound across recursive-bisection levels. Its
     // part-weight init reuses one short-lived pool (the rb pool is scoped
-    // to the recursion).
+    // to the recursion); its batches are tagged "kway" so the per-worker
+    // trace tracks distinguish polish work from the bisection phases.
     let kway_moves = {
         let pool = (threads > 1).then(|| Pool::new(threads));
-        let par = Par::new(threads, pool.as_ref());
-        sf2d_obs::trace_span!(
+        if let Some(p) = &pool {
+            if sf2d_obs::enabled() {
+                p.enable_tracing(sf2d_obs::wall_now());
+            }
+        }
+        let par = Par::new(threads, pool.as_ref()).tagged(BatchTag {
+            label: "kway",
+            kind: sf2d_obs::PhaseKind::Partition,
+        });
+        let moves = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             &format!("{tag}:kway-refine"),
             kway::kway_refine(wg, &mut part.part, k, cfg.ub.max(1.03), 4, cfg.seed, &par)
-        )
+        );
+        if let Some(p) = &pool {
+            if sf2d_obs::enabled() {
+                p.disable_tracing();
+                sf2d_obs::record_all(p.drain_trace_events());
+            }
+        }
+        moves
     };
     if sf2d_obs::enabled() {
         sf2d_obs::counter!(&format!("partition.{tag}.bisections"), 0, stats.bisections);
@@ -132,6 +153,7 @@ fn partition_workgraph(wg: &WorkGraph, tag: &str, k: usize, cfg: &GpConfig) -> G
         partition: part,
         stats,
         phases,
+        pool: pool_stats,
     }
 }
 

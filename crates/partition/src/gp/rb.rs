@@ -22,7 +22,8 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use sf2d_par::{Par, Pool, SharedSlice};
+use sf2d_obs::PhaseKind;
+use sf2d_par::{BatchTag, Par, Pool, PoolStats, SharedSlice};
 
 use super::coarsen::contract;
 use super::initpart::gggp;
@@ -120,34 +121,54 @@ pub fn recursive_bisection_with_stats(
     k: usize,
     cfg: &GpConfig,
 ) -> (Partition, GpStats) {
-    let (p, s, _) = recursive_bisection_report(wg, k, cfg);
+    let (p, s, _, _) = recursive_bisection_report(wg, k, cfg);
     (p, s)
 }
 
 /// As [`recursive_bisection_with_stats`], also returning per-phase wall
-/// time attribution. One worker [`Pool`] is created here and reused by
-/// every chunked loop of every level of every bisection — pool workers
-/// park between batches instead of being respawned per loop, which is
-/// where the pre-pool implementation lost its speedup.
+/// time attribution and, when a worker pool ran, its [`PoolStats`]
+/// snapshot. One worker [`Pool`] is created here and reused by every
+/// chunked loop of every level of every bisection — pool workers park
+/// between batches instead of being respawned per loop, which is where
+/// the pre-pool implementation lost its speedup.
+///
+/// When the thread-local tracer is enabled (`sf2d_obs::enabled()`), pool
+/// tracing is switched on for the recursion with the orchestrator's clock
+/// as the base, and the per-worker batch spans are merged into the
+/// thread-local event stream at quiescence — one `SF2D_TRACE` run then
+/// shows both the phase spans and the per-worker pool tracks.
 pub fn recursive_bisection_report(
     wg: &WorkGraph,
     k: usize,
     cfg: &GpConfig,
-) -> (Partition, GpStats, PhaseNanos) {
+) -> (Partition, GpStats, PhaseNanos, Option<PoolStats>) {
     assert!(k >= 1);
     let threads = sf2d_par::resolve_threads(cfg.threads);
     let nv = wg.nv();
     let mut part = vec![0u32; nv];
     let mut stats = GpStats::default();
     let mut phases = PhaseNanos::default();
+    let mut pool_stats = None;
     if k > 1 {
         let pool = (threads > 1).then(|| Pool::new(threads));
+        if let Some(p) = &pool {
+            if sf2d_obs::enabled() {
+                p.enable_tracing(sf2d_obs::wall_now());
+            }
+        }
         let par = Par::new(threads, pool.as_ref());
         let ids: Vec<u32> = (0..nv as u32).collect();
         let out = SharedSlice::new(&mut part);
         (stats, phases) = rec(wg, &ids, k, 0, cfg, &out, 1, &par);
+        if let Some(p) = &pool {
+            if sf2d_obs::enabled() {
+                p.disable_tracing();
+                sf2d_obs::record_all(p.drain_trace_events());
+            }
+            pool_stats = Some(p.stats());
+        }
     }
-    (Partition::new(part, k), stats, phases)
+    (Partition::new(part, k), stats, phases, pool_stats)
 }
 
 /// Recursive worker. Writes `out[map[local]] = part id` for every local
@@ -252,6 +273,17 @@ pub fn multilevel_bisect(
     let mut stats = GpStats::default();
     let mut phases = PhaseNanos::default();
 
+    // Tag every pool batch this bisection submits with the gp phase it
+    // belongs to, so the per-worker trace tracks read "match"/"refine"/…
+    // instead of an anonymous "batch". Tags ride on the `Par` handle and
+    // cost nothing when tracing is off.
+    let tag = |label: &'static str| {
+        par.tagged(BatchTag {
+            label,
+            kind: PhaseKind::Partition,
+        })
+    };
+
     // Targets per side and constraint.
     let tot = wg.total_wgt();
     let mut targets = [[0.0f64; MAX_CON]; 2];
@@ -281,7 +313,7 @@ pub fn multilevel_bisect(
         let mate = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             &format!("gp:match:l{level}"),
-            heavy_edge_matching(&cur, &max_vwgt, match_salt, par)
+            heavy_edge_matching(&cur, &max_vwgt, match_salt, &tag("match"))
         );
         phases.matching += t.elapsed().as_nanos() as u64;
         stats.matchable_vertices += mate.len() as u64;
@@ -293,7 +325,7 @@ pub fn multilevel_bisect(
         let (coarse, cmap) = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             &format!("gp:contract:l{level}"),
-            contract(&cur, &mate, par)
+            contract(&cur, &mate, &tag("contract"))
         );
         phases.contract += t.elapsed().as_nanos() as u64;
         if coarse.nv() as f64 > 0.97 * cur.nv() as f64 {
@@ -311,7 +343,14 @@ pub fn multilevel_bisect(
     } else {
         gggp(&cur, &targets, cfg.ub, cfg.init_tries, &mut rng)
     };
-    let (_, moves) = fm_refine(&cur, &mut side, &targets, cfg.ub, cfg.fm_passes, par);
+    let (_, moves) = fm_refine(
+        &cur,
+        &mut side,
+        &targets,
+        cfg.ub,
+        cfg.fm_passes,
+        &tag("initpart"),
+    );
     phases.initpart += t.elapsed().as_nanos() as u64;
     stats.fm_moves += moves as u64;
 
@@ -323,13 +362,20 @@ pub fn multilevel_bisect(
         let t = Instant::now();
         let mut fine_side = vec![0u8; finer.nv()];
         let side_ro: &[u8] = &side;
-        par.fill(&mut fine_side, VERTEX_GRAIN, |v| side_ro[cmap[v] as usize]);
+        tag("project").fill(&mut fine_side, VERTEX_GRAIN, |v| side_ro[cmap[v] as usize]);
         phases.project += t.elapsed().as_nanos() as u64;
         let t = Instant::now();
         let (_, moves) = sf2d_obs::trace_span!(
             sf2d_obs::PhaseKind::Partition,
             &format!("gp:refine:l{level}"),
-            fm_refine(&finer, &mut fine_side, &targets, cfg.ub, cfg.fm_passes, par)
+            fm_refine(
+                &finer,
+                &mut fine_side,
+                &targets,
+                cfg.ub,
+                cfg.fm_passes,
+                &tag("refine")
+            )
         );
         phases.refine += t.elapsed().as_nanos() as u64;
         stats.fm_moves += moves as u64;

@@ -46,5 +46,6 @@ pub use hg::{partition_hypergraph_matrix, HgConfig};
 pub use layout::{FineLayout, NonzeroLayout};
 pub use metrics::{LayoutMetrics, PartitionQuality};
 pub use mondriaan::{mondriaan, mondriaan_report, MondriaanConfig, MondriaanPhases};
+pub use sf2d_par::{PoolStats, WorkerStats};
 pub use spectral::{partition_spectral, SpectralConfig};
 pub use types::Partition;

@@ -65,6 +65,41 @@ proptest! {
         }
     }
 
+    /// Observability is behavior-free: the part vector with the tracing
+    /// facade enabled (which also switches on the worker pool's
+    /// per-worker span emission) is byte-identical to the untraced run,
+    /// for sequential and parallel thread budgets alike.
+    #[test]
+    fn tracing_on_vs_off_is_byte_identical(
+        a in scale_free_matrix(),
+        k_idx in 0usize..4,
+        seed in 0u64..1000,
+        multiconstraint in proptest::bool::ANY,
+    ) {
+        let k = [2usize, 4, 16, 64][k_idx];
+        let g = Graph::from_symmetric_matrix(&a);
+        for threads in [1usize, 4] {
+            let cfg = GpConfig { seed, threads, ..GpConfig::default() };
+            let run = || if multiconstraint {
+                partition_graph_multiconstraint(&g, k, &cfg)
+            } else {
+                partition_graph(&g, k, &cfg)
+            };
+            let plain = run();
+            sf2d_obs::enable();
+            let traced = run();
+            sf2d_obs::disable();
+            // Drain the thread-local buffers so cases stay hermetic.
+            let events = sf2d_obs::take_events();
+            let _ = sf2d_obs::take_registry();
+            prop_assert!(!events.is_empty(), "traced run recorded nothing");
+            prop_assert_eq!(
+                &traced.part, &plain.part,
+                "tracing changed the partition (threads {}, k {})", threads, k
+            );
+        }
+    }
+
     /// The nonzero-level Mondriaan partitioner honours the same contract.
     #[test]
     fn mondriaan_parallel_matches_sequential(

@@ -113,7 +113,10 @@ impl RuntimeConfig {
 /// The parallel superstep engine, now hosted in the shared `sf2d-par`
 /// work module so the partitioner can reuse the same chunked
 /// scoped-thread fan-out. Re-exported here for backwards compatibility.
-pub use sf2d_par::par_ranks;
+/// [`par_ranks_pool`] is the pool-backed variant: same disjoint-rank
+/// contract, but batches run on a persistent [`sf2d_par::Pool`] whose
+/// per-worker spans land in the trace when pool tracing is enabled.
+pub use sf2d_par::{par_ranks, par_ranks_pool};
 
 /// Routes `sends[rank] = [(dst, payload), ...]` and returns
 /// `recvs[rank] = [RankMessage, ...]` sorted by source rank.
