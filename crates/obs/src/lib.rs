@@ -44,12 +44,14 @@
 
 pub mod analysis;
 pub mod event;
+pub mod mem;
 pub mod registry;
 pub mod sink;
 pub mod worker;
 
 pub use analysis::{analyze, BoundTerm, CostParams, CriticalPathReport, WallLabel, WallPhase};
 pub use event::{PhaseKind, RankSample, TraceEvent};
+pub use mem::{record_mem_stats, CountingAlloc, MemStats};
 pub use registry::{Histogram, MetricsRegistry};
 pub use worker::{SharedTracer, WorkerTracer};
 

@@ -154,6 +154,24 @@ where
     });
 }
 
+/// [`par_ranks`] / [`par_ranks_pool`] behind one knob: dispatches to the
+/// persistent pool when one is supplied (amortizing thread spawns across
+/// many small batches — the plan-compilation pattern, where a matrix
+/// build issues several per-rank sweeps back to back) and to scoped
+/// threads otherwise. All three execution shapes are bit-identical
+/// because the per-rank chunks are disjoint and fixed before any thread
+/// starts.
+pub fn par_ranks_with<T, F>(threads: usize, pool: Option<&Pool>, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    match pool {
+        Some(pool) if threads > 1 => par_ranks_pool(pool, items, f),
+        _ => par_ranks(threads, items, f),
+    }
+}
+
 /// Two-way fork-join: runs `fa` on the current thread and `fb` on a
 /// scoped sibling thread when `parallel` is true, or both sequentially
 /// (fa then fb) otherwise. Returns `(fa(), fb())` either way.
@@ -640,6 +658,23 @@ mod tests {
         assert!(overflow.contains("not a positive integer"), "{overflow}");
         let typo = parse_threads(Some("O8")).unwrap_err();
         assert!(typo.contains("\"O8\""), "{typo}");
+    }
+
+    #[test]
+    fn par_ranks_with_is_identical_across_dispatch_shapes() {
+        let n = 100usize;
+        let run = |threads: usize, pool: Option<&Pool>| -> Vec<u64> {
+            let mut out = vec![0u64; n];
+            par_ranks_with(threads, pool, &mut out, |r, slot| {
+                *slot = (r as u64).wrapping_mul(2654435761) ^ 0xabcd;
+            });
+            out
+        };
+        let gold = run(1, None);
+        assert_eq!(run(4, None), gold, "scoped threads");
+        let pool = Pool::new(4);
+        assert_eq!(run(4, Some(&pool)), gold, "pool dispatch");
+        assert_eq!(run(1, Some(&pool)), gold, "threads=1 ignores the pool");
     }
 
     #[test]

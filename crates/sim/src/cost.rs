@@ -40,6 +40,19 @@ impl PhaseCost {
         }
     }
 
+    /// The cost of shipping or computing `m` interleaved columns where
+    /// this cost covers one: bytes and flops scale with the width, the
+    /// message count does not — the latency amortization that makes
+    /// blocked SpMM cheaper than `m` SpMVs. (Comm costs have zero flops
+    /// and compute costs zero bytes, so one helper serves both.)
+    pub fn widened(&self, m: u64) -> PhaseCost {
+        PhaseCost {
+            msgs: self.msgs,
+            bytes: self.bytes * m,
+            flops: self.flops * m,
+        }
+    }
+
     /// Component-wise sum.
     pub fn add(&self, other: &PhaseCost) -> PhaseCost {
         PhaseCost {
@@ -300,6 +313,15 @@ mod tests {
                 flops: 0
             }
         );
+    }
+
+    #[test]
+    fn widened_scales_bytes_and_flops_but_not_msgs() {
+        let comm = PhaseCost::comm(3, 40);
+        assert_eq!(comm.widened(4), PhaseCost::comm(3, 160));
+        let compute = PhaseCost::compute(7);
+        assert_eq!(compute.widened(4), PhaseCost::compute(28));
+        assert_eq!(comm.widened(1), comm);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   deterministic, plus a crossbeam-threaded variant used to check that
 //!   results do not depend on the execution schedule);
 //! * [`collective`] — cost formulas and executors for allreduce/broadcast;
+//! * [`wave`] — bounded-memory wave planning: contiguous rank batches
+//!   whose scratch fits a live-memory budget, so paper-scale rank counts
+//!   (p = 16,384) execute with one reusable arena instead of `p` resident
+//!   workspaces;
 //! * [`fault`] — the chaos-aware verify-retry-timeout router, which
 //!   delivers the same values as the plain routers while billing injected
 //!   faults (drops, duplicates, bit-flips, delays, stalls) honestly.
@@ -37,6 +41,7 @@ pub mod fault;
 pub mod hierarchy;
 pub mod machine;
 pub mod runtime;
+pub mod wave;
 
 pub use sf2d_chaos;
 pub use sf2d_par;
@@ -46,3 +51,4 @@ pub use fault::{bill_retransmit, route_chaos, route_chaos_threaded, ChaosRuntime
 pub use hierarchy::NodeModel;
 pub use machine::Machine;
 pub use runtime::{par_ranks, route_sequential, route_threaded, RankMessage, RuntimeConfig};
+pub use wave::{max_wave_bytes, plan_waves};

@@ -1,0 +1,115 @@
+//! Wave planning for bounded-memory superstep execution.
+//!
+//! At paper scale (p = 16,384) a simulated superstep cannot afford one
+//! resident workspace per rank: the per-rank scratch alone would dwarf the
+//! matrix. Since a BSP phase only ever *reads* cross-rank state that was
+//! fully written in an earlier phase, the per-rank work of a phase can be
+//! executed in **waves** — contiguous rank ranges whose combined scratch
+//! fits a configured live-memory budget — with one reusable arena
+//! materialized per wave instead of `p` resident workspaces. The results
+//! are byte-identical to all-resident execution because each rank's work
+//! is a pure function of state frozen before the phase started; only the
+//! *scheduling* changes.
+//!
+//! This module is the planning half (pure, deterministic, unit-tested);
+//! the SpMV executor in `sf2d-spmv` drives phases 2–3 of the 4-phase
+//! kernel through these waves when its workspace carries a budget.
+
+use std::ops::Range;
+
+/// Splits ranks `0..n` into contiguous waves whose summed footprints stay
+/// within `budget` bytes.
+///
+/// Greedy left-to-right: a wave grows while the next rank still fits.
+/// Every wave holds at least one rank, so a single rank larger than the
+/// budget gets a wave of its own (the budget is then best-effort for that
+/// wave — the alternative would be failure, and the caller can see the
+/// overshoot via [`max_wave_bytes`]). `budget = None` plans one wave over
+/// everything (the all-resident fast path). The output covers `0..n`
+/// exactly, in order, with no overlaps.
+pub fn plan_waves(per_rank_bytes: &[u64], budget: Option<u64>) -> Vec<Range<usize>> {
+    let n = per_rank_bytes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let Some(budget) = budget else {
+        return std::iter::once(0..n).collect();
+    };
+    let mut waves = Vec::new();
+    let mut start = 0usize;
+    let mut bytes = 0u64;
+    for (r, &b) in per_rank_bytes.iter().enumerate() {
+        if r > start && bytes.saturating_add(b) > budget {
+            waves.push(start..r);
+            start = r;
+            bytes = 0;
+        }
+        bytes = bytes.saturating_add(b);
+    }
+    waves.push(start..n);
+    waves
+}
+
+/// Largest summed footprint of any planned wave — what the reusable arena
+/// must actually hold live.
+pub fn max_wave_bytes(per_rank_bytes: &[u64], waves: &[Range<usize>]) -> u64 {
+    waves
+        .iter()
+        .map(|w| per_rank_bytes[w.clone()].iter().sum::<u64>())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_is_one_wave() {
+        assert_eq!(plan_waves(&[5, 5, 5], None), vec![0..3]);
+        assert!(plan_waves(&[], None).is_empty());
+    }
+
+    #[test]
+    fn waves_partition_the_ranks_in_order() {
+        let sizes = [4u64, 4, 4, 4, 4];
+        let waves = plan_waves(&sizes, Some(8));
+        assert_eq!(waves, vec![0..2, 2..4, 4..5]);
+        // Exact cover, no overlap.
+        let flat: Vec<usize> = waves.iter().flat_map(|w| w.clone()).collect();
+        assert_eq!(flat, vec![0, 1, 2, 3, 4]);
+        assert_eq!(max_wave_bytes(&sizes, &waves), 8);
+    }
+
+    #[test]
+    fn generous_budget_is_one_wave() {
+        assert_eq!(plan_waves(&[1, 2, 3], Some(1000)), vec![0..3]);
+    }
+
+    #[test]
+    fn oversized_rank_gets_its_own_wave() {
+        let sizes = [2u64, 50, 2, 2];
+        let waves = plan_waves(&sizes, Some(10));
+        assert_eq!(waves, vec![0..1, 1..2, 2..4]);
+        // The oversized wave is visible as budget overshoot.
+        assert_eq!(max_wave_bytes(&sizes, &waves), 50);
+    }
+
+    #[test]
+    fn zero_budget_degenerates_to_one_rank_per_wave() {
+        let waves = plan_waves(&[3, 3, 3], Some(0));
+        assert_eq!(waves, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn zero_sized_ranks_share_a_wave() {
+        let waves = plan_waves(&[0, 0, 0], Some(0));
+        assert_eq!(waves, vec![0..3]);
+    }
+
+    #[test]
+    fn empty_input_plans_nothing() {
+        assert!(plan_waves(&[], Some(8)).is_empty());
+        assert_eq!(max_wave_bytes(&[], &[]), 0);
+    }
+}

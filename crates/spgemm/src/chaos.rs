@@ -17,27 +17,25 @@ use sf2d_obs::{trace_span, PhaseKind};
 use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
 use sf2d_sim::fault::{bill_retransmit, ChaosRuntime};
 use sf2d_sim::runtime::par_ranks;
-use sf2d_spmv::compiled::CompiledSpmv;
+use sf2d_spmv::compiled::PhasePlan;
 use sf2d_spmv::distmat::DistCsrMatrix;
 
 use crate::kernel::{
     decode_expand, exchange_stats, finish, gustavson, merge_rank, pack_expand, pack_fold,
     DistSpgemm,
 };
-use crate::workspace::SpgemmWorkspace;
+use crate::workspace::{MsgBufs, SpgemmWorkspace};
 
 /// Clones one exchange's resident payload buffers into wire messages,
 /// `(dst, payload)` in the compiled pack order.
-fn wire_sends(
-    bufs: &[Vec<Vec<f64>>],
-    dsts: impl Fn(usize) -> Vec<u32>,
-) -> Vec<Vec<(u32, Vec<f64>)>> {
+fn wire_sends(bufs: &[MsgBufs], dsts: impl Fn(usize) -> Vec<u32>) -> Vec<Vec<(u32, Vec<f64>)>> {
     bufs.iter()
         .enumerate()
         .map(|(r, out)| {
             dsts(r)
                 .into_iter()
-                .zip(out.iter().cloned())
+                .enumerate()
+                .map(|(slot, d)| (d, out.msg(slot).to_vec()))
                 .collect::<Vec<_>>()
         })
         .collect()
@@ -50,22 +48,23 @@ fn route_and_verify(
     rt: &mut ChaosRuntime,
     ledger: &mut CostLedger,
     p: usize,
-    bufs: &[Vec<Vec<f64>>],
+    bufs: &[MsgBufs],
     sends: Vec<Vec<(u32, Vec<f64>)>>,
-    unpacks: &[&[(u32, u32, Vec<u32>)]],
+    plan: &PhasePlan,
     what: &str,
 ) {
     let (delivered, extra) = rt.route(p, sends);
     bill_retransmit(ledger, &extra);
     for (r, inbox) in delivered.iter().enumerate() {
+        let unpack = plan.unpack_entries(r);
         assert_eq!(
             inbox.len(),
-            unpacks[r].len(),
+            unpack.len(),
             "{what}: wrong message count at rank {r}"
         );
-        for (msg, (src, slot, _)) in inbox.iter().zip(unpacks[r].iter()) {
-            assert_eq!(msg.src, *src, "{what}: source mismatch at rank {r}");
-            let resident = &bufs[*src as usize][*slot as usize];
+        for (msg, e) in inbox.iter().zip(unpack) {
+            assert_eq!(msg.src, e.src, "{what}: source mismatch at rank {r}");
+            let resident = bufs[e.src as usize].msg(e.slot as usize);
             assert_eq!(
                 msg.data.len(),
                 resident.len(),
@@ -78,14 +77,6 @@ fn route_and_verify(
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same_bits, "{what}: corrupted delivery at rank {r}");
         }
-    }
-}
-
-fn unpack_refs(plans: &CompiledSpmv, fold: bool) -> Vec<&[(u32, u32, Vec<u32>)]> {
-    if fold {
-        plans.fold.iter().map(|pl| pl.unpack.as_slice()).collect()
-    } else {
-        plans.expand.iter().map(|pl| pl.unpack.as_slice()).collect()
     }
 }
 
@@ -113,15 +104,14 @@ pub fn spgemm_chaos(
     // Phase 1 — expand, packed into the resident buffers exactly like the
     // plain kernel, then mirrored onto the misbehaving wire.
     trace_span!(PhaseKind::Pack, "spgemm-chaos:expand-pack", {
-        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
-            pack_expand(bufs, &compiled.expand[r], vmap.gids(r), b);
+        par_ranks(threads, &mut ws.expand_bufs, |r, buf| {
+            pack_expand(buf, compiled.expand_rank(r), vmap.gids(r), b);
         })
     });
-    let expand_unpacks = unpack_refs(compiled, false);
-    let expand = exchange_stats(&ws.expand_bufs, &expand_unpacks);
+    let expand = exchange_stats(&ws.expand_bufs, &compiled.expand);
     ledger.superstep(Phase::Expand, &expand.costs);
     let sends = wire_sends(&ws.expand_bufs, |r| {
-        compiled.expand[r].pack.iter().map(|(d, _)| *d).collect()
+        compiled.expand_rank(r).packs().map(|(d, _, _)| d).collect()
     });
     route_and_verify(
         rt,
@@ -129,7 +119,7 @@ pub fn spgemm_chaos(
         p,
         &ws.expand_bufs,
         sends,
-        &expand_unpacks,
+        &compiled.expand,
         "spgemm expand",
     );
 
@@ -138,7 +128,7 @@ pub fn spgemm_chaos(
     let ebufs = &ws.expand_bufs;
     trace_span!(PhaseKind::Multiply, "spgemm-chaos:unpack-multiply", {
         par_ranks(threads, &mut ws.ranks, |r, scratch| {
-            decode_expand(scratch, &a.blocks[r], &compiled.expand[r], ebufs);
+            decode_expand(scratch, &a.blocks[r], compiled.expand_rank(r), ebufs);
             scratch.terms = gustavson(scratch, &a.blocks[r], b);
         })
     });
@@ -152,15 +142,14 @@ pub fn spgemm_chaos(
     // Phase 3 — fold, same resident-buffer + wire mirroring.
     let ranks = &ws.ranks;
     trace_span!(PhaseKind::Pack, "spgemm-chaos:fold-pack", {
-        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
-            pack_fold(bufs, &compiled.fold[r], &ranks[r]);
+        par_ranks(threads, &mut ws.fold_bufs, |r, buf| {
+            pack_fold(buf, compiled.fold_rank(r), &ranks[r]);
         })
     });
-    let fold_unpacks = unpack_refs(compiled, true);
-    let fold = exchange_stats(&ws.fold_bufs, &fold_unpacks);
+    let fold = exchange_stats(&ws.fold_bufs, &compiled.fold);
     ledger.superstep(Phase::Fold, &fold.costs);
     let sends = wire_sends(&ws.fold_bufs, |r| {
-        compiled.fold[r].pack.iter().map(|(d, _)| *d).collect()
+        compiled.fold_rank(r).packs().map(|(d, _, _)| d).collect()
     });
     route_and_verify(
         rt,
@@ -168,7 +157,7 @@ pub fn spgemm_chaos(
         p,
         &ws.fold_bufs,
         sends,
-        &fold_unpacks,
+        &compiled.fold,
         "spgemm fold",
     );
 
@@ -176,7 +165,7 @@ pub fn spgemm_chaos(
     let fbufs = &ws.fold_bufs;
     trace_span!(PhaseKind::Merge, "spgemm-chaos:merge", {
         par_ranks(threads, &mut ws.ranks, |r, scratch| {
-            scratch.merged = merge_rank(scratch, vmap.nlocal(r), &compiled.fold[r], fbufs);
+            scratch.merged = merge_rank(scratch, vmap.nlocal(r), compiled.fold_rank(r), fbufs);
         })
     });
     let merge_costs: Vec<PhaseCost> = ws

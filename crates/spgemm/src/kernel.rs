@@ -39,11 +39,11 @@ use sf2d_obs::{trace_span, PhaseKind};
 use sf2d_sim::collective::{allreduce_cost, allreduce_sum_u64};
 use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
 use sf2d_sim::runtime::par_ranks;
-use sf2d_spmv::compiled::{RankExpandPlan, RankFoldPlan};
+use sf2d_spmv::compiled::{PhasePlan, RankPlan};
 use sf2d_spmv::distmat::{DistCsrMatrix, RankBlock};
 use sf2d_spmv::map::VectorMap;
 
-use crate::workspace::{BRowRef, RankSpgemmScratch, SpgemmWorkspace};
+use crate::workspace::{BRowRef, MsgBufs, RankSpgemmScratch, SpgemmWorkspace};
 
 /// Per-rank traffic of one exchange phase (expand or fold).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,24 +128,18 @@ pub(crate) fn push_row(buf: &mut Vec<f64>, row: (&[u32], &[f64])) {
 /// Measures one exchange off the resident payload buffers: send side from
 /// each rank's own pack buffers, receive side mirrored through the
 /// compiled `(src, slot)` unpack entries.
-pub(crate) fn exchange_stats(
-    bufs: &[Vec<Vec<f64>>],
-    unpacks: &[&[(u32, u32, Vec<u32>)]],
-) -> ExchangeStats {
-    let send_msgs: Vec<u64> = bufs.iter().map(|out| out.len() as u64).collect();
-    let send_doubles: Vec<u64> = bufs
-        .iter()
-        .map(|out| out.iter().map(|m| m.len() as u64).sum())
-        .collect();
+pub(crate) fn exchange_stats(bufs: &[MsgBufs], plan: &PhasePlan) -> ExchangeStats {
+    let send_msgs: Vec<u64> = bufs.iter().map(|out| out.nmsgs() as u64).collect();
+    let send_doubles: Vec<u64> = bufs.iter().map(|out| out.data.len() as u64).collect();
     let mut costs: Vec<PhaseCost> = send_msgs
         .iter()
         .zip(&send_doubles)
         .map(|(&m, &d)| PhaseCost::comm(m, 8 * d))
         .collect();
-    for (r, unpack) in unpacks.iter().enumerate() {
-        for (src, slot, _) in unpack.iter() {
-            let doubles = bufs[*src as usize][*slot as usize].len() as u64;
-            costs[r] = costs[r].add(&PhaseCost::comm(1, 8 * doubles));
+    for (r, cost) in costs.iter_mut().enumerate() {
+        for e in plan.unpack_entries(r) {
+            let doubles = bufs[e.src as usize].msg(e.slot as usize).len() as u64;
+            *cost = cost.add(&PhaseCost::comm(1, 8 * doubles));
         }
     }
     ExchangeStats {
@@ -157,17 +151,13 @@ pub(crate) fn exchange_stats(
 
 /// Packs one rank's expand payloads: the B rows named by the compiled
 /// pack lids (which index the sender's owned gid list).
-pub(crate) fn pack_expand(
-    bufs: &mut [Vec<f64>],
-    plan: &RankExpandPlan,
-    gids: &[u32],
-    b: &CsrMatrix,
-) {
-    for (buf, (_dst, lids)) in bufs.iter_mut().zip(&plan.pack) {
-        buf.clear();
+pub(crate) fn pack_expand(buf: &mut MsgBufs, plan: RankPlan<'_>, gids: &[u32], b: &CsrMatrix) {
+    buf.reset();
+    for (_dst, lids, _off) in plan.packs() {
         for &lid in lids {
-            push_row(buf, b.row(gids[lid as usize] as usize));
+            push_row(&mut buf.data, b.row(gids[lid as usize] as usize));
         }
+        buf.seal();
     }
 }
 
@@ -177,18 +167,18 @@ pub(crate) fn pack_expand(
 pub(crate) fn decode_expand(
     scratch: &mut RankSpgemmScratch,
     block: &RankBlock,
-    plan: &RankExpandPlan,
-    ebufs: &[Vec<Vec<f64>>],
+    plan: RankPlan<'_>,
+    ebufs: &[MsgBufs],
 ) {
-    for &(_src_lid, xcols_lid) in &plan.owned {
+    for (_src_lid, xcols_lid) in plan.owned_pairs() {
         scratch.brows[xcols_lid as usize] = BRowRef::Local {
             gid: block.colmap[xcols_lid as usize],
         };
     }
     scratch.rcols.clear();
     scratch.rvals.clear();
-    for (src, slot, lids) in &plan.unpack {
-        let data = &ebufs[*src as usize][*slot as usize];
+    for (src, slot, _payload_off, lids) in plan.unpacks() {
+        let data = ebufs[src as usize].msg(slot as usize);
         let mut off = 0usize;
         for &lid in lids {
             let nnz = data[off] as usize;
@@ -272,19 +262,20 @@ pub(crate) fn gustavson(scratch: &mut RankSpgemmScratch, block: &RankBlock, b: &
 
 /// Packs one rank's fold payloads: the partial C rows named by the
 /// compiled pack indices (row-map positions).
-pub(crate) fn pack_fold(bufs: &mut [Vec<f64>], plan: &RankFoldPlan, scratch: &RankSpgemmScratch) {
-    for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&plan.pack) {
-        buf.clear();
+pub(crate) fn pack_fold(buf: &mut MsgBufs, plan: RankPlan<'_>, scratch: &RankSpgemmScratch) {
+    buf.reset();
+    for (_owner, idxs, _off) in plan.packs() {
         for &pi in idxs {
             let (lo, hi) = (
                 scratch.part_ptr[pi as usize],
                 scratch.part_ptr[pi as usize + 1],
             );
             push_row(
-                buf,
+                &mut buf.data,
                 (&scratch.part_cols[lo..hi], &scratch.part_vals[lo..hi]),
             );
         }
+        buf.seal();
     }
 }
 
@@ -295,24 +286,24 @@ pub(crate) fn pack_fold(bufs: &mut [Vec<f64>], plan: &RankFoldPlan, scratch: &Ra
 pub(crate) fn merge_rank(
     scratch: &mut RankSpgemmScratch,
     nlocal: usize,
-    plan: &RankFoldPlan,
-    fbufs: &[Vec<Vec<f64>>],
+    plan: RankPlan<'_>,
+    fbufs: &[MsgBufs],
 ) -> u64 {
     scratch.guard_gen(nlocal);
     scratch.own_part.clear();
     scratch.own_part.resize(nlocal, u32::MAX);
-    for &(pi, y_lid) in &plan.owned {
+    for (pi, y_lid) in plan.owned_pairs() {
         scratch.own_part[y_lid as usize] = pi;
     }
     scratch.incoming.clear();
-    for (src, slot, y_lids) in &plan.unpack {
-        let data = &fbufs[*src as usize][*slot as usize];
+    for (src, slot, _payload_off, y_lids) in plan.unpacks() {
+        let data = fbufs[src as usize].msg(slot as usize);
         let mut off = 0usize;
         for &y_lid in y_lids {
             let nnz = data[off] as usize;
             scratch
                 .incoming
-                .push((y_lid, *src, *slot, (off + 1) as u32, nnz as u32));
+                .push((y_lid, src, slot, (off + 1) as u32, nnz as u32));
             off += 1 + 2 * nnz;
         }
         debug_assert_eq!(off, data.len(), "fold payload framing mismatch");
@@ -365,7 +356,7 @@ pub(crate) fn merge_rank(
         }
         while cursor < incoming.len() && incoming[cursor].0 as usize == y {
             let (_, src, slot, off, len) = incoming[cursor];
-            let data = &fbufs[src as usize][slot as usize];
+            let data = fbufs[src as usize].msg(slot as usize);
             let (off, len) = (off as usize, len as usize);
             for k in 0..len {
                 add(data[off + k] as u32, data[off + len + k]);
@@ -467,23 +458,18 @@ pub fn spgemm_with(
     // Phase 1 — expand: serialize the planned B rows into the resident
     // send buffers; destinations read them in place via (src, slot).
     trace_span!(PhaseKind::Pack, "spgemm:expand-pack", {
-        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
-            pack_expand(bufs, &compiled.expand[r], vmap.gids(r), b);
+        par_ranks(threads, &mut ws.expand_bufs, |r, buf| {
+            pack_expand(buf, compiled.expand_rank(r), vmap.gids(r), b);
         })
     });
-    let expand_unpacks: Vec<&[(u32, u32, Vec<u32>)]> = compiled
-        .expand
-        .iter()
-        .map(|pl| pl.unpack.as_slice())
-        .collect();
-    let expand = exchange_stats(&ws.expand_bufs, &expand_unpacks);
+    let expand = exchange_stats(&ws.expand_bufs, &compiled.expand);
     ledger.superstep(Phase::Expand, &expand.costs);
 
     // Phase 2 — decode the arrived rows and run the local Gustavson pass.
     let ebufs = &ws.expand_bufs;
     trace_span!(PhaseKind::Multiply, "spgemm:unpack-multiply", {
         par_ranks(threads, &mut ws.ranks, |r, scratch| {
-            decode_expand(scratch, &a.blocks[r], &compiled.expand[r], ebufs);
+            decode_expand(scratch, &a.blocks[r], compiled.expand_rank(r), ebufs);
             scratch.terms = gustavson(scratch, &a.blocks[r], b);
         })
     });
@@ -497,23 +483,18 @@ pub fn spgemm_with(
     // Phase 3 — fold: serialize the partial rows bound for other owners.
     let ranks = &ws.ranks;
     trace_span!(PhaseKind::Pack, "spgemm:fold-pack", {
-        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
-            pack_fold(bufs, &compiled.fold[r], &ranks[r]);
+        par_ranks(threads, &mut ws.fold_bufs, |r, buf| {
+            pack_fold(buf, compiled.fold_rank(r), &ranks[r]);
         })
     });
-    let fold_unpacks: Vec<&[(u32, u32, Vec<u32>)]> = compiled
-        .fold
-        .iter()
-        .map(|pl| pl.unpack.as_slice())
-        .collect();
-    let fold = exchange_stats(&ws.fold_bufs, &fold_unpacks);
+    let fold = exchange_stats(&ws.fold_bufs, &compiled.fold);
     ledger.superstep(Phase::Fold, &fold.costs);
 
     // Phase 4 — merge at the owners, fixed rank order per row.
     let fbufs = &ws.fold_bufs;
     trace_span!(PhaseKind::Merge, "spgemm:merge", {
         par_ranks(threads, &mut ws.ranks, |r, scratch| {
-            scratch.merged = merge_rank(scratch, vmap.nlocal(r), &compiled.fold[r], fbufs);
+            scratch.merged = merge_rank(scratch, vmap.nlocal(r), compiled.fold_rank(r), fbufs);
         })
     });
     let merge_costs: Vec<PhaseCost> = ws

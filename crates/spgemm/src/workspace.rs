@@ -88,6 +88,46 @@ impl RankSpgemmScratch {
     }
 }
 
+/// One rank's outgoing message payloads for one exchange, stored as a
+/// single flat allocation with a per-slot offset table — not one `Vec`
+/// per message, which at paper-scale rank counts (millions of tiny
+/// messages) would be mostly allocator headers. Slot order matches the
+/// rank's compiled pack list, so destination ranks read payloads in place
+/// via their compiled `(src, slot)` unpack entries.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MsgBufs {
+    /// All message payloads, concatenated in slot order.
+    pub data: Vec<f64>,
+    /// Message boundaries: slot `k` is `data[offs[k]..offs[k + 1]]`.
+    pub offs: Vec<usize>,
+}
+
+impl MsgBufs {
+    /// Empties the buffers for a fresh pack pass (keeps the allocations).
+    pub fn reset(&mut self) {
+        self.data.clear();
+        self.offs.clear();
+        self.offs.push(0);
+    }
+
+    /// Marks the end of the current message: everything pushed onto
+    /// `data` since the previous seal belongs to the just-finished slot.
+    pub fn seal(&mut self) {
+        self.offs.push(self.data.len());
+    }
+
+    /// Slot `k`'s payload.
+    #[inline]
+    pub fn msg(&self, slot: usize) -> &[f64] {
+        &self.data[self.offs[slot]..self.offs[slot + 1]]
+    }
+
+    /// Number of sealed messages.
+    pub fn nmsgs(&self) -> usize {
+        self.offs.len().saturating_sub(1)
+    }
+}
+
 /// Reusable scratch space for [`spgemm_with`](crate::kernel::spgemm_with):
 /// per-rank SPA accumulators and row buffers plus the resident expand/fold
 /// message payloads, which destination ranks read in place via the
@@ -103,12 +143,13 @@ pub struct SpgemmWorkspace {
     /// Number of OS threads for phase-local work (1 = fully sequential).
     pub threads: usize,
     pub(crate) ranks: Vec<RankSpgemmScratch>,
-    /// Per-rank expand payloads, aligned with each rank's compiled expand
-    /// `pack` list: serialized B rows, `[nnz, cols..., vals...]` per row.
-    pub(crate) expand_bufs: Vec<Vec<Vec<f64>>>,
-    /// Per-rank fold payloads, aligned with the compiled fold `pack` list:
-    /// serialized partial C rows, same framing.
-    pub(crate) fold_bufs: Vec<Vec<Vec<f64>>>,
+    /// Per-rank expand payloads, slots aligned with each rank's compiled
+    /// expand `pack` list: serialized B rows, `[nnz, cols..., vals...]`
+    /// per row, flat per rank.
+    pub(crate) expand_bufs: Vec<MsgBufs>,
+    /// Per-rank fold payloads, slots aligned with the compiled fold
+    /// `pack` list: serialized partial C rows, same framing.
+    pub(crate) fold_bufs: Vec<MsgBufs>,
 }
 
 impl SpgemmWorkspace {
@@ -130,7 +171,7 @@ impl SpgemmWorkspace {
 
     /// Sizes the per-rank buffers for `blocks` and a B with `bcols`
     /// columns, reusing allocations where they already fit.
-    pub(crate) fn ensure(&mut self, blocks: &[RankBlock], compiled: &CompiledSpmv, bcols: usize) {
+    pub(crate) fn ensure(&mut self, blocks: &[RankBlock], _compiled: &CompiledSpmv, bcols: usize) {
         self.ranks
             .resize_with(blocks.len(), RankSpgemmScratch::default);
         for (scratch, block) in self.ranks.iter_mut().zip(blocks) {
@@ -138,14 +179,10 @@ impl SpgemmWorkspace {
             scratch.spa_stamp.resize(bcols, 0);
             scratch.brows.resize(block.colmap.len(), BRowRef::default());
         }
-        self.expand_bufs.resize_with(blocks.len(), Vec::new);
-        for (bufs, plan) in self.expand_bufs.iter_mut().zip(&compiled.expand) {
-            bufs.resize_with(plan.pack.len(), Vec::new);
-        }
-        self.fold_bufs.resize_with(blocks.len(), Vec::new);
-        for (bufs, plan) in self.fold_bufs.iter_mut().zip(&compiled.fold) {
-            bufs.resize_with(plan.pack.len(), Vec::new);
-        }
+        // Message buffers are reset by each pack pass; only the per-rank
+        // slots need to exist.
+        self.expand_bufs.resize_with(blocks.len(), MsgBufs::default);
+        self.fold_bufs.resize_with(blocks.len(), MsgBufs::default);
     }
 }
 

@@ -1,5 +1,5 @@
 //! Compiled local-index schedules for the 4-phase SpMV — the plan
-//! *compilation* step of Epetra's `FillComplete()`.
+//! *compilation* step of Epetra's `FillComplete()`, stored compressed.
 //!
 //! [`CommPlan`](crate::plan::CommPlan) stores the communication structure
 //! in **global ids**; executing it directly means every SpMV re-resolves
@@ -7,63 +7,236 @@
 //! maps are immutable after construction, all of those lookups can be done
 //! once: this module lowers the plans plus the row/column maps into flat
 //! local-index copy lists, so the per-iteration path is array indexing
-//! only. Message payloads are bare `Vec<f64>` buffers that live in the
-//! [`SpmvWorkspace`] and are read **in place** by the destination rank
-//! (each unpack entry records the sender's buffer slot), so the steady
-//! state allocates nothing; the bytes accounted to the ledger still equal
-//! the plan's volume exactly. The static per-phase [`PhaseCost`] vectors
-//! are precomputed here too, so a ledger superstep is a slice reduce.
+//! only. The static per-phase [`PhaseCost`] vectors are precomputed here
+//! too, so a ledger superstep is a slice reduce.
+//!
+//! **Storage** is built for paper-scale rank counts (p = 16,384). At high
+//! p the per-rank blocks go hypersparse (Buluç & Gilbert): every index
+//! list is tiny and highly redundant across ranks, so replicating
+//! `Vec<Vec<u32>>`-of-`Vec` plans per rank would drown in allocator
+//! headers. Instead every index list lives in one shared u32 arena (the
+//! *plan store*), **deduplicated by content**, and the per-rank schedules
+//! are flat entry arrays holding [`IdxSpan`] offset-range views into it.
+//! Message payloads are flat per-rank `f64` buffers in the
+//! [`SpmvWorkspace`], one allocation per rank (not per message), read
+//! **in place** by the destination rank at the sender's precomputed
+//! payload offset — the zero-copy simulated transport, allocation-free at
+//! steady state; the bytes accounted to the ledger still equal the plan's
+//! volume exactly.
+//!
+//! **Construction** parallelizes: [`CompiledSpmv::compile_with`] fans the
+//! pure per-rank lowering across OS threads (optionally on a persistent
+//! [`Pool`]) and then interns the results serially in rank order, so the
+//! compiled plan is byte-identical to the serial [`CompiledSpmv::compile`]
+//! for any thread count — property-tested in
+//! `tests/proptest_parallel_compile.rs`.
 //!
 //! The compiled schedules change *nothing* observable: results are
 //! bit-identical to the gid-based reference executor
 //! ([`reference`](crate::reference)), and the [`CostLedger`] charges are
 //! byte-for-byte the same — this optimizes the simulator's real wall
-//! clock, not the modeled time.
+//! clock and live memory, not the modeled time.
 //!
 //! [`CostLedger`]: sf2d_sim::cost::CostLedger
+//! [`Pool`]: sf2d_sim::sf2d_par::Pool
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
 
 use sf2d_sim::cost::PhaseCost;
+use sf2d_sim::sf2d_par::{par_ranks_with, Pool};
 
 use crate::distmat::RankBlock;
 use crate::map::VectorMap;
 use crate::plan::CommPlan;
 
-/// One rank's compiled expand-phase schedule.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RankExpandPlan {
-    /// `(src_lid, xcols_lid)` pairs for locally-owned column entries:
-    /// `xcols[xcols_lid] = x_local[src_lid]`, in column-map order.
-    pub owned: Vec<(u32, u32)>,
-    /// Per outgoing message, aligned with `import.sends[r]`: the
-    /// destination rank and the local ids (into this rank's `x` slice)
-    /// whose values to pack, in plan order.
-    pub pack: Vec<(u32, Vec<u32>)>,
-    /// Per incoming message, aligned with `import.recvs[r]`: the source
-    /// rank, the slot in the source's `pack` list holding this message's
-    /// payload, and the `xcols` positions the arriving values land in.
-    pub unpack: Vec<(u32, u32, Vec<u32>)>,
+/// An offset-range view into the shared index arena (u32 offsets: plans
+/// stay addressable up to 4G shared indices, far beyond scale-20 inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IdxSpan {
+    /// Start offset in the arena.
+    pub off: u32,
+    /// Number of u32 entries.
+    pub len: u32,
 }
 
-/// One rank's compiled fold-phase schedule.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RankFoldPlan {
-    /// `(partial_idx, y_lid)` pairs for locally-owned rows:
-    /// `y_local[y_lid] += partials[partial_idx]`, in row-map order.
-    pub owned: Vec<(u32, u32)>,
-    /// Per outgoing message, aligned with `export.recvs[r]`: the owning
-    /// rank and the indices into `partials` whose values to ship.
-    pub pack: Vec<(u32, Vec<u32>)>,
-    /// Per incoming message, aligned with `export.sends[r]`: the source
-    /// rank, the slot in the source's `pack` list holding this message's
-    /// payload, and the `y` local ids the arriving partials are added to.
-    pub unpack: Vec<(u32, u32, Vec<u32>)>,
-    /// Sum-phase flops this rank is charged per SpMV column: one per
-    /// locally-summed owned row plus one per received fold value (matches
-    /// the reference executor's accounting exactly).
-    pub sum_flops: u64,
+impl IdxSpan {
+    /// The arena range this span covers.
+    #[inline]
+    pub fn range(self) -> Range<usize> {
+        self.off as usize..(self.off + self.len) as usize
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the span is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
 }
 
-/// The full compiled schedule: one expand and one fold plan per rank.
+/// One outgoing message of a rank's compiled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackEntry {
+    /// Destination rank.
+    pub peer: u32,
+    /// Local ids whose values to pack, in plan order (arena span).
+    pub lids: IdxSpan,
+    /// Offset of this message's payload in the sender's flat per-rank
+    /// send buffer, in width-1 doubles (multiply by `ncols` for SpMM).
+    pub payload_off: u32,
+}
+
+/// One incoming message of a rank's compiled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnpackEntry {
+    /// Source rank.
+    pub src: u32,
+    /// Slot in the source's pack list holding this message.
+    pub slot: u32,
+    /// The source's precomputed `payload_off` for that slot — so reading
+    /// a payload in place costs no lookup into the sender's plan.
+    pub payload_off: u32,
+    /// Local positions the arriving values land in (arena span).
+    pub lids: IdxSpan,
+}
+
+/// One phase's compiled schedule for **all** ranks: flat entry arrays with
+/// per-rank offset tables, plus per-rank owned-copy spans — everything
+/// indexing into the [`CompiledSpmv`]'s shared arena.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhasePlan {
+    /// Per-rank owned-copy pairs, interleaved `(a, b)` in one arena span
+    /// of `2·n` entries. Expand: `(src_lid, xcols_lid)`; fold:
+    /// `(partial_idx, y_lid)`.
+    owned: Vec<IdxSpan>,
+    /// All ranks' pack entries, concatenated in rank order.
+    pack: Vec<PackEntry>,
+    /// Per-rank ranges into `pack` (`p + 1` offsets).
+    pack_off: Vec<u32>,
+    /// All ranks' unpack entries, concatenated in rank order.
+    unpack: Vec<UnpackEntry>,
+    /// Per-rank ranges into `unpack` (`p + 1` offsets).
+    unpack_off: Vec<u32>,
+    /// Per-rank total send-payload length in width-1 doubles — what the
+    /// workspace's flat per-rank send buffer must hold.
+    payload: Vec<u32>,
+}
+
+impl PhasePlan {
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Rank `r`'s pack entries.
+    #[inline]
+    pub fn pack_entries(&self, r: usize) -> &[PackEntry] {
+        &self.pack[self.pack_off[r] as usize..self.pack_off[r + 1] as usize]
+    }
+
+    /// Rank `r`'s unpack entries.
+    #[inline]
+    pub fn unpack_entries(&self, r: usize) -> &[UnpackEntry] {
+        &self.unpack[self.unpack_off[r] as usize..self.unpack_off[r + 1] as usize]
+    }
+
+    /// Rank `r`'s total send-payload length in width-1 doubles.
+    #[inline]
+    pub fn payload_doubles(&self, r: usize) -> usize {
+        self.payload[r] as usize
+    }
+
+    /// The rank view joining this plan with the shared arena.
+    #[inline]
+    fn rank<'a>(&'a self, arena: &'a [u32], r: usize) -> RankPlan<'a> {
+        RankPlan {
+            arena,
+            owned: self.owned[r],
+            pack: self.pack_entries(r),
+            unpack: self.unpack_entries(r),
+        }
+    }
+}
+
+/// One rank's schedule for one phase: a cheap `Copy` view borrowing the
+/// shared arena — the executor-facing face of the compressed plan store.
+#[derive(Debug, Clone, Copy)]
+pub struct RankPlan<'a> {
+    arena: &'a [u32],
+    owned: IdxSpan,
+    pack: &'a [PackEntry],
+    unpack: &'a [UnpackEntry],
+}
+
+impl<'a> RankPlan<'a> {
+    /// Resolves a span to its arena slice.
+    #[inline]
+    pub fn lids(self, span: IdxSpan) -> &'a [u32] {
+        &self.arena[span.range()]
+    }
+
+    /// Owned-copy pairs. Expand: `xcols[b] = x_local[a]`; fold:
+    /// `y_local[b] += partials[a]`.
+    #[inline]
+    pub fn owned_pairs(self) -> impl Iterator<Item = (u32, u32)> + 'a {
+        self.arena[self.owned.range()]
+            .chunks_exact(2)
+            .map(|c| (c[0], c[1]))
+    }
+
+    /// Number of owned-copy pairs.
+    pub fn n_owned(self) -> usize {
+        self.owned.len() / 2
+    }
+
+    /// Outgoing messages as `(peer, lids, payload_off)`, in plan order
+    /// (which is also payload order: offsets ascend).
+    #[inline]
+    pub fn packs(self) -> impl Iterator<Item = (u32, &'a [u32], u32)> + 'a {
+        let arena = self.arena;
+        self.pack
+            .iter()
+            .map(move |e| (e.peer, &arena[e.lids.range()], e.payload_off))
+    }
+
+    /// One outgoing message by slot.
+    #[inline]
+    pub fn pack(self, slot: usize) -> (u32, &'a [u32], u32) {
+        let e = &self.pack[slot];
+        (e.peer, &self.arena[e.lids.range()], e.payload_off)
+    }
+
+    /// Number of outgoing messages.
+    pub fn npacks(self) -> usize {
+        self.pack.len()
+    }
+
+    /// Incoming messages as `(src, slot, payload_off, lids)` — the
+    /// payload offset is the *sender's*, for reading its flat buffer in
+    /// place.
+    #[inline]
+    pub fn unpacks(self) -> impl Iterator<Item = (u32, u32, u32, &'a [u32])> + 'a {
+        let arena = self.arena;
+        self.unpack
+            .iter()
+            .map(move |e| (e.src, e.slot, e.payload_off, &arena[e.lids.range()]))
+    }
+
+    /// Number of incoming messages.
+    pub fn nunpacks(self) -> usize {
+        self.unpack.len()
+    }
+}
+
+/// The full compiled schedule: shared index arena plus one [`PhasePlan`]
+/// per phase and the frozen per-rank cost vectors.
 ///
 /// Built once by [`DistCsrMatrix::from_global`] and reused by every
 /// [`spmv`](crate::spmv::spmv) / [`spmm`](crate::spmv::spmm) call.
@@ -71,113 +244,280 @@ pub struct RankFoldPlan {
 /// [`DistCsrMatrix::from_global`]: crate::distmat::DistCsrMatrix::from_global
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledSpmv {
-    /// Per-rank expand schedules.
-    pub expand: Vec<RankExpandPlan>,
-    /// Per-rank fold schedules.
-    pub fold: Vec<RankFoldPlan>,
+    /// The shared, content-deduplicated index arena (the plan store).
+    arena: Vec<u32>,
+    /// Expand-phase schedules for all ranks.
+    pub expand: PhasePlan,
+    /// Fold-phase schedules for all ranks.
+    pub fold: PhasePlan,
     /// Per-rank expand-phase costs (= `import.phase_costs()`), frozen.
     pub expand_costs: Vec<PhaseCost>,
     /// Per-rank local-compute costs (2 flops per local nonzero), frozen.
     pub compute_costs: Vec<PhaseCost>,
     /// Per-rank fold-phase costs (= `export.phase_costs()`), frozen.
     pub fold_costs: Vec<PhaseCost>,
-    /// Per-rank sum-phase costs (one flop per `sum_flops`), frozen.
+    /// Per-rank sum-phase costs (one flop per locally-summed owned row
+    /// plus one per received fold value), frozen.
     pub sum_costs: Vec<PhaseCost>,
 }
 
+/// One rank's schedules before interning: plain nested vectors, built by
+/// the (parallelizable) pure per-rank lowering pass.
+#[derive(Debug, Clone, Default)]
+struct RawRank {
+    e_owned: Vec<u32>,
+    e_pack: Vec<(u32, Vec<u32>)>,
+    e_unpack: Vec<(u32, u32, Vec<u32>)>,
+    f_owned: Vec<u32>,
+    f_pack: Vec<(u32, Vec<u32>)>,
+    f_unpack: Vec<(u32, u32, Vec<u32>)>,
+    sum_flops: u64,
+}
+
+/// Lowers one rank's schedules (the loop body of the old serial compile).
+/// Pure in `r` given the shared inputs, so fanning it across threads is
+/// trivially byte-identical.
+fn lower_rank(
+    r: usize,
+    vmap: &VectorMap,
+    block: &RankBlock,
+    import: &CommPlan,
+    export: &CommPlan,
+) -> RawRank {
+    // Expand: owned colmap entries copy straight from the local x slice;
+    // remote entries arrive via the import plan.
+    let mut e_owned = Vec::new();
+    for (lid, &g) in block.colmap.iter().enumerate() {
+        if vmap.owner(g) == r as u32 {
+            e_owned.push(vmap.lid(g) as u32);
+            e_owned.push(lid as u32);
+        }
+    }
+    let e_pack: Vec<(u32, Vec<u32>)> = import.sends[r]
+        .iter()
+        .map(|(dst, gids)| (*dst, gids.iter().map(|&g| vmap.lid(g) as u32).collect()))
+        .collect();
+    let e_unpack: Vec<(u32, u32, Vec<u32>)> = import.recvs[r]
+        .iter()
+        .map(|(src, gids)| {
+            // Sends are destination-ascending, so the slot lookup is a
+            // binary search, not the linear scan that made compilation
+            // O(messages²) per rank pair at high p.
+            let slot = import.sends[*src as usize]
+                .binary_search_by_key(&(r as u32), |(dst, _)| *dst)
+                .expect("import plan symmetry") as u32;
+            (
+                *src,
+                slot,
+                gids.iter().map(|&g| block.col_lid(g) as u32).collect(),
+            )
+        })
+        .collect();
+
+    // Fold: owned rows sum locally; the rest ship to their owner.
+    // `partials` is indexed by row-map position, so pack lists are
+    // row-map positions and unpack lists are y local ids.
+    let mut f_owned = Vec::new();
+    for (li, &g) in block.rowmap.iter().enumerate() {
+        if vmap.owner(g) == r as u32 {
+            f_owned.push(li as u32);
+            f_owned.push(vmap.lid(g) as u32);
+        }
+    }
+    let f_pack: Vec<(u32, Vec<u32>)> = export.recvs[r]
+        .iter()
+        .map(|(owner, gids)| {
+            (
+                *owner,
+                gids.iter()
+                    .map(|&g| block.rowmap.binary_search(&g).expect("gid in row map") as u32)
+                    .collect(),
+            )
+        })
+        .collect();
+    let f_unpack: Vec<(u32, u32, Vec<u32>)> = export.sends[r]
+        .iter()
+        .map(|(src, gids)| {
+            let slot = export.recvs[*src as usize]
+                .binary_search_by_key(&(r as u32), |(owner, _)| *owner)
+                .expect("export plan symmetry") as u32;
+            (
+                *src,
+                slot,
+                gids.iter().map(|&g| vmap.lid(g) as u32).collect(),
+            )
+        })
+        .collect();
+    let received: u64 = f_unpack.iter().map(|(_, _, lids)| lids.len() as u64).sum();
+    let sum_flops = f_owned.len() as u64 / 2 + received;
+    RawRank {
+        e_owned,
+        e_pack,
+        e_unpack,
+        f_owned,
+        f_pack,
+        f_unpack,
+        sum_flops,
+    }
+}
+
+/// Content-deduplicating arena interner. Interning happens serially in
+/// rank order, so the arena layout is a pure function of the raw plans —
+/// the parallel and serial compile paths produce identical bytes.
+#[derive(Default)]
+struct Interner {
+    arena: Vec<u32>,
+    /// Segment hash → spans with that hash (collisions resolved by
+    /// comparing contents against the arena).
+    seen: HashMap<u64, Vec<IdxSpan>>,
+}
+
+impl Interner {
+    fn intern(&mut self, seg: &[u32]) -> IdxSpan {
+        if seg.is_empty() {
+            return IdxSpan { off: 0, len: 0 };
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        seg.hash(&mut h);
+        let key = h.finish();
+        if let Some(cands) = self.seen.get(&key) {
+            for &s in cands {
+                if &self.arena[s.range()] == seg {
+                    return s;
+                }
+            }
+        }
+        let off = self.arena.len();
+        assert!(
+            off + seg.len() <= u32::MAX as usize,
+            "plan store overflow: the shared index arena would exceed u32 addressing \
+             ({} + {} entries)",
+            off,
+            seg.len()
+        );
+        self.arena.extend_from_slice(seg);
+        let span = IdxSpan {
+            off: off as u32,
+            len: seg.len() as u32,
+        };
+        self.seen.entry(key).or_default().push(span);
+        span
+    }
+}
+
+/// Interns one phase's raw per-rank lists into a [`PhasePlan`].
+/// `payload_prefix[r][k]` must give the payload offset of rank `r`'s
+/// `k`-th message (prefix sums of its pack lengths).
+fn intern_phase<'r>(
+    interner: &mut Interner,
+    raws: impl Iterator<
+        Item = (
+            &'r Vec<u32>,
+            &'r [(u32, Vec<u32>)],
+            &'r [(u32, u32, Vec<u32>)],
+        ),
+    >,
+    payload_prefix: &[Vec<u32>],
+) -> PhasePlan {
+    let mut plan = PhasePlan::default();
+    plan.pack_off.push(0);
+    plan.unpack_off.push(0);
+    for (r, (owned, pack, unpack)) in raws.enumerate() {
+        plan.owned.push(interner.intern(owned));
+        for (k, (peer, lids)) in pack.iter().enumerate() {
+            plan.pack.push(PackEntry {
+                peer: *peer,
+                lids: interner.intern(lids),
+                payload_off: payload_prefix[r][k],
+            });
+        }
+        plan.pack_off.push(plan.pack.len() as u32);
+        for (src, slot, lids) in unpack {
+            plan.unpack.push(UnpackEntry {
+                src: *src,
+                slot: *slot,
+                payload_off: payload_prefix[*src as usize][*slot as usize],
+                lids: interner.intern(lids),
+            });
+        }
+        plan.unpack_off.push(plan.unpack.len() as u32);
+        plan.payload
+            .push(*payload_prefix[r].last().expect("prefix has p+1 entries"));
+    }
+    plan
+}
+
+/// Payload prefix sums for one phase: `out[r][k]` = offset (in width-1
+/// doubles) of rank `r`'s `k`-th message in its flat send buffer;
+/// `out[r][npacks]` = the buffer's total length.
+fn payload_prefixes<'r>(packs: impl Iterator<Item = &'r [(u32, Vec<u32>)]>) -> Vec<Vec<u32>> {
+    packs
+        .map(|pack| {
+            let mut offs = Vec::with_capacity(pack.len() + 1);
+            let mut acc = 0u32;
+            offs.push(0);
+            for (_, lids) in pack {
+                acc = acc
+                    .checked_add(lids.len() as u32)
+                    .expect("per-rank payload fits u32");
+                offs.push(acc);
+            }
+            offs
+        })
+        .collect()
+}
+
 impl CompiledSpmv {
-    /// Lowers the gid-based plans and maps into local-index schedules.
-    /// All gid resolution the reference executor performs per call happens
-    /// here, once.
+    /// Lowers the gid-based plans and maps into local-index schedules,
+    /// serially. All gid resolution the reference executor performs per
+    /// call happens here, once.
     pub fn compile(
         vmap: &VectorMap,
         blocks: &[RankBlock],
         import: &CommPlan,
         export: &CommPlan,
     ) -> CompiledSpmv {
-        let p = blocks.len();
-        let mut expand = Vec::with_capacity(p);
-        let mut fold = Vec::with_capacity(p);
-        for (r, block) in blocks.iter().enumerate() {
-            // Expand: owned colmap entries copy straight from the local x
-            // slice; remote entries arrive via the import plan.
-            let owned: Vec<(u32, u32)> = block
-                .colmap
-                .iter()
-                .enumerate()
-                .filter(|&(_, &g)| vmap.owner(g) == r as u32)
-                .map(|(lid, &g)| (vmap.lid(g) as u32, lid as u32))
-                .collect();
-            let pack: Vec<(u32, Vec<u32>)> = import.sends[r]
-                .iter()
-                .map(|(dst, gids)| (*dst, gids.iter().map(|&g| vmap.lid(g) as u32).collect()))
-                .collect();
-            let unpack: Vec<(u32, u32, Vec<u32>)> = import.recvs[r]
-                .iter()
-                .map(|(src, gids)| {
-                    let slot = import.sends[*src as usize]
-                        .iter()
-                        .position(|(dst, _)| *dst == r as u32)
-                        .expect("import plan symmetry") as u32;
-                    (
-                        *src,
-                        slot,
-                        gids.iter().map(|&g| block.col_lid(g) as u32).collect(),
-                    )
-                })
-                .collect();
-            expand.push(RankExpandPlan {
-                owned,
-                pack,
-                unpack,
-            });
+        CompiledSpmv::compile_with(vmap, blocks, import, export, 1, None)
+    }
 
-            // Fold: owned rows sum locally; the rest ship to their owner.
-            // `partials` is indexed by row-map position, so pack lists are
-            // row-map positions and unpack lists are y local ids.
-            let owned: Vec<(u32, u32)> = block
-                .rowmap
-                .iter()
-                .enumerate()
-                .filter(|&(_, &g)| vmap.owner(g) == r as u32)
-                .map(|(li, &g)| (li as u32, vmap.lid(g) as u32))
-                .collect();
-            let pack: Vec<(u32, Vec<u32>)> = export.recvs[r]
-                .iter()
-                .map(|(owner, gids)| {
-                    (
-                        *owner,
-                        gids.iter()
-                            .map(|&g| {
-                                block.rowmap.binary_search(&g).expect("gid in row map") as u32
-                            })
-                            .collect(),
-                    )
-                })
-                .collect();
-            let unpack: Vec<(u32, u32, Vec<u32>)> = export.sends[r]
-                .iter()
-                .map(|(src, gids)| {
-                    let slot = export.recvs[*src as usize]
-                        .iter()
-                        .position(|(owner, _)| *owner == r as u32)
-                        .expect("export plan symmetry") as u32;
-                    (
-                        *src,
-                        slot,
-                        gids.iter().map(|&g| vmap.lid(g) as u32).collect(),
-                    )
-                })
-                .collect();
-            let received: u64 = unpack.iter().map(|(_, _, lids)| lids.len() as u64).sum();
-            let sum_flops = owned.len() as u64 + received;
-            fold.push(RankFoldPlan {
-                owned,
-                pack,
-                unpack,
-                sum_flops,
-            });
-        }
+    /// [`compile`](CompiledSpmv::compile) with the pure per-rank lowering
+    /// fanned across `threads` OS threads (on the persistent `pool` when
+    /// given). Interning stays serial in rank order, so the result is
+    /// **byte-identical** to the serial compile for any thread count.
+    pub fn compile_with(
+        vmap: &VectorMap,
+        blocks: &[RankBlock],
+        import: &CommPlan,
+        export: &CommPlan,
+        threads: usize,
+        pool: Option<&Pool>,
+    ) -> CompiledSpmv {
+        let p = blocks.len();
+        // Stage 1 — parallel: lower every rank independently.
+        let mut raw: Vec<RawRank> = Vec::new();
+        raw.resize_with(p, RawRank::default);
+        par_ranks_with(threads, pool, &mut raw, |r, slot| {
+            *slot = lower_rank(r, vmap, &blocks[r], import, export);
+        });
+
+        // Stage 2 — serial: intern into the shared arena in rank order
+        // (deterministic layout, shared segments stored once).
+        let e_prefix = payload_prefixes(raw.iter().map(|rr| rr.e_pack.as_slice()));
+        let f_prefix = payload_prefixes(raw.iter().map(|rr| rr.f_pack.as_slice()));
+        let mut interner = Interner::default();
+        let expand = intern_phase(
+            &mut interner,
+            raw.iter()
+                .map(|rr| (&rr.e_owned, rr.e_pack.as_slice(), rr.e_unpack.as_slice())),
+            &e_prefix,
+        );
+        let fold = intern_phase(
+            &mut interner,
+            raw.iter()
+                .map(|rr| (&rr.f_owned, rr.f_pack.as_slice(), rr.f_unpack.as_slice())),
+            &f_prefix,
+        );
+
         // The per-phase cost vectors never change after FillComplete —
         // freeze them so a superstep charge is a slice reduce, not a plan
         // traversal.
@@ -187,11 +527,12 @@ impl CompiledSpmv {
             .iter()
             .map(|b| PhaseCost::compute(2 * b.local.nnz() as u64))
             .collect();
-        let sum_costs = fold
+        let sum_costs = raw
             .iter()
-            .map(|f: &RankFoldPlan| PhaseCost::compute(f.sum_flops))
+            .map(|rr| PhaseCost::compute(rr.sum_flops))
             .collect();
         CompiledSpmv {
+            arena: interner.arena,
             expand,
             fold,
             expand_costs,
@@ -200,38 +541,112 @@ impl CompiledSpmv {
             sum_costs,
         }
     }
-}
 
-/// Per-rank scratch buffers for one SpMV/SpMM execution.
-#[derive(Debug, Clone, Default)]
-pub struct RankScratch {
-    /// Column-aligned x values (`colmap.len()` entries).
-    pub xcols: Vec<f64>,
-    /// Per-local-row partial sums (`rowmap.len()` entries).
-    pub partials: Vec<f64>,
+    /// Rank `r`'s expand-phase schedule view.
+    #[inline]
+    pub fn expand_rank(&self, r: usize) -> RankPlan<'_> {
+        self.expand.rank(&self.arena, r)
+    }
+
+    /// Rank `r`'s fold-phase schedule view.
+    #[inline]
+    pub fn fold_rank(&self, r: usize) -> RankPlan<'_> {
+        self.fold.rank(&self.arena, r)
+    }
+
+    /// Sum-phase flops charged to rank `r` per SpMV column.
+    pub fn sum_flops(&self, r: usize) -> u64 {
+        self.sum_costs[r].flops
+    }
+
+    /// Entries in the shared index arena (after deduplication).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Actual heap footprint of the compressed plan store: arena, entry
+    /// arrays, offset tables, and the frozen cost vectors.
+    pub fn plan_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let phase = |pl: &PhasePlan| -> u64 {
+            (pl.owned.len() * size_of::<IdxSpan>()
+                + pl.pack.len() * size_of::<PackEntry>()
+                + pl.unpack.len() * size_of::<UnpackEntry>()
+                + (pl.pack_off.len() + pl.unpack_off.len() + pl.payload.len()) * 4)
+                as u64
+        };
+        (self.arena.len() * 4) as u64
+            + phase(&self.expand)
+            + phase(&self.fold)
+            + (4 * self.expand_costs.len() * size_of::<PhaseCost>()) as u64
+    }
+
+    /// What the same schedules would occupy in the pre-compression
+    /// replicated representation (per-rank structs of nested `Vec`s, one
+    /// heap list per message, no cross-rank sharing) — the denominator of
+    /// the compressed-vs-replicated comparison in `BENCH_scale.json`.
+    /// Heap payloads plus `Vec` / tuple headers; allocator per-block
+    /// overhead is *not* counted, so the estimate is conservative.
+    pub fn replicated_plan_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let vec_hdr = size_of::<Vec<u32>>() as u64;
+        let mut total = 0u64;
+        for pl in [&self.expand, &self.fold] {
+            for r in 0..pl.nranks() {
+                // owned: Vec<(u32, u32)>
+                total += vec_hdr + 8 * (pl.owned[r].len() / 2) as u64;
+                // pack: Vec<(u32, Vec<u32>)>
+                total += vec_hdr;
+                for e in pl.pack_entries(r) {
+                    total += size_of::<(u32, Vec<u32>)>() as u64 + 4 * e.lids.len as u64;
+                }
+                // unpack: Vec<(u32, u32, Vec<u32>)>
+                total += vec_hdr;
+                for e in pl.unpack_entries(r) {
+                    total += size_of::<(u32, u32, Vec<u32>)>() as u64 + 4 * e.lids.len as u64;
+                }
+            }
+            // The per-rank struct list itself.
+            total += vec_hdr + (pl.nranks() * 3 * size_of::<Vec<u32>>()) as u64;
+        }
+        total + (4 * self.expand_costs.len() * size_of::<PhaseCost>()) as u64
+    }
 }
 
 /// Reusable scratch space for [`spmv`](crate::spmv::spmv) /
-/// [`spmm`](crate::spmv::spmm): the per-rank `xcols` / `partials` buffers
-/// that the reference executor allocates fresh on every call.
+/// [`spmm`](crate::spmv::spmm): one arena for the per-rank `xcols` /
+/// `partials` scratch and one flat `f64` send buffer per rank per phase.
 ///
 /// A workspace is not tied to a matrix — buffers are (re)sized on first
 /// use with each matrix — so one workspace can serve a whole solve. The
 /// `threads` knob selects how many OS threads the phase-local work (pack,
 /// local SpMV, unpack, scatter-add) fans out across; any value produces
 /// bit-identical results because ranks only ever touch disjoint slices.
+///
+/// With a **live-memory budget** ([`SpmvWorkspace::with_budget`]), the
+/// unpack/compute/fold work executes in contiguous rank *waves* planned by
+/// [`sf2d_sim::wave::plan_waves`]: the scratch arena holds only the
+/// largest wave instead of all `p` ranks, and results (ledger included)
+/// stay byte-identical because each rank's work reads only state frozen
+/// before its phase. The send buffers stay resident either way — they are
+/// the simulated network, read in place across waves.
 #[derive(Debug, Clone)]
 pub struct SpmvWorkspace {
     /// Number of OS threads for phase-local work (1 = fully sequential).
     pub threads: usize,
-    pub(crate) ranks: Vec<RankScratch>,
-    /// Per-rank expand-phase send payloads, aligned with each rank's
-    /// compiled `pack` list. Destination ranks read them in place (the
-    /// compiled unpack entries carry the sender's slot), so the simulated
-    /// transport is zero-copy and allocation-free at steady state.
-    pub(crate) expand_bufs: Vec<Vec<Vec<f64>>>,
+    /// Live-memory budget in bytes for the scratch arena, or `None` for
+    /// all-resident execution (a single wave).
+    budget: Option<u64>,
+    /// The reusable xcols/partials arena, sized for the largest wave.
+    pub(crate) scratch: Vec<f64>,
+    /// Per-rank flat expand-phase send payloads (one allocation per rank;
+    /// messages at the plan's payload offsets). Destination ranks read
+    /// them in place, so the simulated transport is zero-copy.
+    pub(crate) expand_bufs: Vec<Vec<f64>>,
     /// Per-rank fold-phase send payloads, same discipline.
-    pub(crate) fold_bufs: Vec<Vec<Vec<f64>>>,
+    pub(crate) fold_bufs: Vec<Vec<f64>>,
+    /// The wave plan for the current (matrix, width, budget).
+    pub(crate) waves: Vec<Range<usize>>,
 }
 
 impl SpmvWorkspace {
@@ -245,27 +660,66 @@ impl SpmvWorkspace {
     pub fn with_threads(threads: usize) -> SpmvWorkspace {
         SpmvWorkspace {
             threads: threads.max(1),
-            ranks: Vec::new(),
+            budget: None,
+            scratch: Vec::new(),
             expand_bufs: Vec::new(),
             fold_bufs: Vec::new(),
+            waves: Vec::new(),
         }
     }
 
-    /// Sizes the per-rank buffers for `blocks`, reusing allocations where
-    /// they already fit.
-    pub(crate) fn ensure(&mut self, blocks: &[RankBlock], compiled: &CompiledSpmv) {
-        self.ranks.resize_with(blocks.len(), RankScratch::default);
-        for (scratch, block) in self.ranks.iter_mut().zip(blocks) {
-            scratch.xcols.resize(block.colmap.len(), 0.0);
-            scratch.partials.resize(block.rowmap.len(), 0.0);
+    /// Caps the live scratch arena at `bytes`: per-rank work then runs in
+    /// rank waves whose combined `xcols` + `partials` footprint fits (a
+    /// single rank larger than the budget still gets a wave of its own —
+    /// best effort, never failure). Results are byte-identical to the
+    /// unbudgeted workspace.
+    pub fn with_budget(mut self, bytes: u64) -> SpmvWorkspace {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Sets or clears the live-memory budget (see
+    /// [`with_budget`](SpmvWorkspace::with_budget)).
+    pub fn set_budget(&mut self, bytes: Option<u64>) {
+        self.budget = bytes;
+    }
+
+    /// The configured scratch budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Number of waves the last execution was planned into (1 when
+    /// unbudgeted; 0 before first use).
+    pub fn wave_count(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Current scratch-arena footprint in bytes — with a budget, the
+    /// largest wave's footprint rather than the whole matrix's.
+    pub fn scratch_bytes(&self) -> u64 {
+        (self.scratch.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Sizes the buffers for `blocks` at SpMM width `width` (1 for SpMV),
+    /// plans the waves, and reuses allocations where they already fit.
+    pub(crate) fn ensure(&mut self, blocks: &[RankBlock], compiled: &CompiledSpmv, width: usize) {
+        let per_rank: Vec<u64> = blocks
+            .iter()
+            .map(|b| 8 * (b.colmap.len() + width * b.rowmap.len()) as u64)
+            .collect();
+        self.waves = sf2d_sim::wave::plan_waves(&per_rank, self.budget);
+        let need = sf2d_sim::wave::max_wave_bytes(&per_rank, &self.waves) as usize / 8;
+        if self.scratch.len() < need {
+            self.scratch.resize(need, 0.0);
         }
         self.expand_bufs.resize_with(blocks.len(), Vec::new);
-        for (bufs, plan) in self.expand_bufs.iter_mut().zip(&compiled.expand) {
-            bufs.resize_with(plan.pack.len(), Vec::new);
-        }
         self.fold_bufs.resize_with(blocks.len(), Vec::new);
-        for (bufs, plan) in self.fold_bufs.iter_mut().zip(&compiled.fold) {
-            bufs.resize_with(plan.pack.len(), Vec::new);
+        for (r, buf) in self.expand_bufs.iter_mut().enumerate() {
+            buf.reserve(compiled.expand.payload_doubles(r) * width);
+        }
+        for (r, buf) in self.fold_bufs.iter_mut().enumerate() {
+            buf.reserve(compiled.fold.payload_doubles(r) * width);
         }
     }
 }
@@ -293,23 +747,30 @@ mod tests {
     fn expand_schedule_is_aligned_with_the_import_plan() {
         let dm = dist_matrix();
         for r in 0..dm.nprocs() {
-            let plan = &dm.compiled.expand[r];
-            assert_eq!(plan.pack.len(), dm.import.sends[r].len());
-            assert_eq!(plan.unpack.len(), dm.import.recvs[r].len());
-            // Pack lids resolve to exactly the gids the plan ships.
-            for ((dst, lids), (pdst, gids)) in plan.pack.iter().zip(&dm.import.sends[r]) {
-                assert_eq!(dst, pdst);
+            let plan = dm.compiled.expand_rank(r);
+            assert_eq!(plan.npacks(), dm.import.sends[r].len());
+            assert_eq!(plan.nunpacks(), dm.import.recvs[r].len());
+            // Pack lids resolve to exactly the gids the plan ships, and
+            // payload offsets are the prefix sums of message lengths.
+            let mut expect_off = 0u32;
+            for ((dst, lids, off), (pdst, gids)) in plan.packs().zip(&dm.import.sends[r]) {
+                assert_eq!(dst, *pdst);
+                assert_eq!(off, expect_off);
+                expect_off += lids.len() as u32;
                 for (&lid, &g) in lids.iter().zip(gids) {
                     assert_eq!(dm.vmap.gids(r)[lid as usize], g);
                 }
             }
+            assert_eq!(dm.compiled.expand.payload_doubles(r), expect_off as usize);
             // Unpack positions land on the matching colmap entries, and
-            // each slot points at the sender's message for this rank.
-            for ((src, slot, lids), (psrc, gids)) in plan.unpack.iter().zip(&dm.import.recvs[r]) {
-                assert_eq!(src, psrc);
-                let (dst, sent) = &dm.import.sends[*src as usize][*slot as usize];
-                assert_eq!(*dst, r as u32);
-                assert_eq!(sent, gids);
+            // each slot points at the sender's message for this rank at
+            // the sender's recorded payload offset.
+            for ((src, slot, off, lids), (psrc, gids)) in plan.unpacks().zip(&dm.import.recvs[r]) {
+                assert_eq!(src, *psrc);
+                let (dst, sent, soff) = dm.compiled.expand_rank(src as usize).pack(slot as usize);
+                assert_eq!(dst, r as u32);
+                assert_eq!(off, soff);
+                assert_eq!(sent.len(), gids.len());
                 for (&lid, &g) in lids.iter().zip(gids) {
                     assert_eq!(dm.blocks[r].colmap[lid as usize], g);
                 }
@@ -327,8 +788,8 @@ mod tests {
                 .iter()
                 .filter(|&&g| dm.vmap.owner(g) == r as u32)
                 .count();
-            assert_eq!(dm.compiled.expand[r].owned.len(), owned_cols);
-            for &(src, dst) in &dm.compiled.expand[r].owned {
+            assert_eq!(dm.compiled.expand_rank(r).n_owned(), owned_cols);
+            for (src, dst) in dm.compiled.expand_rank(r).owned_pairs() {
                 let g = block.colmap[dst as usize];
                 assert_eq!(dm.vmap.owner(g), r as u32);
                 assert_eq!(dm.vmap.lid(g), src as usize);
@@ -338,7 +799,7 @@ mod tests {
                 .iter()
                 .filter(|&&g| dm.vmap.owner(g) == r as u32)
                 .count();
-            assert_eq!(dm.compiled.fold[r].owned.len(), owned_rows);
+            assert_eq!(dm.compiled.fold_rank(r).n_owned(), owned_rows);
         }
     }
 
@@ -347,9 +808,78 @@ mod tests {
         let dm = dist_matrix();
         for r in 0..dm.nprocs() {
             let received: u64 = dm.export.sends[r].iter().map(|(_, g)| g.len() as u64).sum();
-            let owned = dm.compiled.fold[r].owned.len() as u64;
-            assert_eq!(dm.compiled.fold[r].sum_flops, owned + received);
+            let owned = dm.compiled.fold_rank(r).n_owned() as u64;
+            assert_eq!(dm.compiled.sum_flops(r), owned + received);
         }
+    }
+
+    #[test]
+    fn parallel_compile_is_byte_identical_to_serial() {
+        let a = rmat(&RmatConfig::graph500(7), 9);
+        let d = MatrixDist::random_2d(a.nrows(), 2, 3, 4);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        for threads in [2usize, 5] {
+            let par = CompiledSpmv::compile_with(
+                &dm.vmap, &dm.blocks, &dm.import, &dm.export, threads, None,
+            );
+            assert_eq!(par, dm.compiled, "threads {threads}");
+        }
+        let pool = sf2d_sim::sf2d_par::Pool::new(3);
+        let pooled = CompiledSpmv::compile_with(
+            &dm.vmap,
+            &dm.blocks,
+            &dm.import,
+            &dm.export,
+            3,
+            Some(&pool),
+        );
+        assert_eq!(pooled, dm.compiled);
+    }
+
+    #[test]
+    fn arena_dedups_shared_segments_and_compression_wins() {
+        // A block-1d layout over a dense-ish band graph: many ranks ship
+        // structurally identical lid lists, which must be stored once.
+        let dm = dist_matrix();
+        let c = &dm.compiled;
+        // Total entries the schedules *reference* vs entries stored.
+        let mut referenced = 0usize;
+        for pl in [&c.expand, &c.fold] {
+            for r in 0..pl.nranks() {
+                referenced += c.expand_rank(0).lids(pl.owned[r]).len();
+                for e in pl.pack_entries(r) {
+                    referenced += e.lids.len();
+                }
+                for e in pl.unpack_entries(r) {
+                    referenced += e.lids.len();
+                }
+            }
+        }
+        assert!(
+            c.arena_len() <= referenced,
+            "arena {} > referenced {}",
+            c.arena_len(),
+            referenced
+        );
+        assert!(c.plan_bytes() > 0);
+        assert!(
+            c.plan_bytes() < c.replicated_plan_bytes(),
+            "compressed {} not below replicated {}",
+            c.plan_bytes(),
+            c.replicated_plan_bytes()
+        );
+    }
+
+    #[test]
+    fn interner_dedups_by_content_not_hash() {
+        let mut i = Interner::default();
+        let a = i.intern(&[1, 2, 3]);
+        let b = i.intern(&[4, 5]);
+        let c = i.intern(&[1, 2, 3]);
+        assert_eq!(a, c, "identical segments share a span");
+        assert_ne!(a, b);
+        assert_eq!(i.arena, vec![1, 2, 3, 4, 5]);
+        assert_eq!(i.intern(&[]), IdxSpan { off: 0, len: 0 });
     }
 
     #[test]
@@ -357,20 +887,43 @@ mod tests {
         let dm = dist_matrix();
         let mut ws = SpmvWorkspace::new();
         assert_eq!(ws.threads, 1);
-        ws.ensure(&dm.blocks, &dm.compiled);
-        for (scratch, block) in ws.ranks.iter().zip(&dm.blocks) {
-            assert_eq!(scratch.xcols.len(), block.colmap.len());
-            assert_eq!(scratch.partials.len(), block.rowmap.len());
-        }
-        for (bufs, plan) in ws.expand_bufs.iter().zip(&dm.compiled.expand) {
-            assert_eq!(bufs.len(), plan.pack.len());
-        }
-        for (bufs, plan) in ws.fold_bufs.iter().zip(&dm.compiled.fold) {
-            assert_eq!(bufs.len(), plan.pack.len());
-        }
+        assert_eq!(ws.wave_count(), 0);
+        ws.ensure(&dm.blocks, &dm.compiled, 1);
+        // Unbudgeted: one wave, scratch holds every rank's xcols+partials.
+        assert_eq!(ws.wave_count(), 1);
+        let want: usize = dm
+            .blocks
+            .iter()
+            .map(|b| b.colmap.len() + b.rowmap.len())
+            .sum();
+        assert_eq!(ws.scratch.len(), want);
+        assert_eq!(ws.expand_bufs.len(), dm.nprocs());
+        assert_eq!(ws.fold_bufs.len(), dm.nprocs());
         // Re-ensuring with the same matrix is a no-op resize.
-        ws.ensure(&dm.blocks, &dm.compiled);
-        assert_eq!(ws.ranks.len(), dm.nprocs());
+        ws.ensure(&dm.blocks, &dm.compiled, 1);
+        assert_eq!(ws.scratch.len(), want);
         assert_eq!(SpmvWorkspace::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn budgeted_workspace_plans_multiple_waves_with_smaller_scratch() {
+        let dm = dist_matrix();
+        let mut resident = SpmvWorkspace::new();
+        resident.ensure(&dm.blocks, &dm.compiled, 1);
+        let full = resident.scratch_bytes();
+        // Budget far below the full footprint: more waves, less scratch.
+        let mut ws = SpmvWorkspace::new().with_budget(full / 3);
+        assert_eq!(ws.budget(), Some(full / 3));
+        ws.ensure(&dm.blocks, &dm.compiled, 1);
+        assert!(ws.wave_count() > 1, "waves {}", ws.wave_count());
+        assert!(
+            ws.scratch_bytes() < full,
+            "budgeted scratch {} not below resident {}",
+            ws.scratch_bytes(),
+            full
+        );
+        // Waves cover all ranks contiguously.
+        let flat: Vec<usize> = ws.waves.iter().flat_map(|w| w.clone()).collect();
+        assert_eq!(flat, (0..dm.nprocs()).collect::<Vec<_>>());
     }
 }

@@ -33,7 +33,9 @@ pub mod reference;
 pub mod resilient;
 pub mod spmv;
 
-pub use compiled::{CompiledSpmv, RankExpandPlan, RankFoldPlan, RankScratch, SpmvWorkspace};
+pub use compiled::{
+    CompiledSpmv, IdxSpan, PackEntry, PhasePlan, RankPlan, SpmvWorkspace, UnpackEntry,
+};
 pub use diagnose::{diagnose_spmv, Bottleneck, PhaseDiagnosis};
 pub use distmat::{DistCsrMatrix, RankBlock};
 pub use map::VectorMap;

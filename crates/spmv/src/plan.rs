@@ -42,17 +42,26 @@ impl CommPlan {
                 need.windows(2).all(|w| w[0] < w[1]),
                 "needed list must be sorted"
             );
-            let mut by_owner: Vec<Vec<u32>> = vec![Vec::new(); p];
-            for &gid in need {
-                let o = source.owner(gid) as usize;
-                if o != r {
-                    by_owner[o].push(gid);
+            // Group by owner via (owner, gid) pairs and a stable sort —
+            // not a `vec![Vec::new(); p]` scratch table, which would make
+            // plan construction O(p²) across ranks and dominate
+            // FillComplete at p = 16,384 where most ranks need only a
+            // handful of remote gids. The stable sort keeps gids
+            // ascending within each owner; owners come out ascending.
+            let mut pairs: Vec<(u32, u32)> = need
+                .iter()
+                .map(|&gid| (source.owner(gid), gid))
+                .filter(|&(o, _)| o as usize != r)
+                .collect();
+            pairs.sort_by_key(|&(o, _)| o);
+            let mut i = 0;
+            while i < pairs.len() {
+                let owner = pairs[i].0;
+                let start = i;
+                while i < pairs.len() && pairs[i].0 == owner {
+                    i += 1;
                 }
-            }
-            for (o, gids) in by_owner.into_iter().enumerate() {
-                if !gids.is_empty() {
-                    recvs[r].push((o as u32, gids));
-                }
+                recvs[r].push((owner, pairs[start..i].iter().map(|&(_, g)| g).collect()));
             }
         }
         // Mirror receives into sends, destination-ascending.

@@ -13,15 +13,26 @@
 //!
 //! Execution runs on the **compiled** local-index schedules built at
 //! matrix construction ([`CompiledSpmv`](crate::compiled::CompiledSpmv)):
-//! no gid resolution happens per iteration, message payloads are bare
-//! `Vec<f64>` buffers owned by the [`SpmvWorkspace`] and read in place by
-//! their destination rank (zero-copy transport, allocation-free at steady
-//! state), and the per-rank phase work can fan out across OS threads via
-//! the workspace's `threads` knob — bit-identical to sequential, because
-//! ranks only touch disjoint slices. The original gid-based executors
-//! live on in [`reference`](crate::reference) as the oracle; the property
-//! tests in `tests/proptest_compiled.rs` pin this path to it bit-for-bit,
-//! ledger included.
+//! no gid resolution happens per iteration, message payloads live in flat
+//! per-rank `f64` buffers owned by the [`SpmvWorkspace`] and are read in
+//! place by their destination rank at the sender's compiled payload
+//! offset (zero-copy transport, allocation-free at steady state), and the
+//! per-rank phase work can fan out across OS threads via the workspace's
+//! `threads` knob — bit-identical to sequential, because ranks only touch
+//! disjoint slices.
+//!
+//! [`spmv`] and [`spmm`] share one executor: an SpMV is a width-1 SpMM
+//! (same schedules, same payload layout, costs widened by
+//! [`PhaseCost::widened`] — a no-op at width 1). When the workspace
+//! carries a **live-memory budget**, the unpack/compute/fold work runs in
+//! contiguous rank waves over one reusable scratch arena
+//! ([`sf2d_sim::wave`]): a rank's phase work reads only cross-rank state
+//! frozen before the phase (expand buffers written in phase 1, fold
+//! buffers read only in phase 4), so wave scheduling is invisible to both
+//! the results and the ledger. The original gid-based executors live on
+//! in [`reference`](crate::reference) as the oracle; the property tests in
+//! `tests/proptest_compiled.rs` pin this path to it bit-for-bit, ledger
+//! included.
 
 use std::cell::Cell;
 
@@ -61,6 +72,56 @@ fn assert_maps_compatible(a: &DistCsrMatrix, x: &DistVector, y: &DistVector) {
     );
 }
 
+/// Column access shared by [`DistVector`] (one column) and
+/// [`DistMultiVector`] — what lets SpMV and SpMM share one executor.
+trait ColumnAccess: Sync {
+    fn ncols(&self) -> usize;
+    fn col(&self, r: usize, c: usize) -> &[f64];
+}
+
+impl ColumnAccess for DistVector {
+    fn ncols(&self) -> usize {
+        1
+    }
+    #[inline]
+    fn col(&self, r: usize, _c: usize) -> &[f64] {
+        &self.locals[r]
+    }
+}
+
+impl ColumnAccess for DistMultiVector {
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    #[inline]
+    fn col(&self, r: usize, c: usize) -> &[f64] {
+        DistMultiVector::col(self, r, c)
+    }
+}
+
+/// Trace-span labels, so the shared executor reports as `spmv:*` or
+/// `spmm:*` depending on the entry point.
+struct SpanNames {
+    pack: &'static str,
+    compute: &'static str,
+    fold_pack: &'static str,
+    sum: &'static str,
+}
+
+const SPMV_SPANS: SpanNames = SpanNames {
+    pack: "spmv:expand-pack",
+    compute: "spmv:unpack-compute",
+    fold_pack: "spmv:fold-pack",
+    sum: "spmv:sum-unpack",
+};
+
+const SPMM_SPANS: SpanNames = SpanNames {
+    pack: "spmm:expand-pack",
+    compute: "spmm:unpack-compute",
+    fold_pack: "spmm:fold-pack",
+    sum: "spmm:sum-unpack",
+};
+
 /// Computes `y = A x`, charging each phase to the ledger.
 ///
 /// Convenience wrapper over [`spmv_with`] that allocates a throwaway
@@ -74,8 +135,9 @@ pub fn spmv(a: &DistCsrMatrix, x: &DistVector, y: &mut DistVector, ledger: &mut 
 }
 
 /// Computes `y = A x` through a reusable workspace: scratch buffers are
-/// borrowed from `ws` (resized on first use with each matrix) and the
-/// per-rank phase work fans out across `ws.threads` OS threads.
+/// borrowed from `ws` (resized on first use with each matrix), the
+/// per-rank phase work fans out across `ws.threads` OS threads, and a
+/// workspace budget executes the rank work in bounded-memory waves.
 ///
 /// # Panics
 /// Panics if `x` or `y` is on a different distribution than the matrix.
@@ -87,92 +149,7 @@ pub fn spmv_with(
     ws: &mut SpmvWorkspace,
 ) {
     assert_maps_compatible(a, x, y);
-    ws.ensure(&a.blocks, &a.compiled);
-    let threads = ws.threads;
-    let compiled = &a.compiled;
-
-    // Phase 1 — expand: pack outgoing x values straight off the compiled
-    // lid lists into the workspace's resident send buffers. Transport is
-    // zero-copy: the destination reads each payload in place via the
-    // (src, slot) recorded in its unpack list.
-    trace_span!(PhaseKind::Pack, "spmv:expand-pack", {
-        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
-            let xs = &x.locals[r];
-            for (buf, (_dst, lids)) in bufs.iter_mut().zip(&compiled.expand[r].pack) {
-                buf.clear();
-                buf.extend(lids.iter().map(|&l| xs[l as usize]));
-            }
-        })
-    });
-    note_gather();
-    ledger.superstep(Phase::Expand, &compiled.expand_costs);
-
-    // Phase 2 — local compute: assemble xcols (owned copies + unpacked
-    // messages; the two cover every position exactly once) and run the
-    // local kernel into the partials buffer.
-    let ebufs = &ws.expand_bufs;
-    trace_span!(PhaseKind::LocalCompute, "spmv:unpack-compute", {
-        par_ranks(threads, &mut ws.ranks, |r, scratch| {
-            let plan = &compiled.expand[r];
-            let xs = &x.locals[r];
-            for &(src, dst) in &plan.owned {
-                scratch.xcols[dst as usize] = xs[src as usize];
-            }
-            for (src, slot, lids) in &plan.unpack {
-                let data = &ebufs[*src as usize][*slot as usize];
-                debug_assert_eq!(data.len(), lids.len(), "plan/traffic mismatch at rank {r}");
-                for (&lid, &v) in lids.iter().zip(data) {
-                    scratch.xcols[lid as usize] = v;
-                }
-            }
-            a.blocks[r]
-                .local
-                .spmv_dense_into(&scratch.xcols, &mut scratch.partials);
-        })
-    });
-    ledger.superstep(Phase::LocalCompute, &compiled.compute_costs);
-
-    // Phase 3 — fold: owned rows sum locally, the rest ship to their
-    // owners through the resident fold buffers.
-    let ranks = &ws.ranks;
-    trace_span!(PhaseKind::Pack, "spmv:fold-pack", {
-        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
-            let partials = &ranks[r].partials;
-            for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&compiled.fold[r].pack) {
-                buf.clear();
-                buf.extend(idxs.iter().map(|&i| partials[i as usize]));
-            }
-        })
-    });
-    par_ranks(threads, &mut y.locals, |r, yl| {
-        yl.fill(0.0);
-        let partials = &ranks[r].partials;
-        for &(pi, lid) in &compiled.fold[r].owned {
-            yl[lid as usize] += partials[pi as usize];
-        }
-    });
-    ledger.superstep(Phase::Fold, &compiled.fold_costs);
-
-    // Phase 4 — sum: add arriving partials in plan order (sources
-    // ascending — the same per-element order as the reference executor,
-    // which is what makes the result bit-identical).
-    let fbufs = &ws.fold_bufs;
-    trace_span!(PhaseKind::Unpack, "spmv:sum-unpack", {
-        par_ranks(threads, &mut y.locals, |r, yl| {
-            for (src, slot, lids) in &compiled.fold[r].unpack {
-                let data = &fbufs[*src as usize][*slot as usize];
-                debug_assert_eq!(
-                    data.len(),
-                    lids.len(),
-                    "fold plan/traffic mismatch at rank {r}"
-                );
-                for (&lid, &v) in lids.iter().zip(data) {
-                    yl[lid as usize] += v;
-                }
-            }
-        })
-    });
-    ledger.superstep(Phase::Sum, &compiled.sum_costs);
+    run_phases(a, x, &mut y.locals, ledger, ws, &SPMV_SPANS);
 }
 
 /// Blocked SpMM `Y = A X` over a [`DistMultiVector`].
@@ -212,19 +189,37 @@ pub fn spmm_with(
         std::sync::Arc::ptr_eq(&y.map, &a.vmap) || y.map.same_distribution(&a.vmap),
         "y map mismatch"
     );
-    let m = x.ncols;
-    ws.ensure(&a.blocks, &a.compiled);
+    run_phases(a, x, &mut y.locals, ledger, ws, &SPMM_SPANS);
+}
+
+/// The shared 4-phase executor at SpMM width `x.ncols()` (1 = SpMV).
+///
+/// `y_locals[r]` holds rank `r`'s output, column-major (`yl[c·nl + lid]`).
+/// Phases 2–3 run wave-by-wave over the workspace's scratch arena; the
+/// ledger charges the four canonical supersteps in order regardless of
+/// the wave count, so budgeted and all-resident runs have byte-identical
+/// histories.
+fn run_phases<X: ColumnAccess>(
+    a: &DistCsrMatrix,
+    x: &X,
+    y_locals: &mut [Vec<f64>],
+    ledger: &mut CostLedger,
+    ws: &mut SpmvWorkspace,
+    spans: &SpanNames,
+) {
+    let m = x.ncols();
+    ws.ensure(&a.blocks, &a.compiled, m);
     let threads = ws.threads;
     let compiled = &a.compiled;
 
-    // Phase 1 — expand, executed ONCE: each message carries all m column
-    // values of each entry, gid-major, in the workspace's resident send
-    // buffers (read in place by the destination, as in `spmv_with`).
-    trace_span!(PhaseKind::Pack, "spmm:expand-pack", {
-        par_ranks(threads, &mut ws.expand_bufs, |r, bufs| {
-            for (buf, (_dst, lids)) in bufs.iter_mut().zip(&compiled.expand[r].pack) {
-                buf.clear();
-                buf.reserve(lids.len() * m);
+    // Phase 1 — expand: pack outgoing x values straight off the compiled
+    // lid lists into the flat per-rank send buffers, gid-major strided.
+    // Transport is zero-copy: the destination reads each payload in place
+    // at the sender's payload offset recorded in its unpack entries.
+    trace_span!(PhaseKind::Pack, spans.pack, {
+        par_ranks(threads, &mut ws.expand_bufs, |r, buf| {
+            buf.clear();
+            for (_dst, lids, _off) in compiled.expand_rank(r).packs() {
                 for &lid in lids {
                     for c in 0..m {
                         buf.push(x.col(r, c)[lid as usize]);
@@ -234,110 +229,119 @@ pub fn spmm_with(
         })
     });
     note_gather();
-    let widened: Vec<PhaseCost> = compiled
+    let costs: Vec<PhaseCost> = compiled
         .expand_costs
         .iter()
-        .map(|c| PhaseCost {
-            msgs: c.msgs,
-            bytes: c.bytes * m as u64,
-            flops: 0,
-        })
+        .map(|c| c.widened(m as u64))
         .collect();
-    ledger.superstep(Phase::Expand, &widened);
+    ledger.superstep(Phase::Expand, &costs);
 
-    // Phase 2 — local compute per column; partials are column-major
-    // (`partials[c·L + li]`), xcols is reused across columns since every
-    // position is overwritten per column.
+    // Phases 2–3, wave by wave: each wave carves per-rank (xcols,
+    // partials) views out of the shared scratch arena, runs unpack +
+    // local kernel, then fold-packs and folds owned rows while the
+    // partials are still live. Safe to interleave across waves because a
+    // rank's phase-2/3 work reads only its own views plus the expand
+    // buffers (all written in phase 1); no zeroing is needed because
+    // xcols is fully covered by owned + unpack entries and the local
+    // kernel overwrites its whole output slice.
+    let waves = ws.waves.clone();
     let ebufs = &ws.expand_bufs;
-    trace_span!(PhaseKind::LocalCompute, "spmm:unpack-compute", {
-        par_ranks(threads, &mut ws.ranks, |r, scratch| {
-            let plan = &compiled.expand[r];
-            let block = &a.blocks[r];
-            let rl = block.rowmap.len();
-            scratch.partials.resize(m * rl, 0.0);
-            for c in 0..m {
-                let xc = x.col(r, c);
-                for &(src, dst) in &plan.owned {
-                    scratch.xcols[dst as usize] = xc[src as usize];
+    let scratch = &mut ws.scratch;
+    let fold_bufs = &mut ws.fold_bufs;
+    for w in &waves {
+        let mut rest: &mut [f64] = scratch;
+        let mut views: Vec<(&mut [f64], &mut [f64])> = Vec::with_capacity(w.len());
+        for r in w.clone() {
+            let (xc, r1) = rest.split_at_mut(a.blocks[r].colmap.len());
+            let (pt, r2) = r1.split_at_mut(m * a.blocks[r].rowmap.len());
+            rest = r2;
+            views.push((xc, pt));
+        }
+
+        // Phase 2 — local compute: assemble xcols (owned copies +
+        // unpacked messages; the two cover every position exactly once)
+        // and run the local kernel per column into the partials view.
+        trace_span!(PhaseKind::LocalCompute, spans.compute, {
+            par_ranks(threads, &mut views, |i, (xcols, partials)| {
+                let r = w.start + i;
+                let plan = compiled.expand_rank(r);
+                let block = &a.blocks[r];
+                let rl = block.rowmap.len();
+                for c in 0..m {
+                    let xc = x.col(r, c);
+                    for (src, dst) in plan.owned_pairs() {
+                        xcols[dst as usize] = xc[src as usize];
+                    }
+                    for (src, _slot, off, lids) in plan.unpacks() {
+                        let off = off as usize * m;
+                        let data = &ebufs[src as usize][off..off + lids.len() * m];
+                        for (k, &lid) in lids.iter().enumerate() {
+                            xcols[lid as usize] = data[k * m + c];
+                        }
+                    }
+                    block
+                        .local
+                        .spmv_dense_into(xcols, &mut partials[c * rl..(c + 1) * rl]);
                 }
-                for (src, slot, lids) in &plan.unpack {
-                    let data = &ebufs[*src as usize][*slot as usize];
-                    debug_assert_eq!(
-                        data.len(),
-                        lids.len() * m,
-                        "plan/traffic mismatch at rank {r}"
-                    );
-                    for (k, &lid) in lids.iter().enumerate() {
-                        scratch.xcols[lid as usize] = data[k * m + c];
+            })
+        });
+
+        // Phase 3 — fold: ship contributed partials through the flat
+        // fold buffers; owned rows sum locally (per y element: owned add
+        // first, then messages by ascending source in phase 4 — the
+        // reference executor's per-element order).
+        let views = &views;
+        trace_span!(PhaseKind::Pack, spans.fold_pack, {
+            par_ranks(threads, &mut fold_bufs[w.clone()], |i, buf| {
+                let r = w.start + i;
+                let partials: &[f64] = &*views[i].1;
+                let rl = a.blocks[r].rowmap.len();
+                buf.clear();
+                for (_owner, idxs, _off) in compiled.fold_rank(r).packs() {
+                    for &pi in idxs {
+                        for c in 0..m {
+                            buf.push(partials[c * rl + pi as usize]);
+                        }
                     }
                 }
-                block
-                    .local
-                    .spmv_dense_into(&scratch.xcols, &mut scratch.partials[c * rl..(c + 1) * rl]);
+            })
+        });
+        par_ranks(threads, &mut y_locals[w.clone()], |i, yl| {
+            let r = w.start + i;
+            let partials: &[f64] = &*views[i].1;
+            let rl = a.blocks[r].rowmap.len();
+            let nl = a.vmap.nlocal(r);
+            yl.fill(0.0);
+            for c in 0..m {
+                for (pi, lid) in compiled.fold_rank(r).owned_pairs() {
+                    yl[c * nl + lid as usize] += partials[c * rl + pi as usize];
+                }
             }
-        })
-    });
-    let compute_costs: Vec<PhaseCost> = compiled
+        });
+    }
+    let costs: Vec<PhaseCost> = compiled
         .compute_costs
         .iter()
-        .map(|c| PhaseCost::compute(m as u64 * c.flops))
+        .map(|c| c.widened(m as u64))
         .collect();
-    ledger.superstep(Phase::LocalCompute, &compute_costs);
-
-    // Phase 3 — fold, also ONE strided gather: owned rows sum locally
-    // first (per y element: owned add, then messages by ascending source —
-    // the reference executor's per-element order).
-    let ranks = &ws.ranks;
-    trace_span!(PhaseKind::Pack, "spmm:fold-pack", {
-        par_ranks(threads, &mut ws.fold_bufs, |r, bufs| {
-            let partials = &ranks[r].partials;
-            let rl = a.blocks[r].rowmap.len();
-            for (buf, (_owner, idxs)) in bufs.iter_mut().zip(&compiled.fold[r].pack) {
-                buf.clear();
-                buf.reserve(idxs.len() * m);
-                for &pi in idxs {
-                    for c in 0..m {
-                        buf.push(partials[c * rl + pi as usize]);
-                    }
-                }
-            }
-        })
-    });
-    par_ranks(threads, &mut y.locals, |r, yl| {
-        yl.fill(0.0);
-        let partials = &ranks[r].partials;
-        let rl = a.blocks[r].rowmap.len();
-        let nl = a.vmap.nlocal(r);
-        for c in 0..m {
-            for &(pi, lid) in &compiled.fold[r].owned {
-                yl[c * nl + lid as usize] += partials[c * rl + pi as usize];
-            }
-        }
-    });
-    let widened: Vec<PhaseCost> = compiled
+    ledger.superstep(Phase::LocalCompute, &costs);
+    let costs: Vec<PhaseCost> = compiled
         .fold_costs
         .iter()
-        .map(|c| PhaseCost {
-            msgs: c.msgs,
-            bytes: c.bytes * m as u64,
-            flops: 0,
-        })
+        .map(|c| c.widened(m as u64))
         .collect();
-    ledger.superstep(Phase::Fold, &widened);
+    ledger.superstep(Phase::Fold, &costs);
 
-    // Phase 4 — sum the arriving strided partials.
+    // Phase 4 — sum: add arriving partials in plan order (sources
+    // ascending — the same per-element order as the reference executor,
+    // which is what makes the result bit-identical).
     let fbufs = &ws.fold_bufs;
-    trace_span!(PhaseKind::Unpack, "spmm:sum-unpack", {
-        par_ranks(threads, &mut y.locals, |r, yl| {
-            let plan = &compiled.fold[r];
+    trace_span!(PhaseKind::Unpack, spans.sum, {
+        par_ranks(threads, y_locals, |r, yl| {
             let nl = a.vmap.nlocal(r);
-            for (src, slot, lids) in &plan.unpack {
-                let data = &fbufs[*src as usize][*slot as usize];
-                debug_assert_eq!(
-                    data.len(),
-                    lids.len() * m,
-                    "fold plan/traffic mismatch at rank {r}"
-                );
+            for (src, _slot, off, lids) in compiled.fold_rank(r).unpacks() {
+                let off = off as usize * m;
+                let data = &fbufs[src as usize][off..off + lids.len() * m];
                 for (k, &lid) in lids.iter().enumerate() {
                     for c in 0..m {
                         yl[c * nl + lid as usize] += data[k * m + c];
@@ -346,12 +350,12 @@ pub fn spmm_with(
             }
         })
     });
-    let sum_costs: Vec<PhaseCost> = compiled
+    let costs: Vec<PhaseCost> = compiled
         .sum_costs
         .iter()
-        .map(|c| PhaseCost::compute(m as u64 * c.flops))
+        .map(|c| c.widened(m as u64))
         .collect();
-    ledger.superstep(Phase::Sum, &sum_costs);
+    ledger.superstep(Phase::Sum, &costs);
 }
 
 #[cfg(test)]
@@ -579,6 +583,75 @@ mod tests {
             assert_eq!(l.history, l_seq.history, "threads {threads}");
             assert_eq!(l.total.to_bits(), l_seq.total.to_bits());
         }
+    }
+
+    #[test]
+    fn budgeted_waves_are_bit_identical_to_all_resident() {
+        let a = rmat(&RmatConfig::graph500(8), 17);
+        let d = MatrixDist::random_2d(a.nrows(), 4, 4, 3);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let x = DistVector::random(Arc::clone(&dm.vmap), 9);
+
+        let mut y_full = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l_full = CostLedger::new(Machine::cab());
+        let mut ws_full = SpmvWorkspace::new();
+        spmv_with(&dm, &x, &mut y_full, &mut l_full, &mut ws_full);
+        assert_eq!(ws_full.wave_count(), 1);
+
+        // Budgets from "everything" down to "one rank at a time", with
+        // and without threads: identical values and ledger histories.
+        for budget in [ws_full.scratch_bytes(), ws_full.scratch_bytes() / 4, 0] {
+            for threads in [1usize, 3] {
+                let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+                let mut l = CostLedger::new(Machine::cab());
+                let mut ws = SpmvWorkspace::with_threads(threads).with_budget(budget);
+                spmv_with(&dm, &x, &mut y, &mut l, &mut ws);
+                if budget == 0 {
+                    assert_eq!(ws.wave_count(), dm.nprocs());
+                }
+                for (r, (sl, tl)) in y_full.locals.iter().zip(&y.locals).enumerate() {
+                    let sb: Vec<u64> = sl.iter().map(|v| v.to_bits()).collect();
+                    let tb: Vec<u64> = tl.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(sb, tb, "rank {r}, budget {budget}, threads {threads}");
+                }
+                assert_eq!(l.history, l_full.history, "budget {budget}");
+                assert_eq!(l.total.to_bits(), l_full.total.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_spmm_matches_unbudgeted_bitwise() {
+        let a = rmat(&RmatConfig::graph500(7), 23);
+        let d = MatrixDist::block_2d(a.nrows(), 2, 3);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let n = a.nrows();
+        let m = 4usize;
+        let cols: Vec<Vec<f64>> = (0..m)
+            .map(|c| {
+                (0..n)
+                    .map(|i| ((i * (c + 3) + 5) % 11) as f64 - 5.0)
+                    .collect()
+            })
+            .collect();
+        let x = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+
+        let mut y_full = DistMultiVector::zeros(Arc::clone(&dm.vmap), m);
+        let mut l_full = CostLedger::new(Machine::cab());
+        spmm_with(&dm, &x, &mut y_full, &mut l_full, &mut SpmvWorkspace::new());
+
+        let mut y = DistMultiVector::zeros(Arc::clone(&dm.vmap), m);
+        let mut l = CostLedger::new(Machine::cab());
+        let mut ws = SpmvWorkspace::new().with_budget(0);
+        spmm_with(&dm, &x, &mut y, &mut l, &mut ws);
+        assert_eq!(ws.wave_count(), dm.nprocs());
+        for (sl, tl) in y_full.locals.iter().zip(&y.locals) {
+            let sb: Vec<u64> = sl.iter().map(|v| v.to_bits()).collect();
+            let tb: Vec<u64> = tl.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, tb);
+        }
+        assert_eq!(l.history, l_full.history);
+        assert_eq!(l.total.to_bits(), l_full.total.to_bits());
     }
 
     #[test]
