@@ -24,11 +24,15 @@ fn main() {
     let mut out = String::new();
     for m in Method::spmv_set(false) {
         let dist = builder.dist(m, p);
-        let row = labeled_spgemm(spgemm_experiment(&a, &dist, Machine::cab()), &label, m);
-        out.push_str(&serde_json::to_string(&row).expect("row serializes"));
-        out.push('\n');
+        for row in [
+            labeled_spgemm(spgemm_experiment(&a, &dist, Machine::cab()), &label, m),
+            labeled_spgemm(summa_experiment(&a, &dist, Machine::cab()), &label, m),
+        ] {
+            out.push_str(&serde_json::to_string(&row).expect("row serializes"));
+            out.push('\n');
+        }
     }
     let path = "results/spgemm.jsonl";
     std::fs::write(path, out).expect("write results/spgemm.jsonl");
-    eprintln!("bless_spgemm: wrote {path} ({label}, p = {p}, six layouts)");
+    eprintln!("bless_spgemm: wrote {path} ({label}, p = {p}, six layouts x two algos)");
 }

@@ -3,8 +3,9 @@
 //!
 //! A tracker file is an arbitrary JSON document; [`flatten`] turns it
 //! into a flat `metric-path -> number` map (array elements are keyed by
-//! their identifying fields — `name`, `method`, `scale`, `k`, `threads`,
-//! `p` — so a row keeps its identity when the sweep order changes), and
+//! their identifying fields — `name`, `method`, `algo`, `scale`, `k`,
+//! `threads`, `p` — so a row keeps its identity when the sweep order
+//! changes), and
 //! [`compare`] diffs the intersection of two such maps under a tolerance.
 //!
 //! What counts as a regression depends on the metric's *direction*,
@@ -106,7 +107,7 @@ fn walk(v: &Value, prefix: String, out: &mut BTreeMap<String, f64>) {
 /// Builds a stable identity for an array-of-rows element from its
 /// identifying fields, e.g. `name=gp,scale=12,threads=4`.
 fn identity_of(row: &[(String, Value)]) -> Option<String> {
-    const ID_FIELDS: [&str; 6] = ["name", "method", "scale", "k", "threads", "p"];
+    const ID_FIELDS: [&str; 7] = ["name", "method", "algo", "scale", "k", "threads", "p"];
     let parts: Vec<String> = ID_FIELDS
         .iter()
         .filter_map(|f| {

@@ -4,9 +4,9 @@ use std::sync::Arc;
 
 use sf2d_eigen::{krylov_schur_largest, KrylovSchurConfig};
 use sf2d_graph::CsrMatrix;
-use sf2d_partition::{LayoutMetrics, NonzeroLayout};
+use sf2d_partition::{LayoutMetrics, MatrixDist, NonzeroLayout};
 use sf2d_sim::{ChaosRuntime, CostLedger, Machine, Phase, RuntimeConfig};
-use sf2d_spgemm::{spgemm_with, SpgemmWorkspace};
+use sf2d_spgemm::{spgemm_with, summa_with, SpgemmWorkspace, SummaWorkspace};
 use sf2d_spmv::{
     power_iterate, power_iterate_chaos, spmv_with, DistCsrMatrix, DistVector,
     NormalizedLaplacianOp, SpmvWorkspace,
@@ -183,15 +183,24 @@ pub struct SpgemmRow {
     pub matrix: String,
     /// Layout name (as in the paper's tables).
     pub method: String,
+    /// SpGEMM algorithm: `"expand_fold"` (the SpMV-schedule kernel) or
+    /// `"summa"` (stage-wise Sparse SUMMA broadcasts).
+    pub algo: String,
     /// Rank count.
     pub p: usize,
     /// Nonzeros in the product `C = A·Aᵀ`.
     pub nnz_c: u64,
-    /// Max messages any rank sends in the expand (B-row fetch) exchange.
+    /// Max messages any rank sends getting remote operand rows to the
+    /// multipliers: the expand (B-row fetch) exchange for expand/fold,
+    /// the A/B shuffles plus every stage broadcast for SUMMA.
     pub expand_max_msgs: u64,
     /// Max messages any rank sends in the fold (partial-row) exchange.
     pub fold_max_msgs: u64,
-    /// Total doubles moved by both exchanges (serialized-row payloads).
+    /// Max messages any rank sends in any *single* SUMMA stage — witnesses
+    /// the communication-avoiding `(pr − 1) + (pc − 1)` bound. Zero for
+    /// expand/fold (which has no stages).
+    pub stage_max_msgs: u64,
+    /// Total doubles moved by all exchanges (serialized-row payloads).
     pub total_volume: u64,
     /// Max per-rank flops (multiply + merge) — the load-balance number.
     pub max_flops: u64,
@@ -231,11 +240,68 @@ pub fn spgemm_experiment<L: NonzeroLayout + ?Sized>(
     SpgemmRow {
         matrix: String::new(),
         method: String::new(),
+        algo: "expand_fold".to_string(),
         p: dist.nprocs(),
         nnz_c: c.nnz,
         expand_max_msgs: c.expand.max_send_msgs(),
         fold_max_msgs: c.fold.max_send_msgs(),
+        stage_max_msgs: 0,
         total_volume: c.expand.total_volume() + c.fold.total_volume(),
+        max_flops: per_rank_flops.iter().copied().max().unwrap_or(0),
+        total_flops: per_rank_flops.iter().sum(),
+        sim_time: ledger.total,
+        nnz_imbalance: m.nnz_imbalance(),
+    }
+}
+
+/// Runs the same `C = A·Aᵀ` workload through the **Sparse SUMMA** path
+/// ([`summa_with`]): `gc` stages of row/column block broadcasts on the
+/// grid the layout induces, instead of one expand/fold round over the
+/// SpMV schedules. The result bits match [`spgemm_experiment`]'s (both
+/// kernels are pinned to the serial oracle), so the rows differ only in
+/// the `algo` tag and the traffic/time columns — and `stage_max_msgs`
+/// stays ≤ `(pr − 1) + (pc − 1)` for *every* layout, including the 1D
+/// ones where expand/fold degrades to `p − 1` sends.
+///
+/// Takes the concrete [`MatrixDist`] (not the [`NonzeroLayout`] trait)
+/// because SUMMA needs the distribution's grid structure, not just its
+/// nonzero→rank map.
+pub fn summa_experiment(a: &CsrMatrix, dist: &MatrixDist, machine: Machine) -> SpgemmRow {
+    let dm = DistCsrMatrix::from_global(a, dist);
+    let b = a.transpose();
+    let mut ledger = CostLedger::new(machine);
+    // Threads only change the simulator's wall clock, never the modeled
+    // costs or the result bits (the kernel is thread-count independent).
+    let mut ws = SummaWorkspace::with_threads(RuntimeConfig::from_env().threads);
+    let c = summa_with(&dm, dist, &b, &mut ledger, &mut ws);
+    let p = dist.nprocs();
+    let per_rank_flops: Vec<u64> = c
+        .multiply_flops
+        .iter()
+        .zip(&c.merge_flops)
+        .map(|(m, g)| m + g)
+        .collect();
+    let operand_max_msgs = (0..p)
+        .map(|r| c.shuffle.send_msgs[r] + c.bcast.send_msgs[r])
+        .max()
+        .unwrap_or(0);
+    let stage_max_msgs = c
+        .stage_send_msgs
+        .iter()
+        .flat_map(|per_rank| per_rank.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let m = LayoutMetrics::compute(a, dist);
+    SpgemmRow {
+        matrix: String::new(),
+        method: String::new(),
+        algo: "summa".to_string(),
+        p,
+        nnz_c: c.nnz,
+        expand_max_msgs: operand_max_msgs,
+        fold_max_msgs: c.fold.max_send_msgs(),
+        stage_max_msgs,
+        total_volume: c.total_volume(),
         max_flops: per_rank_flops.iter().copied().max().unwrap_or(0),
         total_flops: per_rank_flops.iter().sum(),
         sim_time: ledger.total,
@@ -420,8 +486,40 @@ mod tests {
         assert!(r2.expand_max_msgs + r2.fold_max_msgs <= 12);
         assert!(r2.expand_max_msgs <= 6 && r2.fold_max_msgs <= 6);
         assert_eq!(r1.fold_max_msgs, 0, "1D layouts fold nothing");
+        assert_eq!(r1.algo, "expand_fold");
+        assert_eq!(r1.stage_max_msgs, 0);
         assert!(r1.sim_time > 0.0 && r2.sim_time > 0.0);
         assert!(r1.total_flops > 0 && r2.total_flops > 0);
+    }
+
+    #[test]
+    fn summa_experiment_bounds_stage_sends_on_every_layout() {
+        let a = rmat(&RmatConfig::graph500(8), 4);
+        let mut b = LayoutBuilder::new(&a, 0);
+        let d1 = b.dist(Method::OneDRandom, 16);
+        let d2 = b.dist(Method::TwoDBlock, 16);
+        let want = sf2d_graph::spgemm(&a, &a.transpose()).nnz() as u64;
+
+        let ef = spgemm_experiment(&a, &d1, Machine::cab());
+        let s1 = summa_experiment(&a, &d1, Machine::cab());
+        let s2 = summa_experiment(&a, &d2, Machine::cab());
+        assert_eq!(s1.algo, "summa");
+        assert_eq!(s1.nnz_c, want);
+        assert_eq!(s2.nnz_c, want);
+        // The communication-avoiding bound holds per stage on a 4×4 grid
+        // regardless of layout: ≤ (pr − 1) + (pc − 1) = 6 sends.
+        assert!(s1.stage_max_msgs <= 6, "1D: {}", s1.stage_max_msgs);
+        assert!(s2.stage_max_msgs <= 6, "2D: {}", s2.stage_max_msgs);
+        // ... while expand/fold on a 1D random layout degrades toward
+        // p − 1 = 15 sends in its single expand exchange.
+        assert!(
+            ef.expand_max_msgs > s1.stage_max_msgs,
+            "expand/fold {} vs SUMMA stage {}",
+            ef.expand_max_msgs,
+            s1.stage_max_msgs
+        );
+        assert!(s1.sim_time > 0.0 && s2.sim_time > 0.0);
+        assert!(s1.total_flops > 0 && s2.total_flops > 0);
     }
 
     #[test]

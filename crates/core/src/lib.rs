@@ -40,16 +40,16 @@ pub use sf2d_spgemm;
 pub use sf2d_spmv;
 
 pub use experiment::{
-    eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow,
-    EigenRow, SpgemmRow, SpmvRow,
+    eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos, summa_experiment,
+    ChaosSpmvRow, EigenRow, SpgemmRow, SpmvRow,
 };
 pub use layout::{LayoutBuilder, Method};
 
 /// Everything most programs need.
 pub mod prelude {
     pub use crate::experiment::{
-        eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos, ChaosSpmvRow,
-        EigenRow, SpgemmRow, SpmvRow,
+        eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos,
+        summa_experiment, ChaosSpmvRow, EigenRow, SpgemmRow, SpmvRow,
     };
     pub use crate::layout::{LayoutBuilder, Method};
     pub use sf2d_eigen::{
@@ -64,7 +64,10 @@ pub mod prelude {
     };
     pub use sf2d_partition::{grid_shape, LayoutMetrics, MatrixDist, NonzeroLayout};
     pub use sf2d_sim::{ChaosRuntime, CostLedger, Machine, RuntimeConfig};
-    pub use sf2d_spgemm::{spgemm_chaos, spgemm_dist, spgemm_with, DistSpgemm, SpgemmWorkspace};
+    pub use sf2d_spgemm::{
+        spgemm_chaos, spgemm_dist, spgemm_with, summa_chaos, summa_dist, summa_with, DistSpgemm,
+        SpgemmWorkspace, SummaGrid, SummaSpgemm, SummaWorkspace,
+    };
     pub use sf2d_spmv::{
         power_iterate, power_iterate_chaos, spmm, spmm_with, spmv, spmv_chaos, spmv_with,
         ChaosSpmvOp, DistCsrMatrix, DistMultiVector, DistVector, LinearOperator, MigrationPlan,

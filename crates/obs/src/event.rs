@@ -54,11 +54,15 @@ pub enum PhaseKind {
     Merge,
     /// Anything else.
     Other,
+    /// Stage-wise block broadcasts (Sparse SUMMA row/col fragments).
+    /// Appended after [`PhaseKind::Other`] so every existing tid — and
+    /// the golden Chrome traces that pin them — stays unchanged.
+    Broadcast,
 }
 
 impl PhaseKind {
     /// Every kind, in `tid` order — the Chrome-trace thread layout.
-    pub const ALL: [PhaseKind; 16] = [
+    pub const ALL: [PhaseKind; 17] = [
         PhaseKind::Expand,
         PhaseKind::LocalCompute,
         PhaseKind::Fold,
@@ -75,6 +79,7 @@ impl PhaseKind {
         PhaseKind::Multiply,
         PhaseKind::Merge,
         PhaseKind::Other,
+        PhaseKind::Broadcast,
     ];
 
     /// Stable human-readable label (also the Chrome-trace thread name).
@@ -96,6 +101,7 @@ impl PhaseKind {
             PhaseKind::Multiply => "Multiply",
             PhaseKind::Merge => "Merge",
             PhaseKind::Other => "Other",
+            PhaseKind::Broadcast => "Broadcast",
         }
     }
 
@@ -203,13 +209,14 @@ mod tests {
     #[test]
     fn tids_are_stable_and_unique() {
         let tids: Vec<u32> = PhaseKind::ALL.iter().map(|k| k.tid()).collect();
-        assert_eq!(tids, (0..16).collect::<Vec<u32>>());
+        assert_eq!(tids, (0..17).collect::<Vec<u32>>());
         assert_eq!(PhaseKind::Expand.tid(), 0);
         assert_eq!(PhaseKind::Retransmit.tid(), 11);
         assert_eq!(PhaseKind::Recovery.tid(), 12);
         assert_eq!(PhaseKind::Multiply.tid(), 13);
         assert_eq!(PhaseKind::Merge.tid(), 14);
         assert_eq!(PhaseKind::Other.tid(), 15);
+        assert_eq!(PhaseKind::Broadcast.tid(), 16);
     }
 
     #[test]

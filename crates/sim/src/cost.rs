@@ -94,6 +94,10 @@ pub enum Phase {
     /// Checkpoint/restart traffic: snapshot writes and post-crash state
     /// restores. Always zero in fault-free runs.
     Recovery,
+    /// Stage-wise block broadcasts (Sparse SUMMA's row/col fragment
+    /// fan-out). Kept separate from [`Phase::Expand`] so the SUMMA and
+    /// expand/fold SpGEMM paths stay distinguishable in the breakdown.
+    Broadcast,
 }
 
 impl From<Phase> for sf2d_obs::PhaseKind {
@@ -110,6 +114,7 @@ impl From<Phase> for sf2d_obs::PhaseKind {
             Phase::Collective => K::Collective,
             Phase::Retransmit => K::Retransmit,
             Phase::Recovery => K::Recovery,
+            Phase::Broadcast => K::Broadcast,
         }
     }
 }

@@ -112,4 +112,37 @@ mod tests {
         assert!(plan_waves(&[], Some(8)).is_empty());
         assert_eq!(max_wave_bytes(&[], &[]), 0);
     }
+
+    #[test]
+    fn interleaved_zero_ranks_never_force_a_split() {
+        // Zero-byte ranks piggyback on whichever wave is open: the
+        // boundaries land exactly where the nonzero footprints demand.
+        let sizes = [0u64, 4, 0, 0, 4, 0, 4, 0];
+        let waves = plan_waves(&sizes, Some(8));
+        assert_eq!(waves, vec![0..6, 6..8]);
+        let flat: Vec<usize> = waves.iter().flat_map(|w| w.clone()).collect();
+        assert_eq!(flat, (0..sizes.len()).collect::<Vec<_>>());
+        assert_eq!(max_wave_bytes(&sizes, &waves), 8);
+    }
+
+    #[test]
+    fn budget_below_every_rank_is_one_rank_per_wave_with_overshoot() {
+        // A budget smaller than any single rank cannot be honored; the
+        // planner degrades to singleton waves and the overshoot is
+        // visible to the caller instead of being a failure.
+        let sizes = [7u64, 9, 8];
+        let waves = plan_waves(&sizes, Some(5));
+        assert_eq!(waves, vec![0..1, 1..2, 2..3]);
+        assert_eq!(max_wave_bytes(&sizes, &waves), 9);
+    }
+
+    #[test]
+    fn budget_exactly_the_total_is_a_single_wave() {
+        // Degenerate cover: the greedy wave keeps growing while the next
+        // rank still fits, so an exact-fit budget plans one wave — and
+        // one byte less forces a split.
+        let sizes = [3u64, 5, 2];
+        assert_eq!(plan_waves(&sizes, Some(10)), vec![0..3]);
+        assert_eq!(plan_waves(&sizes, Some(9)), vec![0..2, 2..3]);
+    }
 }

@@ -17,6 +17,13 @@
 //!   plus measured per-phase traffic ([`ExchangeStats`]) and work.
 //! - [`spgemm_chaos`]: the same kernel under fault injection; heals every
 //!   fault and proves bit-equality with the fault-free run.
+//! - [`summa_dist`] / [`summa_with`] / [`summa_chaos`]: the
+//!   communication-avoiding alternative — Sparse SUMMA over the same
+//!   grid ([`crate::summa`]), `√p` stages of row/column block broadcasts
+//!   with DCSC-style hypersparse local storage, bounding every rank at
+//!   `(pr − 1) + (pc − 1)` sends *per stage* for **any** layout (where
+//!   expand/fold degrades to `p − 1` sends under 1D distributions).
+//!   Same owned-row output blocks, so the two paths compare bitwise.
 //!
 //! Costs are charged per call (Expand / Multiply / Fold / Merge /
 //! Collective supersteps) because SpGEMM payload sizes depend on B and C,
@@ -30,8 +37,10 @@
 
 pub mod chaos;
 pub mod kernel;
+pub mod summa;
 pub mod workspace;
 
 pub use chaos::spgemm_chaos;
 pub use kernel::{spgemm_dist, spgemm_with, DistSpgemm, ExchangeStats};
-pub use workspace::{BRowRef, SpgemmWorkspace};
+pub use summa::{summa_chaos, summa_dist, summa_with, SummaGrid, SummaSpgemm};
+pub use workspace::{BRowRef, SpgemmWorkspace, SummaWorkspace};

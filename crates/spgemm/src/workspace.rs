@@ -128,6 +128,277 @@ impl MsgBufs {
     }
 }
 
+/// DCSC-style hypersparse local block storage: a CSR over only the
+/// **nonempty** rows, keyed by global row id. At SUMMA block granularity
+/// a rank's `A[i][t]` / `B[t][j]` block holds `O(nnz/p)` nonzeros spread
+/// over `O(n/√p)` candidate rows, so a dense `rowptr` would be mostly
+/// zeros — the hypersparse layout stores one entry per *present* row
+/// instead (Buluç & Gilbert's argument for DCSC).
+///
+/// Rows are kept sorted by global id; lookup is a binary search over the
+/// present rows. All buffers reuse their allocations across calls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct HyperCsr {
+    /// Global ids of the nonempty rows, ascending.
+    pub rows: Vec<u32>,
+    /// Row boundaries: row `k` is `cols/vals[ptr[k]..ptr[k + 1]]`
+    /// (`ptr.len() == rows.len() + 1`; empty when no rows).
+    pub ptr: Vec<usize>,
+    /// Column indices, ascending within each row.
+    pub cols: Vec<u32>,
+    /// Values, aligned with `cols`.
+    pub vals: Vec<f64>,
+}
+
+impl HyperCsr {
+    /// Empties the block for reuse (keeps allocations).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.ptr.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+
+    /// Appends one row. Callers must append rows in ascending `gid`
+    /// order; [`Self::sort_rows`] restores the invariant after
+    /// out-of-order bulk loads.
+    pub fn push_row(&mut self, gid: u32, cols: &[u32], vals: &[f64]) {
+        debug_assert_eq!(cols.len(), vals.len());
+        if self.ptr.is_empty() {
+            self.ptr.push(0);
+        }
+        self.rows.push(gid);
+        self.cols.extend_from_slice(cols);
+        self.vals.extend_from_slice(vals);
+        self.ptr.push(self.cols.len());
+    }
+
+    /// Number of stored (nonempty) rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Row `k` by position.
+    #[inline]
+    pub fn row_at(&self, k: usize) -> (u32, &[u32], &[f64]) {
+        let (lo, hi) = (self.ptr[k], self.ptr[k + 1]);
+        (self.rows[k], &self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Row with global id `gid`, if present (binary search).
+    #[inline]
+    pub fn row(&self, gid: u32) -> Option<(&[u32], &[f64])> {
+        let k = self.rows.binary_search(&gid).ok()?;
+        let (lo, hi) = (self.ptr[k], self.ptr[k + 1]);
+        Some((&self.cols[lo..hi], &self.vals[lo..hi]))
+    }
+
+    /// Restores the ascending-`gid` invariant after rows were appended
+    /// out of order (e.g. decoded from several senders). Each `gid`
+    /// must appear at most once.
+    pub fn sort_rows(&mut self) {
+        if self.rows.windows(2).all(|w| w[0] < w[1]) {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        order.sort_by_key(|&k| self.rows[k]);
+        let mut out = HyperCsr::default();
+        for &k in &order {
+            let (gid, cols, vals) = self.row_at(k);
+            out.push_row(gid, cols, vals);
+        }
+        *self = out;
+    }
+}
+
+/// One rank's outgoing traffic for one **directed** exchange: a flat
+/// [`MsgBufs`] payload store plus the destination rank of every sealed
+/// slot. Unlike the compiled expand/fold plans (where the receiver knows
+/// its `(src, slot)` entries ahead of time), SUMMA's shuffles and
+/// broadcasts compute destinations on the fly, so the slot → destination
+/// map rides along with the payloads and receivers locate their slot by
+/// scanning `dsts` (each sender targets a given rank at most once per
+/// exchange).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DirBufs {
+    /// Slot payloads (see [`MsgBufs`]).
+    pub bufs: MsgBufs,
+    /// Destination rank per sealed slot (`dsts.len() == bufs.nmsgs()`).
+    /// Only nonempty, non-self slots are sealed.
+    pub dsts: Vec<u32>,
+}
+
+impl DirBufs {
+    /// Empties payloads and destinations for a fresh pack pass.
+    pub fn reset(&mut self) {
+        self.bufs.reset();
+        self.dsts.clear();
+    }
+
+    /// Seals the pending payload for `dst` if anything was pushed since
+    /// the last seal; otherwise rolls it back (empty messages are never
+    /// sent).
+    pub fn seal_to(&mut self, dst: u32) {
+        let start = *self.bufs.offs.last().expect("reset() ran");
+        if self.bufs.data.len() > start {
+            self.bufs.seal();
+            self.dsts.push(dst);
+        } else {
+            self.bufs.data.truncate(start);
+        }
+    }
+
+    /// The slot this rank addresses to `dst`, if any.
+    pub fn slot_for(&self, dst: u32) -> Option<usize> {
+        self.dsts.iter().position(|&d| d == dst)
+    }
+}
+
+/// One rank's scratch state for one Sparse SUMMA execution. Mirrors
+/// [`RankSpgemmScratch`]'s reuse discipline: everything here is reused
+/// across calls and copied out at the end.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RankSummaScratch {
+    /// SPA dense values over B's column space.
+    pub spa_vals: Vec<f64>,
+    /// SPA generation stamps (see [`RankSpgemmScratch::spa_stamp`]).
+    pub spa_stamp: Vec<u32>,
+    /// Current SPA generation.
+    pub spa_gen: u32,
+    /// Columns touched in the current row (sorted before emission).
+    pub touched: Vec<u32>,
+    /// The rank's A block `A[i][j]` after the A-shuffle (global ids).
+    pub a_block: HyperCsr,
+    /// B-root storage: `b_stage[t]` holds the stage-`t` rows (restricted
+    /// to this rank's column chunk) for every stage this rank roots.
+    pub b_stage: Vec<HyperCsr>,
+    /// Received A block for the current stage (non-roots).
+    pub a_recv: HyperCsr,
+    /// Received B block for the current stage (non-roots).
+    pub b_recv: HyperCsr,
+    /// Per-stage partial products `A[i][t]·B[t][j]`.
+    pub stage_out: Vec<HyperCsr>,
+    /// Cross-stage merged chunk rows (stage order, exact sums).
+    pub merged: HyperCsr,
+    /// `(gid, stage, row-position)` sort keys for the cross-stage merge.
+    pub pairs: Vec<(u32, u32, u32)>,
+    /// Incoming fold rows `(lid, chunk, src, slot, off, len)`, sorted by
+    /// `(lid, chunk)` so assembly concatenates chunks in column order.
+    pub incoming: Vec<(u32, u32, u32, u32, u32, u32)>,
+    /// Final owned C rows, CSR-style over the rank's vector lids.
+    pub out_ptr: Vec<usize>,
+    /// Final-row column indices.
+    pub out_cols: Vec<u32>,
+    /// Final-row values.
+    pub out_vals: Vec<f64>,
+    /// Multiply product terms processed this call (2 flops each).
+    pub terms: u64,
+    /// Product terms of the stage currently being billed.
+    pub stage_terms: u64,
+    /// Entries merged across stages (1 flop each).
+    pub merged_flops: u64,
+    /// Entries concatenated during owner assembly (1 flop each).
+    pub assemble_flops: u64,
+}
+
+impl RankSummaScratch {
+    /// Resets the SPA generation before `rows` more bumps would overflow
+    /// the `u32` stamp space.
+    pub fn guard_gen(&mut self, rows: usize) {
+        if self.spa_gen > u32::MAX - (rows as u32 + 1) {
+            self.spa_stamp.fill(0);
+            self.spa_gen = 0;
+        }
+    }
+}
+
+/// Reusable scratch for [`summa_with`](crate::summa::summa_with): per-rank
+/// hypersparse blocks and SPA state plus the resident shuffle / stage /
+/// fold payload buffers (PR 8-style flat [`MsgBufs`], read in place by
+/// receivers). Like [`SpgemmWorkspace`], not tied to a matrix; buffers
+/// are (re)sized on first use and `threads` fans the per-rank phase work
+/// out with bit-identical results.
+#[derive(Debug, Clone)]
+pub struct SummaWorkspace {
+    /// Number of OS threads for phase-local work (1 = fully sequential).
+    pub threads: usize,
+    pub(crate) ranks: Vec<RankSummaScratch>,
+    /// A-redistribution payloads (one slot per stage column, serialized
+    /// hypersparse rows).
+    pub(crate) shuffle_a: Vec<DirBufs>,
+    /// B-redistribution payloads (one slot per column chunk).
+    pub(crate) shuffle_b: Vec<DirBufs>,
+    /// Current stage's A row-broadcast fragments: roots seal exactly one
+    /// payload, read in place by every row peer (destinations are a pure
+    /// function of the grid, so no `dsts` list is needed).
+    pub(crate) stage_a: Vec<MsgBufs>,
+    /// Current stage's B col-broadcast fragments (roots only).
+    pub(crate) stage_b: Vec<MsgBufs>,
+    /// Fold payloads (merged chunk rows bound for their row owners).
+    pub(crate) fold: Vec<DirBufs>,
+}
+
+impl SummaWorkspace {
+    /// A sequential (single-threaded) workspace.
+    pub fn new() -> SummaWorkspace {
+        SummaWorkspace::with_threads(1)
+    }
+
+    /// A workspace whose phase-local work fans out across `threads` OS
+    /// threads (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> SummaWorkspace {
+        SummaWorkspace {
+            threads: threads.max(1),
+            ranks: Vec::new(),
+            shuffle_a: Vec::new(),
+            shuffle_b: Vec::new(),
+            stage_a: Vec::new(),
+            stage_b: Vec::new(),
+            fold: Vec::new(),
+        }
+    }
+
+    /// Sizes the per-rank state for `p` ranks, `stages` grid columns,
+    /// and a B with `bcols` columns, reusing allocations that fit.
+    pub(crate) fn ensure(&mut self, p: usize, stages: usize, bcols: usize) {
+        self.ranks.resize_with(p, RankSummaScratch::default);
+        for scratch in &mut self.ranks {
+            scratch.spa_vals.resize(bcols, 0.0);
+            scratch.spa_stamp.resize(bcols, 0);
+            scratch.b_stage.resize_with(stages, HyperCsr::default);
+            scratch.stage_out.resize_with(stages, HyperCsr::default);
+            for b in &mut scratch.b_stage {
+                b.clear();
+            }
+            for s in &mut scratch.stage_out {
+                s.clear();
+            }
+            scratch.a_block.clear();
+            scratch.merged.clear();
+            scratch.terms = 0;
+            scratch.stage_terms = 0;
+            scratch.merged_flops = 0;
+            scratch.assemble_flops = 0;
+        }
+        self.shuffle_a.resize_with(p, DirBufs::default);
+        self.shuffle_b.resize_with(p, DirBufs::default);
+        self.stage_a.resize_with(p, MsgBufs::default);
+        self.stage_b.resize_with(p, MsgBufs::default);
+        self.fold.resize_with(p, DirBufs::default);
+    }
+}
+
+impl Default for SummaWorkspace {
+    fn default() -> SummaWorkspace {
+        SummaWorkspace::new()
+    }
+}
+
 /// Reusable scratch space for [`spgemm_with`](crate::kernel::spgemm_with):
 /// per-rank SPA accumulators and row buffers plus the resident expand/fold
 /// message payloads, which destination ranks read in place via the

@@ -68,6 +68,7 @@ pub fn phase_slug(phase: Phase) -> &'static str {
         Phase::Collective => "collective",
         Phase::Retransmit => "retransmit",
         Phase::Recovery => "recovery",
+        Phase::Broadcast => "broadcast",
     }
 }
 

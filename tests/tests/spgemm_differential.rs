@@ -1,21 +1,27 @@
-//! The SpGEMM differential battery: the distributed `C = A·B` kernel
-//! against the serial CSR Gustavson oracle ([`sf2d_graph::spgemm`]).
+//! The SpGEMM differential battery: **both** distributed `C = A·B`
+//! kernels — the expand/fold path over the SpMV schedules and the
+//! Sparse SUMMA stage-broadcast path — against the serial CSR Gustavson
+//! oracle ([`sf2d_graph::spgemm`]) and against each other.
 //!
-//! For every (generator, p, layout) cell the distributed product must
+//! For every (generator, p, layout) cell each distributed product must
 //! reassemble to a CSR with **identical row pointers, sorted identical
 //! column indices, and bitwise-equal values** — achievable because the
 //! generator matrices carry unit values, so every C entry is an exact
 //! small-integer sum and no floating-point reassociation can show
-//! through; the kernel's fixed rank-order reduction makes the bits
+//! through; each kernel's fixed reduction order makes the bits
 //! deterministic regardless. On top of the oracle match, the result and
 //! the billed ledger must be byte-identical for workspace thread counts
 //! {1, 2, 8} — the `SF2D_THREADS` independence guarantee the SpMV engine
-//! already makes, extended to SpGEMM.
+//! already makes, extended to both SpGEMM paths — and the two kernels'
+//! C values must agree bit-for-bit with each other (the property the
+//! proptest at the bottom fuzzes over random Erdős–Rényi inputs).
 //!
-//! The golden-row test at the bottom pins the `spgemm_experiment` driver
-//! output to `results/spgemm.jsonl` (regenerate with `SF2D_BLESS=1`).
+//! The golden-row test at the bottom pins the `spgemm_experiment` and
+//! `summa_experiment` driver output to `results/spgemm.jsonl`
+//! (regenerate with `SF2D_BLESS=1`).
 
-use sf2d_core::experiment::{labeled_spgemm, spgemm_experiment, SpgemmRow};
+use proptest::prelude::*;
+use sf2d_core::experiment::{labeled_spgemm, spgemm_experiment, summa_experiment, SpgemmRow};
 use sf2d_core::prelude::*;
 use sf2d_core::sf2d_gen::{chung_lu, erdos_renyi, powerlaw_degrees, rmat, RmatConfig};
 use sf2d_graph::{spgemm, CsrMatrix};
@@ -23,55 +29,101 @@ use sf2d_graph::{spgemm, CsrMatrix};
 const PROCS: [usize; 4] = [1, 4, 16, 64];
 const THREADS: [usize; 3] = [1, 2, 8];
 
-/// One differential cell: distribute `a` under `method`/`p`, run the
-/// kernel at several thread counts, and demand the oracle's exact CSR
-/// plus cross-thread byte-identity (values *and* ledger).
+type Gold = (Vec<u64>, u64, Vec<(sf2d_sim::Phase, f64)>);
+
+/// Shared per-kernel check: oracle CSR equality (pointers, sorted
+/// columns, value bits) plus cross-thread byte-identity of values and
+/// ledger, folded through `gold`.
+fn check_against_oracle(
+    label: &str,
+    threads: usize,
+    got: &CsrMatrix,
+    nnz: u64,
+    want: &CsrMatrix,
+    ledger: &CostLedger,
+    gold: &mut Option<Gold>,
+) {
+    assert_eq!(got.rowptr(), want.rowptr(), "{label}: row pointers");
+    assert_eq!(got.colidx(), want.colidx(), "{label}: column indices");
+    for i in 0..got.nrows() {
+        let (cols, _) = got.row(i);
+        assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "{label}: row {i} columns not sorted"
+        );
+    }
+    let got_bits: Vec<u64> = got.values().iter().map(|v| v.to_bits()).collect();
+    let want_bits: Vec<u64> = want.values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, want_bits, "{label}: values bitwise");
+    assert_eq!(nnz, want.nnz() as u64, "{label}: allreduced nnz");
+
+    match gold {
+        None => *gold = Some((got_bits, ledger.total.to_bits(), ledger.history.clone())),
+        Some((gb, bits, history)) => {
+            assert_eq!(&got_bits, gb, "{label}: threads={threads} value bits");
+            assert_eq!(
+                ledger.total.to_bits(),
+                *bits,
+                "{label}: threads={threads} ledger total"
+            );
+            assert_eq!(
+                &ledger.history, history,
+                "{label}: threads={threads} ledger history"
+            );
+        }
+    }
+}
+
+/// One differential cell: distribute `a` under `method`/`p`, run **both**
+/// kernels at several thread counts, and demand the oracle's exact CSR,
+/// cross-thread byte-identity (values *and* ledger) per kernel, and
+/// bit-identical C between the two kernels.
 fn check_cell(a: &CsrMatrix, builder: &mut LayoutBuilder, method: Method, p: usize) {
-    let label = format!("{} p={p}", method.name());
     let dist = builder.dist(method, p);
     let dm = DistCsrMatrix::from_global(a, &dist);
     let b = a.transpose();
     let want = spgemm(a, &b);
 
-    type Gold = (CsrMatrix, u64, Vec<(sf2d_sim::Phase, f64)>);
-    let mut gold: Option<Gold> = None;
+    let mut ef_gold: Option<Gold> = None;
+    let mut su_gold: Option<Gold> = None;
     for threads in THREADS {
+        let label = format!("{} p={p} expand/fold", method.name());
         let mut ws = SpgemmWorkspace::with_threads(threads);
         let mut ledger = CostLedger::new(Machine::cab());
         let c = spgemm_with(&dm, &b, &mut ledger, &mut ws);
-        let got = c.to_global();
+        check_against_oracle(
+            &label,
+            threads,
+            &c.to_global(),
+            c.nnz,
+            &want,
+            &ledger,
+            &mut ef_gold,
+        );
 
-        assert_eq!(got.rowptr(), want.rowptr(), "{label}: row pointers");
-        assert_eq!(got.colidx(), want.colidx(), "{label}: column indices");
-        for i in 0..got.nrows() {
-            let (cols, _) = got.row(i);
-            assert!(
-                cols.windows(2).all(|w| w[0] < w[1]),
-                "{label}: row {i} columns not sorted"
-            );
-        }
-        let got_bits: Vec<u64> = got.values().iter().map(|v| v.to_bits()).collect();
-        let want_bits: Vec<u64> = want.values().iter().map(|v| v.to_bits()).collect();
-        assert_eq!(got_bits, want_bits, "{label}: values bitwise");
-        assert_eq!(c.nnz, want.nnz() as u64, "{label}: allreduced nnz");
-
-        match &gold {
-            None => gold = Some((got, ledger.total.to_bits(), ledger.history.clone())),
-            Some((g, bits, history)) => {
-                let gb: Vec<u64> = g.values().iter().map(|v| v.to_bits()).collect();
-                assert_eq!(got_bits, gb, "{label}: threads={threads} value bits");
-                assert_eq!(
-                    ledger.total.to_bits(),
-                    *bits,
-                    "{label}: threads={threads} ledger total"
-                );
-                assert_eq!(
-                    &ledger.history, history,
-                    "{label}: threads={threads} ledger history"
-                );
-            }
-        }
+        let label = format!("{} p={p} summa", method.name());
+        let mut ws = SummaWorkspace::with_threads(threads);
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = summa_with(&dm, &dist, &b, &mut ledger, &mut ws);
+        check_against_oracle(
+            &label,
+            threads,
+            &c.to_global(),
+            c.nnz,
+            &want,
+            &ledger,
+            &mut su_gold,
+        );
     }
+    // Both kernels reduce to the same bits (each matched the oracle, so
+    // this is implied — stated directly because it is the cross-kernel
+    // contract the SUMMA path promises).
+    assert_eq!(
+        ef_gold.as_ref().map(|g| &g.0),
+        su_gold.as_ref().map(|g| &g.0),
+        "{} p={p}: expand/fold vs SUMMA value bits",
+        method.name()
+    );
 }
 
 fn sweep(a: &CsrMatrix) {
@@ -101,8 +153,8 @@ fn erdos_renyi_matches_oracle_on_all_layouts_and_procs() {
 
 #[test]
 fn rectangular_product_matches_oracle() {
-    // A·B with B rectangular (ncols != n): the expand discipline and
-    // merge must not assume a square product.
+    // A·B with B rectangular (ncols != n): neither the expand discipline
+    // nor SUMMA's chunked column space may assume a square product.
     let a = rmat(&RmatConfig::graph500(7), 3);
     let n = a.nrows();
     let mut coo = sf2d_graph::CooMatrix::new(n, 17);
@@ -114,17 +166,24 @@ fn rectangular_product_matches_oracle() {
     let want = spgemm(&a, &b);
     let mut builder = LayoutBuilder::new(&a, 0);
     for method in [Method::OneDRandom, Method::TwoDRandom, Method::TwoDGp] {
-        let dm = DistCsrMatrix::from_global(&a, &builder.dist(method, 16));
+        let dist = builder.dist(method, 16);
+        let dm = DistCsrMatrix::from_global(&a, &dist);
         let mut ledger = CostLedger::new(Machine::cab());
         let c = spgemm_dist(&dm, &b, &mut ledger);
         assert_eq!(c.to_global(), want, "{}", method.name());
         assert_eq!(c.ncols, 17);
+
+        let mut ledger = CostLedger::new(Machine::cab());
+        let c = summa_dist(&dm, &dist, &b, &mut ledger);
+        assert_eq!(c.to_global(), want, "{} summa", method.name());
+        assert_eq!(c.ncols, 17);
     }
 }
 
-/// Golden pin of the `spgemm_experiment` driver: the six-layout row set
-/// at p = 16 on a fixed R-MAT, compared field-for-field against the
-/// checked-in `results/spgemm.jsonl`. Costs, traffic, and nnz are all
+/// Golden pin of the `spgemm_experiment` **and** `summa_experiment`
+/// drivers: the six-layout row set at p = 16 on a fixed R-MAT, one row
+/// per (layout, algo), compared field-for-field against the checked-in
+/// `results/spgemm.jsonl`. Costs, traffic, and nnz are all
 /// deterministic, so any drift is a real behaviour change — regenerate
 /// deliberately with `SF2D_BLESS=1 cargo test -p sf2d-integration-tests
 /// golden_spgemm`.
@@ -134,12 +193,12 @@ fn golden_spgemm_experiment_rows_are_stable() {
     let mut builder = LayoutBuilder::new(&a, 0);
     let rows: Vec<SpgemmRow> = Method::spmv_set(false)
         .into_iter()
-        .map(|m| {
-            labeled_spgemm(
-                spgemm_experiment(&a, &builder.dist(m, 16), Machine::cab()),
-                "rmat-s7",
-                m,
-            )
+        .flat_map(|m| {
+            let dist = builder.dist(m, 16);
+            [
+                labeled_spgemm(spgemm_experiment(&a, &dist, Machine::cab()), "rmat-s7", m),
+                labeled_spgemm(summa_experiment(&a, &dist, Machine::cab()), "rmat-s7", m),
+            ]
         })
         .collect();
 
@@ -160,4 +219,28 @@ fn golden_spgemm_experiment_rows_are_stable() {
         .map(|l| serde_json::from_str(l).expect("golden line parses"))
         .collect();
     assert_eq!(rows, want, "spgemm_experiment drifted from the golden rows");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fuzzed cross-kernel contract: for random Erdős–Rényi inputs,
+    /// random layouts, and random rank counts, Sparse SUMMA and
+    /// expand/fold produce bit-identical C — and each kernel's value
+    /// bits and billed ledger are byte-identical across SF2D_THREADS
+    /// (the deterministic check_cell battery, driven by random inputs).
+    #[test]
+    fn summa_and_expand_fold_agree_bitwise_on_random_inputs(
+        n in 24usize..96,
+        edge_factor in 2usize..6,
+        seed in 0u64..1000,
+        p_idx in 0usize..3,
+        m_idx in 0usize..6,
+    ) {
+        let a = erdos_renyi(n, n * edge_factor, seed);
+        let p = [1usize, 4, 16][p_idx];
+        let method = Method::spmv_set(false)[m_idx];
+        let mut builder = LayoutBuilder::new(&a, seed);
+        check_cell(&a, &mut builder, method, p);
+    }
 }
