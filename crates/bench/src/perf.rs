@@ -3,17 +3,17 @@
 //!
 //! A tracker file is an arbitrary JSON document; [`flatten`] turns it
 //! into a flat `metric-path -> number` map (array elements are keyed by
-//! their identifying fields — `name`, `method`, `algo`, `scale`, `k`,
-//! `threads`, `p` — so a row keeps its identity when the sweep order
-//! changes), and
+//! their identifying fields — `name`, `method`, `algo`, `scenario`,
+//! `scale`, `k`, `threads`, `p` — so a row keeps its identity when the
+//! sweep order changes), and
 //! [`compare`] diffs the intersection of two such maps under a tolerance.
 //!
 //! What counts as a regression depends on the metric's *direction*,
 //! classified from its key ([`direction_of`]):
 //!
-//! * `median_ns` / `wall_ns` / `sim_time` — wall-clock-like, **higher is
-//!   worse**;
-//! * `speedup` / `ratio` — dimensionless relative metrics, **lower is
+//! * `median_ns` / `wall_ns` / `sim_time` / `latency` / `p50` / `p99` —
+//!   wall-clock-like, **higher is worse**;
+//! * `speedup` / `ratio` / `qps` — relative or rate metrics, **lower is
 //!   worse**;
 //! * everything else is informational (compared for the report, never a
 //!   failure);
@@ -23,8 +23,12 @@
 //! Two escape hatches keep the gate honest on weak hosts: speedup checks
 //! are skipped loudly when the current run's `meta.host_cpus < 2` (one
 //! core cannot demonstrate parallel speedup), and `relative_only` demotes
-//! the absolute wall-clock metrics to informational — the right setting
-//! when baseline and current ran on different machines.
+//! the machine-absolute metrics — wall-clock-like ones *and* `qps`
+//! (throughput is as machine-bound as latency, just inverted) — to
+//! informational. That is the right setting when baseline and current ran
+//! on different machines; dimensionless `speedup`/`ratio` metrics keep
+//! gating there, which is exactly why deterministic serving ratios
+//! (cache-hit rate, gather amortization) are reported as `*_ratio`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -48,10 +52,16 @@ pub fn direction_of(key: &str) -> Option<Direction> {
     if key.starts_with("meta.") || key.contains(".meta.") || key.contains("phases_") {
         return None;
     }
-    if key.contains("median_ns") || key.contains("wall_ns") || key.contains("sim_time") {
+    if key.contains("median_ns")
+        || key.contains("wall_ns")
+        || key.contains("sim_time")
+        || key.contains("latency")
+        || key.contains("p50")
+        || key.contains("p99")
+    {
         return Some(Direction::HigherIsWorse);
     }
-    if key.contains("speedup") || key.contains("ratio") {
+    if key.contains("speedup") || key.contains("ratio") || key.contains("qps") {
         return Some(Direction::LowerIsWorse);
     }
     Some(Direction::Info)
@@ -107,7 +117,9 @@ fn walk(v: &Value, prefix: String, out: &mut BTreeMap<String, f64>) {
 /// Builds a stable identity for an array-of-rows element from its
 /// identifying fields, e.g. `name=gp,scale=12,threads=4`.
 fn identity_of(row: &[(String, Value)]) -> Option<String> {
-    const ID_FIELDS: [&str; 7] = ["name", "method", "algo", "scale", "k", "threads", "p"];
+    const ID_FIELDS: [&str; 8] = [
+        "name", "method", "algo", "scenario", "scale", "k", "threads", "p",
+    ];
     let parts: Vec<String> = ID_FIELDS
         .iter()
         .filter_map(|f| {
@@ -213,6 +225,12 @@ pub fn compare(
             continue;
         };
         if relative_only && dir == Direction::HigherIsWorse {
+            dir = Direction::Info;
+        }
+        // Throughput is machine-absolute like wall clock (its inverse),
+        // unlike the dimensionless speedup/ratio metrics it shares a
+        // direction with.
+        if relative_only && dir == Direction::LowerIsWorse && key.contains("qps") {
             dir = Direction::Info;
         }
         if skip_speedups && dir == Direction::LowerIsWorse {
@@ -354,6 +372,75 @@ mod tests {
             direction_of("cases[name=gp].samples"),
             Some(Direction::Info)
         );
+    }
+
+    #[test]
+    fn serving_latency_and_throughput_keys_classify_by_direction() {
+        assert_eq!(
+            direction_of("serve[scenario=steady].latency_p50_ns"),
+            Some(Direction::HigherIsWorse)
+        );
+        assert_eq!(
+            direction_of("serve[scenario=steady].latency_p99_ns"),
+            Some(Direction::HigherIsWorse)
+        );
+        assert_eq!(
+            direction_of("serve[scenario=steady].qps"),
+            Some(Direction::LowerIsWorse)
+        );
+        assert_eq!(
+            direction_of("serve[scenario=steady].cache_hit_ratio"),
+            Some(Direction::LowerIsWorse)
+        );
+        assert_eq!(
+            direction_of("serve[scenario=steady].gather_amortization_ratio"),
+            Some(Direction::LowerIsWorse)
+        );
+    }
+
+    fn serve_sample(p50: u64, p99: u64, qps: f64, hit_ratio: f64) -> Value {
+        let text = format!(
+            r#"{{
+              "meta": {{ "schema_version": 1, "bin": "bench_serve",
+                         "host_cpus": 8, "threads": 8,
+                         "git_rev": "abc1234", "timestamp_unix": 1700000000 }},
+              "serve": [
+                {{ "name": "steady", "p": 16,
+                   "latency_p50_ns": {p50}, "latency_p99_ns": {p99},
+                   "qps": {qps}, "cache_hit_ratio": {hit_ratio},
+                   "gather_amortization_ratio": 4.0 }}
+              ]
+            }}"#
+        );
+        serde_json::from_str(&text).expect("serve sample parses")
+    }
+
+    #[test]
+    fn latency_regressions_gate_but_are_demoted_under_relative_only() {
+        let base = serve_sample(1000, 5000, 2000.0, 0.9);
+        // p99 +60%, qps -50%: both regress on the same machine ...
+        let cur = serve_sample(1000, 8000, 1000.0, 0.9);
+        let diff = compare(&base, &cur, 15.0, false);
+        assert!(!diff.passed());
+        let regs = diff.regressions();
+        assert!(regs.iter().any(|d| d.key.contains("latency_p99_ns")));
+        assert!(regs.iter().any(|d| d.key.contains("qps")));
+        // ... and are both informational cross-machine.
+        assert!(compare(&base, &cur, 15.0, true).passed());
+    }
+
+    #[test]
+    fn deterministic_serving_ratios_gate_even_under_relative_only() {
+        let base = serve_sample(1000, 5000, 2000.0, 0.9);
+        // The cache-hit ratio collapsing is a real behavior change, not a
+        // machine artifact: it must fail even with --relative-only.
+        let cur = serve_sample(9000, 50000, 100.0, 0.4);
+        let diff = compare(&base, &cur, 15.0, true);
+        assert!(!diff.passed());
+        assert!(diff
+            .regressions()
+            .iter()
+            .all(|d| d.key.contains("cache_hit_ratio")));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use sf2d_spmv;
 
 pub use experiment::{
     eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos, summa_experiment,
-    ChaosSpmvRow, EigenRow, SpgemmRow, SpmvRow,
+    ChaosSpmvRow, EigenRow, ServeRow, SpgemmRow, SpmvRow,
 };
 pub use layout::{LayoutBuilder, Method};
 
@@ -49,7 +49,7 @@ pub use layout::{LayoutBuilder, Method};
 pub mod prelude {
     pub use crate::experiment::{
         eigen_experiment, spgemm_experiment, spmv_experiment, spmv_experiment_chaos,
-        summa_experiment, ChaosSpmvRow, EigenRow, SpgemmRow, SpmvRow,
+        summa_experiment, ChaosSpmvRow, EigenRow, ServeRow, SpgemmRow, SpmvRow,
     };
     pub use crate::layout::{LayoutBuilder, Method};
     pub use sf2d_eigen::{
@@ -69,8 +69,8 @@ pub mod prelude {
         SpgemmWorkspace, SummaGrid, SummaSpgemm, SummaWorkspace,
     };
     pub use sf2d_spmv::{
-        power_iterate, power_iterate_chaos, spmm, spmm_with, spmv, spmv_chaos, spmv_with,
-        ChaosSpmvOp, DistCsrMatrix, DistMultiVector, DistVector, LinearOperator, MigrationPlan,
-        NormalizedLaplacianOp, PlainSpmvOp, SpmvWorkspace,
+        power_iterate, power_iterate_chaos, spmm, spmm_chaos_with, spmm_with, spmv, spmv_chaos,
+        spmv_chaos_with, spmv_with, ChaosSpmvOp, DistCsrMatrix, DistMultiVector, DistVector,
+        LinearOperator, MigrationPlan, NormalizedLaplacianOp, PlainSpmvOp, SpmvWorkspace,
     };
 }

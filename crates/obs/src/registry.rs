@@ -197,6 +197,17 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Merges an externally-maintained histogram into histogram `name` —
+    /// how a component that keeps its own [`Histogram`] (e.g. a serving
+    /// engine's batch-size distribution) publishes it without replaying
+    /// every observation.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// Reads one counter (0 when never written).
     pub fn counter(&self, name: &str, rank: u32) -> u64 {
         self.counters

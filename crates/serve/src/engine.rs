@@ -1,0 +1,871 @@
+//! The resident serving engine.
+//!
+//! [`Engine`] owns one dynamic symmetric matrix, its current layout, and
+//! every piece of compiled/pooled state the one-shot binaries rebuild per
+//! run: the [`DistCsrMatrix`] (whose `CompiledSpmv` plans are the
+//! expensive part), a budgetable [`SpmvWorkspace`], and the
+//! [`SpgemmWorkspace`]/[`SummaWorkspace`] pair for repeated multiplies.
+//!
+//! ## Epochs and the plan cache
+//!
+//! The engine state is versioned by a monotonic **epoch**: every
+//! effective edge insert/delete bumps it, and a repartition (drift-
+//! triggered or forced) bumps it again — so a compiled plan is immutable
+//! for its whole lifetime and the cache key `(epoch, method, p)` can
+//! never serve a stale answer. Plans compile lazily at first use per
+//! epoch (plus eagerly at construction and at repartition, so a resident
+//! engine is warm) and the swap to a new plan is a single `Arc` store.
+//!
+//! ## Batching
+//!
+//! [`Engine::submit`] only queues; [`Engine::flush`] coalesces the queue
+//! into SpMM batches of at most `max_batch` columns — one expand gather
+//! per batch instead of one per query (PR 1 made spmm a single strided
+//! gather; batching is the multiplier). Per-column results are bitwise
+//! equal to a one-shot [`sf2d_spmv::spmv`] of that query, because SpMM
+//! *is* column-wise SpMV down to the per-element fold order.
+//!
+//! ## Mutations are epoch barriers
+//!
+//! A queued query always answers against the engine state at the moment
+//! it executes. To keep that moment well-defined, every mutating call
+//! first drains the pending queue against the *current* epoch (replies
+//! park in an internal buffer until the next `flush`), then applies the
+//! change. The differential and property suites in
+//! `tests/tests/serve_{differential,property}.rs` pin all of this
+//! bitwise against from-scratch oracles.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use sf2d_core::{LayoutBuilder, Method};
+use sf2d_graph::{CooMatrix, CsrMatrix};
+use sf2d_par::Pool;
+use sf2d_partition::MatrixDist;
+use sf2d_sim::{ChaosRuntime, CostLedger, Machine, Phase, PhaseCost};
+use sf2d_spgemm::{
+    spgemm_with, summa_with, DistSpgemm, SpgemmWorkspace, SummaSpgemm, SummaWorkspace,
+};
+use sf2d_spmv::{spmm_chaos_with, spmm_with, DistCsrMatrix, DistMultiVector, SpmvWorkspace};
+
+use crate::metrics::EngineMetrics;
+
+/// Compiled plans retained across epochs. Old epochs can never be
+/// queried again (the epoch counter is monotonic), so a small window is
+/// enough to absorb mutation bursts without unbounded growth.
+const PLAN_CACHE_CAP: usize = 4;
+
+/// Engine construction knobs. `method`/`p`/`seed` fix the layout
+/// deterministically — two engines with equal config and equal mutation
+/// history hold bitwise-equal state.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Partitioning method for the resident layout.
+    pub method: Method,
+    /// Rank count.
+    pub p: usize,
+    /// Seed for every layout decision (random layouts, gp tie-breaks).
+    pub seed: u64,
+    /// OS threads for kernels, plan compiles (via an `sf2d-par` pool),
+    /// and chaos routing. Bit-identical for any value.
+    pub threads: usize,
+    /// Maximum SpMM width a flush coalesces into one batch.
+    pub max_batch: usize,
+    /// Repartition when `max/avg` per-rank nonzeros exceeds this.
+    pub drift_threshold: f64,
+    /// Whether drift may trigger a repartition on its own (only
+    /// meaningful for partitioned methods — block/random layouts don't
+    /// depend on the matrix, so re-deriving them cannot fix drift).
+    pub auto_repartition: bool,
+    /// Optional live-memory budget for the SpMM workspace
+    /// ([`SpmvWorkspace::with_budget`] semantics: wave-scheduled,
+    /// bit-identical).
+    pub scratch_budget: Option<u64>,
+    /// Cost model for the engine's ledger.
+    pub machine: Machine,
+}
+
+impl EngineConfig {
+    /// Defaults: seed 0, single-threaded, batches of 16, drift threshold
+    /// 1.5, auto-repartition on, unbudgeted, cab cost model.
+    pub fn new(method: Method, p: usize) -> EngineConfig {
+        EngineConfig {
+            method,
+            p,
+            seed: 0,
+            threads: 1,
+            max_batch: 16,
+            drift_threshold: 1.5,
+            auto_repartition: true,
+            scratch_budget: None,
+            machine: Machine::cab(),
+        }
+    }
+
+    /// Sets the layout seed.
+    pub fn with_seed(mut self, seed: u64) -> EngineConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread count.
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the maximum batch width.
+    pub fn with_max_batch(mut self, max_batch: usize) -> EngineConfig {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the drift threshold.
+    pub fn with_drift_threshold(mut self, t: f64) -> EngineConfig {
+        self.drift_threshold = t;
+        self
+    }
+
+    /// Enables/disables drift-triggered repartitioning.
+    pub fn with_auto_repartition(mut self, on: bool) -> EngineConfig {
+        self.auto_repartition = on;
+        self
+    }
+
+    /// Sets the workspace live-memory budget.
+    pub fn with_budget(mut self, bytes: u64) -> EngineConfig {
+        self.scratch_budget = Some(bytes);
+        self
+    }
+}
+
+/// One answered query: the submitted id and the global result vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReply {
+    /// Ticket returned by [`Engine::submit`].
+    pub id: u64,
+    /// `y = A x` assembled to global indexing.
+    pub y: Vec<f64>,
+}
+
+/// One immutable plan generation: the swap unit. Holding the `Arc` keeps
+/// a batch's matrix alive even if the engine moves on mid-flight.
+struct EnginePlan {
+    epoch: u64,
+    matrix: DistCsrMatrix,
+}
+
+type PlanKey = (u64, Method, usize);
+
+/// A resident, plan-cached, batch-coalescing SpMM frontend over one
+/// dynamic graph. See the [module docs](self) for the contract.
+pub struct Engine {
+    cfg: EngineConfig,
+    n: usize,
+    /// Both orientations of every nonzero, row-major ordered — the
+    /// canonical dynamic state. `BTreeMap` iteration order makes the
+    /// CSR rebuild deterministic.
+    edges: BTreeMap<(u32, u32), f64>,
+    epoch: u64,
+    /// Current layout; replaced (and the epoch bumped) on repartition.
+    dist: Arc<MatrixDist>,
+    /// The plan serving batches — swapped by a single `Arc` store.
+    active: Arc<EnginePlan>,
+    cache: HashMap<PlanKey, Arc<EnginePlan>>,
+    pool: Option<Pool>,
+    ws: SpmvWorkspace,
+    spgemm_ws: SpgemmWorkspace,
+    summa_ws: SummaWorkspace,
+    /// Pending `(id, x)` queries, submission-ordered.
+    queue: Vec<(u64, Vec<f64>)>,
+    /// Computed replies awaiting the next `flush`.
+    ready: Vec<ServeReply>,
+    next_id: u64,
+    /// Crash-epoch counter for chaos-mode batches.
+    chaos_batches: u64,
+    /// Per-rank nonzero counts under `dist`, maintained in O(1) per
+    /// mutation — the drift signal.
+    nnz_per_rank: Vec<u64>,
+    /// Simulated cost of everything the engine has executed.
+    pub ledger: CostLedger,
+    /// Request-level counters and distributions.
+    pub metrics: EngineMetrics,
+}
+
+impl Engine {
+    /// Builds a warm engine: the layout is derived from `(a, seed)` via
+    /// [`LayoutBuilder`] and the epoch-0 plan is compiled eagerly (the
+    /// first cache miss), so the first query hits a resident plan.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square and structurally symmetric — the
+    /// engine maintains symmetry under mutation, so it requires it at
+    /// the start (symmetrize directed inputs first).
+    pub fn new(a: &CsrMatrix, cfg: EngineConfig) -> Engine {
+        assert!(cfg.p >= 1, "need at least one rank");
+        assert!(cfg.max_batch >= 1, "need a positive batch width");
+        assert_eq!(a.nrows(), a.ncols(), "serving requires a square matrix");
+        assert!(
+            a.is_structurally_symmetric(),
+            "the engine maintains symmetric dynamic graphs; symmetrize first"
+        );
+        let n = a.nrows();
+        let mut edges = BTreeMap::new();
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            for (j, v) in cols.iter().zip(vals) {
+                edges.insert((i as u32, *j), *v);
+            }
+        }
+        let dist = Arc::new(Self::build_dist(a, &cfg));
+        let nnz_per_rank = Self::count_nnz(&edges, &dist);
+        let pool = (cfg.threads > 1).then(|| Pool::new(cfg.threads));
+        let matrix = DistCsrMatrix::from_global_with(a, &*dist, cfg.threads, pool.as_ref());
+        let active = Arc::new(EnginePlan { epoch: 0, matrix });
+        let mut cache = HashMap::new();
+        cache.insert((0, cfg.method, cfg.p), Arc::clone(&active));
+        let mut ws = SpmvWorkspace::with_threads(cfg.threads);
+        ws.set_budget(cfg.scratch_budget);
+        let metrics = EngineMetrics {
+            cache_misses: 1, // the warm-start compile
+            ..EngineMetrics::default()
+        };
+        let ledger = CostLedger::new(cfg.machine);
+        Engine {
+            n,
+            edges,
+            epoch: 0,
+            dist,
+            active,
+            cache,
+            pool,
+            ws,
+            spgemm_ws: SpgemmWorkspace::with_threads(cfg.threads),
+            summa_ws: SummaWorkspace::with_threads(cfg.threads),
+            queue: Vec::new(),
+            ready: Vec::new(),
+            next_id: 0,
+            chaos_batches: 0,
+            nnz_per_rank,
+            ledger,
+            metrics,
+            cfg,
+        }
+    }
+
+    fn build_dist(a: &CsrMatrix, cfg: &EngineConfig) -> MatrixDist {
+        LayoutBuilder::new(a, cfg.seed).dist(cfg.method, cfg.p)
+    }
+
+    fn count_nnz(edges: &BTreeMap<(u32, u32), f64>, dist: &MatrixDist) -> Vec<u64> {
+        let mut counts = vec![0u64; dist.nprocs()];
+        for &(i, j) in edges.keys() {
+            counts[dist.nonzero_owner(i, j) as usize] += 1;
+        }
+        counts
+    }
+
+    // -- queries ----------------------------------------------------------
+
+    /// Queues `x` for the next flush and returns its reply ticket.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an `n`-vector.
+    pub fn submit(&mut self, x: Vec<f64>) -> u64 {
+        assert_eq!(x.len(), self.n, "query dimension mismatch");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push((id, x));
+        let depth = self.queue.len() as u64;
+        self.metrics.queue_depth_peak = self.metrics.queue_depth_peak.max(depth);
+        id
+    }
+
+    /// Coalesces the pending queue into SpMM batches of at most
+    /// `max_batch` columns, executes them against the current epoch's
+    /// plan, and returns every reply computed since the last flush
+    /// (including replies parked by mutation barriers), in execution
+    /// order.
+    pub fn flush(&mut self) -> Vec<ServeReply> {
+        self.drain_queue(None);
+        std::mem::take(&mut self.ready)
+    }
+
+    /// [`Engine::flush`] with every batch's expand/fold exchange routed
+    /// through the chaos wire, and crash-restart at batch granularity:
+    /// when `rt` declares a crash for a batch (crash epochs number the
+    /// chaos-mode batches 0, 1, …), the attempt's results are discarded
+    /// before commit, a `Recovery` superstep bills each rank's re-read
+    /// of its slice of the retained inputs, and the batch replays. The
+    /// replies are bitwise equal to a fault-free flush in all cases.
+    pub fn flush_chaos(&mut self, rt: &mut ChaosRuntime) -> Vec<ServeReply> {
+        self.drain_queue(Some(rt));
+        std::mem::take(&mut self.ready)
+    }
+
+    /// One-shot convenience for an idle engine: submit + flush + return
+    /// the single answer.
+    ///
+    /// # Panics
+    /// Panics (debug) if queries are already pending or replies unread —
+    /// use [`Engine::submit`]/[`Engine::flush`] for streams.
+    pub fn query(&mut self, x: &[f64]) -> Vec<f64> {
+        debug_assert!(
+            self.queue.is_empty() && self.ready.is_empty(),
+            "query() on a busy engine would discard pending replies"
+        );
+        let id = self.submit(x.to_vec());
+        let replies = self.flush();
+        replies
+            .into_iter()
+            .find(|r| r.id == id)
+            .expect("flush answers every queued query")
+            .y
+    }
+
+    fn drain_queue(&mut self, mut chaos: Option<&mut ChaosRuntime>) {
+        while !self.queue.is_empty() {
+            let take = self.queue.len().min(self.cfg.max_batch);
+            let batch: Vec<(u64, Vec<f64>)> = self.queue.drain(..take).collect();
+            self.run_batch(batch, chaos.as_deref_mut());
+        }
+    }
+
+    fn run_batch(&mut self, batch: Vec<(u64, Vec<f64>)>, chaos: Option<&mut ChaosRuntime>) {
+        let plan = self.resolve_plan();
+        let m = batch.len();
+        self.metrics.batches += 1;
+        self.metrics.queries += m as u64;
+        self.metrics.batch_sizes.observe(m as u64);
+        let vmap = Arc::clone(&plan.matrix.vmap);
+        let (ids, cols): (Vec<u64>, Vec<Vec<f64>>) = batch.into_iter().unzip();
+        let x = DistMultiVector::from_columns(Arc::clone(&vmap), &cols);
+        let mut y = DistMultiVector::zeros(Arc::clone(&vmap), m);
+        match chaos {
+            None => spmm_with(&plan.matrix, &x, &mut y, &mut self.ledger, &mut self.ws),
+            Some(rt) => {
+                let seq = self.chaos_batches;
+                self.chaos_batches += 1;
+                spmm_chaos_with(&plan.matrix, &x, &mut y, &mut self.ledger, &mut self.ws, rt);
+                if rt.take_crash(seq) {
+                    // The attempt died before committing: the queue entry
+                    // is the checkpoint. Bill each rank's restore read of
+                    // its slice of the m retained input columns, replay.
+                    let restore: Vec<PhaseCost> = (0..plan.matrix.nprocs())
+                        .map(|r| PhaseCost::comm(1, (8 * m * vmap.nlocal(r)) as u64))
+                        .collect();
+                    self.ledger.superstep(Phase::Recovery, &restore);
+                    self.metrics.crash_replays += 1;
+                    y = DistMultiVector::zeros(Arc::clone(&vmap), m);
+                    spmm_chaos_with(&plan.matrix, &x, &mut y, &mut self.ledger, &mut self.ws, rt);
+                }
+            }
+        }
+        for (c, &id) in ids.iter().enumerate() {
+            self.ready.push(ServeReply {
+                id,
+                y: y.col_to_global(c),
+            });
+        }
+    }
+
+    /// Resolves the current epoch's plan: cache hit, or compile-and-swap
+    /// on a miss. The returned `Arc` pins the plan for the caller even
+    /// across a concurrent-looking swap.
+    fn resolve_plan(&mut self) -> Arc<EnginePlan> {
+        let key = (self.epoch, self.cfg.method, self.cfg.p);
+        if let Some(plan) = self.cache.get(&key) {
+            self.metrics.cache_hits += 1;
+            let plan = Arc::clone(plan);
+            self.active = Arc::clone(&plan);
+            return plan;
+        }
+        self.metrics.cache_misses += 1;
+        let a = self.global_matrix();
+        let matrix =
+            DistCsrMatrix::from_global_with(&a, &*self.dist, self.cfg.threads, self.pool.as_ref());
+        let plan = Arc::new(EnginePlan {
+            epoch: self.epoch,
+            matrix,
+        });
+        self.install(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Publishes a new plan: cache insert, bounded eviction of dead
+    /// epochs, then the atomic swap (one `Arc` store — in-flight batches
+    /// holding the old `Arc` finish on their own plan).
+    fn install(&mut self, key: PlanKey, plan: Arc<EnginePlan>) {
+        self.cache.insert(key, Arc::clone(&plan));
+        if self.cache.len() > PLAN_CACHE_CAP {
+            let mut epochs: Vec<u64> = self.cache.keys().map(|k| k.0).collect();
+            epochs.sort_unstable();
+            let cutoff = epochs[epochs.len() - PLAN_CACHE_CAP];
+            self.cache.retain(|k, _| k.0 >= cutoff);
+        }
+        self.active = plan;
+    }
+
+    // -- mutations --------------------------------------------------------
+
+    /// Sets the weight of edge `(i, j)` — and `(j, i)`, keeping the
+    /// graph symmetric — inserting it if absent. Returns whether the
+    /// matrix changed (an identical re-insert is a no-op and does *not*
+    /// bump the epoch). An effective change first drains pending queries
+    /// against the pre-mutation epoch, then bumps the epoch; the new
+    /// plan compiles lazily at the next batch.
+    pub fn insert_edge(&mut self, i: u32, j: u32, w: f64) -> bool {
+        self.check_vertex(i);
+        self.check_vertex(j);
+        let unchanged = self
+            .edges
+            .get(&(i, j))
+            .is_some_and(|old| old.to_bits() == w.to_bits());
+        if unchanged {
+            return false;
+        }
+        self.drain_queue(None);
+        for (u, v) in Self::orientations(i, j) {
+            if self.edges.insert((u, v), w).is_none() {
+                self.nnz_per_rank[self.dist.nonzero_owner(u, v) as usize] += 1;
+            }
+        }
+        self.bump_epoch();
+        self.maybe_repartition();
+        true
+    }
+
+    /// Removes edge `(i, j)` (both orientations). Returns whether it
+    /// existed. Same barrier/epoch semantics as [`Engine::insert_edge`].
+    pub fn remove_edge(&mut self, i: u32, j: u32) -> bool {
+        self.check_vertex(i);
+        self.check_vertex(j);
+        if !self.edges.contains_key(&(i, j)) {
+            return false;
+        }
+        self.drain_queue(None);
+        for (u, v) in Self::orientations(i, j) {
+            if self.edges.remove(&(u, v)).is_some() {
+                self.nnz_per_rank[self.dist.nonzero_owner(u, v) as usize] -= 1;
+            }
+        }
+        self.bump_epoch();
+        self.maybe_repartition();
+        true
+    }
+
+    /// Forces a repartition now: drains pending queries, re-derives the
+    /// layout from the current matrix (deterministically, from the
+    /// configured seed), starts a new epoch, compiles the new
+    /// generation's plan (on the pool when threaded — the "background"
+    /// compile), and swaps it in atomically.
+    pub fn repartition_now(&mut self) {
+        self.drain_queue(None);
+        let a = self.global_matrix();
+        let dist = Arc::new(Self::build_dist(&a, &self.cfg));
+        self.nnz_per_rank = Self::count_nnz(&self.edges, &dist);
+        self.dist = dist;
+        self.bump_epoch();
+        self.metrics.repartitions += 1;
+        self.metrics.cache_misses += 1;
+        let matrix =
+            DistCsrMatrix::from_global_with(&a, &*self.dist, self.cfg.threads, self.pool.as_ref());
+        let key = (self.epoch, self.cfg.method, self.cfg.p);
+        self.install(
+            key,
+            Arc::new(EnginePlan {
+                epoch: self.epoch,
+                matrix,
+            }),
+        );
+    }
+
+    fn orientations(i: u32, j: u32) -> Vec<(u32, u32)> {
+        if i == j {
+            vec![(i, j)]
+        } else {
+            vec![(i, j), (j, i)]
+        }
+    }
+
+    fn check_vertex(&self, v: u32) {
+        assert!(
+            (v as usize) < self.n,
+            "vertex {v} out of range (n = {})",
+            self.n
+        );
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.metrics.epoch_bumps += 1;
+    }
+
+    fn maybe_repartition(&mut self) {
+        if self.cfg.auto_repartition
+            && self.cfg.method.is_partitioned()
+            && self.imbalance() > self.cfg.drift_threshold
+        {
+            self.repartition_now();
+        }
+    }
+
+    // -- repeated multiplies ----------------------------------------------
+
+    /// `C = A·Aᵀ` of the resident matrix through the cached plan and the
+    /// pooled expand/fold [`SpgemmWorkspace`], billed to the engine
+    /// ledger.
+    pub fn multiply(&mut self) -> DistSpgemm {
+        let plan = self.resolve_plan();
+        let b = self.global_matrix().transpose();
+        spgemm_with(&plan.matrix, &b, &mut self.ledger, &mut self.spgemm_ws)
+    }
+
+    /// `C = A·Aᵀ` via Sparse SUMMA through the pooled
+    /// [`SummaWorkspace`].
+    pub fn multiply_summa(&mut self) -> SummaSpgemm {
+        let plan = self.resolve_plan();
+        let b = self.global_matrix().transpose();
+        summa_with(
+            &plan.matrix,
+            &self.dist,
+            &b,
+            &mut self.ledger,
+            &mut self.summa_ws,
+        )
+    }
+
+    // -- introspection ----------------------------------------------------
+
+    /// Current epoch (0 at construction; bumped per effective mutation
+    /// and per repartition).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The matrix generation currently serving batches.
+    pub fn active(&self) -> &DistCsrMatrix {
+        &self.active.matrix
+    }
+
+    /// Whether the active plan is stale (a mutation happened since it
+    /// compiled; the next batch will miss and recompile).
+    pub fn active_is_stale(&self) -> bool {
+        self.active.epoch != self.epoch
+    }
+
+    /// The current layout.
+    pub fn dist(&self) -> &MatrixDist {
+        &self.dist
+    }
+
+    /// Max-over-avg per-rank nonzero counts under the current layout —
+    /// the drift signal (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.nnz_per_rank.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.nnz_per_rank.len() as f64;
+        let max = *self.nnz_per_rank.iter().max().unwrap() as f64;
+        max / avg
+    }
+
+    /// Rebuilds the resident matrix to global CSR (deterministic:
+    /// row-major edge order).
+    pub fn global_matrix(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.n, self.n);
+        for (&(i, j), &w) in &self.edges {
+            coo.push(i, j, w);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored nonzero count (both orientations).
+    pub fn nnz(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether edge `(i, j)` is present.
+    pub fn has_edge(&self, i: u32, j: u32) -> bool {
+        self.edges.contains_key(&(i, j))
+    }
+
+    /// Pending (unexecuted) query count.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Compiled plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The construction config.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf2d_gen::{rmat, RmatConfig};
+    use sf2d_spmv::{spmv, DistVector};
+
+    fn fixture() -> (CsrMatrix, Vec<Vec<f64>>) {
+        let a = rmat(&RmatConfig::graph500(7), 19);
+        let n = a.nrows();
+        let queries: Vec<Vec<f64>> = (0..7)
+            .map(|q| {
+                (0..n)
+                    .map(|i| ((i * (q + 2) + q) % 9) as f64 - 4.0)
+                    .collect()
+            })
+            .collect();
+        (a, queries)
+    }
+
+    fn oracle(a: &CsrMatrix, cfg: &EngineConfig, x: &[f64]) -> Vec<f64> {
+        let dist = LayoutBuilder::new(a, cfg.seed).dist(cfg.method, cfg.p);
+        let dm = DistCsrMatrix::from_global(a, &dist);
+        let xd = DistVector::from_global(Arc::clone(&dm.vmap), x);
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        spmv(&dm, &xd, &mut y, &mut CostLedger::new(Machine::cab()));
+        y.to_global()
+    }
+
+    fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+        let gb: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        let wb: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(gb, wb, "{what}");
+    }
+
+    #[test]
+    fn batched_answers_match_one_shot_spmv_bitwise() {
+        let (a, queries) = fixture();
+        let cfg = EngineConfig::new(Method::TwoDBlock, 6).with_max_batch(3);
+        let mut engine = Engine::new(&a, cfg.clone());
+        let ids: Vec<u64> = queries.iter().map(|q| engine.submit(q.clone())).collect();
+        let replies = engine.flush();
+        assert_eq!(replies.len(), queries.len());
+        // 7 queries at max_batch 3 -> batches of 3, 3, 1.
+        assert_eq!(engine.metrics.batches, 3);
+        assert_eq!(engine.metrics.cache_misses, 1, "warm plan serves all");
+        assert_eq!(engine.metrics.cache_hits, 3);
+        for (reply, (id, q)) in replies.iter().zip(ids.iter().zip(&queries)) {
+            assert_eq!(reply.id, *id, "submission order preserved");
+            assert_bits_eq(&reply.y, &oracle(&a, &cfg, q), "batched vs one-shot");
+        }
+    }
+
+    #[test]
+    fn mutation_bumps_epoch_recompiles_and_stays_bitwise_correct() {
+        let (a, queries) = fixture();
+        let cfg = EngineConfig::new(Method::OneDRandom, 4)
+            .with_max_batch(4)
+            .with_auto_repartition(false);
+        let mut engine = Engine::new(&a, cfg.clone());
+        assert_bits_eq(
+            &engine.query(&queries[0]),
+            &oracle(&a, &cfg, &queries[0]),
+            "pre-mutation",
+        );
+        assert_eq!(engine.epoch(), 0);
+
+        // Pick an absent edge deterministically.
+        let (mut i, mut j) = (0u32, 1u32);
+        while engine.has_edge(i, j) {
+            j += 1;
+        }
+        assert!(engine.insert_edge(i, j, 2.5));
+        assert!(engine.has_edge(j, i), "symmetry is maintained");
+        assert_eq!(engine.epoch(), 1);
+        assert!(engine.active_is_stale());
+        // Identical re-insert is a no-op.
+        assert!(!engine.insert_edge(i, j, 2.5));
+        assert_eq!(engine.epoch(), 1);
+
+        let misses_before = engine.metrics.cache_misses;
+        let got = engine.query(&queries[1]);
+        assert_eq!(engine.metrics.cache_misses, misses_before + 1);
+        assert!(!engine.active_is_stale());
+        let mutated = engine.global_matrix();
+        assert_bits_eq(&got, &oracle(&mutated, &cfg, &queries[1]), "post-insert");
+
+        assert!(engine.remove_edge(i, j));
+        assert!(!engine.remove_edge(i, j), "double delete is a no-op");
+        assert_eq!(engine.epoch(), 2);
+        // Removing the only mutation restores the seed matrix, but the
+        // epoch is monotonic: a fresh compile, not a stale hit.
+        let got = engine.query(&queries[2]);
+        assert_bits_eq(&got, &oracle(&a, &cfg, &queries[2]), "post-delete");
+        i = 0;
+        j = 0;
+        let _ = (i, j);
+    }
+
+    #[test]
+    fn mutation_drains_pending_queries_against_the_old_epoch() {
+        let (a, queries) = fixture();
+        let cfg = EngineConfig::new(Method::TwoDRandom, 4).with_max_batch(16);
+        let mut engine = Engine::new(&a, cfg.clone());
+        let id0 = engine.submit(queries[0].clone());
+        // The barrier executes the queued query against the pre-mutation
+        // matrix ...
+        let (mut i, mut j) = (0u32, 1u32);
+        while engine.has_edge(i, j) {
+            j += 1;
+        }
+        assert!(engine.insert_edge(i, j, -1.0));
+        let id1 = engine.submit(queries[1].clone());
+        let replies = engine.flush();
+        assert_eq!(replies.len(), 2);
+        assert_bits_eq(
+            &replies[0].y,
+            &oracle(&a, &cfg, &queries[0]),
+            "pre-mutation epoch",
+        );
+        assert_eq!(replies[0].id, id0);
+        // ... while the later submit sees the mutated matrix.
+        let mutated = engine.global_matrix();
+        assert_bits_eq(
+            &replies[1].y,
+            &oracle(&mutated, &cfg, &queries[1]),
+            "post-mutation epoch",
+        );
+        assert_eq!(replies[1].id, id1);
+        i = 0;
+        let _ = (i, j);
+    }
+
+    #[test]
+    fn drift_triggers_auto_repartition_and_forced_repartition_works() {
+        let (a, queries) = fixture();
+        // Threshold 1.0 means any imbalance at all repartitions — every
+        // effective mutation will trip it on a gp layout.
+        let cfg = EngineConfig::new(Method::OneDGp, 4)
+            .with_max_batch(2)
+            .with_drift_threshold(1.0);
+        let mut engine = Engine::new(&a, cfg.clone());
+        assert!(engine.imbalance() >= 1.0);
+        let (i, mut j) = (1u32, 2u32);
+        while engine.has_edge(i, j) {
+            j += 1;
+        }
+        assert!(engine.insert_edge(i, j, 1.0));
+        assert_eq!(engine.metrics.repartitions, 1, "drift tripped");
+        assert!(!engine.active_is_stale(), "repartition pre-compiles");
+        let mutated = engine.global_matrix();
+        // After a repartition the layout is re-derived from the mutated
+        // matrix — exactly what a from-scratch oracle does.
+        assert_bits_eq(
+            &engine.query(&queries[0]),
+            &oracle(&mutated, &cfg, &queries[0]),
+            "post-repartition",
+        );
+
+        let reparts = engine.metrics.repartitions;
+        engine.repartition_now();
+        assert_eq!(engine.metrics.repartitions, reparts + 1);
+        assert_bits_eq(
+            &engine.query(&queries[1]),
+            &oracle(&mutated, &cfg, &queries[1]),
+            "forced repartition is deterministic",
+        );
+    }
+
+    #[test]
+    fn plan_cache_stays_bounded() {
+        let (a, _) = fixture();
+        let cfg = EngineConfig::new(Method::OneDBlock, 2)
+            .with_max_batch(1)
+            .with_auto_repartition(false);
+        let mut engine = Engine::new(&a, cfg);
+        let x: Vec<f64> = (0..engine.n()).map(|i| i as f64).collect();
+        for k in 0..12u32 {
+            // A fresh weight each round: an effective change whether or
+            // not the edge already exists.
+            assert!(engine.insert_edge(0, 5 + k, 2.0 + k as f64));
+            let _ = engine.query(&x);
+        }
+        assert!(engine.cached_plans() <= PLAN_CACHE_CAP);
+        assert_eq!(engine.metrics.cache_misses, 13, "one compile per epoch");
+    }
+
+    #[test]
+    fn threaded_engine_is_bitwise_equal_and_multiplies_match_oracles() {
+        let (a, queries) = fixture();
+        let base = EngineConfig::new(Method::TwoDGp, 9).with_max_batch(4);
+        let mut gold: Option<Vec<ServeReply>> = None;
+        for threads in [1usize, 4] {
+            let mut engine = Engine::new(&a, base.clone().with_threads(threads));
+            for q in &queries {
+                engine.submit(q.clone());
+            }
+            let replies = engine.flush();
+            match &gold {
+                None => gold = Some(replies),
+                Some(g) => {
+                    for (gr, tr) in g.iter().zip(&replies) {
+                        assert_eq!(gr.id, tr.id);
+                        assert_bits_eq(&tr.y, &gr.y, "threads must not change bits");
+                    }
+                }
+            }
+        }
+
+        // The pooled spgemm/summa workspaces answer repeated multiplies.
+        let mut engine = Engine::new(&a, base);
+        let b = a.transpose();
+        let dm = engine.active();
+        let mut l = CostLedger::new(Machine::cab());
+        let want = sf2d_spgemm::spgemm_dist(dm, &b, &mut l);
+        let got = engine.multiply();
+        assert_eq!(want.locals, got.locals);
+        let got2 = engine.multiply();
+        assert_eq!(want.locals, got2.locals, "workspace reuse is clean");
+        let summa = engine.multiply_summa();
+        assert_eq!(want.locals, summa.locals, "summa agrees with expand/fold");
+    }
+
+    #[test]
+    fn chaos_flush_heals_and_rate_zero_is_byte_identical() {
+        let (a, queries) = fixture();
+        let cfg = EngineConfig::new(Method::TwoDBlock, 6).with_max_batch(3);
+
+        let mut plain = Engine::new(&a, cfg.clone());
+        for q in &queries {
+            plain.submit(q.clone());
+        }
+        let want = plain.flush();
+
+        // Rate 0: byte-identical, ledger included.
+        let mut engine = Engine::new(&a, cfg.clone());
+        let mut rt = ChaosRuntime::seeded(11, 0.0);
+        for q in &queries {
+            engine.submit(q.clone());
+        }
+        let got = engine.flush_chaos(&mut rt);
+        assert_eq!(got, want);
+        assert_eq!(engine.ledger.history, plain.ledger.history);
+        assert_eq!(engine.ledger.total.to_bits(), plain.ledger.total.to_bits());
+        assert!(!rt.stats.any());
+
+        // Seeded faults: healed bits, extra cost.
+        let mut engine = Engine::new(&a, cfg);
+        let mut rt = ChaosRuntime::seeded(11, 0.4);
+        for q in &queries {
+            engine.submit(q.clone());
+        }
+        let got = engine.flush_chaos(&mut rt);
+        assert_eq!(got, want);
+        assert!(rt.stats.any());
+        assert!(engine.ledger.total > plain.ledger.total);
+    }
+}

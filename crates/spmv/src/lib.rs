@@ -47,4 +47,6 @@ pub use resilient::{
     gather_chaos, power_iterate, power_iterate_chaos, scatter_add_chaos, spmv_chaos, ChaosSpmvOp,
     CHECKPOINT_EVERY,
 };
-pub use spmv::{gather_executions, spmm, spmm_with, spmv, spmv_with};
+pub use spmv::{
+    gather_executions, spmm, spmm_chaos_with, spmm_with, spmv, spmv_chaos_with, spmv_with,
+};

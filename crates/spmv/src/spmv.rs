@@ -33,13 +33,26 @@
 //! in [`reference`](crate::reference) as the oracle; the property tests in
 //! `tests/proptest_compiled.rs` pin this path to it bit-for-bit, ledger
 //! included.
+//!
+//! [`spmv_chaos_with`] / [`spmm_chaos_with`] are the same executor with
+//! both exchanges *also* mirrored onto a [`ChaosRuntime`] wire: the
+//! verify-retry protocol heals every injected fault, the healed payloads
+//! are asserted bit-identical to the resident buffers the kernel reads,
+//! and only the ledger can differ — by the `Retransmit` supersteps that
+//! itemize the extra traffic (skipped entirely at rate 0, where the run
+//! is byte-identical, ledger included). Chaos superstep indices for
+//! [`FaultScript`](sf2d_sim::fault) targeting: the k-th chaos-routed
+//! product routes its expand exchange at step `2k` and its fold exchange
+//! at step `2k + 1`.
 
 use std::cell::Cell;
 
 use sf2d_obs::{trace_span, PhaseKind};
 use sf2d_sim::cost::{CostLedger, Phase, PhaseCost};
+use sf2d_sim::fault::{bill_retransmit, ChaosRuntime};
 use sf2d_sim::runtime::par_ranks;
 
+use crate::compiled::RankPlan;
 use crate::compiled::SpmvWorkspace;
 use crate::distmat::DistCsrMatrix;
 use crate::multivec::{DistMultiVector, DistVector};
@@ -149,7 +162,25 @@ pub fn spmv_with(
     ws: &mut SpmvWorkspace,
 ) {
     assert_maps_compatible(a, x, y);
-    run_phases(a, x, &mut y.locals, ledger, ws, &SPMV_SPANS);
+    run_phases(a, x, &mut y.locals, ledger, ws, &SPMV_SPANS, None);
+}
+
+/// [`spmv_with`] with both exchanges also routed through a chaos wire.
+///
+/// The healed deliveries are asserted bit-identical to the resident
+/// payload buffers (message by message), so the result — and, at rate 0,
+/// the ledger — is byte-identical to the plain run; injected faults only
+/// add `Retransmit` supersteps.
+pub fn spmv_chaos_with(
+    a: &DistCsrMatrix,
+    x: &DistVector,
+    y: &mut DistVector,
+    ledger: &mut CostLedger,
+    ws: &mut SpmvWorkspace,
+    rt: &mut ChaosRuntime,
+) {
+    assert_maps_compatible(a, x, y);
+    run_phases(a, x, &mut y.locals, ledger, ws, &SPMV_SPANS, Some(rt));
 }
 
 /// Blocked SpMM `Y = A X` over a [`DistMultiVector`].
@@ -189,7 +220,83 @@ pub fn spmm_with(
         std::sync::Arc::ptr_eq(&y.map, &a.vmap) || y.map.same_distribution(&a.vmap),
         "y map mismatch"
     );
-    run_phases(a, x, &mut y.locals, ledger, ws, &SPMM_SPANS);
+    run_phases(a, x, &mut y.locals, ledger, ws, &SPMM_SPANS, None);
+}
+
+/// [`spmm_with`] with both exchanges also routed through a chaos wire —
+/// the serving fault model: a coalesced query batch is one SpMM whose
+/// expand and fold payloads ride the misbehaving transport and must heal
+/// to the fault-free bits. See [`spmv_chaos_with`] for the contract.
+pub fn spmm_chaos_with(
+    a: &DistCsrMatrix,
+    x: &DistMultiVector,
+    y: &mut DistMultiVector,
+    ledger: &mut CostLedger,
+    ws: &mut SpmvWorkspace,
+    rt: &mut ChaosRuntime,
+) {
+    assert_eq!(x.ncols, y.ncols, "column count mismatch");
+    assert!(
+        std::sync::Arc::ptr_eq(&x.map, &a.vmap) || x.map.same_distribution(&a.vmap),
+        "x map mismatch"
+    );
+    assert!(
+        std::sync::Arc::ptr_eq(&y.map, &a.vmap) || y.map.same_distribution(&a.vmap),
+        "y map mismatch"
+    );
+    run_phases(a, x, &mut y.locals, ledger, ws, &SPMM_SPANS, Some(rt));
+}
+
+/// Mirrors one phase's flat resident payload buffers onto the chaos wire
+/// and checks the healed deliveries against what the plain executor reads
+/// in place: same sources, same order, same bits. Extra fault traffic is
+/// billed as a `Retransmit` superstep (a no-op when nothing fired).
+fn route_phase_chaos<'a>(
+    rt: &mut ChaosRuntime,
+    ledger: &mut CostLedger,
+    p: usize,
+    m: usize,
+    bufs: &[Vec<f64>],
+    rank_plan: impl Fn(usize) -> RankPlan<'a>,
+    what: &str,
+) {
+    let sends: Vec<Vec<(u32, Vec<f64>)>> = (0..p)
+        .map(|r| {
+            rank_plan(r)
+                .packs()
+                .map(|(dst, lids, off)| {
+                    let off = off as usize * m;
+                    (dst, bufs[r][off..off + lids.len() * m].to_vec())
+                })
+                .collect()
+        })
+        .collect();
+    let (delivered, extra) = rt.route(p, sends);
+    bill_retransmit(ledger, &extra);
+    for (r, inbox) in delivered.iter().enumerate() {
+        let plan = rank_plan(r);
+        assert_eq!(
+            inbox.len(),
+            plan.nunpacks(),
+            "{what}: wrong message count at rank {r}"
+        );
+        for (msg, (src, _slot, off, lids)) in inbox.iter().zip(plan.unpacks()) {
+            assert_eq!(msg.src, src, "{what}: source mismatch at rank {r}");
+            let off = off as usize * m;
+            let resident = &bufs[src as usize][off..off + lids.len() * m];
+            assert_eq!(
+                msg.data.len(),
+                resident.len(),
+                "{what}: short message at rank {r}"
+            );
+            let same_bits = msg
+                .data
+                .iter()
+                .zip(resident.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "{what}: corrupted delivery at rank {r}");
+        }
+    }
 }
 
 /// The shared 4-phase executor at SpMM width `x.ncols()` (1 = SpMV).
@@ -198,7 +305,10 @@ pub fn spmm_with(
 /// Phases 2–3 run wave-by-wave over the workspace's scratch arena; the
 /// ledger charges the four canonical supersteps in order regardless of
 /// the wave count, so budgeted and all-resident runs have byte-identical
-/// histories.
+/// histories. With a chaos runtime, the expand and fold payloads are
+/// additionally mirrored onto the fault-injecting wire right after their
+/// supersteps are charged (both phases route even when a plan is empty,
+/// so routing-step numbering stays fixed at two steps per product).
 fn run_phases<X: ColumnAccess>(
     a: &DistCsrMatrix,
     x: &X,
@@ -206,6 +316,7 @@ fn run_phases<X: ColumnAccess>(
     ledger: &mut CostLedger,
     ws: &mut SpmvWorkspace,
     spans: &SpanNames,
+    mut chaos: Option<&mut ChaosRuntime>,
 ) {
     let m = x.ncols();
     ws.ensure(&a.blocks, &a.compiled, m);
@@ -235,6 +346,17 @@ fn run_phases<X: ColumnAccess>(
         .map(|c| c.widened(m as u64))
         .collect();
     ledger.superstep(Phase::Expand, &costs);
+    if let Some(rt) = chaos.as_deref_mut() {
+        route_phase_chaos(
+            rt,
+            ledger,
+            a.nprocs(),
+            m,
+            &ws.expand_bufs,
+            |r| compiled.expand_rank(r),
+            "spmv expand",
+        );
+    }
 
     // Phases 2–3, wave by wave: each wave carves per-rank (xcols,
     // partials) views out of the shared scratch arena, runs unpack +
@@ -331,6 +453,17 @@ fn run_phases<X: ColumnAccess>(
         .map(|c| c.widened(m as u64))
         .collect();
     ledger.superstep(Phase::Fold, &costs);
+    if let Some(rt) = chaos {
+        route_phase_chaos(
+            rt,
+            ledger,
+            a.nprocs(),
+            m,
+            &ws.fold_bufs,
+            |r| compiled.fold_rank(r),
+            "spmv fold",
+        );
+    }
 
     // Phase 4 — sum: add arriving partials in plan order (sources
     // ascending — the same per-element order as the reference executor,
@@ -676,6 +809,117 @@ mod tests {
         let before = gather_executions();
         spmv(&dm, &x, &mut y, &mut CostLedger::new(Machine::cab()));
         assert_eq!(gather_executions() - before, 1);
+    }
+
+    #[test]
+    fn chaos_rate_zero_spmm_is_byte_identical_to_plain() {
+        let a = rmat(&RmatConfig::graph500(7), 29);
+        let d = MatrixDist::block_2d(a.nrows(), 2, 3);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let n = a.nrows();
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|c| (0..n).map(|i| ((i * (c + 2)) % 9) as f64 - 4.0).collect())
+            .collect();
+        let x = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+
+        let mut y0 = DistMultiVector::zeros(Arc::clone(&dm.vmap), 3);
+        let mut l0 = CostLedger::new(Machine::cab());
+        spmm_with(&dm, &x, &mut y0, &mut l0, &mut SpmvWorkspace::new());
+
+        let mut y1 = DistMultiVector::zeros(Arc::clone(&dm.vmap), 3);
+        let mut l1 = CostLedger::new(Machine::cab());
+        let mut rt = sf2d_sim::ChaosRuntime::seeded(42, 0.0);
+        spmm_chaos_with(
+            &dm,
+            &x,
+            &mut y1,
+            &mut l1,
+            &mut SpmvWorkspace::new(),
+            &mut rt,
+        );
+        for (sl, tl) in y0.locals.iter().zip(&y1.locals) {
+            let sb: Vec<u64> = sl.iter().map(|v| v.to_bits()).collect();
+            let tb: Vec<u64> = tl.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, tb);
+        }
+        assert_eq!(l0.history, l1.history);
+        assert_eq!(l0.total.to_bits(), l1.total.to_bits());
+        assert!(!rt.stats.any());
+    }
+
+    #[test]
+    fn chaos_scripted_expand_drop_is_healed() {
+        use sf2d_sim::sf2d_chaos::{FaultKind, FaultScript};
+        let a = rmat(&RmatConfig::graph500(7), 29);
+        let d = MatrixDist::block_2d(a.nrows(), 2, 3);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let x = DistVector::random(Arc::clone(&dm.vmap), 3);
+        // Drop the first real expand message (routing step 0).
+        let (src, dst) = dm
+            .import
+            .sends
+            .iter()
+            .enumerate()
+            .find_map(|(r, out)| out.first().map(|(d, _)| (r as u32, *d)))
+            .expect("2x3 block layout always has expand traffic");
+        let mut rt = sf2d_sim::ChaosRuntime::scripted(FaultScript::default().fault(
+            0,
+            src,
+            dst,
+            0,
+            FaultKind::Drop,
+        ));
+        let mut y = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l = CostLedger::new(Machine::cab());
+        spmv_chaos_with(&dm, &x, &mut y, &mut l, &mut SpmvWorkspace::new(), &mut rt);
+
+        let mut y0 = DistVector::zeros(Arc::clone(&dm.vmap));
+        let mut l0 = CostLedger::new(Machine::cab());
+        spmv(&dm, &x, &mut y0, &mut l0);
+        for (sl, tl) in y0.locals.iter().zip(&y.locals) {
+            let sb: Vec<u64> = sl.iter().map(|v| v.to_bits()).collect();
+            let tb: Vec<u64> = tl.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, tb);
+        }
+        assert_eq!(rt.stats.drops, 1);
+        assert!(
+            l.history.iter().any(|(ph, _)| *ph == Phase::Retransmit),
+            "drop should bill a retransmit superstep"
+        );
+        assert!(l.total > l0.total);
+    }
+
+    #[test]
+    fn chaos_seeded_faults_recover_fault_free_bits_across_threads() {
+        let a = rmat(&RmatConfig::graph500(7), 31);
+        let d = MatrixDist::random_2d(a.nrows(), 2, 3, 5);
+        let dm = DistCsrMatrix::from_global(&a, &d);
+        let n = a.nrows();
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|c| (0..n).map(|i| ((i + c * 3) % 11) as f64 - 5.0).collect())
+            .collect();
+        let x = DistMultiVector::from_columns(Arc::clone(&dm.vmap), &cols);
+        let mut y0 = DistMultiVector::zeros(Arc::clone(&dm.vmap), 4);
+        spmm(&dm, &x, &mut y0, &mut CostLedger::new(Machine::cab()));
+        for threads in [1usize, 2, 8] {
+            let mut rt = sf2d_sim::ChaosRuntime::seeded(7, 0.4).with_threads(threads);
+            let mut y = DistMultiVector::zeros(Arc::clone(&dm.vmap), 4);
+            let mut l = CostLedger::new(Machine::cab());
+            spmm_chaos_with(
+                &dm,
+                &x,
+                &mut y,
+                &mut l,
+                &mut SpmvWorkspace::with_threads(threads),
+                &mut rt,
+            );
+            assert!(rt.stats.any(), "rate 0.4 injected nothing");
+            for (sl, tl) in y0.locals.iter().zip(&y.locals) {
+                let sb: Vec<u64> = sl.iter().map(|v| v.to_bits()).collect();
+                let tb: Vec<u64> = tl.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sb, tb, "threads {threads}");
+            }
+        }
     }
 
     #[test]

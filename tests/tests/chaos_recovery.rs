@@ -11,11 +11,16 @@
 //!   cell recovers output matching the fault-free gold byte-for-byte,
 //!   with the retransmission surcharge visible in the ledger's phase
 //!   breakdown.
+//! * **Serving** — the resident engine's batches ride the same chaos
+//!   wire: rate 0 is byte-identical (replies *and* ledger) on the new
+//!   spmv expand/fold wire paths, and a scripted drop + crash mid-batch
+//!   heals to the fault-free bits with the crash replay itemized.
 
 use std::sync::Arc;
 
 use sf2d_core::prelude::*;
 use sf2d_gen::{rmat, RmatConfig};
+use sf2d_serve::{Engine, EngineConfig};
 use sf2d_sim::sf2d_chaos::{FaultKind, FaultScript};
 use sf2d_sim::{ChaosRuntime, Phase};
 use sf2d_spmv::reference::spmv_ref;
@@ -226,6 +231,148 @@ fn golden_recovery_scripted_drop_into_spgemm_exchange() {
     assert_eq!(clean.locals, gold.locals);
     assert_eq!(l0.total.to_bits(), gold_led.total.to_bits());
     assert_eq!(l0.history, gold_led.history);
+}
+
+fn serve_queries(n: usize) -> Vec<Vec<f64>> {
+    (0..6)
+        .map(|q| {
+            (0..n)
+                .map(|i| ((i * (q + 2) + q) % 9) as f64 - 4.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Fault-free serving gold: replies + ledger from a plain flush.
+fn serve_gold(
+    a: &sf2d_graph::CsrMatrix,
+    cfg: &EngineConfig,
+) -> (Vec<sf2d_serve::ServeReply>, CostLedger) {
+    let mut engine = Engine::new(a, cfg.clone());
+    for q in serve_queries(a.nrows()) {
+        engine.submit(q);
+    }
+    let replies = engine.flush();
+    (replies, engine.ledger)
+}
+
+#[test]
+fn serve_rate_zero_is_byte_identical_on_the_new_wire_paths() {
+    // The serving frontend routes every batch's expand *and* fold
+    // exchange through the chaos wire — new wire paths this PR adds to
+    // the spmv executor. Rate 0 must be byte-identical to the plain
+    // flush: same reply bits, same phase history, same ledger total, for
+    // several rank counts and transport thread counts.
+    let a = rmat(&RmatConfig::graph500(8), 3);
+    for p in [4usize, 16, 64] {
+        let cfg = EngineConfig::new(Method::TwoDBlock, p).with_max_batch(4);
+        let (want, gold_led) = serve_gold(&a, &cfg);
+        for threads in [1usize, 8] {
+            let mut rt = ChaosRuntime::seeded(0xFEED, 0.0).with_threads(threads);
+            let mut engine = Engine::new(&a, cfg.clone());
+            for q in serve_queries(a.nrows()) {
+                engine.submit(q);
+            }
+            let got = engine.flush_chaos(&mut rt);
+            assert_eq!(got, want, "p={p} threads={threads}: replies");
+            assert_eq!(
+                engine.ledger.history, gold_led.history,
+                "p={p} threads={threads}: phase history"
+            );
+            assert_eq!(
+                engine.ledger.total.to_bits(),
+                gold_led.total.to_bits(),
+                "p={p} threads={threads}: ledger total"
+            );
+            assert!(!rt.stats.any(), "rate 0 must inject nothing");
+            assert_eq!(engine.metrics.crash_replays, 0);
+        }
+    }
+}
+
+#[test]
+fn serve_scripted_drop_and_crash_mid_batch_heal_to_fault_free_bits() {
+    // Script a drop into the first serving batch's expand exchange
+    // (routing step 0) and crash that same batch (chaos-batch 0): the
+    // batch replays from the retained queue, and every reply still
+    // matches the fault-free gold bit-for-bit, with Retransmit and
+    // Recovery itemized in the breakdown.
+    let a = rmat(&RmatConfig::graph500(8), 3);
+    let cfg = EngineConfig::new(Method::TwoDGp, 16).with_max_batch(3);
+    let (want, gold_led) = serve_gold(&a, &cfg);
+
+    let mut engine = Engine::new(&a, cfg);
+    let (src, dst) = engine
+        .active()
+        .import
+        .sends
+        .iter()
+        .enumerate()
+        .find_map(|(r, out)| out.first().map(|(d, _)| (r as u32, *d)))
+        .expect("2D-GP expand moves something at p=16");
+    let script = FaultScript::default()
+        .fault(0, src, dst, 0, FaultKind::Drop)
+        .crash(0);
+    let mut rt = ChaosRuntime::scripted(script);
+    for q in serve_queries(a.nrows()) {
+        engine.submit(q);
+    }
+    let got = engine.flush_chaos(&mut rt);
+    assert_eq!(got, want, "healed replies != fault-free gold");
+    assert_eq!(rt.stats.drops, 1);
+    assert_eq!(rt.stats.crashes, 1);
+    assert_eq!(engine.metrics.crash_replays, 1);
+    let breakdown = engine.ledger.phase_breakdown();
+    assert!(
+        breakdown
+            .iter()
+            .any(|(ph, t)| *ph == Phase::Retransmit && *t > 0.0),
+        "retransmit surcharge must be itemized"
+    );
+    assert!(
+        breakdown
+            .iter()
+            .any(|(ph, t)| *ph == Phase::Recovery && *t > 0.0),
+        "crash-replay restore must be itemized"
+    );
+    assert!(engine.ledger.total > gold_led.total);
+}
+
+#[test]
+fn serve_seeded_faults_heal_identically_across_thread_counts() {
+    // A seeded fault storm over the whole serving flush: every reply
+    // heals to the fault-free bits, and the entire outcome — replies,
+    // billed history, fault schedule — is a pure function of (seed, rate)
+    // regardless of transport threads.
+    let a = rmat(&RmatConfig::graph500(8), 3);
+    let cfg = EngineConfig::new(Method::TwoDGp, 16).with_max_batch(4);
+    let (want, gold_led) = serve_gold(&a, &cfg);
+
+    let mut reference: Option<(
+        Vec<sf2d_serve::ServeReply>,
+        u64,
+        sf2d_sim::sf2d_chaos::FaultStats,
+    )> = None;
+    for threads in [1usize, 2, 8] {
+        let mut rt = ChaosRuntime::seeded(0xC0FFEE, 0.3).with_threads(threads);
+        let mut engine = Engine::new(&a, cfg.clone());
+        for q in serve_queries(a.nrows()) {
+            engine.submit(q);
+        }
+        let got = engine.flush_chaos(&mut rt);
+        assert_eq!(got, want, "threads={threads} must heal to gold");
+        assert!(rt.stats.any(), "rate 0.3 should inject something");
+        assert!(engine.ledger.total > gold_led.total);
+        let bits = engine.ledger.total.to_bits();
+        match &reference {
+            None => reference = Some((got, bits, rt.stats)),
+            Some((g, b, stats)) => {
+                assert_eq!(&got, g, "threads={threads}: replies");
+                assert_eq!(bits, *b, "threads={threads}: ledger bits");
+                assert_eq!(&rt.stats, stats, "threads={threads}: fault schedule");
+            }
+        }
+    }
 }
 
 /// Long soak across a seed × rate grid — not part of tier-1
